@@ -1,0 +1,40 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	"repro/polypipe"
+)
+
+func TestMax2(t *testing.T) {
+	if max2(1, 2) != 2 || max2(3, 2) != 3 {
+		t.Fatal("max2 wrong")
+	}
+}
+
+func TestMeasureSimMode(t *testing.T) {
+	p := polypipe.MMChain(2, 16, polypipe.GMM)
+	pipe, polly, polly8, err := measure(p, 2, 8, "sim", time.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe <= 0 || polly <= 0 || polly8 <= 0 {
+		t.Fatalf("speedups = %f %f %f", pipe, polly, polly8)
+	}
+	// gmm: the baseline cannot beat ~1x.
+	if polly > 1.2 || polly8 > 1.2 {
+		t.Fatalf("gmm baseline speedups too high: %f %f", polly, polly8)
+	}
+}
+
+func TestMeasureRealMode(t *testing.T) {
+	p := polypipe.MMChain(2, 12, polypipe.MM)
+	pipe, polly, polly8, err := measure(p, 2, 4, "real", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe <= 0 || polly <= 0 || polly8 <= 0 {
+		t.Fatalf("speedups = %f %f %f", pipe, polly, polly8)
+	}
+}

@@ -1,0 +1,152 @@
+// Command bench-pipeline regenerates the paper's Figure 10: the
+// speed-up of the cross-loop-pipelined execution over the sequential
+// execution for the ten Table 9 programs across a grid of (N, SIZE)
+// configurations, on a fixed number of workers (4 in the paper's
+// quad-core setup).
+//
+// Absolute numbers depend on the host; the paper's qualitative shape —
+// every program gains, by an amount set by its access patterns and
+// num_i cost vector — is what this harness reproduces.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/report"
+	"repro/polypipe"
+)
+
+func main() {
+	ns := flag.String("n", "8,12,16", "comma-separated matrix sizes N")
+	sizes := flag.String("size", "4,8", "comma-separated gmp_data SIZE values")
+	workers := flag.Int("workers", 4, "pipeline worker count (the paper's core count)")
+	progs := flag.String("progs", "", "comma-separated program subset (default: all of P1..P10)")
+	reps := flag.Int("reps", 1, "repetitions per cell (best time wins)")
+	mode := flag.String("mode", "sim", "sim (virtual time, works on any host) or real (wall clock)")
+	overhead := flag.Duration("task-overhead", 500*time.Nanosecond, "per-task scheduling overhead modelled in sim mode")
+	table9 := flag.Bool("table9", false, "print the Table 9 program specifications (Figure 9) and exit")
+	flag.Parse()
+	if *table9 {
+		fmt.Print(table9Spec())
+		return
+	}
+	if *mode != "sim" && *mode != "real" {
+		fatal(fmt.Errorf("unknown mode %q", *mode))
+	}
+
+	nVals, err := parseInts(*ns)
+	if err != nil {
+		fatal(err)
+	}
+	sizeVals, err := parseInts(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	var specs []kernels.T9Spec
+	if *progs == "" {
+		specs = kernels.Table9
+	} else {
+		for _, name := range strings.Split(*progs, ",") {
+			spec, ok := kernels.T9SpecByName(strings.TrimSpace(name))
+			if !ok {
+				fatal(fmt.Errorf("unknown program %q", name))
+			}
+			specs = append(specs, spec)
+		}
+	}
+
+	var colLabels []string
+	type cfg struct{ n, size int }
+	var cfgs []cfg
+	for _, n := range nVals {
+		for _, s := range sizeVals {
+			cfgs = append(cfgs, cfg{n, s})
+			colLabels = append(colLabels, fmt.Sprintf("N=%d,SZ=%d", n, s))
+		}
+	}
+
+	fmt.Printf("Figure 10 reproduction: pipelined vs sequential speed-up (workers=%d, reps=%d, mode=%s)\n\n",
+		*workers, *reps, *mode)
+
+	var rowLabels []string
+	var grid [][]float64
+	for _, spec := range specs {
+		rowLabels = append(rowLabels, spec.Name)
+		row := make([]float64, 0, len(cfgs))
+		for _, c := range cfgs {
+			p := kernels.BuildTable9(spec, c.n, c.size)
+			if err := polypipe.Verify(p, *workers, polypipe.Options{}); err != nil {
+				fatal(fmt.Errorf("%s N=%d SIZE=%d: %w", spec.Name, c.n, c.size, err))
+			}
+			best := 0.0
+			for r := 0; r < *reps; r++ {
+				var speedup float64
+				var err error
+				if *mode == "sim" {
+					speedup, err = polypipe.SimSpeedup(p, *workers, polypipe.Options{}, *overhead)
+				} else {
+					_, _, speedup, err = polypipe.Speedup(p, *workers, polypipe.Options{})
+				}
+				if err != nil {
+					fatal(err)
+				}
+				if speedup > best {
+					best = speedup
+				}
+			}
+			row = append(row, best)
+			fmt.Fprintf(os.Stderr, ".")
+		}
+		grid = append(grid, row)
+	}
+	fmt.Fprintln(os.Stderr)
+	fmt.Println(report.Heatmap("prog", rowLabels, colLabels, grid))
+}
+
+// table9Spec renders the reconstructed Table 9 (the paper's Figure 9):
+// per program, the nest count, num_i cost vector, and the cross-nest
+// read accesses of each statement.
+func table9Spec() string {
+	t := report.NewTable("prog", "nests", "num_i", "memory access")
+	for _, spec := range kernels.Table9 {
+		nums := make([]string, len(spec.Nums))
+		for i, n := range spec.Nums {
+			nums[i] = strconv.Itoa(n)
+		}
+		var accesses []string
+		for k, reads := range spec.Reads {
+			for _, rd := range reads {
+				accesses = append(accesses, fmt.Sprintf("S%d <- %s",
+					k+1, strings.Replace(rd.Pat.String(), "A", fmt.Sprintf("A%d", rd.Src), 1)))
+			}
+		}
+		t.Add(spec.Name,
+			strconv.Itoa(len(spec.Nums)),
+			strings.Join(nums, ","),
+			strings.Join(accesses, "; "))
+	}
+	return t.String()
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench-pipeline:", err)
+	os.Exit(1)
+}

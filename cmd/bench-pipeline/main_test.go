@@ -1,0 +1,29 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("8, 12,16")
+	if err != nil || len(got) != 3 || got[0] != 8 || got[2] != 16 {
+		t.Fatalf("parseInts = %v, %v", got, err)
+	}
+	if _, err := parseInts("8,x"); err == nil {
+		t.Fatal("bad list accepted")
+	}
+	one, err := parseInts("4")
+	if err != nil || len(one) != 1 {
+		t.Fatalf("single = %v, %v", one, err)
+	}
+}
+
+func TestTable9Spec(t *testing.T) {
+	out := table9Spec()
+	for _, want := range []string{"P1", "P10", "S2 <- A1[i][j]", "S2 <- A1[2i][2j]", "1,8,32,32"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table9 spec missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/polypipe"
+)
+
+func TestReadInputExamples(t *testing.T) {
+	src, name, err := readInput("listing1", nil)
+	if err != nil || name != "listing1" || !strings.Contains(src, "A[i][2*j]") {
+		t.Fatalf("listing1: %q %v", name, err)
+	}
+	src, name, err = readInput("listing3", nil)
+	if err != nil || name != "listing3" || !strings.Contains(src, "U:") {
+		t.Fatalf("listing3: %q %v", name, err)
+	}
+	if _, _, err := readInput("nope", nil); err == nil {
+		t.Fatal("unknown example accepted")
+	}
+	if _, _, err := readInput("", []string{"a", "b"}); err == nil {
+		t.Fatal("two files accepted")
+	}
+}
+
+func TestReadInputFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "p.loop")
+	if err := os.WriteFile(file, []byte("for (i = 0; i < 3; i++) S: A[i] = f(B[i]);"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, name, err := readInput("", []string{file})
+	if err != nil || name != file || !strings.Contains(src, "S:") {
+		t.Fatalf("file input: %q %v", name, err)
+	}
+	if _, _, err := readInput("", []string{filepath.Join(dir, "missing")}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestBuiltinExamplesParseAndDetect(t *testing.T) {
+	for _, example := range []string{"listing1", "listing3"} {
+		src, name, err := readInput(example, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := polypipe.Parse(name, src)
+		if err != nil {
+			t.Fatalf("%s: %v", example, err)
+		}
+		if _, err := polypipe.Detect(sc, polypipe.Options{}); err != nil {
+			t.Fatalf("%s: %v", example, err)
+		}
+	}
+}

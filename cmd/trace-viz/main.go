@@ -1,0 +1,74 @@
+// Command trace-viz runs one of the built-in workloads under the
+// pipelined executor with tracing enabled and writes an SVG Gantt
+// timeline of per-statement activity — the graphical version of the
+// paper's Figure 2 overlap picture, measured rather than drawn.
+//
+// Usage:
+//
+//	trace-viz -kernel listing3 -n 48 -workers 4 -o overlap.svg
+//	trace-viz -kernel 3gmm -rows 128 -o gmm.svg
+//	trace-viz -kernel P5 -n 10 -size 2 -o p5.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/polypipe"
+)
+
+func main() {
+	kernel := flag.String("kernel", "listing3", "workload: listing1, listing3, P1..P10, or {2,3,4}{mm,mmt,gmm,gmmt}")
+	n := flag.Int("n", 32, "grid size for listing/P workloads")
+	size := flag.Int("size", 2, "SIZE for P workloads")
+	rows := flag.Int("rows", 96, "rows for matrix-chain workloads")
+	workers := flag.Int("workers", 4, "pipeline workers")
+	out := flag.String("o", "trace.svg", "output SVG file")
+	flag.Parse()
+
+	prog, err := buildKernel(*kernel, *n, *size, *rows)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := polypipe.TraceSVG(f, prog, *workers, polypipe.Options{}); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%s, %d workers)\n", *out, prog.Name, *workers)
+}
+
+func buildKernel(name string, n, size, rows int) (*polypipe.Program, error) {
+	switch {
+	case name == "listing1":
+		return polypipe.Listing1(n), nil
+	case name == "listing3":
+		return polypipe.Listing3(n), nil
+	case strings.HasPrefix(name, "P"):
+		return polypipe.Table9Program(name, n, size)
+	}
+	if len(name) >= 3 {
+		chain, err := strconv.Atoi(name[:1])
+		if err == nil {
+			for _, v := range []polypipe.Variant{polypipe.MM, polypipe.MMT, polypipe.GMM, polypipe.GMMT} {
+				if name[1:] == v.String() {
+					return polypipe.MMChain(chain, rows, v), nil
+				}
+			}
+		}
+	}
+	return nil, fmt.Errorf("unknown kernel %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trace-viz:", err)
+	os.Exit(1)
+}

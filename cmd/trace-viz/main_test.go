@@ -1,0 +1,33 @@
+package main
+
+import "testing"
+
+func TestBuildKernel(t *testing.T) {
+	cases := []struct {
+		name string
+		want string
+	}{
+		{"listing1", "listing1"},
+		{"listing3", "listing3"},
+		{"P3", "P3"},
+		{"2mm", "2mm"},
+		{"3gmmt", "3gmmt"},
+		{"4mmt", "4mmt"},
+		{"5mm", "5mm"}, // chains beyond the paper's 4 are supported
+	}
+	for _, c := range cases {
+		p, err := buildKernel(c.name, 10, 2, 12)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if p.Name != c.want {
+			t.Errorf("%s: program name %q", c.name, p.Name)
+		}
+	}
+	for _, bad := range []string{"", "2xx", "P99", "Pmm"} {
+		if _, err := buildKernel(bad, 10, 2, 12); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Stencil3 walks the complete compilation pipeline on the paper's
+// Listing 3 (three dependent loop nests), starting from DSL source:
+// parse → detect → schedule tree → annotated AST (the Figure 6
+// artifact) → traced pipelined execution with an ASCII Gantt chart
+// showing the cross-loop overlap of Figure 2.
+//
+// Run with:
+//
+//	go run ./examples/stencil3
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/polypipe"
+)
+
+const src = `
+// Listing 3 with N = 12: S feeds R and U; R feeds U.
+for (i = 0; i < 11; i++)
+  for (j = 0; j < 11; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for (i = 0; i < 5; i++)
+  for (j = 0; j < 5; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+for (i = 0; i < 5; i++)
+  for (j = 0; j < 5; j++)
+    U: C[i][j] = h(A[2*i][2*j], B[i][j], C[i][j+1], C[i+1][j+1], C[i][j]);
+`
+
+func main() {
+	// Front end: DSL source to polyhedral SCoP.
+	sc, err := polypipe.Parse("listing3", src)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Analysis: pipeline maps, blocking maps, dependency relations.
+	info, err := polypipe.Detect(sc, polypipe.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== detection report ==")
+	fmt.Println(polypipe.PipelineReport(info))
+
+	// Transformation: the Algorithm 2 schedule tree.
+	fmt.Println("== schedule tree ==")
+	fmt.Println(polypipe.ScheduleTree(info))
+
+	// Code generation: the annotated AST of Figure 6.
+	astOut, err := polypipe.TransformedAST("listing3_pipelined", info)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== annotated AST (Figure 6) ==")
+	fmt.Println(astOut)
+
+	// Execution: run the executable twin of the program pipelined and
+	// show how the three nests overlap in time (Figure 2's picture).
+	prog := polypipe.Listing3(48)
+	analysis, gantt, err := polypipe.TracePipelined(prog, 4, polypipe.Options{}, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("== pipelined execution trace (N = 48, 4 workers) ==")
+	fmt.Print(gantt)
+	fmt.Printf("tasks=%d makespan=%v busy=%v average concurrency=%.2f\n",
+		len(analysis.Spans), analysis.Makespan, analysis.Busy, analysis.Overlap)
+}

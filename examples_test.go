@@ -1,0 +1,41 @@
+package repro_test
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestExamplesRun executes every example end to end with `go run`,
+// asserting it exits cleanly and prints its key success marker. This
+// keeps the examples honest as the API evolves.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are slow under -short")
+	}
+	cases := []struct {
+		dir    string
+		marker string
+	}{
+		{"quickstart", "verification: pipelined == parloop == sequential"},
+		{"stencil3", "== annotated AST (Figure 6) =="},
+		{"imagepipeline", "verification: all executors agree"},
+		{"gmmchain", "only cross-loop pipelining gains"},
+		{"histogram", "pipelined (last-writer deps) == sequential"},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./"+filepath.Join("examples", c.dir))
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), c.marker) {
+				t.Fatalf("output missing %q:\n%s", c.marker, out)
+			}
+		})
+	}
+}

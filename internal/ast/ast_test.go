@@ -1,0 +1,116 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/schedtree"
+)
+
+func genListing3(t *testing.T, n int) *FuncDecl {
+	t.Helper()
+	info, err := core.Detect(kernels.Listing3(n).SCoP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := Generate("listing3_pipelined", schedtree.Build(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fn
+}
+
+// TestFigure6Golden locks down the annotated AST of the transformed
+// Listing 3 program, the analogue of the paper's Figure 6: one loop
+// nest per statement, each with a task annotation on its pipeline
+// loop body carrying the dependency summary.
+func TestFigure6Golden(t *testing.T) {
+	fn := genListing3(t, 12)
+	got := Render(fn)
+	want := `void listing3_pipelined(void) {
+  for (c0 = 0; c0 < 11; c0 += 1) {
+    for (c1 = 0; c1 < 11; c1 += 1) {
+      // task(S): 36 blocks, no in-deps
+      S(c0, c1);
+    }
+  }
+  for (c0 = 0; c0 < 5; c0 += 1) {
+    for (c1 = 0; c1 < 5; c1 += 1) {
+      // task(R): 25 blocks, in-deps on [S]
+      R(c0, c1);
+    }
+  }
+  for (c0 = 0; c0 < 5; c0 += 1) {
+    for (c1 = 0; c1 < 5; c1 += 1) {
+      // task(U): 25 blocks, in-deps on [S, R]
+      U(c0, c1);
+    }
+  }
+}
+`
+	if got != want {
+		t.Fatalf("Figure 6 golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestGenerateStructure(t *testing.T) {
+	fn := genListing3(t, 16)
+	if len(fn.Body) != 3 {
+		t.Fatalf("nests = %d", len(fn.Body))
+	}
+	for i, s := range fn.Body {
+		outer, ok := s.(*ForStmt)
+		if !ok {
+			t.Fatalf("nest %d not a for", i)
+		}
+		innerFor, ok := outer.Body[0].(*ForStmt)
+		if !ok {
+			t.Fatalf("nest %d inner not a for", i)
+		}
+		task, ok := innerFor.Body[0].(*TaskStmt)
+		if !ok {
+			t.Fatalf("nest %d missing task annotation", i)
+		}
+		call, ok := task.Body[0].(*CallStmt)
+		if !ok {
+			t.Fatalf("nest %d missing call", i)
+		}
+		if len(call.Args) != 2 || call.Args[0] != "c0" || call.Args[1] != "c1" {
+			t.Fatalf("nest %d call args = %v", i, call.Args)
+		}
+	}
+}
+
+func TestGenerateRejectsMissingMark(t *testing.T) {
+	tree := &schedtree.SequenceNode{Children: []schedtree.Node{&schedtree.LeafNode{}}}
+	if _, err := Generate("x", tree); err == nil {
+		t.Fatal("expected error for missing mark")
+	}
+}
+
+func TestTriangularBoundsRendering(t *testing.T) {
+	// A statement with an affine inner bound must print it in terms of
+	// the outer loop variable.
+	prog := kernels.Listing1(12)
+	info, err := core.Detect(prog.SCoP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn, err := Generate("p", schedtree.Build(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Render(fn)
+	if !strings.Contains(out, "task(S)") || !strings.Contains(out, "task(R)") {
+		t.Fatalf("missing task annotations:\n%s", out)
+	}
+}
+
+func TestCommentStmtRendering(t *testing.T) {
+	fn := &FuncDecl{Name: "f", Body: []Stmt{&CommentStmt{Text: "hello"}}}
+	if got := Render(fn); !strings.Contains(got, "// hello") {
+		t.Fatalf("comment not rendered: %q", got)
+	}
+}

@@ -1,0 +1,212 @@
+// Package codegen lowers a detected pipeline structure to an
+// executable task program for the tasking runtime, mirroring the
+// paper's code-generation phase (§5.4): every pipeline block becomes
+// one task whose body runs the block's iterations in order, and the
+// block-leader vectors of the dependency relations are converted to
+// unique integer dependency addresses paired with a per-statement
+// writer index.
+package codegen
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/isl"
+	"repro/internal/schedtree"
+	"repro/internal/scop"
+	"repro/internal/tasking"
+)
+
+// TaskSpec is one generated task before submission to the runtime.
+type TaskSpec struct {
+	Stmt    *scop.Statement
+	Leader  isl.Vec
+	Members []isl.Vec
+	Label   string
+	Out     int
+	In      []int
+	Serial  int
+	// ParallelBody marks tasks whose members may run concurrently
+	// (the statement has no intra-nest conflicts); set only under
+	// hybrid compilation.
+	ParallelBody bool
+}
+
+// CompileOptions tunes code generation beyond the paper's prototype.
+type CompileOptions struct {
+	// IntraBlockWorkers, when > 1, enables the hybrid mode the paper's
+	// §7 raises (combining cross-loop pipelining with other
+	// parallelism): tasks of statements that carry no intra-nest
+	// conflicts execute their block members concurrently on up to this
+	// many goroutines. Blocks still run in order and cross-loop
+	// dependencies are unchanged, so correctness is unaffected.
+	IntraBlockWorkers int
+}
+
+// TaskProgram is the compiled pipelined program: tasks in creation
+// (program) order plus the address-encoding parameters.
+type TaskProgram struct {
+	SCoP   *scop.SCoP
+	Tasks  []TaskSpec
+	Coder  VecCoder
+	Opts   CompileOptions
+	blocks int
+}
+
+// VecCoder converts block-leader vectors of a given statement to
+// unique integer dependency addresses, the §5.4 "multiply each
+// dimension by a large enough integer, add them, then pair with an
+// index" scheme.
+type VecCoder struct {
+	Stride   int // strictly greater than any iteration coordinate
+	NumStmts int
+}
+
+// Encode returns the dependency address for the leader of a block of
+// statement stmtIndex.
+func (c VecCoder) Encode(stmtIndex int, leader isl.Vec) int {
+	code := 0
+	for _, x := range leader {
+		code = code*c.Stride + (x + 1) // +1 keeps 0-coordinates distinct from absent dims
+	}
+	return code*c.NumStmts + stmtIndex
+}
+
+// newCoder sizes the stride from the largest coordinate in any
+// statement domain.
+func newCoder(sc *scop.SCoP) VecCoder {
+	maxCoord := 0
+	for _, s := range sc.Stmts {
+		if m, ok := s.Domain.Lexmax(); ok {
+			for _, x := range m {
+				if x > maxCoord {
+					maxCoord = x
+				}
+			}
+		}
+	}
+	return VecCoder{Stride: maxCoord + 2, NumStmts: len(sc.Stmts)}
+}
+
+// Compile lowers the detection result to a task program. Every
+// statement must carry an executable body. Tasks are produced in the
+// order the transformed program creates them: statement by statement,
+// blocks in execution order (the schedule-tree order).
+func Compile(info *core.Info) (*TaskProgram, error) {
+	return CompileWithOptions(info, CompileOptions{})
+}
+
+// CompileWithOptions is Compile with code-generation options.
+func CompileWithOptions(info *core.Info, opts CompileOptions) (*TaskProgram, error) {
+	if !info.SCoP.HasBodies() {
+		return nil, fmt.Errorf("codegen: scop %q has statements without executable bodies", info.SCoP.Name)
+	}
+	coder := newCoder(info.SCoP)
+	prog := &TaskProgram{SCoP: info.SCoP, Coder: coder, Opts: opts}
+
+	parallelBody := make([]bool, len(info.SCoP.Stmts))
+	if opts.IntraBlockWorkers > 1 {
+		for _, s := range info.SCoP.Stmts {
+			parallelBody[s.Index] = !info.Graph.HasIntraConflicts(s)
+		}
+	}
+
+	instances := schedtree.Flatten(schedtree.Build(info))
+	for _, inst := range instances {
+		stmt := inst.Task.Stmt
+		spec := TaskSpec{
+			Stmt:         stmt,
+			Leader:       inst.Leader,
+			Members:      inst.Members,
+			Label:        fmt.Sprintf("%s%v", stmt.Name, inst.Leader),
+			Out:          coder.Encode(stmt.Index, inst.Leader),
+			Serial:       stmt.Index,
+			ParallelBody: parallelBody[stmt.Index],
+		}
+		for _, dep := range inst.Task.InDeps {
+			for _, q := range dep.Rel.Lookup(inst.Leader) {
+				spec.In = append(spec.In, coder.Encode(dep.Src.Index, q))
+			}
+		}
+		prog.Tasks = append(prog.Tasks, spec)
+	}
+	prog.blocks = len(prog.Tasks)
+	return prog, nil
+}
+
+// NumTasks returns the number of tasks the program creates.
+func (p *TaskProgram) NumTasks() int { return p.blocks }
+
+// Layer is the minimal tasking interface a back end must provide; the
+// transformation targets it rather than any specific runtime (§7's
+// "tasking layer is independent" design). Both the OpenMP-style
+// runtime (package tasking) and the futures runtime (package futures)
+// satisfy it.
+type Layer interface {
+	Submit(tasking.Task)
+	Wait()
+	Close()
+}
+
+// Submit creates all tasks on the given tasking layer in program
+// order.
+func (p *TaskProgram) Submit(r Layer) {
+	for i := range p.Tasks {
+		spec := &p.Tasks[i]
+		body := spec.Stmt.Body
+		members := spec.Members
+		fn := func() {
+			for _, iv := range members {
+				body(iv)
+			}
+		}
+		if spec.ParallelBody && len(members) > 1 {
+			workers := p.Opts.IntraBlockWorkers
+			fn = func() { runMembersParallel(body, members, workers) }
+		}
+		r.Submit(tasking.Task{
+			Fn:     fn,
+			Label:  spec.Label,
+			Out:    spec.Out,
+			In:     spec.In,
+			Serial: spec.Serial,
+		})
+	}
+}
+
+// runMembersParallel executes a conflict-free block's members on up to
+// workers goroutines (hybrid intra-block parallelism).
+func runMembersParallel(body scop.Body, members []isl.Vec, workers int) {
+	if workers > len(members) {
+		workers = len(members)
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < len(members); k += workers {
+				body(members[k])
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// Run executes the program on a fresh runtime with the given worker
+// count and blocks until completion.
+func (p *TaskProgram) Run(workers int) {
+	r := tasking.New(workers)
+	p.Submit(r)
+	r.Close()
+}
+
+// RunTraced executes the program with a tracing callback installed.
+func (p *TaskProgram) RunTraced(workers int, trace func(tasking.Event)) (executed, maxConcurrent int) {
+	r := tasking.New(workers)
+	r.SetTrace(trace)
+	p.Submit(r)
+	r.Close()
+	return r.Stats()
+}

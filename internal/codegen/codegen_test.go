@@ -1,0 +1,223 @@
+package codegen
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuzzscop"
+	"repro/internal/interp"
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/kernels"
+	"repro/internal/scop"
+	"repro/internal/tasking"
+)
+
+// runSequential executes a program's statements nest by nest in
+// lexicographic order — the reference semantics.
+func runSequential(p *kernels.Program) uint64 {
+	p.Reset()
+	for _, s := range p.SCoP.Stmts {
+		for _, iv := range s.Domain.Elements() {
+			s.Body(iv)
+		}
+	}
+	return p.Hash()
+}
+
+func compile(t *testing.T, p *kernels.Program, opts core.Options) *TaskProgram {
+	t.Helper()
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Compile(info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestVecCoderUnique(t *testing.T) {
+	c := VecCoder{Stride: 21, NumStmts: 3}
+	seen := map[int]string{}
+	for s := 0; s < 3; s++ {
+		for i := 0; i < 19; i++ {
+			for j := 0; j < 19; j++ {
+				addr := c.Encode(s, isl.NewVec(i, j))
+				key := c.labelFor(s, i, j)
+				if prev, dup := seen[addr]; dup {
+					t.Fatalf("address collision: %s and %s -> %d", prev, key, addr)
+				}
+				seen[addr] = key
+			}
+		}
+	}
+}
+
+func (c VecCoder) labelFor(s, i, j int) string {
+	return strings.Join([]string{
+		string(rune('A' + s)),
+	}, "") + isl.NewVec(i, j).String()
+}
+
+func TestCompileListing1(t *testing.T) {
+	p := kernels.Listing1(20)
+	prog := compile(t, p, core.Options{})
+	info, _ := core.Detect(p.SCoP, core.Options{})
+	if prog.NumTasks() != info.TotalBlocks() {
+		t.Fatalf("tasks = %d, want %d", prog.NumTasks(), info.TotalBlocks())
+	}
+	// Tasks appear statement by statement in program order.
+	lastStmt := -1
+	for _, task := range prog.Tasks {
+		if task.Stmt.Index < lastStmt {
+			t.Fatal("tasks out of statement order")
+		}
+		lastStmt = task.Stmt.Index
+	}
+	// Every in-address must match the out-address of an earlier task.
+	outs := map[int]bool{}
+	for _, task := range prog.Tasks {
+		for _, in := range task.In {
+			if !outs[in] {
+				t.Fatalf("task %s depends on address %d with no earlier writer", task.Label, in)
+			}
+		}
+		outs[task.Out] = true
+	}
+}
+
+func TestPipelinedMatchesSequentialListing1(t *testing.T) {
+	p := kernels.Listing1(20)
+	want := runSequential(p)
+	prog := compile(t, p, core.Options{})
+	for _, workers := range []int{1, 2, 4, 8} {
+		p.Reset()
+		prog.Run(workers)
+		if got := p.Hash(); got != want {
+			t.Fatalf("workers=%d: pipelined hash %x != sequential %x", workers, got, want)
+		}
+	}
+}
+
+func TestPipelinedMatchesSequentialListing3(t *testing.T) {
+	p := kernels.Listing3(16)
+	want := runSequential(p)
+	prog := compile(t, p, core.Options{})
+	for trial := 0; trial < 10; trial++ {
+		p.Reset()
+		prog.Run(4)
+		if got := p.Hash(); got != want {
+			t.Fatalf("trial %d: pipelined hash %x != sequential %x", trial, got, want)
+		}
+	}
+}
+
+func TestPipelinedMatchesSequentialCoarse(t *testing.T) {
+	p := kernels.Listing3(16)
+	want := runSequential(p)
+	prog := compile(t, p, core.Options{MinBlockIters: 6})
+	p.Reset()
+	prog.Run(4)
+	if got := p.Hash(); got != want {
+		t.Fatalf("coarse-grained pipelined hash %x != sequential %x", got, want)
+	}
+}
+
+func TestCompileRejectsMissingBodies(t *testing.T) {
+	b := scop.NewBuilder("nobody")
+	b.Array("A", 1)
+	b.Stmt("S", aff.RectDomain("S", 4)).Writes("A", aff.Var(1, 0))
+	sc := b.MustBuild()
+	info, err := core.Detect(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(info); err == nil {
+		t.Fatal("expected error for missing bodies")
+	}
+}
+
+func TestRunTracedReportsConcurrency(t *testing.T) {
+	p := kernels.Listing3(16)
+	prog := compile(t, p, core.Options{})
+	p.Reset()
+	var mu sync.Mutex
+	var events int
+	executed, maxRun := prog.RunTraced(4, func(tasking.Event) {
+		mu.Lock()
+		events++
+		mu.Unlock()
+	})
+	if executed != prog.NumTasks() {
+		t.Fatalf("executed = %d, want %d", executed, prog.NumTasks())
+	}
+	if events != 2*prog.NumTasks() {
+		t.Fatalf("trace events = %d, want %d", events, 2*prog.NumTasks())
+	}
+	if maxRun < 1 {
+		t.Fatalf("maxConcurrent = %d", maxRun)
+	}
+}
+
+// TestQuickAddressUniqueness fuzzes the §5.4 integer dependency
+// encoding across random programs: no two blocks of any statements may
+// share a dependency address.
+func TestQuickAddressUniqueness(t *testing.T) {
+	for seed := int64(7000); seed < 7060; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := fuzzscop.Random(r, fuzzscop.Config{MaxNests: 5, MaxExtent: 9})
+		p := interp.Programify(sc)
+		_ = p
+		info, err := core.Detect(sc, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog, err := Compile(info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[int]string{}
+		for _, task := range prog.Tasks {
+			if prev, dup := seen[task.Out]; dup {
+				t.Fatalf("seed %d: address %d used by %s and %s", seed, task.Out, prev, task.Label)
+			}
+			seen[task.Out] = task.Label
+		}
+	}
+}
+
+func TestHybridCompileRunInPackage(t *testing.T) {
+	p := kernels.MMChain(2, 10, kernels.MM)
+	want := runSequential(p)
+	// Coarsen so blocks hold several members and the parallel-body
+	// path actually executes.
+	info, err := core.Detect(p.SCoP, core.Options{MinBlockIters: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileWithOptions(info, CompileOptions{IntraBlockWorkers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasParallel := false
+	for _, task := range prog.Tasks {
+		if task.ParallelBody && len(task.Members) > 1 {
+			hasParallel = true
+		}
+	}
+	if !hasParallel {
+		t.Fatal("no multi-member parallel-body tasks on a conflict-free chain")
+	}
+	for trial := 0; trial < 5; trial++ {
+		p.Reset()
+		prog.Run(4)
+		if got := p.Hash(); got != want {
+			t.Fatalf("trial %d: hybrid run differs from sequential", trial)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/deps"
+	"repro/internal/isl"
+	"repro/internal/scop"
+)
+
+// Options tunes pipeline detection.
+type Options struct {
+	// MinBlockIters, when > 1, coarsens every statement's blocking map
+	// so each task spans at least this many iterations (task
+	// granularity knob, §7). The default keeps the optimal blocks of
+	// Eq. 3.
+	MinBlockIters int
+	// PairwiseBlocks disables the Eq. 3 integration and instead blocks
+	// each statement by only its first pairwise blocking map (ablation
+	// of the §4.2 design choice). Programs whose statements take part
+	// in a single pipeline map are unaffected.
+	PairwiseBlocks bool
+	// AllowOverwrites enables the relaxed last-writer pipeline maps
+	// (PipelineMapRelaxed) for statements whose write access is
+	// declared MayOverwrite — the §7 extension beyond the paper's
+	// injective-write assumption.
+	AllowOverwrites bool
+}
+
+// PipelinePair records the pipeline map between one dependent pair of
+// statements, plus the pairwise blocking maps derived from it.
+type PipelinePair struct {
+	Src, Dst *scop.Statement
+	T        *isl.Map // pipeline map: I_src → I_dst
+	V        *isl.Map // source blocking map of Src (total over I_src)
+	Y        *isl.Map // target blocking map of Dst (total over I_dst)
+}
+
+// InDep is one in-dependency family of a statement's blocks: Rel maps
+// each block leader of the statement (Range(E_S)) to the leader of the
+// source-statement block that must complete first (Eq. 4, normalized
+// through the source's own E so the dependency names a real task).
+// Blocks with no entry in Rel do not depend on Src at all.
+type InDep struct {
+	Src *scop.Statement
+	Rel *isl.Map
+}
+
+// Block is one pipeline block (one task): the leader identifies it and
+// is its lexicographic maximum; Members are its iterations in
+// execution order.
+type Block struct {
+	Leader  isl.Vec
+	Members []isl.Vec
+}
+
+// StmtInfo is the per-statement result of detection: the integrated
+// blocking map E_S, the materialized blocks in execution order, and
+// the block-level in-dependencies. The out-dependency Q'_S is the
+// identity on Range(E_S) and is represented implicitly by each block's
+// leader.
+type StmtInfo struct {
+	Stmt   *scop.Statement
+	E      *isl.Map
+	Blocks []Block
+	InDeps []InDep
+}
+
+// BlockIndex returns the position of the block led by leader in
+// execution order, or -1.
+func (si *StmtInfo) BlockIndex(leader isl.Vec) int {
+	for i := range si.Blocks {
+		if si.Blocks[i].Leader.Eq(leader) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Info is the result of Algorithm 1 for a whole SCoP.
+type Info struct {
+	SCoP  *scop.SCoP
+	Graph *deps.Graph
+	Pairs []PipelinePair
+	Stmts []*StmtInfo // indexed by statement Index
+}
+
+// Stmt returns the StmtInfo of the named statement, or nil.
+func (in *Info) Stmt(name string) *StmtInfo {
+	for _, si := range in.Stmts {
+		if si.Stmt.Name == name {
+			return si
+		}
+	}
+	return nil
+}
+
+// TotalBlocks returns the number of tasks the transformed program will
+// create.
+func (in *Info) TotalBlocks() int {
+	n := 0
+	for _, si := range in.Stmts {
+		n += len(si.Blocks)
+	}
+	return n
+}
+
+// Detect runs Algorithm 1 on sc: it computes pipeline maps for every
+// flow-dependent statement pair, derives and integrates blocking maps,
+// and attaches block-level dependency relations. The SCoP must be free
+// of cross-statement anti/output hazards (each nest writes its own
+// array); Detect rejects it otherwise.
+func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	if err := deps.CrossHazards(sc); err != nil {
+		return nil, fmt.Errorf("core: scop not pipelinable: %w", err)
+	}
+	g := deps.Analyze(sc)
+	info := &Info{SCoP: sc, Graph: g}
+
+	// Pairwise pipeline maps and blocking maps (Algorithm 1, lines 1–7).
+	blockingMaps := make([][]*isl.Map, len(sc.Stmts))
+	for _, src := range sc.Stmts {
+		if src.Write == nil {
+			continue
+		}
+		for _, dst := range g.Targets(src) {
+			rd := unionReads(dst, src.Write.Array())
+			if rd == nil {
+				continue
+			}
+			var t *isl.Map
+			var err error
+			if src.Write.MayOverwrite {
+				if !opts.AllowOverwrites {
+					return nil, fmt.Errorf("core: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", src.Name)
+				}
+				t, err = PipelineMapRelaxed(src.Write.Rel, rd)
+			} else {
+				t, err = PipelineMap(src.Write.Rel, rd)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("core: pipeline map %s -> %s: %w", src.Name, dst.Name, err)
+			}
+			if t.IsEmpty() {
+				continue
+			}
+			pair := PipelinePair{
+				Src: src,
+				Dst: dst,
+				T:   t,
+				V:   SourceBlockingMap(src.Domain, t),
+				Y:   TargetBlockingMap(dst.Domain, t),
+			}
+			info.Pairs = append(info.Pairs, pair)
+			blockingMaps[src.Index] = append(blockingMaps[src.Index], pair.V)
+			blockingMaps[dst.Index] = append(blockingMaps[dst.Index], pair.Y)
+		}
+	}
+
+	// Integrated blocking maps E_S (lines 8–9) and blocks.
+	for _, s := range sc.Stmts {
+		maps := blockingMaps[s.Index]
+		if opts.PairwiseBlocks && len(maps) > 1 {
+			maps = maps[:1]
+		}
+		e := IntegrateBlockingMaps(s.Domain, maps)
+		e = Coarsen(e, s.Domain, opts.MinBlockIters)
+		si := &StmtInfo{
+			Stmt:   s,
+			E:      e,
+			Blocks: materializeBlocks(s.Domain, e),
+		}
+		info.Stmts = append(info.Stmts, si)
+	}
+
+	// Block-level in-dependencies Q_S (lines 10–12, Eq. 4).
+	for _, pair := range info.Pairs {
+		srcInfo := info.Stmts[pair.Src.Index]
+		dstInfo := info.Stmts[pair.Dst.Index]
+		rel := dependencyRelation(pair, srcInfo.E, dstInfo)
+		if !rel.IsEmpty() {
+			dstInfo.InDeps = append(dstInfo.InDeps, InDep{Src: pair.Src, Rel: rel})
+		}
+	}
+	return info, nil
+}
+
+// unionReads returns the union of dst's read relations from the named
+// array, or nil when dst never reads it.
+func unionReads(dst *scop.Statement, array string) *isl.Map {
+	rels := dst.ReadsFrom(array)
+	if len(rels) == 0 {
+		return nil
+	}
+	u := rels[0]
+	for _, r := range rels[1:] {
+		u = u.Union(r)
+	}
+	return u
+}
+
+// materializeBlocks lists the blocks of e over domain in execution
+// (lexicographic leader) order.
+func materializeBlocks(domain *isl.Set, e *isl.Map) []Block {
+	var blocks []Block
+	var cur *Block
+	for _, v := range domain.Elements() {
+		leader := e.Image(v)
+		if cur == nil || !cur.Leader.Eq(leader) {
+			blocks = append(blocks, Block{Leader: leader})
+			cur = &blocks[len(blocks)-1]
+		}
+		cur.Members = append(cur.Members, v)
+	}
+	return blocks
+}
+
+// dependencyRelation implements Eq. 4 for one pipeline pair: each
+// block of the destination maps to the leader of the source block
+// whose completion enables every member of the block:
+//
+//	y  = Y(j)            the pairwise target block containing member j
+//	i  = lexmin(T⁻¹(y))  the earliest source iteration enabling y
+//	q  = E_src(i)        the integrated source block containing i
+//
+// With the optimal (Eq. 3) blocking, every member of a block shares
+// one pairwise block (pairwise leaders are a subset of the integrated
+// leaders), so checking the block leader alone suffices; a coarsened
+// block, however, can span several pairwise blocks, including the
+// dependence-free tail beyond Range(T). Requirements grow
+// monotonically with the member, so the strongest one comes from the
+// last member whose pairwise block is enabled by some source
+// iteration; members beyond Range(T) read nothing from this source.
+// Blocks none of whose members depend on the source are absent from
+// the relation.
+func dependencyRelation(pair PipelinePair, eSrc *isl.Map, dstInfo *StmtInfo) *isl.Map {
+	tInv := pair.T.Inverse()
+	rel := isl.NewMap(dstInfo.E.OutSpace(), eSrc.OutSpace())
+	for _, blk := range dstInfo.Blocks {
+		for m := len(blk.Members) - 1; m >= 0; m-- {
+			ys := pair.Y.Lookup(blk.Members[m])
+			if len(ys) == 0 {
+				continue
+			}
+			is := tInv.Lookup(ys[0])
+			if len(is) == 0 {
+				continue // dependence-free tail: try an earlier member
+			}
+			rel.Add(blk.Leader, eSrc.Image(is[0]))
+			break
+		}
+	}
+	return rel
+}

@@ -1,0 +1,390 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/kernels"
+	"repro/internal/scop"
+)
+
+// TestPipelineMapPaperExample reproduces the §4.1 worked example: for
+// Listing 1 with N=20, the pipeline map between S and R is
+// { S[i0, i1] -> R[o0, o1] : i1 = 2*o1, o0 = i0, 0 ≤ i0 ≤ 8, 0 ≤ i1 ≤ 16 }.
+func TestPipelineMapPaperExample(t *testing.T) {
+	sc := kernels.Listing1(20).SCoP
+	s, r := sc.Statement("S"), sc.Statement("R")
+	rd := r.ReadsFrom("A")[0]
+	pm, err := PipelineMap(s.Write.Rel, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := isl.NewMap(s.Domain.Space(), r.Domain.Space())
+	for i0 := 0; i0 <= 8; i0++ {
+		for o1 := 0; o1 <= 8; o1++ {
+			want.Add(isl.NewVec(i0, 2*o1), isl.NewVec(i0, o1))
+		}
+	}
+	if !pm.Equal(want) {
+		t.Fatalf("pipeline map differs from the paper's example\n got: %v\nwant: %v", pm, want)
+	}
+}
+
+// TestSourceBlockingPaperExample checks the §4.1 blocking-map example:
+// iterations S[1,1] and S[1,2] share the block led by S[1,2]; S[1,3]
+// and S[1,4] share the block led by S[1,4].
+func TestSourceBlockingPaperExample(t *testing.T) {
+	sc := kernels.Listing1(20).SCoP
+	s, r := sc.Statement("S"), sc.Statement("R")
+	pm, err := PipelineMap(s.Write.Rel, r.ReadsFrom("A")[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := SourceBlockingMap(s.Domain, pm)
+	cases := [][2]isl.Vec{
+		{isl.NewVec(1, 1), isl.NewVec(1, 2)},
+		{isl.NewVec(1, 2), isl.NewVec(1, 2)},
+		{isl.NewVec(1, 3), isl.NewVec(1, 4)},
+		{isl.NewVec(1, 4), isl.NewVec(1, 4)},
+	}
+	for _, c := range cases {
+		if got := v.Image(c[0]); !got.Eq(c[1]) {
+			t.Errorf("V(%v) = %v, want %v", c[0], got, c[1])
+		}
+	}
+	// Tail rule: iterations after the last pipeline leader (8,16) all
+	// join the block led by the domain maximum (18,18).
+	for _, iv := range []isl.Vec{isl.NewVec(8, 17), isl.NewVec(9, 0), isl.NewVec(18, 18)} {
+		if got := v.Image(iv); !got.Eq(isl.NewVec(18, 18)) {
+			t.Errorf("tail V(%v) = %v, want [18, 18]", iv, got)
+		}
+	}
+	// Totality: every domain point has exactly one leader.
+	if !v.Domain().Equal(s.Domain) || !v.IsSingleValued() {
+		t.Error("V is not a total single-valued blocking map")
+	}
+}
+
+func TestDetectListing1(t *testing.T) {
+	sc := kernels.Listing1(20).SCoP
+	info, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pairs) != 1 {
+		t.Fatalf("pairs = %d, want 1", len(info.Pairs))
+	}
+	rInfo := info.Stmt("R")
+	sInfo := info.Stmt("S")
+	if rInfo == nil || sInfo == nil {
+		t.Fatal("missing statement info")
+	}
+	// R's only blocking map is the identity-led target blocking (every
+	// iteration of R is a leader), so each iteration is its own block.
+	if got, want := len(rInfo.Blocks), 9*9; got != want {
+		t.Errorf("R blocks = %d, want %d", got, want)
+	}
+	// Dependency relation: R's block (i, j) waits for S's block (i, 2j).
+	if len(rInfo.InDeps) != 1 || rInfo.InDeps[0].Src != sc.Statement("S") {
+		t.Fatalf("R InDeps = %+v", rInfo.InDeps)
+	}
+	q := rInfo.InDeps[0].Rel
+	if got := q.Image(isl.NewVec(3, 4)); !got.Eq(isl.NewVec(3, 8)) {
+		t.Errorf("Q_R(3,4) = %v, want [3, 8]", got)
+	}
+	if got := q.Image(isl.NewVec(0, 0)); !got.Eq(isl.NewVec(0, 0)) {
+		t.Errorf("Q_R(0,0) = %v, want [0, 0]", got)
+	}
+	// S has no in-dependencies.
+	if len(sInfo.InDeps) != 0 {
+		t.Errorf("S InDeps = %+v", sInfo.InDeps)
+	}
+	if info.TotalBlocks() != len(sInfo.Blocks)+len(rInfo.Blocks) {
+		t.Error("TotalBlocks mismatch")
+	}
+}
+
+// checkBlockingInvariants verifies a blocking map is total,
+// single-valued, monotone, idempotent, and never maps an iteration
+// below itself.
+func checkBlockingInvariants(t *testing.T, name string, domain *isl.Set, e *isl.Map) {
+	t.Helper()
+	if !e.Domain().Equal(domain) {
+		t.Errorf("%s: blocking map not total", name)
+	}
+	if !e.IsSingleValued() {
+		t.Errorf("%s: blocking map not single-valued", name)
+	}
+	var prev isl.Vec
+	var prevLeader isl.Vec
+	for _, v := range domain.Elements() {
+		l := e.Image(v)
+		if l.Cmp(v) < 0 {
+			t.Errorf("%s: E(%v) = %v is below the iteration", name, v, l)
+		}
+		if !e.Image(l).Eq(l) {
+			t.Errorf("%s: E not idempotent at %v: E(E)=%v", name, v, e.Image(l))
+		}
+		if prev != nil && l.Cmp(prevLeader) < 0 {
+			t.Errorf("%s: E not monotone: E(%v)=%v < E(%v)=%v", name, v, l, prev, prevLeader)
+		}
+		prev, prevLeader = v, l
+	}
+}
+
+func TestDetectListing3Integration(t *testing.T) {
+	sc := kernels.Listing3(16).SCoP
+	info, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs: S->R, S->U, R->U.
+	if len(info.Pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(info.Pairs))
+	}
+	for _, si := range info.Stmts {
+		checkBlockingInvariants(t, si.Stmt.Name, si.Stmt.Domain, si.E)
+	}
+	// R participates in two pipeline maps (target of S, source of U):
+	// its E must be the pointwise lexmin of both pairwise maps.
+	r := sc.Statement("R")
+	var yFromS, vToU *isl.Map
+	for _, p := range info.Pairs {
+		switch {
+		case p.Dst == r:
+			yFromS = p.Y
+		case p.Src == r:
+			vToU = p.V
+		}
+	}
+	rInfo := info.Stmt("R")
+	for _, v := range r.Domain.Elements() {
+		want := isl.LexMin(yFromS.Image(v), vToU.Image(v))
+		if got := rInfo.E.Image(v); !got.Eq(want) {
+			t.Fatalf("E_R(%v) = %v, want lexmin = %v", v, got, want)
+		}
+	}
+	// U depends on both S and R at block level.
+	uInfo := info.Stmt("U")
+	if len(uInfo.InDeps) != 2 {
+		t.Fatalf("U InDeps = %d, want 2", len(uInfo.InDeps))
+	}
+	// Every in-dependency target must name an actual block leader of
+	// its source statement (a task that exists).
+	for _, si := range info.Stmts {
+		for _, dep := range si.InDeps {
+			srcInfo := info.Stmts[dep.Src.Index]
+			leaders := srcInfo.E.Range()
+			dep.Rel.Foreach(func(_, q isl.Vec) bool {
+				if !leaders.Contains(q) {
+					t.Errorf("%s: in-dep names non-existent source block %v of %s",
+						si.Stmt.Name, q, dep.Src.Name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// TestDependencyEnablesSafety verifies the semantic guarantee of Eq. 4
+// on Listing 3: when the source block named by an in-dependency has
+// completed (meaning all source iterations ≤ that leader ran), every
+// read that any iteration of the dependent block performs on the
+// source's array has already been written.
+func TestDependencyEnablesSafety(t *testing.T) {
+	sc := kernels.Listing3(12).SCoP
+	info, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range info.Stmts {
+		for _, dep := range si.InDeps {
+			src := dep.Src
+			wr := src.Write.Rel
+			written := func(upTo isl.Vec) *isl.Set {
+				done := src.Domain.Filter(func(v isl.Vec) bool { return v.Cmp(upTo) <= 0 })
+				return wr.ApplySet(done)
+			}
+			allWritten := wr.Range()
+			for _, blk := range si.Blocks {
+				qs := dep.Rel.Lookup(blk.Leader)
+				var avail *isl.Set
+				if len(qs) == 1 {
+					avail = written(qs[0])
+				} else {
+					avail = isl.NewSet(wr.OutSpace()) // no dep ⇒ nothing needed
+				}
+				for _, member := range blk.Members {
+					for _, rd := range si.Stmt.ReadsFrom(src.Write.Array()) {
+						for _, cell := range rd.Lookup(member) {
+							if !allWritten.Contains(cell) {
+								continue // reads an original value
+							}
+							if !avail.Contains(cell) {
+								t.Fatalf("block %v of %s reads %s%v before its in-dep (%v) makes it available",
+									blk.Leader, si.Stmt.Name, src.Write.Array(), cell, qs)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDetectRejectsCrossHazard(t *testing.T) {
+	b := scop.NewBuilder("hazard")
+	b.Array("A", 1)
+	b.Stmt("S", aff.RectDomain("S", 4)).Writes("A", aff.Var(1, 0))
+	b.Stmt("T", aff.RectDomain("T", 4)).Writes("A", aff.Var(1, 0))
+	sc := b.MustBuild()
+	_, err := Detect(sc, Options{})
+	if err == nil || !strings.Contains(err.Error(), "not pipelinable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelineMapRejectsNonInjective(t *testing.T) {
+	i := isl.NewSpace("S", 1)
+	mem := isl.NewSpace("A", 1)
+	wr := isl.NewMap(i, mem)
+	wr.Add(isl.NewVec(0), isl.NewVec(0))
+	wr.Add(isl.NewVec(1), isl.NewVec(0)) // over-write
+	rd := isl.NewMap(isl.NewSpace("T", 1), mem)
+	rd.Add(isl.NewVec(0), isl.NewVec(0))
+	_, err := PipelineMap(wr, rd)
+	if !errors.Is(err, ErrNonInjectiveWrite) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPipelineMapRejectsSpaceMismatch(t *testing.T) {
+	wr := isl.NewMap(isl.NewSpace("S", 1), isl.NewSpace("A", 1))
+	rd := isl.NewMap(isl.NewSpace("T", 1), isl.NewSpace("B", 1))
+	if _, err := PipelineMap(wr, rd); err == nil {
+		t.Fatal("expected space-mismatch error")
+	}
+}
+
+func TestCoarsenGranularity(t *testing.T) {
+	sc := kernels.Listing1(20).SCoP
+	info, err := Detect(sc, Options{MinBlockIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, si := range info.Stmts {
+		checkBlockingInvariants(t, si.Stmt.Name, si.Stmt.Domain, si.E)
+		for bi, blk := range si.Blocks {
+			if len(blk.Members) < 8 && bi != len(si.Blocks)-1 {
+				t.Errorf("%s block %d has %d iterations, want >= 8", si.Stmt.Name, bi, len(blk.Members))
+			}
+		}
+	}
+	fine, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.TotalBlocks() >= fine.TotalBlocks() {
+		t.Errorf("coarsened blocks (%d) not fewer than optimal (%d)",
+			info.TotalBlocks(), fine.TotalBlocks())
+	}
+}
+
+// TestCoarsenedBlockSpanningTail is the regression test for a bug the
+// random differential tests found: when coarsening merges a statement's
+// blocks into one, the merged leader's pairwise block can be the
+// dependence-free tail beyond Range(T) even though earlier members do
+// depend on the source. The dependency relation must then come from
+// the last member with a real requirement, not from the leader.
+func TestCoarsenedBlockSpanningTail(t *testing.T) {
+	// S1 reads A0[2i-1] over 3 iterations (covers writes up to A0[3]);
+	// S2 reads A1[2i-1] over 8 iterations (covers writes up to A1[1]
+	// only, so most of S2 is dependence-free tail).
+	b := scop.NewBuilder("tailspan")
+	b.Array("A0", 1).Array("A1", 1).Array("A2", 1)
+	b.Stmt("S0", aff.RectDomain("S0", 7)).Writes("A0", aff.Var(1, 0))
+	b.Stmt("S1", aff.RectDomain("S1", 3)).
+		Writes("A1", aff.Var(1, 0)).
+		Reads("A0", aff.Linear(-1, 2))
+	b.Stmt("S2", aff.RectDomain("S2", 8)).
+		Writes("A2", aff.Var(1, 0)).
+		Reads("A1", aff.Linear(-1, 2))
+	sc := b.MustBuild()
+
+	// Coarsen S2 into a single 8-iteration block: its leader [7] falls
+	// in the tail of the S1->S2 pipeline map, but members [1..3] read
+	// A1 cells, so the block must still wait on S1.
+	info, err := Detect(sc, Options{MinBlockIters: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := info.Stmt("S2")
+	if len(s2.Blocks) != 1 {
+		t.Fatalf("S2 blocks = %d, want 1 (coarsened)", len(s2.Blocks))
+	}
+	if len(s2.InDeps) != 1 {
+		t.Fatalf("S2 InDeps = %d, want 1 — coarse block lost its dependence on S1", len(s2.InDeps))
+	}
+	q := s2.InDeps[0].Rel
+	if q.Card() != 1 {
+		t.Fatalf("Q_S2 = %v", q)
+	}
+	// The requirement must name a real S1 block.
+	s1Leaders := info.Stmt("S1").E.Range()
+	q.Foreach(func(_, dep isl.Vec) bool {
+		if !s1Leaders.Contains(dep) {
+			t.Errorf("dep %v is not an S1 block leader", dep)
+		}
+		return true
+	})
+}
+
+func TestCoarsenNoopForMinOne(t *testing.T) {
+	sc := kernels.Listing1(12).SCoP
+	a, _ := Detect(sc, Options{})
+	b, _ := Detect(sc, Options{MinBlockIters: 1})
+	for idx := range a.Stmts {
+		if !a.Stmts[idx].E.Equal(b.Stmts[idx].E) {
+			t.Fatal("MinBlockIters=1 changed blocking")
+		}
+	}
+}
+
+func TestDetectIndependentNests(t *testing.T) {
+	// No flow deps: each statement becomes one big block, no in-deps.
+	b := scop.NewBuilder("indep")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S", aff.RectDomain("S", 6)).Writes("A", aff.Var(1, 0))
+	b.Stmt("T", aff.RectDomain("T", 6)).Writes("B", aff.Var(1, 0))
+	sc := b.MustBuild()
+	info, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pairs) != 0 {
+		t.Fatalf("pairs = %d", len(info.Pairs))
+	}
+	for _, si := range info.Stmts {
+		if len(si.Blocks) != 1 || len(si.Blocks[0].Members) != 6 {
+			t.Errorf("%s: blocks = %+v", si.Stmt.Name, si.Blocks)
+		}
+		if len(si.InDeps) != 0 {
+			t.Errorf("%s: unexpected in-deps", si.Stmt.Name)
+		}
+	}
+}
+
+func TestBlockIndex(t *testing.T) {
+	sc := kernels.Listing1(12).SCoP
+	info, _ := Detect(sc, Options{})
+	si := info.Stmt("R")
+	if got := si.BlockIndex(si.Blocks[3].Leader); got != 3 {
+		t.Fatalf("BlockIndex = %d", got)
+	}
+	if got := si.BlockIndex(isl.NewVec(999, 999)); got != -1 {
+		t.Fatalf("BlockIndex missing = %d", got)
+	}
+}

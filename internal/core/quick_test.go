@@ -1,0 +1,247 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isl"
+)
+
+// randAccessPair builds a random injective write relation for a 2-D
+// source domain and a random affine-ish read relation for a 2-D target
+// domain over the same array, mimicking the access patterns of
+// Table 9 (identity, strided, shifted).
+func randAccessPair(r *rand.Rand) (wr, rd *isl.Map) {
+	n := 4 + r.Intn(5)
+	srcSpace := isl.NewSpace("S", 2)
+	dstSpace := isl.NewSpace("T", 2)
+	mem := isl.NewSpace("A", 2)
+
+	wr = isl.NewMap(srcSpace, mem)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			wr.Add(isl.NewVec(i, j), isl.NewVec(i, j))
+		}
+	}
+	// Read access A[a*i + c][b*j + d] with small strides/offsets.
+	a, b := 1+r.Intn(2), 1+r.Intn(2)
+	c, d := r.Intn(3), r.Intn(3)
+	m := n
+	if a == 2 || b == 2 {
+		m = n / 2
+	}
+	rd = isl.NewMap(dstSpace, mem)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			ri, rj := a*i+c, b*j+d
+			if ri < n && rj < n {
+				rd.Add(isl.NewVec(i, j), isl.NewVec(ri, rj))
+			}
+		}
+	}
+	return wr, rd
+}
+
+// TestQuickPipelineMapSafety checks the defining property (1) of §4.1
+// on random access patterns: for every (i, j) in the pipeline map,
+// every cell read by target iterations ≼ j that the source writes at
+// all is written by source iterations ≼ i.
+func TestQuickPipelineMapSafety(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		wr, rd := randAccessPair(r)
+		if rd.IsEmpty() {
+			return true
+		}
+		pm, err := PipelineMap(wr, rd)
+		if err != nil {
+			return false
+		}
+		ok := true
+		pm.Foreach(func(i, j isl.Vec) bool {
+			// Cells written by source iterations ≼ i.
+			avail := wr.ApplySet(wr.Domain().Filter(func(v isl.Vec) bool {
+				return v.Cmp(i) <= 0
+			}))
+			everWritten := wr.Range()
+			rd.Foreach(func(tj, cell isl.Vec) bool {
+				if tj.Cmp(j) > 0 || !everWritten.Contains(cell) {
+					return true
+				}
+				if !avail.Contains(cell) {
+					ok = false
+					return false
+				}
+				return true
+			})
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPipelineMapMonotone checks that the pipeline map preserves
+// lexicographic order: finishing more of the source never enables less
+// of the target.
+func TestQuickPipelineMapMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		wr, rd := randAccessPair(r)
+		if rd.IsEmpty() {
+			return true
+		}
+		pm, err := PipelineMap(wr, rd)
+		if err != nil {
+			return false
+		}
+		pairs := pm.Pairs()
+		for k := 1; k < len(pairs); k++ {
+			if pairs[k-1].In.Cmp(pairs[k].In) < 0 && pairs[k-1].Out.Cmp(pairs[k].Out) > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPipelineMapMaximality checks the defining property (2): the
+// target iteration T(i) is the largest safe one — the next read
+// iteration in the pipeline-map construction requires a strictly later
+// write.
+func TestQuickPipelineMapMaximality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		wr, rd := randAccessPair(r)
+		if rd.IsEmpty() {
+			return true
+		}
+		pm, err := PipelineMap(wr, rd)
+		if err != nil {
+			return false
+		}
+		// Recompute H = needed(j) = lexmax of source writes required
+		// by target prefix ≼ j, brute force.
+		p := isl.Compose(wr.Inverse(), rd)
+		dp := p.Domain().Elements()
+		ok := true
+		pm.Foreach(func(i, j isl.Vec) bool {
+			// j must be in Dp and need exactly i.
+			var need isl.Vec
+			for _, jj := range dp {
+				if jj.Cmp(j) > 0 {
+					break
+				}
+				for _, w := range p.Lookup(jj) {
+					if need == nil || w.Cmp(need) > 0 {
+						need = w
+					}
+				}
+			}
+			if need == nil || !need.Eq(i) {
+				ok = false
+				return false
+			}
+			// Any later element of Dp must need a strictly later write.
+			for _, jj := range dp {
+				if jj.Cmp(j) <= 0 {
+					continue
+				}
+				later := need
+				for _, w := range p.Lookup(jj) {
+					if w.Cmp(later) > 0 {
+						later = w
+					}
+				}
+				if !(later.Cmp(i) > 0) {
+					ok = false
+				}
+				break // only the immediately next Dp element matters
+			}
+			return ok
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickBlockingInvariants checks that BlockingMap over random
+// leader subsets is total, monotone, idempotent, and never below the
+// identity.
+func TestQuickBlockingInvariants(t *testing.T) {
+	sp := isl.NewSpace("S", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		dom := isl.NewSet(sp)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				dom.Add(isl.NewVec(i, j))
+			}
+		}
+		leaders := dom.Filter(func(isl.Vec) bool { return r.Intn(3) == 0 })
+		e := BlockingMap(dom, leaders)
+		if !e.Domain().Equal(dom) || !e.IsSingleValued() {
+			return false
+		}
+		var prevLeader isl.Vec
+		for _, v := range dom.Elements() {
+			l := e.Image(v)
+			if l.Cmp(v) < 0 || !e.Image(l).Eq(l) {
+				return false
+			}
+			if prevLeader != nil && l.Cmp(prevLeader) < 0 {
+				return false
+			}
+			prevLeader = l
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickIntegrationIsLexmin checks Eq. 3 directly: the integrated
+// map picks, pointwise, the smallest leader among all pairwise maps.
+func TestQuickIntegrationIsLexmin(t *testing.T) {
+	sp := isl.NewSpace("S", 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		dom := isl.NewSet(sp)
+		for i := 0; i < n; i++ {
+			dom.Add(isl.NewVec(i))
+		}
+		var maps []*isl.Map
+		for k := 0; k < 1+r.Intn(3); k++ {
+			leaders := dom.Filter(func(isl.Vec) bool { return r.Intn(2) == 0 })
+			maps = append(maps, BlockingMap(dom, leaders))
+		}
+		e := IntegrateBlockingMaps(dom, maps)
+		for _, v := range dom.Elements() {
+			var want isl.Vec
+			for _, m := range maps {
+				img := m.Image(v)
+				if want == nil || img.Cmp(want) < 0 {
+					want = img
+				}
+			}
+			if !e.Image(v).Eq(want) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

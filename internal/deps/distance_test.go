@@ -1,0 +1,108 @@
+package deps
+
+import (
+	"testing"
+
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/kernels"
+	"repro/internal/scop"
+)
+
+func TestDistanceVectorsUniform(t *testing.T) {
+	// A[i][j] = A[i][j-1]: single uniform distance (0, 1).
+	b := scop.NewBuilder("scan")
+	b.Array("A", 2)
+	b.Stmt("S", aff.NewDomain("S",
+		aff.ConstBound(0, 0, 6),
+		aff.LoopBound{Lo: aff.Const(1, 1), Hi: aff.Const(1, 6)},
+	)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Linear(-1, 0, 1))
+	sc := b.MustBuild()
+	g := Analyze(sc)
+	ds := g.DistanceVectors(sc.Stmts[0])
+	if !ds.Uniform || len(ds.Distances) != 1 || !ds.Distances[0].Eq(isl.NewVec(0, 1)) {
+		t.Fatalf("summary = %+v", ds)
+	}
+	if ds.Directions[0] != DirEq || ds.Directions[1] != DirLt {
+		t.Fatalf("directions = %v", ds.Directions)
+	}
+	if got := ds.String(); got != "(=, <) uniform{[0, 1]}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestDistanceVectorsMixed(t *testing.T) {
+	// Listing 1's S has reads A[i][j+1] and A[i+1][j+1]: distances
+	// (0,1) and (1,1) -> directions (*, <)... first dim has 0 and 1 so
+	// '*', second uniformly 1 so '<'.
+	sc := kernels.Listing1(12).SCoP
+	g := Analyze(sc)
+	ds := g.DistanceVectors(sc.Statement("S"))
+	if ds.Uniform {
+		t.Fatal("expected non-uniform distances")
+	}
+	if len(ds.Distances) != 2 {
+		t.Fatalf("distances = %v", ds.Distances)
+	}
+	if ds.Directions[0] != DirStar || ds.Directions[1] != DirLt {
+		t.Fatalf("directions = %v", ds.Directions)
+	}
+}
+
+func TestDistanceVectorsEmptyForParallel(t *testing.T) {
+	b := scop.NewBuilder("par")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S", aff.RectDomain("S", 8)).
+		Writes("A", aff.Var(1, 0)).
+		Reads("B", aff.Var(1, 0))
+	sc := b.MustBuild()
+	g := Analyze(sc)
+	ds := g.DistanceVectors(sc.Stmts[0])
+	if len(ds.Distances) != 0 || ds.Uniform {
+		t.Fatalf("summary = %+v", ds)
+	}
+}
+
+func TestCrossDistances(t *testing.T) {
+	// Row chain: S2 reads exactly the row S1 wrote -> distance [0].
+	b := scop.NewBuilder("chain")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S1", aff.RectDomain("S1", 8)).Writes("A", aff.Var(1, 0))
+	b.Stmt("S2", aff.RectDomain("S2", 8)).
+		Writes("B", aff.Var(1, 0)).
+		Reads("A", aff.Linear(-1, 1)) // A[i-1]: distance +1
+	sc := b.MustBuild()
+	g := Analyze(sc)
+	ds := g.CrossDistances(sc.Stmts[0], sc.Stmts[1])
+	if len(ds) != 1 || !ds[0].Eq(isl.NewVec(1)) {
+		t.Fatalf("cross distances = %v", ds)
+	}
+	// No dependence -> nil.
+	if got := g.CrossDistances(sc.Stmts[1], sc.Stmts[0]); got != nil {
+		t.Fatalf("reverse distances = %v", got)
+	}
+}
+
+func TestCrossDistancesDepthMismatch(t *testing.T) {
+	b := scop.NewBuilder("mix")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S1", aff.RectDomain("S1", 8)).Writes("A", aff.Var(1, 0))
+	b.Stmt("S2", aff.RectDomain("S2", 4, 2)).
+		Writes("B", aff.Linear(0, 2, 1)).
+		Reads("A", aff.Var(2, 0))
+	sc := b.MustBuild()
+	g := Analyze(sc)
+	if got := g.CrossDistances(sc.Stmts[0], sc.Stmts[1]); got != nil {
+		t.Fatalf("depth-mismatched distances = %v", got)
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	for d, want := range map[Direction]string{DirEq: "=", DirLt: "<", DirGt: ">", DirStar: "*"} {
+		if d.String() != want {
+			t.Errorf("%d -> %q", int(d), d.String())
+		}
+	}
+}

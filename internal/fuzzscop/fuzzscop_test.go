@@ -1,0 +1,172 @@
+package fuzzscop
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/deps"
+	"repro/internal/exec"
+	"repro/internal/interp"
+)
+
+func TestRandomProgramsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{})
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := deps.CrossHazards(sc); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialPipelined is the core soundness net: for many random
+// programs, the pipelined execution must reproduce the sequential
+// result bit-for-bit under several worker counts and options.
+func TestDifferentialPipelined(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 25
+	}
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{})
+		p := interp.Programify(sc)
+		opts := core.Options{}
+		if r.Intn(3) == 0 {
+			opts.MinBlockIters = 1 + r.Intn(8)
+		}
+		if r.Intn(4) == 0 {
+			opts.PairwiseBlocks = true
+		}
+		workers := 1 + r.Intn(8)
+		if err := exec.Verify(p, workers, opts); err != nil {
+			t.Fatalf("seed %d (workers=%d, opts=%+v, scop=%s): %v",
+				seed, workers, opts, sc.Name, err)
+		}
+	}
+}
+
+// TestDifferentialSerialHeavy stresses the fully serialized case where
+// every nest carries anti deps (the paper's target workloads).
+func TestDifferentialSerialHeavy(t *testing.T) {
+	for seed := int64(1000); seed < 1040; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{SelfSerial: AlwaysSerial})
+		p := interp.Programify(sc)
+		g := deps.Analyze(sc)
+		for _, s := range sc.Stmts {
+			par := g.ParallelDims(s)
+			if par[len(par)-1] {
+				t.Fatalf("seed %d: self-serialized nest %s has a parallel innermost loop", seed, s.Name)
+			}
+		}
+		if err := exec.Verify(p, 4, core.Options{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialDataParallel stresses programs with no intra-nest
+// conflicts, where the baseline parallelizes everything.
+func TestDifferentialDataParallel(t *testing.T) {
+	for seed := int64(2000); seed < 2040; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{SelfSerial: NeverSerial})
+		p := interp.Programify(sc)
+		if err := exec.Verify(p, 6, core.Options{}); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDifferentialHybrid exercises the hybrid executor (intra-block
+// parallelism on conflict-free nests) on random programs.
+func TestDifferentialHybrid(t *testing.T) {
+	for seed := int64(5000); seed < 5060; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{})
+		p := interp.Programify(sc)
+		want := exec.Sequential(p).Hash
+		res, err := exec.PipelinedHybrid(p, 1+r.Intn(4), 2+r.Intn(3), core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Hash != want {
+			t.Fatalf("seed %d (%s): hybrid differs from sequential", seed, sc.Name)
+		}
+	}
+}
+
+// TestDifferentialOverwrites exercises the relaxed last-writer
+// extension: programs with non-injective writes must still match
+// sequential execution when pipelined with AllowOverwrites.
+func TestDifferentialOverwrites(t *testing.T) {
+	for seed := int64(4000); seed < 4080; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{Overwrites: true})
+		p := interp.Programify(sc)
+		if err := exec.Verify(p, 4, core.Options{AllowOverwrites: true}); err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Name, err)
+		}
+	}
+}
+
+// TestDifferentialDepth3 stresses depth-3 nests (beyond the paper's
+// prototype, which generated code only up to depth 2).
+func TestDifferentialDepth3(t *testing.T) {
+	for seed := int64(6000); seed < 6040; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{MaxDepth: 3, MaxExtent: 5})
+		p := interp.Programify(sc)
+		if err := exec.Verify(p, 4, core.Options{}); err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Name, err)
+		}
+	}
+}
+
+func TestDetectNeverPanicsOnRandomPrograms(t *testing.T) {
+	for seed := int64(3000); seed < 3200; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{MaxNests: 5, MaxExtent: 10})
+		info, err := core.Detect(sc, core.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		// Structural sanity: every statement has blocks covering its
+		// domain exactly.
+		for _, si := range info.Stmts {
+			n := 0
+			for _, blk := range si.Blocks {
+				n += len(blk.Members)
+			}
+			if n != si.Stmt.Domain.Card() {
+				t.Fatalf("seed %d: %s blocks cover %d of %d iterations",
+					seed, si.Stmt.Name, n, si.Stmt.Domain.Card())
+			}
+		}
+	}
+}
+
+// TestDifferentialSinks covers pure-reader (no-write) final nests: the
+// interpreter folds sink values into the hash, so mis-scheduled sinks
+// (reading arrays before their writers finished) change the result.
+func TestDifferentialSinks(t *testing.T) {
+	for seed := int64(8000); seed < 8060; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		sc := Random(r, Config{Sink: true})
+		if sc.Statement("Sink") == nil {
+			continue
+		}
+		if sc.Statement("Sink").Write != nil {
+			t.Fatalf("seed %d: sink has a write", seed)
+		}
+		p := interp.Programify(sc)
+		if err := exec.Verify(p, 4, core.Options{}); err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sc.Name, err)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package interp
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/lang"
+	"repro/internal/scop"
+)
+
+func TestArrayOffsets(t *testing.T) {
+	// Access with a negative index must be covered by the allocation.
+	b := scop.NewBuilder("neg")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S", aff.RectDomain("S", 5)).
+		Writes("A", aff.Var(1, 0)).
+		Reads("B", aff.Linear(-2, 1)) // B[i-2]: indices -2..2
+	sc := b.MustBuild()
+	st := NewState(sc)
+	arr := st.Array("B")
+	st.Reset()
+	arr.Set(isl.NewVec(-2), 7.5)
+	if arr.At(isl.NewVec(-2)) != 7.5 {
+		t.Fatal("negative index broken")
+	}
+}
+
+func TestArrayOutOfRangePanics(t *testing.T) {
+	b := scop.NewBuilder("x")
+	b.Array("A", 1)
+	b.Stmt("S", aff.RectDomain("S", 3)).Writes("A", aff.Var(1, 0))
+	sc := b.MustBuild()
+	st := NewState(sc)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	st.Array("A").At(isl.NewVec(99))
+}
+
+func TestResetDeterministic(t *testing.T) {
+	b := scop.NewBuilder("x")
+	b.Array("A", 2)
+	b.Stmt("S", aff.RectDomain("S", 4, 4)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1))
+	sc := b.MustBuild()
+	st := NewState(sc)
+	st.Reset()
+	h1 := st.Hash()
+	st.Array("A").Set(isl.NewVec(1, 1), 42)
+	if st.Hash() == h1 {
+		t.Fatal("hash insensitive")
+	}
+	st.Reset()
+	if st.Hash() != h1 {
+		t.Fatal("reset not deterministic")
+	}
+}
+
+func TestProgramifyListing1DSL(t *testing.T) {
+	src := `
+for (i = 0; i < 19; i++)
+  for (j = 0; j < 19; j++)
+    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+for (i = 0; i < 9; i++)
+  for (j = 0; j < 9; j++)
+    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+`
+	sc, err := lang.Parse("listing1", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Programify(sc)
+	if !sc.HasBodies() {
+		t.Fatal("bodies not attached")
+	}
+	if err := exec.Verify(p, 4, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProgramifyBodyIsOrderSensitive(t *testing.T) {
+	// Two programs differing only in read order must produce different
+	// results — the synthetic body must not commute over its reads, or
+	// scheduling bugs could cancel out.
+	mk := func(swap bool) uint64 {
+		b := scop.NewBuilder("x")
+		b.Array("A", 1).Array("B", 1).Array("C", 1)
+		sb := b.Stmt("S", aff.RectDomain("S", 6)).Writes("C", aff.Var(1, 0))
+		if swap {
+			sb.Reads("B", aff.Var(1, 0)).Reads("A", aff.Var(1, 0))
+		} else {
+			sb.Reads("A", aff.Var(1, 0)).Reads("B", aff.Var(1, 0))
+		}
+		sc := b.MustBuild()
+		p := Programify(sc)
+		exec.RunSequential(sc)
+		return p.Hash()
+	}
+	if mk(false) == mk(true) {
+		t.Fatal("synthetic body is insensitive to read order")
+	}
+}
+
+func TestProgramifyDeepNest(t *testing.T) {
+	// Depth-3 nests: the paper's prototype was limited to depth 2; this
+	// implementation handles arbitrary depth end-to-end.
+	b := scop.NewBuilder("deep")
+	b.Array("A", 3).Array("B", 3)
+	b.Stmt("S", aff.RectDomain("S", 4, 4, 4)).
+		Writes("A", aff.Var(3, 0), aff.Var(3, 1), aff.Var(3, 2)).
+		Reads("A", aff.Var(3, 0), aff.Var(3, 1), aff.Linear(1, 0, 0, 1))
+	b.Stmt("T", aff.RectDomain("T", 4, 4, 4)).
+		Writes("B", aff.Var(3, 0), aff.Var(3, 1), aff.Var(3, 2)).
+		Reads("A", aff.Var(3, 0), aff.Var(3, 1), aff.Var(3, 2)).
+		Reads("B", aff.Var(3, 0), aff.Var(3, 1), aff.Linear(1, 0, 0, 1))
+	sc := b.MustBuild()
+	p := Programify(sc)
+	if err := exec.Verify(p, 4, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := core.Detect(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Pairs) != 1 {
+		t.Fatalf("pairs = %d", len(info.Pairs))
+	}
+}
+
+func TestUnaccessedArrayAllocated(t *testing.T) {
+	b := scop.NewBuilder("x")
+	b.Array("A", 1).Array("Z", 2) // Z declared, never touched
+	b.Stmt("S", aff.RectDomain("S", 3)).Writes("A", aff.Var(1, 0))
+	sc := b.MustBuild()
+	st := NewState(sc)
+	if st.Array("Z") == nil {
+		t.Fatal("unaccessed array missing")
+	}
+	st.Reset()
+	_ = st.Hash()
+}

@@ -1,0 +1,210 @@
+package aff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isl"
+)
+
+func TestExprEval(t *testing.T) {
+	// 3 + 2*i0 - i1
+	e := Linear(3, 2, -1)
+	if got := e.Eval(isl.NewVec(5, 4)); got != 9 {
+		t.Fatalf("Eval = %d, want 9", got)
+	}
+	// floor((i0+1)/2)
+	f := FloorDiv(Linear(1, 1), 2)
+	for i, want := range map[int]int{0: 0, 1: 1, 2: 1, 3: 2, -1: 0, -2: -1, -3: -1} {
+		if got := f.Eval(isl.NewVec(i)); got != want {
+			t.Errorf("floor((%d+1)/2) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestExprAlgebra(t *testing.T) {
+	a := Var(2, 0)          // i0
+	b := Var(2, 1).Scale(3) // 3*i1
+	s := a.Add(b).AddConst(7)
+	if got := s.Eval(isl.NewVec(2, 5)); got != 2+15+7 {
+		t.Fatalf("Eval = %d", got)
+	}
+	d := s.Sub(a)
+	if got := d.Eval(isl.NewVec(2, 5)); got != 15+7 {
+		t.Fatalf("Sub Eval = %d", got)
+	}
+	neg := s.Scale(-2)
+	if got := neg.Eval(isl.NewVec(2, 5)); got != -2*(2+15+7) {
+		t.Fatalf("Scale Eval = %d", got)
+	}
+}
+
+func TestFloorDivNegativeSemantics(t *testing.T) {
+	// Mathematical floor division, not Go truncation.
+	f := FloorDiv(Var(1, 0), 3)
+	cases := map[int]int{-7: -3, -6: -2, -1: -1, 0: 0, 1: 0, 5: 1, 6: 2}
+	for x, want := range cases {
+		if got := f.Eval(isl.NewVec(x)); got != want {
+			t.Errorf("floor(%d/3) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+func TestVarPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Var(2, 2)
+}
+
+func TestConstraint(t *testing.T) {
+	// i0 - i1 >= 0 (i0 >= i1)
+	ge := Constraint{E: Linear(0, 1, -1), Kind: GE}
+	if !ge.Satisfied(isl.NewVec(3, 2)) || ge.Satisfied(isl.NewVec(1, 2)) {
+		t.Error("GE wrong")
+	}
+	eq := Constraint{E: Linear(0, 1, -1), Kind: EQ}
+	if !eq.Satisfied(isl.NewVec(2, 2)) || eq.Satisfied(isl.NewVec(3, 2)) {
+		t.Error("EQ wrong")
+	}
+}
+
+func TestRectDomainEnumerate(t *testing.T) {
+	d := RectDomain("S", 3, 2)
+	s := d.Enumerate()
+	if s.Card() != 6 {
+		t.Fatalf("Card = %d, want 6", s.Card())
+	}
+	if !s.Contains(isl.NewVec(2, 1)) || s.Contains(isl.NewVec(3, 0)) {
+		t.Fatal("rect contents wrong")
+	}
+	if d.Card() != 6 {
+		t.Fatal("Card helper wrong")
+	}
+}
+
+func TestTriangularDomain(t *testing.T) {
+	// for i in [0,4): for j in [0, i+1): -> lower triangle.
+	d := NewDomain("T",
+		ConstBound(0, 0, 4),
+		LoopBound{Lo: Const(1, 0), Hi: Linear(1, 1)},
+	)
+	s := d.Enumerate()
+	if s.Card() != 10 {
+		t.Fatalf("Card = %d, want 10", s.Card())
+	}
+	if !s.Contains(isl.NewVec(3, 3)) || s.Contains(isl.NewVec(2, 3)) {
+		t.Fatal("triangle contents wrong")
+	}
+}
+
+func TestDomainWhereConstraint(t *testing.T) {
+	// Even-diagonal points of a 4x4 grid.
+	d := RectDomain("S", 4, 4).Where(Constraint{
+		E:    Linear(0, 1, 1).Sub(FloorDiv(Linear(0, 1, 1), 2).Scale(2)), // (i+j) mod 2
+		Kind: EQ,
+	})
+	s := d.Enumerate()
+	if s.Card() != 8 {
+		t.Fatalf("Card = %d, want 8", s.Card())
+	}
+	s.Foreach(func(v isl.Vec) bool {
+		if (v[0]+v[1])%2 != 0 {
+			t.Errorf("odd point %v in even-constrained domain", v)
+		}
+		return true
+	})
+}
+
+func TestEmptyDomain(t *testing.T) {
+	d := RectDomain("S", 0, 5)
+	if !d.Enumerate().IsEmpty() {
+		t.Fatal("expected empty domain")
+	}
+}
+
+func TestBoundArityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong bound arity")
+		}
+	}()
+	NewDomain("S", LoopBound{Lo: Const(1, 0), Hi: Const(1, 4)}) // dim 0 wants arity 0
+}
+
+func TestAccessRelation(t *testing.T) {
+	dom := RectDomain("S", 2, 2).Enumerate()
+	// A[2*i][j+1]
+	acc := NewAccess("A", Linear(0, 2, 0), Linear(1, 0, 1))
+	rel := acc.Relation(dom)
+	if rel.Card() != 4 {
+		t.Fatalf("Card = %d", rel.Card())
+	}
+	if got := rel.Image(isl.NewVec(1, 0)); !got.Eq(isl.NewVec(2, 1)) {
+		t.Fatalf("Image = %v", got)
+	}
+	if rel.OutSpace() != isl.NewSpace("A", 2) {
+		t.Fatal("out space wrong")
+	}
+}
+
+func TestAccessRelationStridedInjective(t *testing.T) {
+	dom := RectDomain("S", 4, 4).Enumerate()
+	acc := NewAccess("A", Linear(0, 2, 0), Linear(0, 0, 2)) // A[2i][2j]
+	rel := acc.Relation(dom)
+	if !rel.IsInjective() {
+		t.Fatal("strided write should be injective")
+	}
+	gather := NewAccess("A", Linear(0, 1, 1)) // A[i+j], 1-D
+	if gather.Relation(dom).IsInjective() {
+		t.Fatal("i+j access should not be injective")
+	}
+}
+
+func TestQuickExprLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		coeffsA := make([]int, n)
+		coeffsB := make([]int, n)
+		for i := range coeffsA {
+			coeffsA[i] = r.Intn(11) - 5
+			coeffsB[i] = r.Intn(11) - 5
+		}
+		a := Linear(r.Intn(9)-4, coeffsA...)
+		b := Linear(r.Intn(9)-4, coeffsB...)
+		x := make(isl.Vec, n)
+		for i := range x {
+			x[i] = r.Intn(21) - 10
+		}
+		k := r.Intn(7) - 3
+		if a.Add(b).Eval(x) != a.Eval(x)+b.Eval(x) {
+			return false
+		}
+		if a.Sub(b).Eval(x) != a.Eval(x)-b.Eval(x) {
+			return false
+		}
+		if a.Scale(k).Eval(x) != k*a.Eval(x) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickFloorDivIdentity(t *testing.T) {
+	// For d > 0: d*floor(x/d) <= x < d*floor(x/d) + d.
+	f := func(x int, dRaw uint8) bool {
+		d := int(dRaw%9) + 1
+		q := floorDiv(x, d)
+		return d*q <= x && x < d*q+d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+package aff
+
+import (
+	"fmt"
+
+	"repro/internal/isl"
+)
+
+// LoopBound gives the half-open range [Lo, Hi) of one loop dimension.
+// Both bounds are affine expressions over the *outer* dimensions only
+// (an expression of arity d for dimension d; dimension 0 takes arity-0
+// expressions, i.e. constants).
+type LoopBound struct {
+	Lo, Hi Expr
+}
+
+// ConstBound is a convenience constructor for dimension d of a nest
+// whose bounds are the constants [lo, hi).
+func ConstBound(d, lo, hi int) LoopBound {
+	return LoopBound{Lo: Const(d, lo), Hi: Const(d, hi)}
+}
+
+// Domain symbolically describes a loop-nest iteration domain: an
+// ordered list of per-dimension bounds plus optional extra constraints
+// over the full point.
+type Domain struct {
+	Space       isl.Space
+	Bounds      []LoopBound  // len == Space.Dim
+	Constraints []Constraint // over Space.Dim variables
+}
+
+// NewDomain returns a domain for the named statement with the given
+// per-dimension bounds.
+func NewDomain(name string, bounds ...LoopBound) *Domain {
+	d := &Domain{Space: isl.NewSpace(name, len(bounds)), Bounds: bounds}
+	for i, b := range bounds {
+		if b.Lo.NVars != i || b.Hi.NVars != i {
+			panic(fmt.Sprintf("aff: bounds of dimension %d must have arity %d (got lo=%d hi=%d)",
+				i, i, b.Lo.NVars, b.Hi.NVars))
+		}
+	}
+	return d
+}
+
+// RectDomain returns a domain over the rectangle [0,hi0) × [0,hi1) × …
+func RectDomain(name string, his ...int) *Domain {
+	bounds := make([]LoopBound, len(his))
+	for i, hi := range his {
+		bounds[i] = ConstBound(i, 0, hi)
+	}
+	return NewDomain(name, bounds...)
+}
+
+// Where appends extra constraints over the full point and returns the
+// domain for chaining.
+func (d *Domain) Where(cs ...Constraint) *Domain {
+	for _, c := range cs {
+		if c.E.NVars != d.Space.Dim {
+			panic(fmt.Sprintf("aff: constraint arity %d, domain dimension %d", c.E.NVars, d.Space.Dim))
+		}
+	}
+	d.Constraints = append(d.Constraints, cs...)
+	return d
+}
+
+// Enumerate walks the loop nest and returns the explicit iteration
+// domain. The result is exact: it contains precisely the points a
+// sequential execution of the nest would visit that satisfy all extra
+// constraints.
+func (d *Domain) Enumerate() *isl.Set {
+	s := isl.NewSet(d.Space)
+	point := make(isl.Vec, d.Space.Dim)
+	d.walk(point, 0, s)
+	return s
+}
+
+func (d *Domain) walk(point isl.Vec, dim int, out *isl.Set) {
+	if dim == d.Space.Dim {
+		for _, c := range d.Constraints {
+			if !c.Satisfied(point) {
+				return
+			}
+		}
+		out.Add(point)
+		return
+	}
+	prefix := point[:dim]
+	lo := d.Bounds[dim].Lo.Eval(prefix)
+	hi := d.Bounds[dim].Hi.Eval(prefix)
+	for v := lo; v < hi; v++ {
+		point[dim] = v
+		d.walk(point, dim+1, out)
+	}
+}
+
+// Card returns the number of points without materializing them twice.
+func (d *Domain) Card() int { return d.Enumerate().Card() }
+
+// Access is an affine access relation: the map sending each point of a
+// domain to Exprs-evaluated coordinates in the index space of an array.
+type Access struct {
+	Array string // array (memory space) name
+	Exprs []Expr // one per array dimension, arity == domain dimension
+}
+
+// NewAccess builds an access to the named array with the given
+// per-dimension index expressions.
+func NewAccess(array string, exprs ...Expr) Access {
+	return Access{Array: array, Exprs: exprs}
+}
+
+// Relation enumerates the access relation for all points of domain.
+func (a Access) Relation(domain *isl.Set) *isl.Map {
+	out := isl.NewSpace(a.Array, len(a.Exprs))
+	m := isl.NewMap(domain.Space(), out)
+	idx := make(isl.Vec, len(a.Exprs))
+	domain.Foreach(func(p isl.Vec) bool {
+		for i, e := range a.Exprs {
+			idx[i] = e.Eval(p)
+		}
+		m.Add(p, idx)
+		return true
+	})
+	return m
+}

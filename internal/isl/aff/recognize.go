@@ -1,0 +1,108 @@
+package aff
+
+import (
+	"repro/internal/isl"
+)
+
+// Recognize attempts to reconstruct a closed-form quasi-affine
+// expression for every output dimension of a single-valued explicit
+// map: out_d = ⌊(c0 + Σ c_i·in_i) / den⌋ with small integer
+// coefficients. It returns one expression per output dimension and
+// true on success. The search is exhaustive over the given coefficient
+// bounds and every candidate is verified against all pairs, so a
+// returned form is exact — this is how the tooling prints pipeline
+// maps in the symbolic style of the paper's §4.1 instead of as element
+// lists.
+func Recognize(m *isl.Map, maxCoef, maxConst, maxDen int) ([]Expr, bool) {
+	if m.IsEmpty() || !m.IsSingleValued() {
+		return nil, false
+	}
+	pairs := m.Pairs()
+	nIn := m.InSpace().Dim
+	nOut := m.OutSpace().Dim
+	exprs := make([]Expr, nOut)
+	for d := 0; d < nOut; d++ {
+		e, ok := recognizeDim(pairs, nIn, d, maxCoef, maxConst, maxDen)
+		if !ok {
+			return nil, false
+		}
+		exprs[d] = e
+	}
+	return exprs, true
+}
+
+// recognizeDim searches for out[d]'s closed form. Denominator 1 is
+// preferred (plain affine), then increasing denominators.
+func recognizeDim(pairs []isl.Pair, nIn, d, maxCoef, maxConst, maxDen int) (Expr, bool) {
+	coeffs := make([]int, nIn)
+	for den := 1; den <= maxDen; den++ {
+		if e, ok := searchCoeffs(pairs, coeffs, 0, nIn, d, maxCoef, maxConst, den); ok {
+			return e, true
+		}
+	}
+	return Expr{}, false
+}
+
+// searchCoeffs enumerates coefficient vectors depth-first; at the
+// leaves it derives the constant from the first pair and verifies.
+func searchCoeffs(pairs []isl.Pair, coeffs []int, dim, nIn, d, maxCoef, maxConst, den int) (Expr, bool) {
+	if dim == nIn {
+		// Derive candidate constants from the first pair: den·out ≤
+		// c0 + Σc·in < den·out + den ⇒ c0 ∈ [den·out − Σ, …+den−1].
+		first := pairs[0]
+		base := 0
+		for i, c := range coeffs {
+			base += c * first.In[i]
+		}
+		lo := den*first.Out[d] - base
+		hi := lo + den - 1
+		for c0 := lo; c0 <= hi; c0++ {
+			if c0 < -maxConst || c0 > maxConst {
+				continue
+			}
+			if verify(pairs, coeffs, c0, d, den) {
+				return buildExpr(coeffs, c0, den), true
+			}
+		}
+		return Expr{}, false
+	}
+	for c := -maxCoef; c <= maxCoef; c++ {
+		coeffs[dim] = c
+		if e, ok := searchCoeffs(pairs, coeffs, dim+1, nIn, d, maxCoef, maxConst, den); ok {
+			return e, true
+		}
+	}
+	coeffs[dim] = 0
+	return Expr{}, false
+}
+
+func verify(pairs []isl.Pair, coeffs []int, c0, d, den int) bool {
+	for _, p := range pairs {
+		v := c0
+		for i, c := range coeffs {
+			v += c * p.In[i]
+		}
+		if den == 1 {
+			if v != p.Out[d] {
+				return false
+			}
+			continue
+		}
+		q := v / den
+		if v%den != 0 && (v < 0) != (den < 0) {
+			q--
+		}
+		if q != p.Out[d] {
+			return false
+		}
+	}
+	return true
+}
+
+func buildExpr(coeffs []int, c0, den int) Expr {
+	inner := Linear(c0, coeffs...)
+	if den == 1 {
+		return inner
+	}
+	return FloorDiv(inner, den)
+}

@@ -1,0 +1,132 @@
+package aff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isl"
+)
+
+func mapFromFn(nIn, n int, fn func(isl.Vec) isl.Vec) *isl.Map {
+	dom := RectDomain("S", reps(n, nIn)...).Enumerate()
+	var m *isl.Map
+	dom.Foreach(func(v isl.Vec) bool {
+		out := fn(v)
+		if m == nil {
+			m = isl.NewMap(dom.Space(), isl.NewSpace("T", len(out)))
+		}
+		m.Add(v, out)
+		return true
+	})
+	return m
+}
+
+func reps(v, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestRecognizeAffine(t *testing.T) {
+	// (i, j) -> (2i + 1, i - j)
+	m := mapFromFn(2, 6, func(v isl.Vec) isl.Vec {
+		return isl.NewVec(2*v[0]+1, v[0]-v[1])
+	})
+	exprs, ok := Recognize(m, 3, 4, 2)
+	if !ok {
+		t.Fatal("affine map not recognized")
+	}
+	m.Foreach(func(in, out isl.Vec) bool {
+		for d, e := range exprs {
+			if e.Eval(in) != out[d] {
+				t.Fatalf("expr %d wrong at %v: %d != %d", d, in, e.Eval(in), out[d])
+			}
+		}
+		return true
+	})
+}
+
+func TestRecognizeFloorDiv(t *testing.T) {
+	// The paper's pipeline-map shape: (i0, i1) -> (i0, floor(i1/2)).
+	m := mapFromFn(2, 9, func(v isl.Vec) isl.Vec {
+		return isl.NewVec(v[0], v[1]/2)
+	})
+	exprs, ok := Recognize(m, 2, 3, 3)
+	if !ok {
+		t.Fatal("floordiv map not recognized")
+	}
+	if got := exprs[1].Eval(isl.NewVec(0, 7)); got != 3 {
+		t.Fatalf("floor expr wrong: %d", got)
+	}
+	if got := exprs[0].Eval(isl.NewVec(5, 0)); got != 5 {
+		t.Fatalf("identity expr wrong: %d", got)
+	}
+}
+
+func TestRecognizeRejectsNonAffine(t *testing.T) {
+	// (i) -> (i*i) is not quasi-affine.
+	m := mapFromFn(1, 8, func(v isl.Vec) isl.Vec {
+		return isl.NewVec(v[0] * v[0])
+	})
+	if _, ok := Recognize(m, 4, 8, 4); ok {
+		t.Fatal("quadratic map recognized as affine")
+	}
+}
+
+func TestRecognizeRejectsMultiValued(t *testing.T) {
+	m := isl.NewMap(isl.NewSpace("S", 1), isl.NewSpace("T", 1))
+	m.Add(isl.NewVec(0), isl.NewVec(0))
+	m.Add(isl.NewVec(0), isl.NewVec(1))
+	if _, ok := Recognize(m, 2, 2, 2); ok {
+		t.Fatal("multi-valued map recognized")
+	}
+	empty := isl.NewMap(isl.NewSpace("S", 1), isl.NewSpace("T", 1))
+	if _, ok := Recognize(empty, 2, 2, 2); ok {
+		t.Fatal("empty map recognized")
+	}
+}
+
+func TestQuickRecognizeRoundTrip(t *testing.T) {
+	// Generate a random quasi-affine function, tabulate it, recognize
+	// it, and check the recovered expressions agree everywhere.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nIn := 1 + r.Intn(2)
+		den := 1 + r.Intn(3)
+		coeffs := make([]int, nIn)
+		for i := range coeffs {
+			coeffs[i] = r.Intn(5) - 2
+		}
+		c0 := r.Intn(7) - 3
+		m := mapFromFn(nIn, 5, func(v isl.Vec) isl.Vec {
+			val := c0
+			for i, c := range coeffs {
+				val += c * v[i]
+			}
+			q := val / den
+			if val%den != 0 && (val < 0) != (den < 0) {
+				q--
+			}
+			return isl.NewVec(q)
+		})
+		exprs, ok := Recognize(m, 2, 4, 3)
+		if !ok {
+			return false
+		}
+		good := true
+		m.Foreach(func(in, out isl.Vec) bool {
+			if exprs[0].Eval(in) != out[0] {
+				good = false
+				return false
+			}
+			return true
+		})
+		return good
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}

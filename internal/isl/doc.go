@@ -1,0 +1,24 @@
+// Package isl is a small, exact integer-set library modelled on the
+// subset of ISL (the Integer Set Library) that polyhedral pipeline
+// detection needs: named tuple spaces, integer vectors with
+// lexicographic order, finite sets of integer tuples, and binary
+// relations (maps) between them.
+//
+// Unlike ISL, which represents Z-polyhedra symbolically with Presburger
+// formulas, this package represents sets and maps extensionally: every
+// element is stored. All iteration domains handled by the pipeline
+// detector are bounded and known when the transformation runs, so the
+// extensional representation computes exactly the same answers as ISL's
+// symbolic one for every operation used by the algorithms in this
+// repository (composition, inverse, domain/range, union, intersection,
+// subtraction, per-domain lexmin/lexmax, lexicographic order relations,
+// and identity maps).
+//
+// Symbolic construction of sets and maps from affine bounds and access
+// functions lives in the subpackage aff; this package is purely about
+// the finished, enumerated objects.
+//
+// All operations are deterministic: iteration over sets and maps is in
+// lexicographic order, and operations never depend on Go map iteration
+// order.
+package isl

@@ -1,0 +1,112 @@
+package isl
+
+// Identity returns the identity map on s: { x -> x : x ∈ s }.
+func Identity(s *Set) *Map {
+	m := NewMap(s.space, s.space)
+	for _, v := range s.Elements() {
+		m.Add(v, v)
+	}
+	return m
+}
+
+// ConstantMap returns the map relating every element of s to the single
+// tuple out: { x -> out : x ∈ s }.
+func ConstantMap(s *Set, outSpace Space, out Vec) *Map {
+	m := NewMap(s.space, outSpace)
+	for _, v := range s.Elements() {
+		m.Add(v, out)
+	}
+	return m
+}
+
+// LexLE returns { (a, b) : a ∈ x, b ∈ y, a ≼ b } — each element of x
+// related to every element of y lexicographically greater than or equal
+// to it. Both sets must have the same dimension (the spaces may carry
+// different names, e.g. when relating a domain to a subset of leaders).
+func LexLE(x, y *Set) *Map {
+	return lexRel(x, y, func(c int) bool { return c <= 0 })
+}
+
+// LexGE returns { (a, b) : a ∈ x, b ∈ y, a ≽ b }.
+func LexGE(x, y *Set) *Map {
+	return lexRel(x, y, func(c int) bool { return c >= 0 })
+}
+
+// LexLT returns { (a, b) : a ∈ x, b ∈ y, a ≺ b }.
+func LexLT(x, y *Set) *Map {
+	return lexRel(x, y, func(c int) bool { return c < 0 })
+}
+
+// LexGT returns { (a, b) : a ∈ x, b ∈ y, a ≻ b }.
+func LexGT(x, y *Set) *Map {
+	return lexRel(x, y, func(c int) bool { return c > 0 })
+}
+
+func lexRel(x, y *Set, keep func(cmp int) bool) *Map {
+	if x.space.Dim != y.space.Dim {
+		panic("isl: lex relation between spaces of different dimension: " +
+			x.space.String() + " vs " + y.space.String())
+	}
+	m := NewMap(x.space, y.space)
+	for _, a := range x.Elements() {
+		for _, b := range y.Elements() {
+			if keep(a.Cmp(b)) {
+				m.Add(a, b)
+			}
+		}
+	}
+	return m
+}
+
+// NearestGE returns the single-valued map relating each element of x to
+// the lexicographically smallest element of y that is ≽ it; elements of
+// x beyond the maximum of y are absent from the result. It equals
+// LexLE(x, y).LexminPerIn() but runs in O((|x|+|y|) log) time via a
+// merged scan, which matters when both sets are large.
+func NearestGE(x, y *Set) *Map {
+	if x.space.Dim != y.space.Dim {
+		panic("isl: NearestGE between spaces of different dimension: " +
+			x.space.String() + " vs " + y.space.String())
+	}
+	m := NewMap(x.space, y.space)
+	xs := x.Elements()
+	ys := y.Elements()
+	j := 0
+	for _, a := range xs {
+		for j < len(ys) && ys[j].Cmp(a) < 0 {
+			j++
+		}
+		if j < len(ys) {
+			m.Add(a, ys[j])
+		}
+	}
+	return m
+}
+
+// PrefixLexmax returns, for each input j of m (scanned in lexicographic
+// order over dom, which must be a superset ordering of m's domain), the
+// lexicographic maximum of all outputs of inputs ≼ j. It equals
+// Compose(m, LexGE(dom, dom)).LexmaxPerIn() restricted to dom, computed
+// with a single running-maximum scan instead of a quadratic relation.
+//
+// Inputs of dom missing from m's domain still receive the running
+// maximum (matching the composition through the lex-≤ relation on dom),
+// except inputs preceding the first mapped input, which have no image.
+func PrefixLexmax(m *Map, dom *Set) *Map {
+	m.in.checkSame(dom.space, "PrefixLexmax")
+	r := NewMap(m.in, m.out)
+	var running Vec
+	for _, j := range dom.Elements() {
+		if e, ok := m.rel[j.key()]; ok {
+			for _, o := range e.outs {
+				if running == nil || o.Cmp(running) > 0 {
+					running = o
+				}
+			}
+		}
+		if running != nil {
+			r.Add(j, running)
+		}
+	}
+	return r
+}

@@ -1,0 +1,400 @@
+package isl
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Map is a finite binary relation between an input tuple space and an
+// output tuple space, the analogue of an ISL map restricted to bounded
+// domains.
+type Map struct {
+	in, out Space
+	// rel maps the key of an input tuple to its entry.
+	rel map[string]*mapEntry
+}
+
+type mapEntry struct {
+	in     Vec
+	outs   map[string]Vec
+	sorted []Vec // lexicographically sorted outputs; nil when stale
+}
+
+// NewMap returns an empty relation from space in to space out.
+func NewMap(in, out Space) *Map {
+	return &Map{in: in, out: out, rel: make(map[string]*mapEntry)}
+}
+
+// InSpace returns the input (domain) tuple space.
+func (m *Map) InSpace() Space { return m.in }
+
+// OutSpace returns the output (range) tuple space.
+func (m *Map) OutSpace() Space { return m.out }
+
+// Add inserts the pair (in, out) into the relation.
+func (m *Map) Add(in, out Vec) {
+	m.in.checkVec(in)
+	m.out.checkVec(out)
+	k := in.key()
+	e, ok := m.rel[k]
+	if !ok {
+		e = &mapEntry{in: in.Clone(), outs: make(map[string]Vec)}
+		m.rel[k] = e
+	}
+	ko := out.key()
+	if _, ok := e.outs[ko]; !ok {
+		e.outs[ko] = out.Clone()
+		e.sorted = nil
+	}
+}
+
+// Contains reports whether the pair (in, out) is in the relation.
+func (m *Map) Contains(in, out Vec) bool {
+	e, ok := m.rel[in.key()]
+	if !ok {
+		return false
+	}
+	_, ok = e.outs[out.key()]
+	return ok
+}
+
+// Card returns the number of pairs in the relation.
+func (m *Map) Card() int {
+	n := 0
+	for _, e := range m.rel {
+		n += len(e.outs)
+	}
+	return n
+}
+
+// IsEmpty reports whether the relation has no pairs.
+func (m *Map) IsEmpty() bool { return len(m.rel) == 0 }
+
+// Lookup returns the outputs related to in, in lexicographic order.
+// The returned slice is shared; callers must not modify it.
+func (m *Map) Lookup(in Vec) []Vec {
+	e, ok := m.rel[in.key()]
+	if !ok {
+		return nil
+	}
+	return e.sortedOuts()
+}
+
+func (e *mapEntry) sortedOuts() []Vec {
+	if e.sorted == nil {
+		vs := make([]Vec, 0, len(e.outs))
+		for _, v := range e.outs {
+			vs = append(vs, v)
+		}
+		sortVecs(vs)
+		e.sorted = vs
+	}
+	return e.sorted
+}
+
+// Domain returns the set of input tuples that are related to at least
+// one output tuple.
+func (m *Map) Domain() *Set {
+	s := NewSet(m.in)
+	for k, e := range m.rel {
+		s.elems[k] = e.in
+	}
+	return s
+}
+
+// Range returns the set of output tuples related to at least one input.
+func (m *Map) Range() *Set {
+	s := NewSet(m.out)
+	for _, e := range m.rel {
+		for ko, v := range e.outs {
+			s.elems[ko] = v
+		}
+	}
+	return s
+}
+
+// Inverse returns the relation with all pairs reversed.
+func (m *Map) Inverse() *Map {
+	r := NewMap(m.out, m.in)
+	for _, e := range m.rel {
+		for _, o := range e.outs {
+			r.Add(o, e.in)
+		}
+	}
+	return r
+}
+
+// Clone returns an independent copy of m.
+func (m *Map) Clone() *Map {
+	r := NewMap(m.in, m.out)
+	for _, e := range m.rel {
+		for _, o := range e.outs {
+			r.Add(e.in, o)
+		}
+	}
+	return r
+}
+
+// Union returns the relation holding every pair of m and n. Spaces must
+// agree.
+func (m *Map) Union(n *Map) *Map {
+	m.in.checkSame(n.in, "Map.Union(in)")
+	m.out.checkSame(n.out, "Map.Union(out)")
+	r := m.Clone()
+	for _, e := range n.rel {
+		for _, o := range e.outs {
+			r.Add(e.in, o)
+		}
+	}
+	return r
+}
+
+// Intersect returns the relation holding the pairs present in both m
+// and n.
+func (m *Map) Intersect(n *Map) *Map {
+	m.in.checkSame(n.in, "Map.Intersect(in)")
+	m.out.checkSame(n.out, "Map.Intersect(out)")
+	r := NewMap(m.in, m.out)
+	for k, e := range m.rel {
+		ne, ok := n.rel[k]
+		if !ok {
+			continue
+		}
+		for ko, o := range e.outs {
+			if _, ok := ne.outs[ko]; ok {
+				r.Add(e.in, o)
+			}
+		}
+	}
+	return r
+}
+
+// Subtract returns the relation holding the pairs of m absent from n.
+func (m *Map) Subtract(n *Map) *Map {
+	m.in.checkSame(n.in, "Map.Subtract(in)")
+	m.out.checkSame(n.out, "Map.Subtract(out)")
+	r := NewMap(m.in, m.out)
+	for k, e := range m.rel {
+		ne := n.rel[k]
+		for ko, o := range e.outs {
+			if ne != nil {
+				if _, ok := ne.outs[ko]; ok {
+					continue
+				}
+			}
+			r.Add(e.in, o)
+		}
+	}
+	return r
+}
+
+// Equal reports whether m and n hold exactly the same pairs in the same
+// spaces.
+func (m *Map) Equal(n *Map) bool {
+	if m.in != n.in || m.out != n.out || len(m.rel) != len(n.rel) {
+		return false
+	}
+	for k, e := range m.rel {
+		ne, ok := n.rel[k]
+		if !ok || len(e.outs) != len(ne.outs) {
+			return false
+		}
+		for ko := range e.outs {
+			if _, ok := ne.outs[ko]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Compose returns outer ∘ inner: the relation of pairs (x, z) such that
+// some y satisfies (x, y) ∈ inner and (y, z) ∈ outer. This matches the
+// paper's notation M1(M2) with M1 = outer and M2 = inner.
+func Compose(outer, inner *Map) *Map {
+	inner.out.checkSame(outer.in, "Compose")
+	r := NewMap(inner.in, outer.out)
+	for _, e := range inner.rel {
+		for _, y := range e.outs {
+			oe, ok := outer.rel[y.key()]
+			if !ok {
+				continue
+			}
+			for _, z := range oe.outs {
+				r.Add(e.in, z)
+			}
+		}
+	}
+	return r
+}
+
+// ApplySet returns the image of s under m: { y : ∃x ∈ s, (x, y) ∈ m }.
+func (m *Map) ApplySet(s *Set) *Set {
+	m.in.checkSame(s.space, "Map.ApplySet")
+	r := NewSet(m.out)
+	for k := range s.elems {
+		e, ok := m.rel[k]
+		if !ok {
+			continue
+		}
+		for ko, o := range e.outs {
+			r.elems[ko] = o
+		}
+	}
+	return r
+}
+
+// IntersectDomain returns the pairs of m whose input lies in s.
+func (m *Map) IntersectDomain(s *Set) *Map {
+	m.in.checkSame(s.space, "Map.IntersectDomain")
+	r := NewMap(m.in, m.out)
+	for k, e := range m.rel {
+		if _, ok := s.elems[k]; !ok {
+			continue
+		}
+		for _, o := range e.outs {
+			r.Add(e.in, o)
+		}
+	}
+	return r
+}
+
+// IntersectRange returns the pairs of m whose output lies in s.
+func (m *Map) IntersectRange(s *Set) *Map {
+	m.out.checkSame(s.space, "Map.IntersectRange")
+	r := NewMap(m.in, m.out)
+	for _, e := range m.rel {
+		for ko, o := range e.outs {
+			if _, ok := s.elems[ko]; ok {
+				r.Add(e.in, o)
+			}
+		}
+	}
+	return r
+}
+
+// LexmaxPerIn returns the single-valued map relating each input of m to
+// the lexicographically largest of its outputs. This is the paper's
+// lexmax(M) operation.
+func (m *Map) LexmaxPerIn() *Map {
+	r := NewMap(m.in, m.out)
+	for _, e := range m.rel {
+		var best Vec
+		for _, o := range e.outs {
+			if best == nil || o.Cmp(best) > 0 {
+				best = o
+			}
+		}
+		if best != nil {
+			r.Add(e.in, best)
+		}
+	}
+	return r
+}
+
+// LexminPerIn returns the single-valued map relating each input of m to
+// the lexicographically smallest of its outputs. This is the paper's
+// lexmin(M) operation.
+func (m *Map) LexminPerIn() *Map {
+	r := NewMap(m.in, m.out)
+	for _, e := range m.rel {
+		var best Vec
+		for _, o := range e.outs {
+			if best == nil || o.Cmp(best) < 0 {
+				best = o
+			}
+		}
+		if best != nil {
+			r.Add(e.in, best)
+		}
+	}
+	return r
+}
+
+// IsSingleValued reports whether every input relates to at most one
+// output.
+func (m *Map) IsSingleValued() bool {
+	for _, e := range m.rel {
+		if len(e.outs) > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsInjective reports whether no two inputs relate to the same output.
+func (m *Map) IsInjective() bool {
+	seen := make(map[string]string, len(m.rel))
+	for k, e := range m.rel {
+		for ko := range e.outs {
+			if prev, ok := seen[ko]; ok && prev != k {
+				return false
+			}
+			seen[ko] = k
+		}
+	}
+	return true
+}
+
+// Pair is one (In, Out) element of a relation.
+type Pair struct {
+	In, Out Vec
+}
+
+// Pairs returns all pairs of m ordered lexicographically by input and
+// then by output.
+func (m *Map) Pairs() []Pair {
+	ins := make([]Vec, 0, len(m.rel))
+	for _, e := range m.rel {
+		ins = append(ins, e.in)
+	}
+	sortVecs(ins)
+	ps := make([]Pair, 0, m.Card())
+	for _, in := range ins {
+		e := m.rel[in.key()]
+		for _, o := range e.sortedOuts() {
+			ps = append(ps, Pair{In: in, Out: o})
+		}
+	}
+	return ps
+}
+
+// Foreach calls fn for every pair in deterministic order, stopping
+// early if fn returns false.
+func (m *Map) Foreach(fn func(in, out Vec) bool) {
+	for _, p := range m.Pairs() {
+		if !fn(p.In, p.Out) {
+			return
+		}
+	}
+}
+
+// Image returns the single output related to in. It panics unless
+// exactly one output exists; use Lookup for the general case.
+func (m *Map) Image(in Vec) Vec {
+	outs := m.Lookup(in)
+	if len(outs) != 1 {
+		panic("isl: Map.Image: input " + in.String() + " has " +
+			strconv.Itoa(len(outs)) + " outputs, want exactly 1")
+	}
+	return outs[0]
+}
+
+// String renders the relation in ISL-like notation, e.g.
+// "{ S[0] -> R[0]; S[1] -> R[2] }" in deterministic order.
+func (m *Map) String() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, p := range m.Pairs() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(m.in.Name)
+		b.WriteString(p.In.String())
+		b.WriteString(" -> ")
+		b.WriteString(m.out.Name)
+		b.WriteString(p.Out.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}

@@ -1,0 +1,288 @@
+package isl
+
+import (
+	"testing"
+)
+
+func mkMap(t *testing.T, in, out Space, pairs ...[2]Vec) *Map {
+	t.Helper()
+	m := NewMap(in, out)
+	for _, p := range pairs {
+		m.Add(p[0], p[1])
+	}
+	return m
+}
+
+func TestMapBasics(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(10)},
+		[2]Vec{NewVec(0), NewVec(11)},
+		[2]Vec{NewVec(1), NewVec(11)},
+	)
+	if m.Card() != 3 {
+		t.Fatalf("Card = %d, want 3", m.Card())
+	}
+	if !m.Contains(NewVec(0), NewVec(11)) || m.Contains(NewVec(1), NewVec(10)) {
+		t.Fatal("Contains wrong")
+	}
+	if got := m.Lookup(NewVec(0)); len(got) != 2 || !got[0].Eq(NewVec(10)) {
+		t.Fatalf("Lookup = %v", got)
+	}
+	if got := m.Domain(); got.Card() != 2 {
+		t.Fatalf("Domain = %v", got)
+	}
+	if got := m.Range(); got.Card() != 2 {
+		t.Fatalf("Range = %v", got)
+	}
+}
+
+func TestMapInverseRoundTrip(t *testing.T) {
+	in, out := NewSpace("S", 2), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0, 0), NewVec(3)},
+		[2]Vec{NewVec(0, 1), NewVec(3)},
+		[2]Vec{NewVec(1, 0), NewVec(4)},
+	)
+	inv := m.Inverse()
+	if inv.InSpace() != out || inv.OutSpace() != in {
+		t.Fatal("Inverse spaces wrong")
+	}
+	if got := inv.Lookup(NewVec(3)); len(got) != 2 {
+		t.Fatalf("Inverse Lookup = %v", got)
+	}
+	if !inv.Inverse().Equal(m) {
+		t.Fatal("double inverse differs")
+	}
+}
+
+func TestMapCompose(t *testing.T) {
+	a, b, c := NewSpace("A", 1), NewSpace("B", 1), NewSpace("C", 1)
+	// inner: A -> B, outer: B -> C; Compose(outer, inner): A -> C.
+	inner := mkMap(t, a, b,
+		[2]Vec{NewVec(0), NewVec(1)},
+		[2]Vec{NewVec(1), NewVec(2)},
+	)
+	outer := mkMap(t, b, c,
+		[2]Vec{NewVec(1), NewVec(7)},
+		[2]Vec{NewVec(1), NewVec(8)},
+		[2]Vec{NewVec(3), NewVec(9)},
+	)
+	got := Compose(outer, inner)
+	if got.InSpace() != a || got.OutSpace() != c {
+		t.Fatal("Compose spaces wrong")
+	}
+	if got.Card() != 2 || !got.Contains(NewVec(0), NewVec(7)) || !got.Contains(NewVec(0), NewVec(8)) {
+		t.Fatalf("Compose = %v", got)
+	}
+	if outs := got.Lookup(NewVec(1)); len(outs) != 0 {
+		t.Fatalf("Compose related 1: %v", outs)
+	}
+}
+
+func TestMapAlgebra(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(0)},
+		[2]Vec{NewVec(1), NewVec(1)},
+	)
+	n := mkMap(t, in, out,
+		[2]Vec{NewVec(1), NewVec(1)},
+		[2]Vec{NewVec(2), NewVec(2)},
+	)
+	if got := m.Union(n); got.Card() != 3 {
+		t.Errorf("Union card = %d", got.Card())
+	}
+	if got := m.Intersect(n); got.Card() != 1 || !got.Contains(NewVec(1), NewVec(1)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := m.Subtract(n); got.Card() != 1 || !got.Contains(NewVec(0), NewVec(0)) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if m.Equal(n) || !m.Equal(m.Clone()) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestMapApplySetAndIntersections(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(5)},
+		[2]Vec{NewVec(1), NewVec(6)},
+		[2]Vec{NewVec(2), NewVec(7)},
+	)
+	s := SetOf(in, NewVec(0), NewVec(2), NewVec(9))
+	img := m.ApplySet(s)
+	if img.Card() != 2 || !img.Contains(NewVec(5)) || !img.Contains(NewVec(7)) {
+		t.Fatalf("ApplySet = %v", img)
+	}
+	dm := m.IntersectDomain(s)
+	if dm.Card() != 2 || dm.Contains(NewVec(1), NewVec(6)) {
+		t.Fatalf("IntersectDomain = %v", dm)
+	}
+	rm := m.IntersectRange(SetOf(out, NewVec(6)))
+	if rm.Card() != 1 || !rm.Contains(NewVec(1), NewVec(6)) {
+		t.Fatalf("IntersectRange = %v", rm)
+	}
+}
+
+func TestMapLexmaxLexminPerIn(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 2)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(1, 5)},
+		[2]Vec{NewVec(0), NewVec(2, 0)},
+		[2]Vec{NewVec(1), NewVec(0, 0)},
+	)
+	mx := m.LexmaxPerIn()
+	if !mx.IsSingleValued() {
+		t.Fatal("LexmaxPerIn not single-valued")
+	}
+	if got := mx.Image(NewVec(0)); !got.Eq(NewVec(2, 0)) {
+		t.Fatalf("lexmax image = %v", got)
+	}
+	mn := m.LexminPerIn()
+	if got := mn.Image(NewVec(0)); !got.Eq(NewVec(1, 5)) {
+		t.Fatalf("lexmin image = %v", got)
+	}
+}
+
+func TestMapInjectiveSingleValued(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	inj := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(0)},
+		[2]Vec{NewVec(1), NewVec(2)},
+	)
+	if !inj.IsInjective() || !inj.IsSingleValued() {
+		t.Error("expected injective, single-valued")
+	}
+	notInj := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(0)},
+		[2]Vec{NewVec(1), NewVec(0)},
+	)
+	if notInj.IsInjective() {
+		t.Error("expected not injective")
+	}
+	notSV := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(0)},
+		[2]Vec{NewVec(0), NewVec(1)},
+	)
+	if notSV.IsSingleValued() {
+		t.Error("expected not single-valued")
+	}
+}
+
+func TestMapPairsDeterministic(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(2), NewVec(0)},
+		[2]Vec{NewVec(0), NewVec(2)},
+		[2]Vec{NewVec(0), NewVec(1)},
+	)
+	ps := m.Pairs()
+	if len(ps) != 3 ||
+		!ps[0].In.Eq(NewVec(0)) || !ps[0].Out.Eq(NewVec(1)) ||
+		!ps[1].In.Eq(NewVec(0)) || !ps[1].Out.Eq(NewVec(2)) ||
+		!ps[2].In.Eq(NewVec(2)) {
+		t.Fatalf("Pairs = %v", ps)
+	}
+	want := "{ S[0] -> R[1]; S[0] -> R[2]; S[2] -> R[0] }"
+	if got := m.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestMapImagePanicsWhenNotUnique(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	m := mkMap(t, in, out,
+		[2]Vec{NewVec(0), NewVec(0)},
+		[2]Vec{NewVec(0), NewVec(1)},
+	)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Image(NewVec(0))
+}
+
+func TestIdentityAndConstantMap(t *testing.T) {
+	sp := NewSpace("S", 2)
+	s := SetOf(sp, NewVec(0, 0), NewVec(1, 1))
+	id := Identity(s)
+	if id.Card() != 2 || !id.Contains(NewVec(1, 1), NewVec(1, 1)) {
+		t.Fatalf("Identity = %v", id)
+	}
+	cm := ConstantMap(s, NewSpace("R", 1), NewVec(9))
+	if cm.Card() != 2 || !cm.Image(NewVec(0, 0)).Eq(NewVec(9)) {
+		t.Fatalf("ConstantMap = %v", cm)
+	}
+}
+
+func TestLexRelations(t *testing.T) {
+	sp := NewSpace("S", 1)
+	x := SetOf(sp, NewVec(0), NewVec(1), NewVec(2))
+	y := SetOf(sp, NewVec(1), NewVec(2))
+
+	le := LexLE(x, y)
+	// 0 -> {1,2}, 1 -> {1,2}, 2 -> {2}
+	if le.Card() != 5 {
+		t.Fatalf("LexLE card = %d, want 5", le.Card())
+	}
+	lt := LexLT(x, y)
+	if lt.Card() != 3 || lt.Contains(NewVec(1), NewVec(1)) {
+		t.Fatalf("LexLT = %v", lt)
+	}
+	ge := LexGE(x, y)
+	if ge.Card() != 3 || !ge.Contains(NewVec(2), NewVec(1)) {
+		t.Fatalf("LexGE = %v", ge)
+	}
+	gt := LexGT(x, y)
+	if gt.Card() != 1 || !gt.Contains(NewVec(2), NewVec(1)) {
+		t.Fatalf("LexGT = %v", gt)
+	}
+}
+
+func TestNearestGEMatchesNaive(t *testing.T) {
+	sp := NewSpace("S", 2)
+	x := NewSet(sp)
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			x.Add(NewVec(i, j))
+		}
+	}
+	y := SetOf(sp, NewVec(0, 3), NewVec(2, 2), NewVec(4, 4))
+	fast := NearestGE(x, y)
+	naive := LexLE(x, y).LexminPerIn()
+	if !fast.Equal(naive) {
+		t.Fatalf("NearestGE differs from naive:\n fast=%v\nnaive=%v", fast, naive)
+	}
+	// Elements beyond the max of y have no image.
+	if got := fast.Lookup(NewVec(4, 4)); len(got) != 1 {
+		t.Fatalf("Lookup(4,4) = %v", got)
+	}
+	if got := fast.Lookup(NewVec(5, 0)); got != nil {
+		t.Fatalf("Lookup outside domain = %v", got)
+	}
+}
+
+func TestPrefixLexmaxMatchesComposition(t *testing.T) {
+	js := NewSpace("J", 1)
+	is := NewSpace("I", 1)
+	p := mkMap(t, js, is,
+		[2]Vec{NewVec(0), NewVec(4)},
+		[2]Vec{NewVec(1), NewVec(2)},
+		[2]Vec{NewVec(3), NewVec(7)},
+		[2]Vec{NewVec(4), NewVec(1)},
+	)
+	dom := p.Domain()
+	// Naive: H = lexmax(P ∘ D') with D' = { (j, j') : j' ≼ j } on dom.
+	dprime := LexGE(dom, dom) // j -> j' with j' <= j
+	naive := Compose(p, dprime).LexmaxPerIn()
+	fast := PrefixLexmax(p, dom)
+	if !fast.Equal(naive) {
+		t.Fatalf("PrefixLexmax differs:\n fast=%v\nnaive=%v", fast, naive)
+	}
+	if got := fast.Image(NewVec(4)); !got.Eq(NewVec(7)) {
+		t.Fatalf("running max wrong: %v", got)
+	}
+}

@@ -1,0 +1,202 @@
+package isl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSet parses the ISL-like extensional set notation produced by
+// Set.String, e.g. "{ S[0, 1]; S[2, 3] }". The empty set of a given
+// space cannot be parsed from "{  }" alone (no space information);
+// parse into an existing space with ParseSetIn instead.
+func ParseSet(s string) (*Set, error) {
+	tuples, err := parseTuples(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(tuples) == 0 {
+		return nil, fmt.Errorf("isl: cannot infer the space of an empty set; use ParseSetIn")
+	}
+	space := NewSpace(tuples[0].name, len(tuples[0].coords))
+	set := NewSet(space)
+	for _, t := range tuples {
+		if t.name != space.Name || len(t.coords) != space.Dim {
+			return nil, fmt.Errorf("isl: mixed tuple spaces %s and %s[%d] in one set",
+				space, t.name, len(t.coords))
+		}
+		set.Add(t.coords)
+	}
+	return set, nil
+}
+
+// ParseSetIn parses set notation into the given space, allowing empty
+// sets.
+func ParseSetIn(space Space, s string) (*Set, error) {
+	tuples, err := parseTuples(s)
+	if err != nil {
+		return nil, err
+	}
+	set := NewSet(space)
+	for _, t := range tuples {
+		if t.name != space.Name || len(t.coords) != space.Dim {
+			return nil, fmt.Errorf("isl: tuple %s[%d] does not belong to space %s",
+				t.name, len(t.coords), space)
+		}
+		set.Add(t.coords)
+	}
+	return set, nil
+}
+
+// ParseMap parses the ISL-like extensional map notation produced by
+// Map.String, e.g. "{ S[0] -> R[1]; S[1] -> R[2] }".
+func ParseMap(s string) (*Map, error) {
+	inner, err := stripBraces(s)
+	if err != nil {
+		return nil, err
+	}
+	parts := splitTop(inner)
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("isl: cannot infer the spaces of an empty map; use ParseMapIn")
+	}
+	var m *Map
+	for _, part := range parts {
+		lhs, rhs, ok := strings.Cut(part, "->")
+		if !ok {
+			return nil, fmt.Errorf("isl: map element %q lacks '->'", strings.TrimSpace(part))
+		}
+		in, err := parseTuple(strings.TrimSpace(lhs))
+		if err != nil {
+			return nil, err
+		}
+		out, err := parseTuple(strings.TrimSpace(rhs))
+		if err != nil {
+			return nil, err
+		}
+		if m == nil {
+			m = NewMap(NewSpace(in.name, len(in.coords)), NewSpace(out.name, len(out.coords)))
+		}
+		if in.name != m.in.Name || len(in.coords) != m.in.Dim ||
+			out.name != m.out.Name || len(out.coords) != m.out.Dim {
+			return nil, fmt.Errorf("isl: mixed tuple spaces in map element %q", strings.TrimSpace(part))
+		}
+		m.Add(in.coords, out.coords)
+	}
+	return m, nil
+}
+
+// ParseMapIn parses map notation into the given spaces, allowing empty
+// maps.
+func ParseMapIn(in, out Space, s string) (*Map, error) {
+	inner, err := stripBraces(s)
+	if err != nil {
+		return nil, err
+	}
+	m := NewMap(in, out)
+	for _, part := range splitTop(inner) {
+		lhs, rhs, ok := strings.Cut(part, "->")
+		if !ok {
+			return nil, fmt.Errorf("isl: map element %q lacks '->'", strings.TrimSpace(part))
+		}
+		i, err := parseTuple(strings.TrimSpace(lhs))
+		if err != nil {
+			return nil, err
+		}
+		o, err := parseTuple(strings.TrimSpace(rhs))
+		if err != nil {
+			return nil, err
+		}
+		if i.name != in.Name || len(i.coords) != in.Dim || o.name != out.Name || len(o.coords) != out.Dim {
+			return nil, fmt.Errorf("isl: map element %q does not match spaces %s -> %s",
+				strings.TrimSpace(part), in, out)
+		}
+		m.Add(i.coords, o.coords)
+	}
+	return m, nil
+}
+
+type parsedTuple struct {
+	name   string
+	coords Vec
+}
+
+func stripBraces(s string) (string, error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "{") || !strings.HasSuffix(t, "}") {
+		return "", fmt.Errorf("isl: notation must be enclosed in braces: %q", s)
+	}
+	return t[1 : len(t)-1], nil
+}
+
+// splitTop splits on ';' (no nesting to worry about in the
+// extensional notation) and drops empty parts.
+func splitTop(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ";") {
+		if strings.TrimSpace(part) != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func parseTuples(s string) ([]parsedTuple, error) {
+	inner, err := stripBraces(s)
+	if err != nil {
+		return nil, err
+	}
+	var out []parsedTuple
+	for _, part := range splitTop(inner) {
+		t, err := parseTuple(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// parseTuple parses "Name[a, b, -3]".
+func parseTuple(s string) (parsedTuple, error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return parsedTuple{}, fmt.Errorf("isl: malformed tuple %q", s)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return parsedTuple{}, fmt.Errorf("isl: tuple %q has no space name", s)
+	}
+	body := s[open+1 : len(s)-1]
+	var coords Vec
+	if strings.TrimSpace(body) != "" {
+		for _, c := range strings.Split(body, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil {
+				return parsedTuple{}, fmt.Errorf("isl: bad coordinate in tuple %q: %v", s, err)
+			}
+			coords = append(coords, v)
+		}
+	}
+	return parsedTuple{name: name, coords: coords}, nil
+}
+
+// Deltas returns the set of difference vectors { out − in : (in, out) ∈ m }
+// for a map whose input and output spaces have equal dimension — ISL's
+// deltas operation, the basis of dependence distance vectors. The
+// result lives in an anonymous space named after the two tuple names.
+func Deltas(m *Map) *Set {
+	if m.in.Dim != m.out.Dim {
+		panic("isl: Deltas requires equal input/output dimensions: " +
+			m.in.String() + " vs " + m.out.String())
+	}
+	s := NewSet(NewSpace(m.in.Name+"-"+m.out.Name, m.in.Dim))
+	m.Foreach(func(in, out Vec) bool {
+		d := make(Vec, len(in))
+		for k := range in {
+			d[k] = out[k] - in[k]
+		}
+		s.Add(d)
+		return true
+	})
+	return s
+}

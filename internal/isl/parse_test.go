@@ -1,0 +1,142 @@
+package isl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseSetRoundTrip(t *testing.T) {
+	s := SetOf(NewSpace("S", 2), NewVec(0, 1), NewVec(2, -3), NewVec(1, 1))
+	got, err := ParseSet(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(s) {
+		t.Fatalf("round trip: %v != %v", got, s)
+	}
+}
+
+func TestParseSetErrors(t *testing.T) {
+	cases := map[string]string{
+		"no braces":   "S[0]",
+		"mixed space": "{ S[0]; R[0] }",
+		"mixed dim":   "{ S[0]; S[0, 1] }",
+		"bad coord":   "{ S[x] }",
+		"no name":     "{ [0] }",
+		"empty":       "{ }",
+	}
+	for name, src := range cases {
+		if _, err := ParseSet(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestParseSetIn(t *testing.T) {
+	sp := NewSpace("S", 1)
+	empty, err := ParseSetIn(sp, "{ }")
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("empty parse: %v, %v", empty, err)
+	}
+	got, err := ParseSetIn(sp, "{ S[4]; S[-1] }")
+	if err != nil || got.Card() != 2 || !got.Contains(NewVec(-1)) {
+		t.Fatalf("ParseSetIn = %v, %v", got, err)
+	}
+	if _, err := ParseSetIn(sp, "{ R[4] }"); err == nil {
+		t.Fatal("wrong-space tuple accepted")
+	}
+}
+
+func TestParseMapRoundTrip(t *testing.T) {
+	m := NewMap(NewSpace("S", 2), NewSpace("R", 1))
+	m.Add(NewVec(0, 0), NewVec(5))
+	m.Add(NewVec(1, 2), NewVec(-7))
+	m.Add(NewVec(1, 2), NewVec(3))
+	got, err := ParseMap(m.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip: %v != %v", got, m)
+	}
+}
+
+func TestParseMapErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"no arrow":  "{ S[0] R[0] }",
+		"mixed":     "{ S[0] -> R[0]; S[0, 1] -> R[0] }",
+		"empty":     "{ }",
+		"no braces": "S[0] -> R[0]",
+	} {
+		if _, err := ParseMap(src); err == nil {
+			t.Errorf("%s: expected error for %q", name, src)
+		}
+	}
+}
+
+func TestParseMapIn(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	empty, err := ParseMapIn(in, out, "{ }")
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("empty map parse: %v, %v", empty, err)
+	}
+	got, err := ParseMapIn(in, out, "{ S[1] -> R[2] }")
+	if err != nil || !got.Contains(NewVec(1), NewVec(2)) {
+		t.Fatalf("ParseMapIn = %v, %v", got, err)
+	}
+	if _, err := ParseMapIn(in, out, "{ R[1] -> S[2] }"); err == nil {
+		t.Fatal("swapped spaces accepted")
+	}
+}
+
+func TestQuickSetStringParseRoundTrip(t *testing.T) {
+	sp := NewSpace("S", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randSet(r, sp, 1+r.Intn(20))
+		got, err := ParseSet(s.String())
+		return err == nil && got.Equal(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMapStringParseRoundTrip(t *testing.T) {
+	in, out := NewSpace("S", 2), NewSpace("R", 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMap(r, in, out, 1+r.Intn(25))
+		got, err := ParseMap(m.String())
+		return err == nil && got.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeltas(t *testing.T) {
+	m := NewMap(NewSpace("S", 2), NewSpace("S", 2))
+	m.Add(NewVec(0, 0), NewVec(0, 1))
+	m.Add(NewVec(1, 1), NewVec(1, 2))
+	m.Add(NewVec(2, 0), NewVec(3, 1))
+	d := Deltas(m)
+	if d.Card() != 2 || !d.Contains(NewVec(0, 1)) || !d.Contains(NewVec(1, 1)) {
+		t.Fatalf("Deltas = %v", d)
+	}
+	if !strings.Contains(d.Space().Name, "S-S") {
+		t.Fatalf("deltas space = %v", d.Space())
+	}
+}
+
+func TestDeltasPanicsOnDimMismatch(t *testing.T) {
+	m := NewMap(NewSpace("S", 1), NewSpace("R", 2))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Deltas(m)
+}

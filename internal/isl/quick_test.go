@@ -1,0 +1,178 @@
+package isl
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randSet builds a random set of 1- or 2-dimensional tuples with small
+// coordinates, deterministic in r.
+func randSet(r *rand.Rand, space Space, n int) *Set {
+	s := NewSet(space)
+	for i := 0; i < n; i++ {
+		v := make(Vec, space.Dim)
+		for d := range v {
+			v[d] = r.Intn(8)
+		}
+		s.Add(v)
+	}
+	return s
+}
+
+func randMap(r *rand.Rand, in, out Space, n int) *Map {
+	m := NewMap(in, out)
+	for i := 0; i < n; i++ {
+		a := make(Vec, in.Dim)
+		for d := range a {
+			a[d] = r.Intn(8)
+		}
+		b := make(Vec, out.Dim)
+		for d := range b {
+			b[d] = r.Intn(8)
+		}
+		m.Add(a, b)
+	}
+	return m
+}
+
+func TestQuickSetAlgebraLaws(t *testing.T) {
+	sp := NewSpace("S", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := randSet(r, sp, r.Intn(20))
+		b := randSet(r, sp, r.Intn(20))
+		c := randSet(r, sp, r.Intn(20))
+
+		// Commutativity and associativity of union/intersection.
+		if !a.Union(b).Equal(b.Union(a)) {
+			return false
+		}
+		if !a.Intersect(b).Equal(b.Intersect(a)) {
+			return false
+		}
+		if !a.Union(b.Union(c)).Equal(a.Union(b).Union(c)) {
+			return false
+		}
+		// De Morgan-ish: a \ (b ∪ c) == (a \ b) ∩ (a \ c).
+		if !a.Subtract(b.Union(c)).Equal(a.Subtract(b).Intersect(a.Subtract(c))) {
+			return false
+		}
+		// a == (a ∩ b) ∪ (a \ b).
+		if !a.Equal(a.Intersect(b).Union(a.Subtract(b))) {
+			return false
+		}
+		// Cardinality inclusion-exclusion.
+		if a.Union(b).Card()+a.Intersect(b).Card() != a.Card()+b.Card() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMapLaws(t *testing.T) {
+	in, out := NewSpace("S", 2), NewSpace("R", 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMap(r, in, out, r.Intn(30))
+		n := randMap(r, in, out, r.Intn(30))
+
+		// Inverse is an involution.
+		if !m.Inverse().Inverse().Equal(m) {
+			return false
+		}
+		// Domain/Range swap under inverse.
+		if !m.Inverse().Domain().Equal(m.Range()) || !m.Inverse().Range().Equal(m.Domain()) {
+			return false
+		}
+		// Union/inverse distributivity.
+		if !m.Union(n).Inverse().Equal(m.Inverse().Union(n.Inverse())) {
+			return false
+		}
+		// LexmaxPerIn is single-valued with the same domain.
+		mx := m.LexmaxPerIn()
+		if !mx.IsSingleValued() || !mx.Domain().Equal(m.Domain()) {
+			return false
+		}
+		// Every lexmax choice is an actual output and is maximal.
+		ok := true
+		mx.Foreach(func(i, o Vec) bool {
+			if !m.Contains(i, o) {
+				ok = false
+				return false
+			}
+			for _, other := range m.Lookup(i) {
+				if other.Cmp(o) > 0 {
+					ok = false
+					return false
+				}
+			}
+			return true
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickComposeAssociative(t *testing.T) {
+	a, b, c, d := NewSpace("A", 1), NewSpace("B", 1), NewSpace("C", 1), NewSpace("D", 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ab := randMap(r, a, b, r.Intn(20))
+		bc := randMap(r, b, c, r.Intn(20))
+		cd := randMap(r, c, d, r.Intn(20))
+		// Compose(cd, Compose(bc, ab)) == Compose(Compose(cd, bc), ab)
+		left := Compose(cd, Compose(bc, ab))
+		right := Compose(Compose(cd, bc), ab)
+		return left.Equal(right)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickApplySetMatchesCompose(t *testing.T) {
+	in, out := NewSpace("S", 1), NewSpace("R", 1)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := randMap(r, in, out, r.Intn(25))
+		s := randSet(r, in, r.Intn(15))
+		// Image via ApplySet equals range of domain-restricted map.
+		return m.ApplySet(s).Equal(m.IntersectDomain(s).Range())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickNearestGEAgainstNaive(t *testing.T) {
+	sp := NewSpace("S", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		x := randSet(r, sp, r.Intn(25))
+		y := randSet(r, sp, r.Intn(10))
+		return NearestGE(x, y).Equal(LexLE(x, y).LexminPerIn())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPrefixLexmaxAgainstNaive(t *testing.T) {
+	js, is := NewSpace("J", 2), NewSpace("I", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randMap(r, js, is, 1+r.Intn(25))
+		dom := p.Domain()
+		naive := Compose(p, LexGE(dom, dom)).LexmaxPerIn()
+		return PrefixLexmax(p, dom).Equal(naive)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,211 @@
+package isl
+
+import (
+	"strings"
+)
+
+// Set is a finite set of integer tuples in a single tuple space.
+// The zero value is not usable; construct sets with NewSet or the
+// operations on existing sets. Sets are immutable once built except
+// through Add, which callers must not use after sharing a set.
+type Set struct {
+	space  Space
+	elems  map[string]Vec
+	sorted []Vec // lazily computed lexicographic ordering; nil when stale
+}
+
+// NewSet returns an empty set in the given space.
+func NewSet(space Space) *Set {
+	return &Set{space: space, elems: make(map[string]Vec)}
+}
+
+// SetOf builds a set in the given space from the listed tuples.
+func SetOf(space Space, vs ...Vec) *Set {
+	s := NewSet(space)
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Space returns the tuple space of s.
+func (s *Set) Space() Space { return s.space }
+
+// Add inserts v into s. It panics if v has the wrong dimension.
+func (s *Set) Add(v Vec) {
+	s.space.checkVec(v)
+	k := v.key()
+	if _, ok := s.elems[k]; !ok {
+		s.elems[k] = v.Clone()
+		s.sorted = nil
+	}
+}
+
+// Contains reports whether v is an element of s.
+func (s *Set) Contains(v Vec) bool {
+	if len(v) != s.space.Dim {
+		return false
+	}
+	_, ok := s.elems[v.key()]
+	return ok
+}
+
+// Card returns the number of elements in s.
+func (s *Set) Card() int { return len(s.elems) }
+
+// IsEmpty reports whether s has no elements.
+func (s *Set) IsEmpty() bool { return len(s.elems) == 0 }
+
+// Elements returns the elements of s in lexicographic order. The
+// returned slice is shared; callers must not modify it.
+func (s *Set) Elements() []Vec {
+	if s.sorted == nil {
+		vs := make([]Vec, 0, len(s.elems))
+		for _, v := range s.elems {
+			vs = append(vs, v)
+		}
+		sortVecs(vs)
+		s.sorted = vs
+	}
+	return s.sorted
+}
+
+// Foreach calls fn for every element in lexicographic order, stopping
+// early if fn returns false.
+func (s *Set) Foreach(fn func(Vec) bool) {
+	for _, v := range s.Elements() {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	t := NewSet(s.space)
+	for k, v := range s.elems {
+		t.elems[k] = v
+	}
+	return t
+}
+
+// Union returns s ∪ t. Both sets must live in the same space.
+func (s *Set) Union(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Union")
+	r := s.Clone()
+	for k, v := range t.elems {
+		if _, ok := r.elems[k]; !ok {
+			r.elems[k] = v
+		}
+	}
+	r.sorted = nil
+	return r
+}
+
+// Intersect returns s ∩ t. Both sets must live in the same space.
+func (s *Set) Intersect(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Intersect")
+	r := NewSet(s.space)
+	small, large := s, t
+	if large.Card() < small.Card() {
+		small, large = large, small
+	}
+	for k, v := range small.elems {
+		if _, ok := large.elems[k]; ok {
+			r.elems[k] = v
+		}
+	}
+	return r
+}
+
+// Subtract returns s \ t. Both sets must live in the same space.
+func (s *Set) Subtract(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Subtract")
+	r := NewSet(s.space)
+	for k, v := range s.elems {
+		if _, ok := t.elems[k]; !ok {
+			r.elems[k] = v
+		}
+	}
+	return r
+}
+
+// Equal reports whether s and t contain exactly the same tuples in the
+// same space.
+func (s *Set) Equal(t *Set) bool {
+	if s.space != t.space || len(s.elems) != len(t.elems) {
+		return false
+	}
+	for k := range s.elems {
+		if _, ok := t.elems[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSubset reports whether every element of s is in t.
+func (s *Set) IsSubset(t *Set) bool {
+	if s.space != t.space || len(s.elems) > len(t.elems) {
+		return false
+	}
+	for k := range s.elems {
+		if _, ok := t.elems[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Lexmin returns the lexicographically smallest element of s and true,
+// or nil and false if s is empty.
+func (s *Set) Lexmin() (Vec, bool) {
+	es := s.Elements()
+	if len(es) == 0 {
+		return nil, false
+	}
+	return es[0], true
+}
+
+// Lexmax returns the lexicographically largest element of s and true,
+// or nil and false if s is empty.
+func (s *Set) Lexmax() (Vec, bool) {
+	es := s.Elements()
+	if len(es) == 0 {
+		return nil, false
+	}
+	return es[len(es)-1], true
+}
+
+// Filter returns the subset of s whose elements satisfy pred.
+func (s *Set) Filter(pred func(Vec) bool) *Set {
+	r := NewSet(s.space)
+	for k, v := range s.elems {
+		if pred(v) {
+			r.elems[k] = v
+		}
+	}
+	return r
+}
+
+// String renders the set in ISL-like notation, e.g.
+// "{ S[0, 0]; S[0, 1] }", listing elements in lexicographic order.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, v := range s.Elements() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.space.Name)
+		b.WriteString(tupleBody(v))
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// tupleBody renders "[a, b]" for use after a space name.
+func tupleBody(v Vec) string {
+	s := v.String()
+	return s
+}

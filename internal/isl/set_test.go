@@ -1,0 +1,163 @@
+package isl
+
+import (
+	"testing"
+)
+
+func TestVecCmp(t *testing.T) {
+	cases := []struct {
+		a, b Vec
+		want int
+	}{
+		{NewVec(0, 0), NewVec(0, 0), 0},
+		{NewVec(0, 1), NewVec(0, 2), -1},
+		{NewVec(1, 0), NewVec(0, 9), 1},
+		{NewVec(2, 3, 4), NewVec(2, 3, 5), -1},
+		{NewVec(-1), NewVec(1), -1},
+	}
+	for _, c := range cases {
+		if got := c.a.Cmp(c.b); got != c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Cmp(c.a); got != -c.want {
+			t.Errorf("Cmp(%v, %v) = %d, want %d", c.b, c.a, got, -c.want)
+		}
+	}
+}
+
+func TestVecCmpPanicsOnDimMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	NewVec(1).Cmp(NewVec(1, 2))
+}
+
+func TestVecCloneIndependence(t *testing.T) {
+	v := NewVec(1, 2)
+	w := v.Clone()
+	w[0] = 99
+	if v[0] != 1 {
+		t.Fatalf("Clone aliases original: %v", v)
+	}
+}
+
+func TestVecConcat(t *testing.T) {
+	v := NewVec(1, 2).Concat(NewVec(3))
+	if !v.Eq(NewVec(1, 2, 3)) {
+		t.Fatalf("Concat = %v", v)
+	}
+}
+
+func TestSetBasics(t *testing.T) {
+	sp := NewSpace("S", 2)
+	s := NewSet(sp)
+	if !s.IsEmpty() {
+		t.Fatal("new set not empty")
+	}
+	s.Add(NewVec(1, 2))
+	s.Add(NewVec(0, 5))
+	s.Add(NewVec(1, 2)) // duplicate
+	if s.Card() != 2 {
+		t.Fatalf("Card = %d, want 2", s.Card())
+	}
+	if !s.Contains(NewVec(0, 5)) || s.Contains(NewVec(5, 0)) {
+		t.Fatal("Contains wrong")
+	}
+	es := s.Elements()
+	if !es[0].Eq(NewVec(0, 5)) || !es[1].Eq(NewVec(1, 2)) {
+		t.Fatalf("Elements not lex sorted: %v", es)
+	}
+}
+
+func TestSetAddWrongDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSet(NewSpace("S", 2)).Add(NewVec(1))
+}
+
+func TestSetAlgebra(t *testing.T) {
+	sp := NewSpace("S", 1)
+	a := SetOf(sp, NewVec(1), NewVec(2), NewVec(3))
+	b := SetOf(sp, NewVec(2), NewVec(3), NewVec(4))
+
+	if got := a.Union(b); got.Card() != 4 {
+		t.Errorf("Union card = %d, want 4", got.Card())
+	}
+	if got := a.Intersect(b); got.Card() != 2 || !got.Contains(NewVec(2)) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Subtract(b); got.Card() != 1 || !got.Contains(NewVec(1)) {
+		t.Errorf("Subtract = %v", got)
+	}
+	if a.Equal(b) {
+		t.Error("Equal(a,b) true")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Error("clone not Equal")
+	}
+	if !a.Intersect(b).IsSubset(a) || !a.Intersect(b).IsSubset(b) {
+		t.Error("intersection not subset")
+	}
+	if a.IsSubset(b) {
+		t.Error("a subset of b")
+	}
+}
+
+func TestSetLexminLexmax(t *testing.T) {
+	sp := NewSpace("S", 2)
+	s := SetOf(sp, NewVec(3, 1), NewVec(0, 9), NewVec(3, 0))
+	mn, ok := s.Lexmin()
+	if !ok || !mn.Eq(NewVec(0, 9)) {
+		t.Errorf("Lexmin = %v, %v", mn, ok)
+	}
+	mx, ok := s.Lexmax()
+	if !ok || !mx.Eq(NewVec(3, 1)) {
+		t.Errorf("Lexmax = %v, %v", mx, ok)
+	}
+	empty := NewSet(sp)
+	if _, ok := empty.Lexmin(); ok {
+		t.Error("Lexmin of empty set reported ok")
+	}
+}
+
+func TestSetFilterForeach(t *testing.T) {
+	sp := NewSpace("S", 1)
+	s := SetOf(sp, NewVec(0), NewVec(1), NewVec(2), NewVec(3))
+	even := s.Filter(func(v Vec) bool { return v[0]%2 == 0 })
+	if even.Card() != 2 {
+		t.Fatalf("Filter card = %d", even.Card())
+	}
+	var seen []int
+	s.Foreach(func(v Vec) bool {
+		seen = append(seen, v[0])
+		return v[0] < 2
+	})
+	if len(seen) != 3 || seen[0] != 0 || seen[2] != 2 {
+		t.Fatalf("Foreach early stop wrong: %v", seen)
+	}
+}
+
+func TestSetString(t *testing.T) {
+	sp := NewSpace("S", 2)
+	s := SetOf(sp, NewVec(1, 0), NewVec(0, 1))
+	want := "{ S[0, 1]; S[1, 0] }"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestSetAddAfterElementsInvalidation(t *testing.T) {
+	sp := NewSpace("S", 1)
+	s := SetOf(sp, NewVec(5))
+	_ = s.Elements()
+	s.Add(NewVec(1))
+	es := s.Elements()
+	if len(es) != 2 || !es[0].Eq(NewVec(1)) {
+		t.Fatalf("sorted cache not invalidated: %v", es)
+	}
+}

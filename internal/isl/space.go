@@ -1,0 +1,40 @@
+package isl
+
+import "fmt"
+
+// Space identifies a named tuple space: the statement or array a tuple
+// belongs to together with its dimensionality. Two spaces are the same
+// space exactly when both name and dimension agree.
+type Space struct {
+	Name string // statement or array name, e.g. "S", "R", "A"
+	Dim  int    // number of coordinates of tuples in this space
+}
+
+// NewSpace returns the space with the given name and dimension.
+func NewSpace(name string, dim int) Space {
+	if dim < 0 {
+		panic("isl: negative space dimension")
+	}
+	return Space{Name: name, Dim: dim}
+}
+
+// Equal reports whether s and t denote the same tuple space.
+func (s Space) Equal(t Space) bool { return s == t }
+
+// String renders the space as "Name/dim".
+func (s Space) String() string { return fmt.Sprintf("%s/%d", s.Name, s.Dim) }
+
+// checkVec panics unless v has the dimension of s.
+func (s Space) checkVec(v Vec) {
+	if len(v) != s.Dim {
+		panic(fmt.Sprintf("isl: vector %v has dimension %d, space %s expects %d",
+			v, len(v), s, s.Dim))
+	}
+}
+
+// checkSame panics unless s and t are the same space.
+func (s Space) checkSame(t Space, op string) {
+	if s != t {
+		panic(fmt.Sprintf("isl: %s: space mismatch: %s vs %s", op, s, t))
+	}
+}

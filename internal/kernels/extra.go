@@ -1,0 +1,168 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/scop"
+)
+
+// This file adds evaluation kernels beyond the paper's two benchmark
+// sets, exercising shapes the main kernels do not: fully parallel
+// stage chains (JacobiChain), serial in-place-style chains
+// (SeidelChain), and non-rectangular (triangular) iteration domains
+// (TriangularChain).
+
+// JacobiChain builds `stages` consecutive Jacobi-style smoothing
+// nests: stage k writes A_k[i][j] from the neighbours of A_{k-1}.
+// Every nest is fully data-parallel (reads touch only the previous
+// array), so both the Polly baseline and cross-loop pipelining apply —
+// the friendly end of the spectrum.
+func JacobiChain(n, stages int) *Program {
+	if n < 4 || stages < 1 {
+		panic(fmt.Sprintf("kernels: JacobiChain(n=%d, stages=%d)", n, stages))
+	}
+	grids := make([]*Grid, stages+1)
+	for k := range grids {
+		grids[k] = NewGrid(n)
+	}
+	b := scop.NewBuilder(fmt.Sprintf("jacobi%d", stages))
+	for k := 0; k <= stages; k++ {
+		b.Array(jacArr(k), 2)
+	}
+	for k := 1; k <= stages; k++ {
+		src, dst := grids[k-1], grids[k]
+		name := fmt.Sprintf("J%d", k)
+		b.Stmt(name, aff.NewDomain(name,
+			aff.ConstBound(0, 1, n-1),
+			aff.LoopBound{Lo: aff.Const(1, 1), Hi: aff.Const(1, n-1)},
+		)).
+			Writes(jacArr(k), aff.Var(2, 0), aff.Var(2, 1)).
+			Reads(jacArr(k-1), aff.Linear(-1, 1, 0), aff.Var(2, 1)).
+			Reads(jacArr(k-1), aff.Linear(1, 1, 0), aff.Var(2, 1)).
+			Reads(jacArr(k-1), aff.Var(2, 0), aff.Linear(-1, 0, 1)).
+			Reads(jacArr(k-1), aff.Var(2, 0), aff.Linear(1, 0, 1)).
+			Body(func(iv isl.Vec) {
+				i, j := iv[0], iv[1]
+				dst.Set(i, j, 0.25*(src.At(i-1, j)+src.At(i+1, j)+src.At(i, j-1)+src.At(i, j+1)))
+			})
+	}
+	sc := b.MustBuild()
+	reset := func() {
+		for k, g := range grids {
+			g.SeedDeterministic(uint64(40 + k))
+		}
+	}
+	reset()
+	return &Program{
+		Name: sc.Name, SCoP: sc, Reset: reset,
+		Hash: func() uint64 { return grids[stages].Hash() },
+	}
+}
+
+func jacArr(k int) string { return fmt.Sprintf("J%d", k) }
+
+// SeidelChain builds `stages` consecutive Gauss–Seidel-style nests:
+// each stage updates its own array in place using already-updated
+// neighbours (serializing the nest) plus the same cell of the previous
+// stage's array. Polly finds nothing; the cross-loop pipeline overlaps
+// the stages — the Listing 1 pattern generalized to k stages.
+func SeidelChain(n, stages int) *Program {
+	if n < 4 || stages < 1 {
+		panic(fmt.Sprintf("kernels: SeidelChain(n=%d, stages=%d)", n, stages))
+	}
+	grids := make([]*Grid, stages+1)
+	for k := range grids {
+		grids[k] = NewGrid(n)
+	}
+	b := scop.NewBuilder(fmt.Sprintf("seidel%d", stages))
+	for k := 0; k <= stages; k++ {
+		b.Array(seiArr(k), 2)
+	}
+	for k := 1; k <= stages; k++ {
+		src, dst := grids[k-1], grids[k]
+		name := fmt.Sprintf("G%d", k)
+		b.Stmt(name, aff.NewDomain(name,
+			aff.ConstBound(0, 1, n-1),
+			aff.LoopBound{Lo: aff.Const(1, 1), Hi: aff.Const(1, n-1)},
+		)).
+			Writes(seiArr(k), aff.Var(2, 0), aff.Var(2, 1)).
+			Reads(seiArr(k), aff.Linear(-1, 1, 0), aff.Var(2, 1)). // updated above
+			Reads(seiArr(k), aff.Var(2, 0), aff.Linear(-1, 0, 1)). // updated left
+			Reads(seiArr(k-1), aff.Var(2, 0), aff.Var(2, 1)).
+			Body(func(iv isl.Vec) {
+				i, j := iv[0], iv[1]
+				dst.Set(i, j, (dst.At(i-1, j)+dst.At(i, j-1)+src.At(i, j))/3)
+			})
+	}
+	sc := b.MustBuild()
+	reset := func() {
+		for k, g := range grids {
+			g.SeedDeterministic(uint64(50 + k))
+		}
+	}
+	reset()
+	return &Program{
+		Name: sc.Name, SCoP: sc, Reset: reset,
+		Hash: func() uint64 { return grids[stages].Hash() },
+	}
+}
+
+func seiArr(k int) string { return fmt.Sprintf("S%d", k) }
+
+// TriangularChain builds two nests over triangular iteration domains
+// (inner bound depends on the outer variable): the first fills the
+// lower triangle of A row by row with a serial recurrence, the second
+// consumes A's triangle into B. Exercises non-rectangular domains
+// through detection, scheduling, and code generation.
+func TriangularChain(n int) *Program {
+	if n < 3 {
+		panic("kernels: TriangularChain requires n >= 3")
+	}
+	a := NewGrid(n)
+	bg := NewGrid(n)
+
+	b := scop.NewBuilder("triangular")
+	b.Array("A", 2).Array("B", 2)
+	b.Stmt("S", aff.NewDomain("S",
+		aff.ConstBound(0, 0, n),
+		aff.LoopBound{Lo: aff.Const(1, 0), Hi: aff.Linear(1, 1)}, // j <= i
+	)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Linear(-1, 1, 0), aff.Var(2, 1)). // previous row
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			up := 0.0
+			if i > 0 && j < i {
+				up = a.At(i-1, j)
+			}
+			a.Set(i, j, 0.5*a.At(i, j)+0.5*up+1)
+		})
+	b.Stmt("T", aff.NewDomain("T",
+		aff.ConstBound(0, 0, n),
+		aff.LoopBound{Lo: aff.Const(1, 0), Hi: aff.Linear(1, 1)},
+	)).
+		Writes("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("B", aff.Var(2, 0), aff.Linear(-1, 0, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			left := 0.0
+			if j > 0 {
+				left = bg.At(i, j-1)
+			}
+			bg.Set(i, j, a.At(i, j)+0.5*left)
+		})
+	sc := b.MustBuild()
+	reset := func() {
+		a.SeedDeterministic(60)
+		bg.SeedDeterministic(61)
+	}
+	reset()
+	return &Program{
+		Name: "triangular", SCoP: sc, Reset: reset,
+		Hash: func() uint64 { return a.Hash() ^ splitmix(bg.Hash()) },
+	}
+}

@@ -1,0 +1,101 @@
+// Package kernels provides the workloads of the paper's evaluation:
+// the motivating Listing 1 and Listing 3 stencil programs, the ten
+// GMP-style compute-intensive programs P1–P10 of Table 9, and the
+// matrix-multiplication chains (nmm, nmmt, ngmm, ngmmt) of Figure 11.
+// Each workload is a scop.SCoP with executable statement bodies plus
+// state management (reset, hashing) so that different executors can be
+// compared for both correctness and speed.
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/scop"
+)
+
+// Grid is a dense row-major N×N matrix of float64 used by the stencil
+// and matrix workloads.
+type Grid struct {
+	N     int
+	Cells []float64
+}
+
+// NewGrid allocates an N×N grid of zeros.
+func NewGrid(n int) *Grid {
+	return &Grid{N: n, Cells: make([]float64, n*n)}
+}
+
+// At returns the value at row i, column j.
+func (g *Grid) At(i, j int) float64 { return g.Cells[i*g.N+j] }
+
+// Set stores v at row i, column j.
+func (g *Grid) Set(i, j int, v float64) { g.Cells[i*g.N+j] = v }
+
+// Row returns the slice aliasing row i.
+func (g *Grid) Row(i int) []float64 { return g.Cells[i*g.N : (i+1)*g.N] }
+
+// SeedDeterministic fills the grid with a reproducible pattern derived
+// from the cell coordinates and a stream seed.
+func (g *Grid) SeedDeterministic(seed uint64) {
+	for i := 0; i < g.N; i++ {
+		for j := 0; j < g.N; j++ {
+			h := splitmix(seed ^ uint64(i)<<32 ^ uint64(j))
+			// Map to a smallish stable float in [0, 8).
+			g.Set(i, j, float64(h%8192)/1024.0)
+		}
+	}
+}
+
+// splitmix is SplitMix64, a tiny high-quality mixer for deterministic
+// seeding without importing math/rand.
+func splitmix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash returns an order-sensitive FNV-style digest of the grid
+// contents, suitable for comparing executor results exactly.
+func (g *Grid) Hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range g.Cells {
+		h ^= math.Float64bits(v)
+		h *= prime
+	}
+	return h
+}
+
+// Equal reports whether two grids hold bit-identical contents.
+func (g *Grid) Equal(o *Grid) bool {
+	if g.N != o.N {
+		return false
+	}
+	for i, v := range g.Cells {
+		if math.Float64bits(v) != math.Float64bits(o.Cells[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (g *Grid) Clone() *Grid {
+	c := NewGrid(g.N)
+	copy(c.Cells, g.Cells)
+	return c
+}
+
+// Program couples a SCoP with its mutable state so executors can be
+// compared: Reset re-seeds the state, Hash digests every output array.
+type Program struct {
+	Name  string
+	SCoP  *scop.SCoP
+	Reset func()
+	Hash  func() uint64
+}
+
+// String identifies the program.
+func (p *Program) String() string { return fmt.Sprintf("kernels.Program(%s)", p.Name) }

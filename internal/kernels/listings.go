@@ -1,0 +1,141 @@
+package kernels
+
+import (
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+	"repro/internal/scop"
+)
+
+// Listing1 builds the paper's motivating two-nest program (Listing 1)
+// with executable float64 bodies:
+//
+//	for(i=0;i<N-1;i++) for(j=0;j<N-1;j++)
+//	  S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+//	for(i=0;i<N/2-1;i++) for(j=0;j<N/2-1;j++)
+//	  R: B[i][j] = g(A[i][2j], B[i][j+1], B[i+1][j+1], B[i][j]);
+//
+// Polly finds no parallel loop in either nest (both carry anti
+// dependences), but iterations of R can be pipelined with iterations
+// of S.
+func Listing1(n int) *Program {
+	if n < 4 {
+		panic("kernels: Listing1 requires n >= 4")
+	}
+	a := NewGrid(n)
+	bGrid := NewGrid(n)
+
+	b := scop.NewBuilder("listing1")
+	b.Array("A", 2).Array("B", 2)
+	b.Stmt("S", aff.RectDomain("S", n-1, n-1)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+		Reads("A", aff.Linear(1, 1, 0), aff.Linear(1, 0, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			a.Set(i, j, stencilF(a.At(i, j), a.At(i, j+1), a.At(i+1, j+1)))
+		})
+	b.Stmt("R", aff.RectDomain("R", n/2-1, n/2-1)).
+		Writes("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Linear(0, 0, 2)).
+		Reads("B", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+		Reads("B", aff.Linear(1, 1, 0), aff.Linear(1, 0, 1)).
+		Reads("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			bGrid.Set(i, j, stencilG(a.At(i, 2*j), bGrid.At(i, j+1), bGrid.At(i+1, j+1), bGrid.At(i, j)))
+		})
+	sc := b.MustBuild()
+
+	reset := func() {
+		a.SeedDeterministic(1)
+		bGrid.SeedDeterministic(2)
+	}
+	reset()
+	return &Program{
+		Name:  "listing1",
+		SCoP:  sc,
+		Reset: reset,
+		Hash:  func() uint64 { return a.Hash() ^ splitmix(bGrid.Hash()) },
+	}
+}
+
+// Listing3 builds the three-nest extension (Listing 3 / Figure 3),
+// which adds
+//
+//	for(i=0;i<N/2-1;i++) for(j=0;j<N/2-1;j++)
+//	  U: C[i][j] = h(A[2i][2j], B[i][j], C[i][j+1], C[i+1][j+1], C[i][j]);
+//
+// so that S feeds both R and U, and R feeds U.
+func Listing3(n int) *Program {
+	if n < 4 {
+		panic("kernels: Listing3 requires n >= 4")
+	}
+	a := NewGrid(n)
+	bGrid := NewGrid(n)
+	c := NewGrid(n)
+
+	b := scop.NewBuilder("listing3")
+	b.Array("A", 2).Array("B", 2).Array("C", 2)
+	b.Stmt("S", aff.RectDomain("S", n-1, n-1)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+		Reads("A", aff.Linear(1, 1, 0), aff.Linear(1, 0, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			a.Set(i, j, stencilF(a.At(i, j), a.At(i, j+1), a.At(i+1, j+1)))
+		})
+	b.Stmt("R", aff.RectDomain("R", n/2-1, n/2-1)).
+		Writes("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Linear(0, 0, 2)).
+		Reads("B", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+		Reads("B", aff.Linear(1, 1, 0), aff.Linear(1, 0, 1)).
+		Reads("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			bGrid.Set(i, j, stencilG(a.At(i, 2*j), bGrid.At(i, j+1), bGrid.At(i+1, j+1), bGrid.At(i, j)))
+		})
+	b.Stmt("U", aff.RectDomain("U", n/2-1, n/2-1)).
+		Writes("C", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Linear(0, 2, 0), aff.Linear(0, 0, 2)).
+		Reads("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("C", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+		Reads("C", aff.Linear(1, 1, 0), aff.Linear(1, 0, 1)).
+		Reads("C", aff.Var(2, 0), aff.Var(2, 1)).
+		Body(func(iv isl.Vec) {
+			i, j := iv[0], iv[1]
+			c.Set(i, j, stencilH(a.At(2*i, 2*j), bGrid.At(i, j), c.At(i, j+1), c.At(i+1, j+1), c.At(i, j)))
+		})
+	sc := b.MustBuild()
+
+	reset := func() {
+		a.SeedDeterministic(1)
+		bGrid.SeedDeterministic(2)
+		c.SeedDeterministic(3)
+	}
+	reset()
+	return &Program{
+		Name:  "listing3",
+		SCoP:  sc,
+		Reset: reset,
+		Hash: func() uint64 {
+			return a.Hash() ^ splitmix(bGrid.Hash()) ^ splitmix(splitmix(c.Hash()))
+		},
+	}
+}
+
+// stencilF is the compute body f of statement S.
+func stencilF(x, y, z float64) float64 {
+	return 0.25*x + 0.35*y + 0.40*z + 1.0
+}
+
+// stencilG is the compute body g of statement R.
+func stencilG(x, y, z, w float64) float64 {
+	return 0.25*(x+y+z+w) - 2.0
+}
+
+// stencilH is the compute body h of statement U.
+func stencilH(x, y, z, w, v float64) float64 {
+	return 0.2*(x+y+z+w+v) + 0.5
+}

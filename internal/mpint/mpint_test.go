@@ -1,0 +1,114 @@
+package mpint
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextPrimeSmall(t *testing.T) {
+	cases := map[int64]int64{
+		0: 2, 1: 2, 2: 3, 3: 5, 4: 5, 5: 7, 6: 7,
+		7: 11, 8: 11, 9: 11, 10: 11, 11: 13,
+		13: 17, 20: 23, 89: 97, 96: 97, 97: 101,
+		-5: 2,
+	}
+	for in, want := range cases {
+		got := NextPrime(new(big.Int), big.NewInt(in))
+		if got.Int64() != want {
+			t.Errorf("NextPrime(%d) = %d, want %d", in, got.Int64(), want)
+		}
+	}
+}
+
+func TestNextPrimeAliasing(t *testing.T) {
+	z := big.NewInt(100)
+	NextPrime(z, z)
+	if z.Int64() != 101 {
+		t.Fatalf("aliased NextPrime = %d", z.Int64())
+	}
+}
+
+func TestQuickNextPrimeProperties(t *testing.T) {
+	f := func(raw uint32) bool {
+		z := big.NewInt(int64(raw % (1 << 22)))
+		p := NextPrime(new(big.Int), z)
+		// Strictly greater, prime, and no prime in between.
+		if p.Cmp(z) <= 0 || !p.ProbablyPrime(20) {
+			return false
+		}
+		for q := new(big.Int).Add(z, big.NewInt(1)); q.Cmp(p) < 0; q.Add(q, big.NewInt(1)) {
+			if q.ProbablyPrime(20) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataDeterminism(t *testing.T) {
+	a := NewData(8, 42)
+	b := NewData(8, 42)
+	if a.Hash() != b.Hash() {
+		t.Fatal("same seed, different data")
+	}
+	c := NewData(8, 43)
+	if a.Hash() == c.Hash() {
+		t.Fatal("different seeds, same hash")
+	}
+}
+
+func TestDataCloneIndependence(t *testing.T) {
+	a := NewData(4, 1)
+	b := a.Clone()
+	b.Words[0].SetInt64(-1)
+	if a.Words[0].Sign() < 0 {
+		t.Fatal("clone aliases original")
+	}
+	if a.Size() != 4 {
+		t.Fatalf("size = %d", a.Size())
+	}
+}
+
+func TestWorkDeterministicAndCostScales(t *testing.T) {
+	dst1 := NewData(4, 7)
+	dst2 := dst1.Clone()
+	in := NewData(4, 9)
+	Work(dst1, []*Data{in}, 2)
+	Work(dst2, []*Data{in}, 2)
+	if dst1.Hash() != dst2.Hash() {
+		t.Fatal("Work not deterministic")
+	}
+	// All outputs are prime after num >= 1.
+	for _, w := range dst1.Words {
+		if !w.ProbablyPrime(20) {
+			t.Fatalf("non-prime output %v", w)
+		}
+	}
+	// num = 0 just sums.
+	dst3 := NewData(4, 7)
+	Work(dst3, []*Data{in}, 0)
+	for k, w := range dst3.Words {
+		want := new(big.Int).Add(NewData(4, 7).Words[k], in.Words[k])
+		if w.Cmp(want) != 0 {
+			t.Fatalf("word %d = %v, want %v", k, w, want)
+		}
+	}
+}
+
+func TestMatrixReseedRestores(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Reseed(5)
+	h := m.Hash()
+	Work(m.At(1, 2), []*Data{m.At(0, 0)}, 1)
+	if m.Hash() == h {
+		t.Fatal("Work did not change the matrix")
+	}
+	m.Reseed(5)
+	if m.Hash() != h {
+		t.Fatal("Reseed did not restore contents")
+	}
+}

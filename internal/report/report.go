@@ -1,0 +1,104 @@
+// Package report renders the evaluation outputs as aligned text: plain
+// tables, the Figure 10 speed-up heat-map grid, and the Figure 11
+// per-kernel series.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a simple aligned text table.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// Add appends one row; missing cells render empty.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	width := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Header)
+	sep := make([]string, cols)
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// Heatmap renders a labelled grid of values, one row per rowLabel, in
+// the style of Figure 10 (speed-up per program and configuration).
+func Heatmap(corner string, rowLabels, colLabels []string, vals [][]float64) string {
+	t := NewTable(append([]string{corner}, colLabels...)...)
+	for i, rl := range rowLabels {
+		row := []string{rl}
+		for j := range colLabels {
+			v := math.NaN()
+			if i < len(vals) && j < len(vals[i]) {
+				v = vals[i][j]
+			}
+			row = append(row, FormatSpeedup(v))
+		}
+		t.Add(row...)
+	}
+	return t.String()
+}
+
+// FormatSpeedup renders a speed-up factor like the paper's figures
+// ("2.75", "-" when absent).
+func FormatSpeedup(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f", v)
+}
+
+// Log2 returns log2 of a positive speed-up, the Figure 11 y-axis.
+func Log2(v float64) float64 {
+	return math.Log2(v)
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.Add("alpha", "1")
+	tb.Add("b", "22222")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// All lines equal width.
+	for _, l := range lines[1:] {
+		if len(l) != len(lines[0]) && len(strings.TrimRight(l, " ")) > len(lines[0]) {
+			t.Errorf("misaligned line %q", l)
+		}
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[1], "----") {
+		t.Errorf("header/separator wrong:\n%s", out)
+	}
+}
+
+func TestTableShortRow(t *testing.T) {
+	tb := NewTable("a", "b", "c")
+	tb.Add("x")
+	if out := tb.String(); !strings.Contains(out, "x") {
+		t.Fatalf("short row dropped:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	out := Heatmap("prog", []string{"P1", "P2"}, []string{"N=8", "N=16"},
+		[][]float64{{1.5, 2.25}, {1.0}})
+	if !strings.Contains(out, "P1") || !strings.Contains(out, "1.50") || !strings.Contains(out, "2.25") {
+		t.Fatalf("heatmap missing values:\n%s", out)
+	}
+	// Missing cell renders as "-".
+	if !strings.Contains(out, "-") {
+		t.Fatalf("missing cell not rendered:\n%s", out)
+	}
+}
+
+func TestFormatSpeedup(t *testing.T) {
+	if FormatSpeedup(3.14159) != "3.14" {
+		t.Fatal("format wrong")
+	}
+	if FormatSpeedup(math.NaN()) != "-" {
+		t.Fatal("NaN format wrong")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	if Log2(8) != 3 {
+		t.Fatal("Log2 wrong")
+	}
+}

@@ -1,0 +1,345 @@
+// Package schedtree implements the schedule-tree representation used
+// by the transformation phase (§5.2): domain, band, sequence, mark,
+// and expansion nodes, mirroring the ISL schedule-tree node types the
+// paper manipulates, plus Algorithm 2, which rebuilds each statement's
+// schedule so that loops iterating over pipeline blocks are separated
+// from loops iterating inside blocks, with a mark node carrying the
+// block dependency information.
+package schedtree
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/isl"
+	"repro/internal/scop"
+)
+
+// Node is one schedule-tree node.
+type Node interface {
+	// Kind returns the node-type name ("domain", "band", ...).
+	Kind() string
+	// children returns the ordered children.
+	children() []Node
+}
+
+// DomainNode introduces the set of points scheduled by its subtree.
+type DomainNode struct {
+	Set   *isl.Set
+	Child Node
+}
+
+// BandNode schedules its domain by a partial schedule; this
+// implementation uses identity partial schedules (lexicographic order
+// over the active domain), which is all Algorithm 2 requires.
+type BandNode struct {
+	// Schedule is the partial schedule as a map from the active
+	// domain to itself (identity over the band's points).
+	Schedule *isl.Map
+	Child    Node
+}
+
+// SequenceNode runs its children one after another.
+type SequenceNode struct {
+	Children []Node
+}
+
+// MarkNode attaches an annotation to its subtree. Algorithm 2 places a
+// mark carrying the task dependency information (the pw_multi_aff
+// structures of §5.2) immediately above the intra-block band, so code
+// generation can locate the pipeline loop.
+type MarkNode struct {
+	Name  string
+	Task  *TaskAnnotation
+	Child Node
+}
+
+// ExpansionNode expands each scheduled point of the outer tree into
+// the set of points contracting to it: Contraction maps inner (full
+// iteration) points to outer (block leader) points, exactly the E_S
+// map of the detection phase.
+type ExpansionNode struct {
+	Contraction *isl.Map
+	Child       Node
+}
+
+// LeafNode terminates a branch.
+type LeafNode struct{}
+
+func (n *DomainNode) Kind() string    { return "domain" }
+func (n *BandNode) Kind() string      { return "band" }
+func (n *SequenceNode) Kind() string  { return "sequence" }
+func (n *MarkNode) Kind() string      { return "mark" }
+func (n *ExpansionNode) Kind() string { return "expansion" }
+func (n *LeafNode) Kind() string      { return "leaf" }
+
+func (n *DomainNode) children() []Node    { return []Node{n.Child} }
+func (n *BandNode) children() []Node      { return []Node{n.Child} }
+func (n *SequenceNode) children() []Node  { return n.Children }
+func (n *MarkNode) children() []Node      { return []Node{n.Child} }
+func (n *ExpansionNode) children() []Node { return []Node{n.Child} }
+func (n *LeafNode) children() []Node      { return nil }
+
+// TaskAnnotation is the payload of the pipeline mark node: everything
+// code generation needs to create one task per pipeline-loop iteration
+// (§5.2's mark built from the Q_S pw_multi_aff_list and the Q'_S
+// pw_multi_aff).
+type TaskAnnotation struct {
+	Stmt   *scop.Statement
+	E      *isl.Map     // contraction / blocking map of the statement
+	InDeps []core.InDep // Q_S: block leader -> required source block leader
+	Out    *isl.Map     // Q'_S: identity on Range(E)
+}
+
+// MarkName is the name of the mark node Algorithm 2 inserts.
+const MarkName = "pipeline_task"
+
+// Build implements Algorithm 2: for every statement S it creates
+//
+//	domain(Range(E_S)) → band(identity) → expansion(E_S) →
+//	  domain(Domain(E_S)) → mark(task info) → band(identity) → leaf
+//
+// and sequences the per-statement trees in program order.
+func Build(info *core.Info) *SequenceNode {
+	seq := &SequenceNode{}
+	for _, si := range info.Stmts {
+		re := si.E.Range()
+		de := si.E.Domain()
+
+		inner := &DomainNode{
+			Set: de,
+			Child: &MarkNode{
+				Name: MarkName,
+				Task: &TaskAnnotation{
+					Stmt:   si.Stmt,
+					E:      si.E,
+					InDeps: si.InDeps,
+					Out:    isl.Identity(re),
+				},
+				Child: &BandNode{
+					Schedule: isl.Identity(de),
+					Child:    &LeafNode{},
+				},
+			},
+		}
+		outer := &DomainNode{
+			Set: re,
+			Child: &BandNode{
+				Schedule: isl.Identity(re),
+				Child: &ExpansionNode{
+					Contraction: si.E,
+					Child:       inner,
+				},
+			},
+		}
+		seq.Children = append(seq.Children, outer)
+	}
+	return seq
+}
+
+// TaskInstance is one scheduled task: a block of one statement with
+// its members in execution order.
+type TaskInstance struct {
+	Task    *TaskAnnotation
+	Leader  isl.Vec
+	Members []isl.Vec
+}
+
+// Flatten evaluates the schedule tree into the totally ordered list of
+// task instances it denotes. Band nodes order points lexicographically
+// (identity partial schedules); expansion nodes replace each block
+// leader with its member iterations; the mark node identifies the task
+// boundary.
+func Flatten(root Node) []TaskInstance {
+	var out []TaskInstance
+	flatten(root, nil, &out)
+	return out
+}
+
+// flatten walks the tree. active is the current point filter: when
+// inside an expansion, it restricts the inner domain to one block.
+func flatten(n Node, active *isl.Set, out *[]TaskInstance) {
+	switch node := n.(type) {
+	case *SequenceNode:
+		for _, c := range node.Children {
+			flatten(c, active, out)
+		}
+	case *DomainNode:
+		set := node.Set
+		if active != nil {
+			set = set.Intersect(active)
+		}
+		flatten(node.Child, set, out)
+	case *BandNode:
+		// Identity band: points already ordered lexicographically by
+		// Set.Elements; expansion below decides per-point behaviour.
+		flatten(node.Child, active, out)
+	case *ExpansionNode:
+		if active == nil {
+			panic("schedtree: expansion node with no active domain")
+		}
+		inv := node.Contraction.Inverse()
+		for _, leader := range active.Elements() {
+			members := isl.NewSet(node.Contraction.InSpace())
+			for _, m := range inv.Lookup(leader) {
+				members.Add(m)
+			}
+			flatten(node.Child, members, out)
+		}
+	case *MarkNode:
+		if node.Task != nil {
+			if active == nil || active.IsEmpty() {
+				return
+			}
+			leader, _ := active.Lexmax()
+			*out = append(*out, TaskInstance{
+				Task:    node.Task,
+				Leader:  leader,
+				Members: active.Elements(),
+			})
+			return // the band below is subsumed by Members ordering
+		}
+		flatten(node.Child, active, out)
+	case *LeafNode:
+	default:
+		panic(fmt.Sprintf("schedtree: unknown node %T", n))
+	}
+}
+
+// Walk visits every node of the tree depth-first, parents before
+// children, stopping early when fn returns false.
+func Walk(root Node, fn func(Node) bool) {
+	if root == nil || !fn(root) {
+		return
+	}
+	for _, c := range root.children() {
+		Walk(c, fn)
+	}
+}
+
+// Count returns the number of nodes of each kind in the tree.
+func Count(root Node) map[string]int {
+	counts := map[string]int{}
+	Walk(root, func(n Node) bool {
+		counts[n.Kind()]++
+		return true
+	})
+	return counts
+}
+
+// Validate checks the structural invariants of a transformed schedule
+// tree: every sequence child is a per-statement subtree of the exact
+// Algorithm 2 shape, the outer domain equals the contraction's range,
+// the inner domain equals its domain, band schedules are identities
+// over their domains, and the mark node carries a complete task
+// annotation whose out-dependency is the identity on the block
+// leaders.
+func Validate(root *SequenceNode) error {
+	for i, child := range root.Children {
+		if err := validateStmtTree(child); err != nil {
+			return fmt.Errorf("schedtree: subtree %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateStmtTree(n Node) error {
+	outerDom, ok := n.(*DomainNode)
+	if !ok {
+		return fmt.Errorf("root is %s, want domain", n.Kind())
+	}
+	outerBand, ok := outerDom.Child.(*BandNode)
+	if !ok {
+		return fmt.Errorf("under outer domain: %s, want band", outerDom.Child.Kind())
+	}
+	if !outerBand.Schedule.Domain().Equal(outerDom.Set) {
+		return fmt.Errorf("outer band schedule domain differs from the domain node")
+	}
+	exp, ok := outerBand.Child.(*ExpansionNode)
+	if !ok {
+		return fmt.Errorf("under outer band: %s, want expansion", outerBand.Child.Kind())
+	}
+	if !exp.Contraction.Range().Equal(outerDom.Set) {
+		return fmt.Errorf("contraction range differs from the outer domain")
+	}
+	innerDom, ok := exp.Child.(*DomainNode)
+	if !ok {
+		return fmt.Errorf("under expansion: %s, want domain", exp.Child.Kind())
+	}
+	if !exp.Contraction.Domain().Equal(innerDom.Set) {
+		return fmt.Errorf("contraction domain differs from the inner domain")
+	}
+	mark, ok := innerDom.Child.(*MarkNode)
+	if !ok || mark.Name != MarkName {
+		return fmt.Errorf("under inner domain: no %q mark", MarkName)
+	}
+	if mark.Task == nil || mark.Task.Stmt == nil {
+		return fmt.Errorf("mark has no task annotation")
+	}
+	if !mark.Task.E.Equal(exp.Contraction) {
+		return fmt.Errorf("annotation blocking map differs from the contraction")
+	}
+	if !mark.Task.Out.Equal(isl.Identity(exp.Contraction.Range())) {
+		return fmt.Errorf("out-dependency is not the identity on the block leaders")
+	}
+	innerBand, ok := mark.Child.(*BandNode)
+	if !ok {
+		return fmt.Errorf("under mark: %s, want band", mark.Child.Kind())
+	}
+	if !innerBand.Schedule.Domain().Equal(innerDom.Set) {
+		return fmt.Errorf("inner band schedule domain differs from the statement domain")
+	}
+	if _, ok := innerBand.Child.(*LeafNode); !ok {
+		return fmt.Errorf("under inner band: %s, want leaf", innerBand.Child.Kind())
+	}
+	return nil
+}
+
+// String renders the tree in an indented ISL-like textual form with
+// large sets summarized by cardinality.
+func String(root Node) string {
+	var b strings.Builder
+	print(&b, root, 0)
+	return b.String()
+}
+
+func print(b *strings.Builder, n Node, depth int) {
+	indent := strings.Repeat("  ", depth)
+	switch node := n.(type) {
+	case *SequenceNode:
+		fmt.Fprintf(b, "%ssequence:\n", indent)
+		for _, c := range node.Children {
+			print(b, c, depth+1)
+		}
+	case *DomainNode:
+		fmt.Fprintf(b, "%sdomain: %s\n", indent, summarizeSet(node.Set))
+		print(b, node.Child, depth+1)
+	case *BandNode:
+		fmt.Fprintf(b, "%sband: identity over %s\n", indent, summarizeSet(node.Schedule.Domain()))
+		print(b, node.Child, depth+1)
+	case *ExpansionNode:
+		fmt.Fprintf(b, "%sexpansion: contraction %s -> %s\n", indent,
+			node.Contraction.InSpace(), node.Contraction.OutSpace())
+		print(b, node.Child, depth+1)
+	case *MarkNode:
+		deps := make([]string, 0, len(node.Task.InDeps))
+		if node.Task != nil {
+			for _, d := range node.Task.InDeps {
+				deps = append(deps, d.Src.Name)
+			}
+		}
+		fmt.Fprintf(b, "%smark: %q stmt=%s in-deps=[%s]\n", indent,
+			node.Name, node.Task.Stmt.Name, strings.Join(deps, ", "))
+		print(b, node.Child, depth+1)
+	case *LeafNode:
+		fmt.Fprintf(b, "%sleaf\n", indent)
+	}
+}
+
+func summarizeSet(s *isl.Set) string {
+	if s.Card() <= 8 {
+		return s.String()
+	}
+	return fmt.Sprintf("{ %s : %d points }", s.Space(), s.Card())
+}

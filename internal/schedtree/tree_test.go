@@ -1,0 +1,276 @@
+package schedtree
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/isl"
+	"repro/internal/kernels"
+)
+
+func detect(t *testing.T, n int) *core.Info {
+	t.Helper()
+	info, err := core.Detect(kernels.Listing3(n).SCoP, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+func TestBuildShape(t *testing.T) {
+	info := detect(t, 12)
+	tree := Build(info)
+	if len(tree.Children) != 3 {
+		t.Fatalf("sequence children = %d, want 3", len(tree.Children))
+	}
+	// Each per-statement subtree: domain -> band -> expansion ->
+	// domain -> mark -> band -> leaf.
+	for i, c := range tree.Children {
+		dom, ok := c.(*DomainNode)
+		if !ok {
+			t.Fatalf("child %d: %s, want domain", i, c.Kind())
+		}
+		band, ok := dom.Child.(*BandNode)
+		if !ok {
+			t.Fatalf("child %d: %s under domain, want band", i, dom.Child.Kind())
+		}
+		exp, ok := band.Child.(*ExpansionNode)
+		if !ok {
+			t.Fatalf("child %d: %s under band, want expansion", i, band.Child.Kind())
+		}
+		innerDom, ok := exp.Child.(*DomainNode)
+		if !ok {
+			t.Fatalf("child %d: %s under expansion, want domain", i, exp.Child.Kind())
+		}
+		mark, ok := innerDom.Child.(*MarkNode)
+		if !ok {
+			t.Fatalf("child %d: %s under inner domain, want mark", i, innerDom.Child.Kind())
+		}
+		if mark.Name != MarkName || mark.Task == nil {
+			t.Fatalf("child %d: mark = %q task=%v", i, mark.Name, mark.Task)
+		}
+		innerBand, ok := mark.Child.(*BandNode)
+		if !ok {
+			t.Fatalf("child %d: %s under mark, want band", i, mark.Child.Kind())
+		}
+		if _, ok := innerBand.Child.(*LeafNode); !ok {
+			t.Fatalf("child %d: %s under inner band, want leaf", i, innerBand.Child.Kind())
+		}
+		// The outer domain is the leaders, the inner the full domain.
+		st := info.Stmts[i]
+		if !dom.Set.Equal(st.E.Range()) {
+			t.Errorf("child %d: outer domain is not Range(E)", i)
+		}
+		if !innerDom.Set.Equal(st.Stmt.Domain) {
+			t.Errorf("child %d: inner domain is not the statement domain", i)
+		}
+		if !exp.Contraction.Equal(st.E) {
+			t.Errorf("child %d: contraction differs from E", i)
+		}
+		if !mark.Task.Out.Equal(isl.Identity(st.E.Range())) {
+			t.Errorf("child %d: out-dependency is not identity on Range(E)", i)
+		}
+	}
+}
+
+func TestFlattenMatchesDetectedBlocks(t *testing.T) {
+	info := detect(t, 16)
+	tasks := Flatten(Build(info))
+
+	want := 0
+	for _, si := range info.Stmts {
+		want += len(si.Blocks)
+	}
+	if len(tasks) != want {
+		t.Fatalf("tasks = %d, want %d", len(tasks), want)
+	}
+
+	// Tasks appear statement by statement (sequence order), blocks in
+	// leader order, members in lexicographic order, and agree exactly
+	// with the detection-phase blocks.
+	idx := 0
+	for _, si := range info.Stmts {
+		for _, blk := range si.Blocks {
+			task := tasks[idx]
+			idx++
+			if task.Task.Stmt != si.Stmt {
+				t.Fatalf("task %d: stmt %s, want %s", idx-1, task.Task.Stmt.Name, si.Stmt.Name)
+			}
+			if !task.Leader.Eq(blk.Leader) {
+				t.Fatalf("task %d: leader %v, want %v", idx-1, task.Leader, blk.Leader)
+			}
+			if len(task.Members) != len(blk.Members) {
+				t.Fatalf("task %d: members %d, want %d", idx-1, len(task.Members), len(blk.Members))
+			}
+			for k := range blk.Members {
+				if !task.Members[k].Eq(blk.Members[k]) {
+					t.Fatalf("task %d member %d: %v, want %v", idx-1, k, task.Members[k], blk.Members[k])
+				}
+			}
+		}
+	}
+}
+
+func TestFlattenCoversEveryIteration(t *testing.T) {
+	info := detect(t, 12)
+	tasks := Flatten(Build(info))
+	seen := make(map[string]map[string]bool)
+	for _, task := range tasks {
+		name := task.Task.Stmt.Name
+		if seen[name] == nil {
+			seen[name] = make(map[string]bool)
+		}
+		for _, m := range task.Members {
+			k := m.String()
+			if seen[name][k] {
+				t.Fatalf("iteration %s%v scheduled twice", name, m)
+			}
+			seen[name][k] = true
+		}
+	}
+	for _, si := range info.Stmts {
+		if got := len(seen[si.Stmt.Name]); got != si.Stmt.Domain.Card() {
+			t.Errorf("%s: %d iterations scheduled, want %d", si.Stmt.Name, got, si.Stmt.Domain.Card())
+		}
+	}
+}
+
+func TestWalkAndCount(t *testing.T) {
+	info := detect(t, 12)
+	tree := Build(info)
+	counts := Count(tree)
+	want := map[string]int{
+		"sequence":  1,
+		"domain":    6, // outer + inner per statement
+		"band":      6,
+		"expansion": 3,
+		"mark":      3,
+		"leaf":      3,
+	}
+	for kind, n := range want {
+		if counts[kind] != n {
+			t.Errorf("%s nodes = %d, want %d (all: %v)", kind, counts[kind], n, counts)
+		}
+	}
+	// Early stop: visiting stops after the first node.
+	visited := 0
+	Walk(tree, func(Node) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Fatalf("early-stop visited %d nodes", visited)
+	}
+	Walk(nil, func(Node) bool { t.Fatal("visited nil"); return true })
+}
+
+func TestValidateRejectsMoreMutations(t *testing.T) {
+	mutate := func(t *testing.T, f func(*SequenceNode)) {
+		t.Helper()
+		tree := Build(detect(t, 12))
+		f(tree)
+		if err := Validate(tree); err == nil {
+			t.Error("mutated tree accepted")
+		}
+	}
+	// Outer band schedule over the wrong set.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		band := outer.Child.(*BandNode)
+		other := detect(t, 16)
+		band.Schedule = isl.Identity(other.Stmts[0].E.Range())
+	})
+	// Expansion replaced by a leaf.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		outer.Child.(*BandNode).Child = &LeafNode{}
+	})
+	// Mark with a nil task.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		exp := outer.Child.(*BandNode).Child.(*ExpansionNode)
+		exp.Child.(*DomainNode).Child.(*MarkNode).Task = nil
+	})
+	// Wrong out-dependency on the annotation.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		exp := outer.Child.(*BandNode).Child.(*ExpansionNode)
+		mark := exp.Child.(*DomainNode).Child.(*MarkNode)
+		mark.Task.Out = isl.Identity(mark.Task.Stmt.Domain)
+	})
+	// Inner band missing.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		exp := outer.Child.(*BandNode).Child.(*ExpansionNode)
+		exp.Child.(*DomainNode).Child.(*MarkNode).Child = &LeafNode{}
+	})
+	// Domain under outer domain instead of band.
+	mutate(t, func(tree *SequenceNode) {
+		outer := tree.Children[0].(*DomainNode)
+		outer.Child = &DomainNode{Set: outer.Set, Child: &LeafNode{}}
+	})
+}
+
+func TestValidateAcceptsBuiltTrees(t *testing.T) {
+	for _, n := range []int{8, 12, 20} {
+		info := detect(t, n)
+		if err := Validate(Build(info)); err != nil {
+			t.Errorf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenTrees(t *testing.T) {
+	info := detect(t, 12)
+
+	// Missing mark.
+	tree := Build(info)
+	outer := tree.Children[0].(*DomainNode)
+	exp := outer.Child.(*BandNode).Child.(*ExpansionNode)
+	inner := exp.Child.(*DomainNode)
+	savedMark := inner.Child
+	inner.Child = &LeafNode{}
+	if err := Validate(tree); err == nil {
+		t.Error("missing mark accepted")
+	}
+	inner.Child = savedMark
+
+	// Wrong contraction.
+	saved := exp.Contraction
+	other := detect(t, 16)
+	exp.Contraction = other.Stmts[0].E
+	if err := Validate(tree); err == nil {
+		t.Error("foreign contraction accepted")
+	}
+	exp.Contraction = saved
+
+	// Non-domain root of a subtree.
+	bad := &SequenceNode{Children: []Node{&LeafNode{}}}
+	if err := Validate(bad); err == nil {
+		t.Error("leaf subtree accepted")
+	}
+	if err := Validate(tree); err != nil {
+		t.Errorf("restored tree rejected: %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	info := detect(t, 12)
+	out := String(Build(info))
+	for _, want := range []string{"sequence:", "expansion:", "mark: \"pipeline_task\"", "stmt=U", "in-deps=[S, R]", "leaf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFlattenUnknownNodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	type bogus struct{ LeafNode }
+	Flatten(&SequenceNode{Children: []Node{&bogus{}}})
+}

@@ -1,0 +1,164 @@
+package scop
+
+import (
+	"fmt"
+
+	"repro/internal/isl/aff"
+)
+
+// Builder assembles a SCoP incrementally. Typical use:
+//
+//	b := scop.NewBuilder("listing1")
+//	b.Array("A", 2)
+//	b.Stmt("S", aff.RectDomain("S", n, n)).
+//	    Writes("A", aff.Var(2, 0), aff.Var(2, 1)).
+//	    Reads("A", aff.Var(2, 0), aff.Linear(1, 0, 1)).
+//	    Body(func(iv isl.Vec) { ... })
+//	sc, err := b.Build()
+type Builder struct {
+	scop *SCoP
+	err  error
+}
+
+// NewBuilder returns a builder for a SCoP with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{scop: &SCoP{
+		Name:   name,
+		Arrays: make(map[string]*Array),
+	}}
+}
+
+// Array declares an array (memory space) with the given index-space
+// dimensionality.
+func (b *Builder) Array(name string, dim int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if _, dup := b.scop.Arrays[name]; dup {
+		b.err = fmt.Errorf("scop builder: array %q declared twice", name)
+		return b
+	}
+	if dim <= 0 {
+		b.err = fmt.Errorf("scop builder: array %q has non-positive dimension %d", name, dim)
+		return b
+	}
+	b.scop.Arrays[name] = &Array{Name: name, Dim: dim}
+	return b
+}
+
+// StmtBuilder configures one statement of a SCoP under construction.
+type StmtBuilder struct {
+	b    *Builder
+	stmt *Statement
+}
+
+// Stmt starts a new statement with the given name and symbolic domain.
+// The domain is enumerated immediately. Statements are ordered by the
+// sequence of Stmt calls, which must match textual program order.
+func (b *Builder) Stmt(name string, spec *aff.Domain) *StmtBuilder {
+	st := &Statement{
+		Name:  name,
+		Index: len(b.scop.Stmts),
+		Spec:  spec,
+	}
+	if b.err == nil {
+		if spec == nil {
+			b.err = fmt.Errorf("scop builder: statement %q has nil domain", name)
+		} else {
+			if spec.Space.Name != name {
+				b.err = fmt.Errorf("scop builder: statement %q domain is in space %q; name them identically",
+					name, spec.Space.Name)
+			}
+			st.Domain = spec.Enumerate()
+		}
+	}
+	b.scop.Stmts = append(b.scop.Stmts, st)
+	return &StmtBuilder{b: b, stmt: st}
+}
+
+// Writes declares the statement's single write access.
+func (sb *StmtBuilder) Writes(array string, idx ...aff.Expr) *StmtBuilder {
+	if sb.b.err != nil {
+		return sb
+	}
+	if sb.stmt.Write != nil {
+		sb.b.err = fmt.Errorf("scop builder: statement %q declares two writes", sb.stmt.Name)
+		return sb
+	}
+	ref, err := sb.ref(array, idx)
+	if err != nil {
+		sb.b.err = err
+		return sb
+	}
+	sb.stmt.Write = ref
+	return sb
+}
+
+// WritesOverwriting declares the statement's single write access and
+// permits it to be non-injective (over-writes). Pipeline detection on
+// such statements needs the relaxed last-writer extension
+// (core.Options.AllowOverwrites).
+func (sb *StmtBuilder) WritesOverwriting(array string, idx ...aff.Expr) *StmtBuilder {
+	sb.Writes(array, idx...)
+	if sb.b.err == nil && sb.stmt.Write != nil {
+		sb.stmt.Write.MayOverwrite = true
+	}
+	return sb
+}
+
+// Reads declares one read access of the statement. Call it once per
+// distinct read.
+func (sb *StmtBuilder) Reads(array string, idx ...aff.Expr) *StmtBuilder {
+	if sb.b.err != nil {
+		return sb
+	}
+	ref, err := sb.ref(array, idx)
+	if err != nil {
+		sb.b.err = err
+		return sb
+	}
+	sb.stmt.Reads = append(sb.stmt.Reads, *ref)
+	return sb
+}
+
+func (sb *StmtBuilder) ref(array string, idx []aff.Expr) (*AccessRef, error) {
+	for _, e := range idx {
+		if e.NVars != sb.stmt.Depth() {
+			return nil, fmt.Errorf("scop builder: statement %q access to %q has index arity %d, domain depth is %d",
+				sb.stmt.Name, array, e.NVars, sb.stmt.Depth())
+		}
+	}
+	acc := aff.NewAccess(array, idx...)
+	return &AccessRef{Access: acc, Rel: acc.Relation(sb.stmt.Domain)}, nil
+}
+
+// Body attaches the executable body of the statement.
+func (sb *StmtBuilder) Body(fn Body) *StmtBuilder {
+	sb.stmt.Body = fn
+	return sb
+}
+
+// Builder returns the parent builder, for fluent chaining across
+// statements.
+func (sb *StmtBuilder) Builder() *Builder { return sb.b }
+
+// Build validates and returns the SCoP.
+func (b *Builder) Build() (*SCoP, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.scop.Validate(); err != nil {
+		return nil, err
+	}
+	return b.scop, nil
+}
+
+// MustBuild is Build for tests and examples with static inputs; it
+// panics on error.
+func (b *Builder) MustBuild() *SCoP {
+	sc, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return sc
+}

@@ -1,0 +1,169 @@
+// Package scop defines the polyhedral intermediate representation the
+// pipeline detector operates on: a static control part (SCoP) made of
+// consecutive loop nests, each contributing one statement with an
+// iteration domain, affine memory accesses, and an executable body.
+//
+// The representation plays the role of Polly's SCoP extracted from
+// LLVM-IR. It can be constructed programmatically with Builder or
+// parsed from the small C-like DSL in package lang.
+package scop
+
+import (
+	"fmt"
+
+	"repro/internal/isl"
+	"repro/internal/isl/aff"
+)
+
+// Array describes one memory space accessed by the SCoP. Dim is the
+// dimensionality of the index tuples used by access relations; it need
+// not equal the declared dimensionality of the underlying storage (for
+// example, chained matrix products access row-granular memory with
+// 1-dimensional indices).
+type Array struct {
+	Name string
+	Dim  int
+}
+
+// Body executes one dynamic instance of a statement. The iteration
+// vector identifies the instance; the closure captures whatever data
+// the statement touches. Bodies must be safe to call concurrently for
+// *different* iteration vectors as long as the polyhedral dependences
+// are respected.
+type Body func(iter isl.Vec)
+
+// AccessRef is one memory access of a statement: the symbolic affine
+// access plus its enumerated relation from the statement's iteration
+// domain to the array's index space.
+type AccessRef struct {
+	Access aff.Access
+	Rel    *isl.Map
+	// MayOverwrite marks a write access that is allowed to be
+	// non-injective (several iterations writing one cell). The paper's
+	// algorithm assumes injective writes; the relaxed extension (§7)
+	// pipelines against the last writer of each cell instead.
+	MayOverwrite bool
+}
+
+// Array returns the name of the accessed array.
+func (a AccessRef) Array() string { return a.Access.Array }
+
+// Statement is one loop nest's statement: its iteration domain, its
+// single write access (the paper assumes one injective write per
+// statement), its read accesses, and its executable body.
+type Statement struct {
+	Name   string
+	Index  int // position in textual program order
+	Domain *isl.Set
+	Spec   *aff.Domain // symbolic domain; retained for printing/codegen
+	Write  *AccessRef  // nil for pure-read statements
+	Reads  []AccessRef
+	Body   Body // nil for analysis-only SCoPs
+}
+
+// Space returns the statement's iteration space.
+func (s *Statement) Space() isl.Space { return s.Domain.Space() }
+
+// Depth returns the loop-nest depth (domain dimensionality).
+func (s *Statement) Depth() int { return s.Domain.Space().Dim }
+
+// ReadsFrom returns the read relations of s that target the named
+// array.
+func (s *Statement) ReadsFrom(array string) []*isl.Map {
+	var rels []*isl.Map
+	for i := range s.Reads {
+		if s.Reads[i].Array() == array {
+			rels = append(rels, s.Reads[i].Rel)
+		}
+	}
+	return rels
+}
+
+// SCoP is a static control part: an ordered sequence of statements
+// (one per loop nest) over a set of arrays.
+type SCoP struct {
+	Name   string
+	Arrays map[string]*Array
+	Stmts  []*Statement
+}
+
+// Statement returns the statement with the given name, or nil.
+func (sc *SCoP) Statement(name string) *Statement {
+	for _, s := range sc.Stmts {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Validate checks the structural invariants the pipeline algorithms
+// rely on: unique statement names, declared arrays, access relations
+// with matching spaces, and injective writes (the paper's no-overwrite
+// assumption).
+func (sc *SCoP) Validate() error {
+	seen := make(map[string]bool)
+	for i, s := range sc.Stmts {
+		if s.Name == "" {
+			return fmt.Errorf("scop %q: statement %d has no name", sc.Name, i)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("scop %q: duplicate statement name %q", sc.Name, s.Name)
+		}
+		seen[s.Name] = true
+		if s.Index != i {
+			return fmt.Errorf("scop %q: statement %q has index %d, expected %d", sc.Name, s.Name, s.Index, i)
+		}
+		if s.Domain == nil || s.Domain.IsEmpty() {
+			return fmt.Errorf("scop %q: statement %q has an empty iteration domain", sc.Name, s.Name)
+		}
+		accs := make([]*AccessRef, 0, len(s.Reads)+1)
+		if s.Write != nil {
+			accs = append(accs, s.Write)
+		}
+		for j := range s.Reads {
+			accs = append(accs, &s.Reads[j])
+		}
+		for _, a := range accs {
+			arr, ok := sc.Arrays[a.Array()]
+			if !ok {
+				return fmt.Errorf("scop %q: statement %q accesses undeclared array %q", sc.Name, s.Name, a.Array())
+			}
+			if len(a.Access.Exprs) != arr.Dim {
+				return fmt.Errorf("scop %q: statement %q accesses %q with %d indices, array has %d dimensions",
+					sc.Name, s.Name, arr.Name, len(a.Access.Exprs), arr.Dim)
+			}
+			if a.Rel == nil {
+				return fmt.Errorf("scop %q: statement %q has an un-enumerated access to %q", sc.Name, s.Name, arr.Name)
+			}
+			if a.Rel.InSpace() != s.Domain.Space() {
+				return fmt.Errorf("scop %q: statement %q access relation domain space %v != %v",
+					sc.Name, s.Name, a.Rel.InSpace(), s.Domain.Space())
+			}
+		}
+		if s.Write != nil && !s.Write.MayOverwrite && !s.Write.Rel.IsInjective() {
+			return fmt.Errorf("scop %q: statement %q write access to %q is not injective (the transformation requires no over-writes; declare the access with WritesOverwriting to opt into the relaxed extension)",
+				sc.Name, s.Name, s.Write.Array())
+		}
+	}
+	return nil
+}
+
+// TotalIterations returns the number of dynamic statement instances.
+func (sc *SCoP) TotalIterations() int {
+	n := 0
+	for _, s := range sc.Stmts {
+		n += s.Domain.Card()
+	}
+	return n
+}
+
+// HasBodies reports whether every statement carries an executable body.
+func (sc *SCoP) HasBodies() bool {
+	for _, s := range sc.Stmts {
+		if s.Body == nil {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,235 @@
+// Package tasking is the minimal, language-agnostic tasking layer the
+// transformed programs target (§5.4–5.5). It reproduces the semantics
+// of the OpenMP constructs the paper's runtime uses:
+//
+//   - task with depend(out: addr): the task writes dependency address
+//     addr; later tasks reading addr wait for it.
+//   - depend(iterator(...), in: addr...): the task waits until the
+//     last writer of every listed address has completed.
+//   - the funcCount self-dependency (Figure 8): tasks created from the
+//     same loop nest carry the same serialization key and run in
+//     creation order, because blocks of one statement must execute
+//     sequentially.
+//
+// Tasks are created from a single coordinator goroutine, in program
+// order, exactly like the `omp parallel` + `omp single` launch of
+// §5.4; a fixed pool of workers executes ready tasks concurrently.
+package tasking
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// NoSerial disables per-nest serialization for a task.
+const NoSerial = -1
+
+// Task describes one unit of work and its dependency interface, the Go
+// analogue of the CreateTask signature in Figure 7.
+type Task struct {
+	// Fn is the task body.
+	Fn func()
+	// Label identifies the task in traces ("S[3, 8]").
+	Label string
+	// Out is the dependency address this task writes, or a negative
+	// value for none.
+	Out int
+	// In lists the dependency addresses whose last writers must
+	// complete before this task may start.
+	In []int
+	// Serial, when >= 0, serializes this task after the previously
+	// created task with the same Serial key (the funcCount mechanism).
+	Serial int
+}
+
+// Event records a task lifecycle transition for tracing.
+type Event struct {
+	TaskID int
+	Label  string
+	Serial int
+	Worker int  // worker index executing the task
+	Start  bool // true at task start, false at completion
+	When   time.Time
+}
+
+// Runtime executes tasks with dependency tracking over integer
+// addresses. Create all tasks from one goroutine, then Wait.
+type Runtime struct {
+	mu         sync.Mutex
+	cond       *sync.Cond
+	queue      []*node
+	pending    int // created but not finished
+	closed     bool
+	nextID     int
+	lastWriter map[int]*node // dependency address -> last writing task
+	lastSerial map[int]*node // serialization key -> last created task
+	trace      func(Event)
+	workers    sync.WaitGroup
+
+	// stats
+	executed int
+	running  int
+	maxRun   int
+}
+
+// New starts a runtime with the given number of worker goroutines.
+func New(workers int) *Runtime {
+	if workers < 1 {
+		panic(fmt.Sprintf("tasking: workers = %d", workers))
+	}
+	r := &Runtime{
+		lastWriter: make(map[int]*node),
+		lastSerial: make(map[int]*node),
+	}
+	r.cond = sync.NewCond(&r.mu)
+	r.workers.Add(workers)
+	for w := 0; w < workers; w++ {
+		go r.worker(w)
+	}
+	return r
+}
+
+// SetTrace installs a tracing callback invoked at every task start and
+// completion. Install it before submitting tasks. The callback runs on
+// worker goroutines and must be internally synchronized.
+func (r *Runtime) SetTrace(fn func(Event)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.trace = fn
+}
+
+// node is the scheduler-internal task state.
+type node struct {
+	task      Task
+	id        int
+	remaining int     // unfinished predecessors
+	succs     []*node // tasks waiting on this one
+	done      bool
+}
+
+// Submit creates a task. Dependencies resolve against previously
+// submitted tasks only, so submission order is program order, exactly
+// like sequential task creation in an omp single region.
+func (r *Runtime) Submit(t Task) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		panic("tasking: Submit after Close")
+	}
+	n := &node{task: t, id: r.nextID}
+	r.nextID++
+	r.pending++
+
+	addPred := func(p *node) {
+		if p == nil || p.done {
+			return
+		}
+		p.succs = append(p.succs, n)
+		n.remaining++
+	}
+	for _, addr := range t.In {
+		addPred(r.lastWriter[addr])
+	}
+	if t.Serial >= 0 {
+		addPred(r.lastSerial[t.Serial])
+		r.lastSerial[t.Serial] = n
+	}
+	if t.Out >= 0 {
+		r.lastWriter[t.Out] = n
+	}
+	if n.remaining == 0 {
+		r.enqueueLocked(n)
+	}
+}
+
+func (r *Runtime) enqueueLocked(n *node) {
+	r.queue = append(r.queue, n)
+	r.cond.Signal()
+}
+
+func (r *Runtime) worker(id int) {
+	defer r.workers.Done()
+	for {
+		r.mu.Lock()
+		for len(r.queue) == 0 && !r.closed {
+			r.cond.Wait()
+		}
+		if len(r.queue) == 0 && r.closed {
+			r.mu.Unlock()
+			return
+		}
+		n := r.queue[0]
+		r.queue = r.queue[1:]
+		r.running++
+		if r.running > r.maxRun {
+			r.maxRun = r.running
+		}
+		trace := r.trace
+		r.mu.Unlock()
+
+		if trace != nil {
+			trace(Event{TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, Start: true, When: time.Now()})
+		}
+		if n.task.Fn != nil {
+			n.task.Fn()
+		}
+		if trace != nil {
+			trace(Event{TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, Start: false, When: time.Now()})
+		}
+
+		r.mu.Lock()
+		n.done = true
+		r.running--
+		r.executed++
+		r.pending--
+		for _, s := range n.succs {
+			s.remaining--
+			if s.remaining == 0 {
+				r.enqueueLocked(s)
+			}
+		}
+		r.cond.Broadcast()
+		r.mu.Unlock()
+	}
+}
+
+// Wait blocks until every submitted task has completed. It may be
+// called repeatedly; tasks may not be submitted concurrently with
+// Wait.
+func (r *Runtime) Wait() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.pending > 0 {
+		r.cond.Wait()
+	}
+}
+
+// Close waits for all tasks and shuts the workers down. The runtime
+// cannot be reused afterwards.
+func (r *Runtime) Close() {
+	r.Wait()
+	r.mu.Lock()
+	r.closed = true
+	r.cond.Broadcast()
+	r.mu.Unlock()
+	r.workers.Wait()
+}
+
+// Stats reports execution counters: total tasks executed and the
+// maximum number of tasks observed running simultaneously.
+func (r *Runtime) Stats() (executed, maxConcurrent int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.executed, r.maxRun
+}
+
+// Run is the high-level entry point: it starts a runtime, hands the
+// submit function to build (which creates tasks in program order, like
+// the extracted function called under omp parallel/single), and blocks
+// until all tasks finish.
+func Run(workers int, build func(submit func(Task))) {
+	r := New(workers)
+	build(r.Submit)
+	r.Close()
+}

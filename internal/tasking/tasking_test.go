@@ -1,0 +1,266 @@
+package tasking
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSingleTask(t *testing.T) {
+	var ran atomic.Bool
+	Run(2, func(submit func(Task)) {
+		submit(Task{Fn: func() { ran.Store(true) }, Out: 0, Serial: NoSerial})
+	})
+	if !ran.Load() {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestInDependencyOrdering(t *testing.T) {
+	// writer -> reader through address 7, repeated to catch races.
+	for trial := 0; trial < 50; trial++ {
+		var order []int
+		var mu sync.Mutex
+		record := func(id int) func() {
+			return func() {
+				mu.Lock()
+				order = append(order, id)
+				mu.Unlock()
+			}
+		}
+		Run(4, func(submit func(Task)) {
+			submit(Task{Fn: record(1), Out: 7, Serial: NoSerial})
+			submit(Task{Fn: record(2), In: []int{7}, Out: 8, Serial: NoSerial})
+			submit(Task{Fn: record(3), In: []int{8}, Out: 9, Serial: NoSerial})
+		})
+		if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+			t.Fatalf("trial %d: order = %v", trial, order)
+		}
+	}
+}
+
+func TestMultipleInDeps(t *testing.T) {
+	for trial := 0; trial < 30; trial++ {
+		var aDone, bDone, observed atomic.Bool
+		Run(4, func(submit func(Task)) {
+			submit(Task{Fn: func() { time.Sleep(time.Microsecond); aDone.Store(true) }, Out: 1, Serial: NoSerial})
+			submit(Task{Fn: func() { bDone.Store(true) }, Out: 2, Serial: NoSerial})
+			submit(Task{Fn: func() {
+				observed.Store(aDone.Load() && bDone.Load())
+			}, In: []int{1, 2}, Out: 3, Serial: NoSerial})
+		})
+		if !observed.Load() {
+			t.Fatalf("trial %d: consumer ran before both producers", trial)
+		}
+	}
+}
+
+func TestSerialKeyOrdersTasks(t *testing.T) {
+	// Independent tasks sharing a serialization key must run in
+	// creation order even with many workers (the funcCount rule).
+	const n = 100
+	var mu sync.Mutex
+	var order []int
+	Run(8, func(submit func(Task)) {
+		for i := 0; i < n; i++ {
+			i := i
+			submit(Task{
+				Fn: func() {
+					mu.Lock()
+					order = append(order, i)
+					mu.Unlock()
+				},
+				Out:    i,
+				Serial: 5,
+			})
+		}
+	})
+	if len(order) != n {
+		t.Fatalf("ran %d tasks", len(order))
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("order[%d] = %d; serialized tasks ran out of order", i, got)
+		}
+	}
+}
+
+func TestIndependentSerialKeysOverlap(t *testing.T) {
+	// Two serialized chains with different keys should be able to
+	// overlap; verify both complete and each chain stays ordered.
+	var mu sync.Mutex
+	perKey := map[int][]int{}
+	Run(4, func(submit func(Task)) {
+		for i := 0; i < 40; i++ {
+			for key := 0; key < 2; key++ {
+				key, i := key, i
+				submit(Task{
+					Fn: func() {
+						mu.Lock()
+						perKey[key] = append(perKey[key], i)
+						mu.Unlock()
+					},
+					Out:    -1,
+					Serial: key,
+				})
+			}
+		}
+	})
+	for key, order := range perKey {
+		if len(order) != 40 {
+			t.Fatalf("key %d ran %d tasks", key, len(order))
+		}
+		for i, got := range order {
+			if got != i {
+				t.Fatalf("key %d out of order at %d: %d", key, i, got)
+			}
+		}
+	}
+}
+
+func TestDependencyOnCompletedTask(t *testing.T) {
+	// A task submitted long after its dependency finished must still
+	// run (done-predecessor edges are skipped, not leaked).
+	r := New(2)
+	var x atomic.Int64
+	r.Submit(Task{Fn: func() { x.Store(41) }, Out: 0, Serial: NoSerial})
+	r.Wait()
+	r.Submit(Task{Fn: func() { x.Add(1) }, In: []int{0}, Serial: NoSerial})
+	r.Close()
+	if x.Load() != 42 {
+		t.Fatalf("x = %d", x.Load())
+	}
+}
+
+func TestWaitIdempotentAndStats(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10; i++ {
+		r.Submit(Task{Fn: func() { time.Sleep(time.Microsecond) }, Out: i, Serial: NoSerial})
+	}
+	r.Wait()
+	r.Wait()
+	executed, maxRun := r.Stats()
+	if executed != 10 {
+		t.Fatalf("executed = %d", executed)
+	}
+	if maxRun < 1 || maxRun > 3 {
+		t.Fatalf("maxConcurrent = %d, want within [1,3]", maxRun)
+	}
+	r.Close()
+}
+
+func TestSubmitAfterClosePanics(t *testing.T) {
+	r := New(1)
+	r.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	r.Submit(Task{Fn: func() {}, Serial: NoSerial})
+}
+
+func TestNewRejectsZeroWorkers(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTraceEvents(t *testing.T) {
+	var mu sync.Mutex
+	var events []Event
+	r := New(2)
+	r.SetTrace(func(e Event) {
+		mu.Lock()
+		events = append(events, e)
+		mu.Unlock()
+	})
+	r.Submit(Task{Fn: func() {}, Label: "a", Out: 0, Serial: NoSerial})
+	r.Submit(Task{Fn: func() {}, Label: "b", In: []int{0}, Serial: NoSerial})
+	r.Close()
+	if len(events) != 4 {
+		t.Fatalf("events = %d, want 4", len(events))
+	}
+	starts := map[string]time.Time{}
+	for _, e := range events {
+		if e.Start {
+			starts[e.Label] = e.When
+		} else if e.When.Before(starts[e.Label]) {
+			t.Fatalf("task %q finished before it started", e.Label)
+		}
+	}
+	if len(starts) != 2 {
+		t.Fatalf("start events = %d", len(starts))
+	}
+}
+
+// TestQuickRandomDAGRespectsDeps builds random layered DAGs and checks
+// that every task observes all of its transitive in-dependencies
+// completed.
+func TestQuickRandomDAGRespectsDeps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nTasks := 2 + rng.Intn(40)
+		done := make([]atomic.Bool, nTasks)
+		violated := atomic.Bool{}
+
+		type spec struct {
+			in  []int
+			out int
+		}
+		specs := make([]spec, nTasks)
+		for i := range specs {
+			specs[i].out = i
+			// Depend on up to 3 random earlier tasks.
+			for k := 0; k < rng.Intn(4) && i > 0; k++ {
+				specs[i].in = append(specs[i].in, rng.Intn(i))
+			}
+		}
+		Run(1+rng.Intn(8), func(submit func(Task)) {
+			for i := range specs {
+				i := i
+				submit(Task{
+					Fn: func() {
+						for _, dep := range specs[i].in {
+							if !done[dep].Load() {
+								violated.Store(true)
+							}
+						}
+						done[i].Store(true)
+					},
+					In:     specs[i].in,
+					Out:    specs[i].out,
+					Serial: NoSerial,
+				})
+			}
+		})
+		for i := range done {
+			if !done[i].Load() {
+				return false
+			}
+		}
+		return !violated.Load()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManyTasksThroughput(t *testing.T) {
+	// Smoke test: thousands of small tasks complete without deadlock.
+	var count atomic.Int64
+	Run(8, func(submit func(Task)) {
+		for i := 0; i < 5000; i++ {
+			submit(Task{Fn: func() { count.Add(1) }, Out: i % 64, In: []int{(i + 1) % 64}, Serial: i % 7})
+		}
+	})
+	if count.Load() != 5000 {
+		t.Fatalf("count = %d", count.Load())
+	}
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// SVGOptions controls the rendered timeline.
+type SVGOptions struct {
+	Width     int // pixel width of the plot area; default 800
+	RowHeight int // pixel height per statement row; default 28
+	Names     map[int]string
+}
+
+func (o SVGOptions) withDefaults() SVGOptions {
+	if o.Width <= 0 {
+		o.Width = 800
+	}
+	if o.RowHeight <= 0 {
+		o.RowHeight = 28
+	}
+	return o
+}
+
+// rowPalette holds distinguishable fill colors per statement row.
+var rowPalette = []string{
+	"#4e79a7", "#f28e2b", "#59a14f", "#e15759",
+	"#76b7b2", "#edc948", "#b07aa1", "#9c755f",
+}
+
+// WriteSVG renders the spans as an SVG Gantt timeline, one row per
+// statement, one rectangle per task — the graphical version of the
+// paper's Figure 2, produced from a real traced execution.
+func WriteSVG(w io.Writer, spans []Span, opts SVGOptions) error {
+	opts = opts.withDefaults()
+	if len(spans) == 0 {
+		_, err := fmt.Fprint(w, `<svg xmlns="http://www.w3.org/2000/svg" width="10" height="10"/>`)
+		return err
+	}
+	var first, last time.Time
+	rows := map[int]bool{}
+	for _, s := range spans {
+		if first.IsZero() || s.Start.Before(first) {
+			first = s.Start
+		}
+		if s.End.After(last) {
+			last = s.End
+		}
+		rows[s.Serial] = true
+	}
+	total := last.Sub(first)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	serials := make([]int, 0, len(rows))
+	for k := range rows {
+		serials = append(serials, k)
+	}
+	sort.Ints(serials)
+	rowOf := map[int]int{}
+	for i, k := range serials {
+		rowOf[k] = i
+	}
+
+	const labelW = 90
+	height := len(serials)*opts.RowHeight + 30
+	width := labelW + opts.Width + 10
+
+	p := &errWriter{w: w}
+	p.printf(`<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="12">`+"\n", width, height)
+	p.printf(`<rect width="%d" height="%d" fill="#fcfcfc"/>`+"\n", width, height)
+
+	// Row labels and separators.
+	for i, k := range serials {
+		y := i * opts.RowHeight
+		name := opts.Names[k]
+		if name == "" {
+			name = fmt.Sprintf("S%d", k)
+		}
+		p.printf(`<text x="4" y="%d">%s</text>`+"\n", y+opts.RowHeight*2/3, name)
+		p.printf(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			labelW, y+opts.RowHeight, width-10, y+opts.RowHeight)
+	}
+
+	// Task rectangles.
+	for _, s := range spans {
+		row := rowOf[s.Serial]
+		x0 := labelW + int(float64(s.Start.Sub(first))/float64(total)*float64(opts.Width))
+		x1 := labelW + int(float64(s.End.Sub(first))/float64(total)*float64(opts.Width))
+		if x1 <= x0 {
+			x1 = x0 + 1
+		}
+		y := row*opts.RowHeight + 3
+		color := rowPalette[row%len(rowPalette)]
+		p.printf(`<rect x="%d" y="%d" width="%d" height="%d" fill="%s" fill-opacity="0.85"><title>%s %v</title></rect>`+"\n",
+			x0, y, x1-x0, opts.RowHeight-6, color, s.Label, s.Duration())
+	}
+
+	// Time axis.
+	p.printf(`<text x="%d" y="%d" fill="#555">0</text>`+"\n", labelW, height-8)
+	p.printf(`<text x="%d" y="%d" fill="#555" text-anchor="end">%v</text>`+"\n", labelW+opts.Width, height-8, total)
+	p.printf(`</svg>` + "\n")
+	return p.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (p *errWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}

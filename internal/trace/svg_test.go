@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func TestWriteSVGWellFormed(t *testing.T) {
+	var b strings.Builder
+	err := WriteSVG(&b, syntheticSpans(), SVGOptions{Names: map[int]string{0: "S", 1: "R"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// Must be well-formed XML.
+	dec := xml.NewDecoder(strings.NewReader(out))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("SVG not well-formed: %v\n%s", err, out)
+		}
+	}
+	for _, want := range []string{"<svg", ">S</text>", ">R</text>", "<rect", "S0[0]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Four task rectangles plus the background.
+	if got := strings.Count(out, "<rect"); got != 5 {
+		t.Errorf("rect count = %d, want 5", got)
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, nil, SVGOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("empty SVG missing root element")
+	}
+}
+
+func TestWriteSVGDefaultNames(t *testing.T) {
+	var b strings.Builder
+	if err := WriteSVG(&b, syntheticSpans(), SVGOptions{Width: 100, RowHeight: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), ">S0</text>") || !strings.Contains(b.String(), ">S1</text>") {
+		t.Fatalf("default names missing:\n%s", b.String())
+	}
+}

@@ -1,0 +1,244 @@
+// Package trace records and analyzes pipelined executions: per-task
+// spans, per-statement busy times, overlap between loop nests (the
+// behaviour Figure 2 illustrates), the Eq. 5/6 performance bounds
+// (time(L_max) ≤ time(pipeline) ≤ time(sequential)), and an ASCII
+// Gantt rendering of statement activity over time (the Figure 5
+// picture).
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/tasking"
+)
+
+// Span is one completed task execution.
+type Span struct {
+	Label  string
+	Serial int // statement index (the task's serialization key)
+	Worker int // worker that executed the task
+	Start  time.Time
+	End    time.Time
+}
+
+// Duration returns the span length.
+func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
+
+// Collector accumulates tasking events into spans. Install Hook on a
+// runtime before submitting tasks.
+type Collector struct {
+	mu    sync.Mutex
+	open  map[int]tasking.Event
+	spans []Span
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{open: make(map[int]tasking.Event)}
+}
+
+// Hook returns the tracing callback to install with Runtime.SetTrace.
+func (c *Collector) Hook() func(tasking.Event) {
+	return func(e tasking.Event) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if e.Start {
+			c.open[e.TaskID] = e
+			return
+		}
+		if s, ok := c.open[e.TaskID]; ok {
+			delete(c.open, e.TaskID)
+			c.spans = append(c.spans, Span{
+				Label:  s.Label,
+				Serial: s.Serial,
+				Worker: s.Worker,
+				Start:  s.When,
+				End:    e.When,
+			})
+		}
+	}
+}
+
+// Spans returns the completed spans sorted by start time.
+func (c *Collector) Spans() []Span {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Span, len(c.spans))
+	copy(out, c.spans)
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// StmtStat aggregates the spans of one statement (one loop nest).
+type StmtStat struct {
+	Serial int
+	Tasks  int
+	Busy   time.Duration // Σ task durations; nests are serialized, so
+	// this approximates the nest's standalone running time
+	First time.Time
+	Last  time.Time
+}
+
+// Analysis summarizes a pipelined execution.
+type Analysis struct {
+	Spans     []Span
+	Makespan  time.Duration // first start to last end: time(pipeline)
+	Busy      time.Duration // Σ all task durations: ≈ time(sequential)
+	MaxStmt   StmtStat      // the L_max nest of Eq. 5/6
+	PerStmt   []StmtStat    // by statement index
+	Overlap   float64       // Busy / Makespan: average concurrency
+	StartTime time.Duration // Eq. 6: start of program to start of L_max
+	FinishGap time.Duration // Eq. 6: end of L_max to end of program
+	// PerWorker maps worker index to its total busy time; the spread
+	// shows load balance across the pool.
+	PerWorker map[int]time.Duration
+}
+
+// Utilization returns Busy / (Makespan × workers): the fraction of the
+// pool's capacity the execution used.
+func (a Analysis) Utilization(workers int) float64 {
+	if a.Makespan <= 0 || workers <= 0 {
+		return 0
+	}
+	return float64(a.Busy) / (float64(a.Makespan) * float64(workers))
+}
+
+// Analyze computes the summary of a set of spans.
+func Analyze(spans []Span) Analysis {
+	a := Analysis{Spans: spans}
+	if len(spans) == 0 {
+		return a
+	}
+	byStmt := map[int]*StmtStat{}
+	a.PerWorker = map[int]time.Duration{}
+	var first, last time.Time
+	for _, s := range spans {
+		a.PerWorker[s.Worker] += s.Duration()
+		if first.IsZero() || s.Start.Before(first) {
+			first = s.Start
+		}
+		if s.End.After(last) {
+			last = s.End
+		}
+		a.Busy += s.Duration()
+		st, ok := byStmt[s.Serial]
+		if !ok {
+			st = &StmtStat{Serial: s.Serial, First: s.Start, Last: s.End}
+			byStmt[s.Serial] = st
+		}
+		st.Tasks++
+		st.Busy += s.Duration()
+		if s.Start.Before(st.First) {
+			st.First = s.Start
+		}
+		if s.End.After(st.Last) {
+			st.Last = s.End
+		}
+	}
+	a.Makespan = last.Sub(first)
+	keys := make([]int, 0, len(byStmt))
+	for k := range byStmt {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		a.PerStmt = append(a.PerStmt, *byStmt[k])
+		if byStmt[k].Busy > a.MaxStmt.Busy {
+			a.MaxStmt = *byStmt[k]
+		}
+	}
+	if a.Makespan > 0 {
+		a.Overlap = float64(a.Busy) / float64(a.Makespan)
+	}
+	a.StartTime = a.MaxStmt.First.Sub(first)
+	a.FinishGap = last.Sub(a.MaxStmt.Last)
+	return a
+}
+
+// CheckBounds verifies the Eq. 5 inequality chain on a measured
+// execution against a measured sequential time:
+//
+//	time(L_max) ≤ time(pipeline) ≤ time(sequential)
+//
+// slack absorbs scheduler jitter on both ends. It returns nil when the
+// bounds hold.
+func (a Analysis) CheckBounds(sequential time.Duration, slack time.Duration) error {
+	if a.MaxStmt.Busy > a.Makespan+slack {
+		return fmt.Errorf("trace: time(L_max)=%v exceeds time(pipeline)=%v beyond slack %v",
+			a.MaxStmt.Busy, a.Makespan, slack)
+	}
+	if a.Makespan > sequential+slack {
+		return fmt.Errorf("trace: time(pipeline)=%v exceeds time(sequential)=%v beyond slack %v",
+			a.Makespan, sequential, slack)
+	}
+	return nil
+}
+
+// Gantt renders per-statement activity over time as ASCII art, one row
+// per statement index, width columns wide:
+//
+//	S0 |██████████░░░░░░░░|
+//	S1 |░░░███████████████|
+//
+// A cell is filled when any task of the statement was running in that
+// time bucket.
+func Gantt(spans []Span, names map[int]string, width int) string {
+	if len(spans) == 0 || width <= 0 {
+		return ""
+	}
+	var first, last time.Time
+	for _, s := range spans {
+		if first.IsZero() || s.Start.Before(first) {
+			first = s.Start
+		}
+		if s.End.After(last) {
+			last = s.End
+		}
+	}
+	total := last.Sub(first)
+	if total <= 0 {
+		total = time.Nanosecond
+	}
+	rows := map[int][]bool{}
+	for _, s := range spans {
+		row, ok := rows[s.Serial]
+		if !ok {
+			row = make([]bool, width)
+			rows[s.Serial] = row
+		}
+		lo := int(float64(s.Start.Sub(first)) / float64(total) * float64(width))
+		hi := int(float64(s.End.Sub(first)) / float64(total) * float64(width))
+		if hi >= width {
+			hi = width - 1
+		}
+		for c := lo; c <= hi; c++ {
+			row[c] = true
+		}
+	}
+	keys := make([]int, 0, len(rows))
+	for k := range rows {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		name := names[k]
+		if name == "" {
+			name = fmt.Sprintf("S%d", k)
+		}
+		fmt.Fprintf(&b, "%-8s |", name)
+		for _, on := range rows[k] {
+			if on {
+				b.WriteRune('█')
+			} else {
+				b.WriteRune('░')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,237 @@
+package polypipe
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFacadeBuilderSurface(t *testing.T) {
+	// Build a program exclusively through the re-exported affine
+	// surface.
+	data := make([]float64, 10)
+	b := NewBuilder("surface")
+	b.Array("A", 1).Array("B", 1)
+	b.Stmt("S", NewDomain("S", ConstBound(0, 0, 10))).
+		Writes("A", Var(1, 0)).
+		Reads("A", Linear(-1, 1)).
+		Body(func(iv Vec) {
+			i := iv[0]
+			prev := 0.0
+			if i > 0 {
+				prev = data[i-1]
+			}
+			data[i] = prev + float64(i)
+		})
+	b.Stmt("T", RectDomain("T", 5)).
+		Writes("B", Var(1, 0)).
+		Reads("A", FloorDiv(Linear(0, 2), 1)). // 2i/1 = 2i
+		Body(func(iv Vec) { _ = data[2*iv[0]] })
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Statement("T").ReadsFrom("A")[0].Card() != 5 {
+		t.Fatal("builder surface produced wrong access relation")
+	}
+	if c := Const(0, 7); c.Eval(Vec{}) != 7 {
+		t.Fatal("Const re-export broken")
+	}
+}
+
+func TestFacadeRuntimeSurface(t *testing.T) {
+	r := NewRuntime(2)
+	done := false
+	r.Submit(Task{Fn: func() { done = true }, Out: 0, Serial: -1})
+	r.Close()
+	if !done {
+		t.Fatal("task did not run")
+	}
+}
+
+func TestFacadeEmitGo(t *testing.T) {
+	sc, err := Parse("gen", `
+for (i = 0; i < 5; i++)
+  S: A[i] = f(A[i]);
+for (i = 0; i < 5; i++)
+  T: B[i] = g(A[i]);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Detect(sc, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := EmitGo(&b, info, 2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "func runPipelined(workers int)") {
+		t.Fatal("generated program missing runtime")
+	}
+}
+
+func TestFacadeTraceSVG(t *testing.T) {
+	var b strings.Builder
+	if err := TraceSVG(&b, Listing3(12), 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "<svg") {
+		t.Fatal("not SVG")
+	}
+}
+
+func TestFacadeHybridAndSim(t *testing.T) {
+	p := MMChain(2, 12, MM)
+	res, err := RunPipelinedHybrid(p, 2, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != RunSequential(p).Hash {
+		t.Fatal("hybrid differs")
+	}
+	if _, err := SimHybridSpeedup(p, 2, 2, Options{}, time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if sp := SimParLoopSpeedup(p, 4, 0); sp < 1 {
+		t.Fatalf("parloop sim speedup = %f", sp)
+	}
+}
+
+func TestFacadeSCoPJSON(t *testing.T) {
+	sc, err := Parse("json", `
+for (i = 0; i < 4; i++)
+  S: A[i] = f(B[i]);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := MarshalSCoP(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalSCoP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "json" || len(back.Stmts) != 1 {
+		t.Fatal("round trip broken")
+	}
+	if _, err := UnmarshalSCoP([]byte("{")); err == nil {
+		t.Fatal("bad JSON accepted")
+	}
+}
+
+func TestFacadeFuturesLayer(t *testing.T) {
+	p := Listing1(12)
+	want := RunSequential(p).Hash
+	res, err := RunPipelinedFutures(p, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != want {
+		t.Fatal("futures layer differs")
+	}
+}
+
+func TestFacadeErrorPropagation(t *testing.T) {
+	// A hazardous SCoP must surface detection errors through every
+	// entry point.
+	b := NewBuilder("hazard")
+	b.Array("A", 1)
+	b.Stmt("S", RectDomain("S", 4)).Writes("A", Var(1, 0)).Body(func(Vec) {})
+	b.Stmt("T", RectDomain("T", 4)).Writes("A", Var(1, 0)).Body(func(Vec) {})
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &Program{Name: "hazard", SCoP: sc, Reset: func() {}, Hash: func() uint64 { return 0 }}
+	if _, err := RunPipelined(p, 2, Options{}); err == nil {
+		t.Error("RunPipelined accepted hazardous scop")
+	}
+	if _, err := SimSpeedup(p, 2, Options{}, 0); err == nil {
+		t.Error("SimSpeedup accepted hazardous scop")
+	}
+	if _, err := PotentialSpeedup(p, Options{}); err == nil {
+		t.Error("PotentialSpeedup accepted hazardous scop")
+	}
+	if _, _, err := TracePipelined(p, 2, Options{}, 10); err == nil {
+		t.Error("TracePipelined accepted hazardous scop")
+	}
+	if _, _, _, err := Speedup(p, 2, Options{}); err == nil {
+		t.Error("Speedup accepted hazardous scop")
+	}
+	if _, err := RunPipelinedHybrid(p, 2, 2, Options{}); err == nil {
+		t.Error("hybrid accepted hazardous scop")
+	}
+	if _, err := RunPipelinedFutures(p, 2, Options{}); err == nil {
+		t.Error("futures accepted hazardous scop")
+	}
+	if _, err := SimSpeedups(p, Options{}, 0, 2); err == nil {
+		t.Error("SimSpeedups accepted hazardous scop")
+	}
+	if _, err := SimHybridSpeedup(p, 2, 2, Options{}, 0); err == nil {
+		t.Error("SimHybridSpeedup accepted hazardous scop")
+	}
+	var sb strings.Builder
+	if err := TraceSVG(&sb, p, 2, Options{}); err == nil {
+		t.Error("TraceSVG accepted hazardous scop")
+	}
+	if err := EmitGo(&sb, &Info{SCoP: sc}, 2); err == nil {
+		t.Error("EmitGo accepted incomplete info")
+	}
+}
+
+func TestFacadeStagesLayer(t *testing.T) {
+	p := Listing3(14)
+	want := RunSequential(p).Hash
+	res, err := RunPipelinedStages(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != want {
+		t.Fatal("stages layer differs")
+	}
+}
+
+func TestParseWithParamsFacade(t *testing.T) {
+	sc, err := ParseWithParams("px", `
+for (i = 0; i < N; i++)
+  S: A[i] = f(A[i]);
+`, map[string]int{"N": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Statement("S").Domain.Card() != 7 {
+		t.Fatal("binding not applied")
+	}
+}
+
+func TestAutoGranularity(t *testing.T) {
+	p := Listing1(24)
+	best, speedup, err := AutoGranularity(p, 4, 2*time.Microsecond, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < 1 || best > 64 || speedup <= 0 {
+		t.Fatalf("best = %d, speedup = %f", best, speedup)
+	}
+	// The chosen granularity must still verify.
+	if err := Verify(p, 4, Options{MinBlockIters: best}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockReport(t *testing.T) {
+	info, err := Detect(Listing3(12).SCoP, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := BlockReport(info)
+	for _, want := range []string{"S: 36 blocks over 121 iterations", "waits for S[", "... ", "more blocks"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("block report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,446 @@
+// Package polypipe is the public API of the cross-loop pipeline
+// detection library — a pure-Go reproduction of "A Pipeline Pattern
+// Detection Technique in Polly" (Talaashrafi, Doerfert, Moreno Maza,
+// IMPACT 2022).
+//
+// The library detects pipeline patterns between consecutive for-loop
+// nests of a static control program and executes them as dependent
+// tasks on a minimal OpenMP-tasks-like runtime. Programs enter the
+// system either through the scop builder (programmatic) or the small
+// C-like DSL (textual); the full pipeline is
+//
+//	SCoP → Detect (pipeline/blocking/dependency maps, Algorithm 1)
+//	     → schedule tree (Algorithm 2) → annotated AST (Figure 6)
+//	     → task program → tasking runtime.
+//
+// Typical use:
+//
+//	prog := polypipe.Listing1(64)
+//	res, err := polypipe.RunPipelined(prog, 4, polypipe.Options{})
+//
+// or, from DSL source:
+//
+//	sc, err := polypipe.Parse("mine", src)
+//	info, err := polypipe.Detect(sc, polypipe.Options{})
+//	fmt.Println(polypipe.TransformedAST("mine_pipelined", info))
+package polypipe
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/gogen"
+	"repro/internal/interp"
+	"repro/internal/isl/aff"
+	"repro/internal/kernels"
+	"repro/internal/lang"
+	"repro/internal/schedtree"
+	"repro/internal/scop"
+	"repro/internal/simsched"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// Re-exported core types: the facade is the supported import surface.
+type (
+	// SCoP is a static control program: consecutive loop nests with
+	// affine accesses.
+	SCoP = scop.SCoP
+	// Builder assembles SCoPs programmatically.
+	Builder = scop.Builder
+	// Options tunes pipeline detection (task granularity, ablations).
+	Options = core.Options
+	// Info is the detection result (pipeline maps, blocks, deps).
+	Info = core.Info
+	// Program couples a SCoP with runnable state (reset + hash).
+	Program = kernels.Program
+	// Result reports one execution (time, hash, task stats).
+	Result = exec.Result
+	// Variant selects the matrix-chain kernel flavour.
+	Variant = kernels.Variant
+	// Task is a unit of work for the tasking runtime.
+	Task = tasking.Task
+	// Runtime is the OpenMP-tasks-like dependency-aware executor.
+	Runtime = tasking.Runtime
+)
+
+// Matrix-chain variants (Figure 11 kernels).
+const (
+	MM   = kernels.MM
+	MMT  = kernels.MMT
+	GMM  = kernels.GMM
+	GMMT = kernels.GMMT
+)
+
+// NewBuilder starts a programmatic SCoP definition.
+func NewBuilder(name string) *Builder { return scop.NewBuilder(name) }
+
+// Parse parses DSL source (see package lang for the grammar) into an
+// analysis-only SCoP.
+func Parse(name, src string) (*SCoP, error) { return lang.Parse(name, src) }
+
+// ParseWithParams parses DSL source with caller-supplied parameter
+// bindings (overriding same-named `param` defaults in the source), so
+// one program text instantiates at several sizes.
+func ParseWithParams(name, src string, params map[string]int) (*SCoP, error) {
+	return lang.ParseWithParams(name, src, params)
+}
+
+// Unparse renders a SCoP back to DSL source (the inverse of Parse for
+// SCoPs with symbolic domains; bodies are dropped).
+func Unparse(sc *SCoP) (string, error) { return lang.Unparse(sc) }
+
+// AutoGranularity searches for the task granularity (MinBlockIters)
+// that maximizes the simulated speed-up at the given processor count
+// and per-task overhead — a pragmatic answer to the paper's §7 open
+// question of choosing good task granularity. It sweeps powers of two
+// up to maxIters (default 256 when <= 0) and returns the best setting
+// with its simulated speed-up.
+func AutoGranularity(p *Program, procs int, overhead time.Duration, maxIters int) (best int, speedup float64, err error) {
+	if maxIters <= 0 {
+		maxIters = 256
+	}
+	best, speedup = 1, 0
+	for k := 1; k <= maxIters; k *= 2 {
+		s, err := SimSpeedup(p, procs, Options{MinBlockIters: k}, overhead)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s > speedup {
+			best, speedup = k, s
+		}
+	}
+	return best, speedup, nil
+}
+
+// Detect runs the paper's Algorithm 1 on a SCoP.
+func Detect(sc *SCoP, opts Options) (*Info, error) { return core.Detect(sc, opts) }
+
+// MarshalSCoP serializes a SCoP's polyhedral description as JSON (the
+// interchange format; bodies are not serialized).
+func MarshalSCoP(sc *SCoP) ([]byte, error) { return scop.ToJSON(sc) }
+
+// UnmarshalSCoP rebuilds an analysis-only SCoP from its JSON
+// description.
+func UnmarshalSCoP(data []byte) (*SCoP, error) { return scop.FromJSON(data) }
+
+// ScheduleTree renders the Algorithm 2 schedule tree of a detection
+// result.
+func ScheduleTree(info *Info) string {
+	return schedtree.String(schedtree.Build(info))
+}
+
+// TransformedAST renders the annotated AST of the transformed program
+// (the Figure 6 artifact).
+func TransformedAST(fnName string, info *Info) (string, error) {
+	fn, err := ast.Generate(fnName, schedtree.Build(info))
+	if err != nil {
+		return "", err
+	}
+	return ast.Render(fn), nil
+}
+
+// PipelineReport renders a human-readable summary of the detection:
+// pipeline maps per dependent pair and block/dependency counts per
+// statement.
+func PipelineReport(info *Info) string {
+	var b strings.Builder
+	b.WriteString("pipeline pairs:\n")
+	for _, p := range info.Pairs {
+		b.WriteString("  ")
+		b.WriteString(p.Src.Name)
+		b.WriteString(" -> ")
+		b.WriteString(p.Dst.Name)
+		b.WriteString(": ")
+		if p.T.Card() <= 12 {
+			b.WriteString(p.T.String())
+		} else {
+			b.WriteString(shortMapSummary(p))
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("statements:\n")
+	for _, si := range info.Stmts {
+		deps := make([]string, 0, len(si.InDeps))
+		for _, d := range si.InDeps {
+			deps = append(deps, d.Src.Name)
+		}
+		b.WriteString("  ")
+		b.WriteString(si.Stmt.Name)
+		b.WriteString(": ")
+		b.WriteString(report2(len(si.Blocks), deps))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// shortMapSummary prints a large pipeline map symbolically when its
+// closed form can be reconstructed (the paper's §4.1 presentation),
+// falling back to a cardinality summary.
+func shortMapSummary(p core.PipelinePair) string {
+	if exprs, ok := aff.Recognize(p.T, 4, 8, 4); ok {
+		parts := make([]string, len(exprs))
+		for d, e := range exprs {
+			parts[d] = fmt.Sprintf("o%d = %s", d, e)
+		}
+		return fmt.Sprintf("{ %s[i..] -> %s[o..] : %s } (%d pairs)",
+			p.Src.Name, p.Dst.Name, strings.Join(parts, ", "), p.T.Card())
+	}
+	return "(" + p.T.Domain().Space().String() + " -> " +
+		p.T.Range().Space().String() + ", " +
+		strconv.Itoa(p.T.Card()) + " pairs)"
+}
+
+func report2(blocks int, deps []string) string {
+	s := strconv.Itoa(blocks) + " blocks"
+	if len(deps) == 0 {
+		return s + ", no in-deps"
+	}
+	return s + ", in-deps on [" + strings.Join(deps, ", ") + "]"
+}
+
+// BlockReport renders the pipeline blocks of every statement: leaders,
+// sizes, and block-level in-dependencies — the Eq. 2/3/4 structures
+// made concrete. Intended for small programs; large statements are
+// summarized.
+func BlockReport(info *Info) string {
+	var b strings.Builder
+	for _, si := range info.Stmts {
+		fmt.Fprintf(&b, "%s: %d blocks over %d iterations\n",
+			si.Stmt.Name, len(si.Blocks), si.Stmt.Domain.Card())
+		limit := len(si.Blocks)
+		if limit > 12 {
+			limit = 12
+		}
+		for i := 0; i < limit; i++ {
+			blk := si.Blocks[i]
+			fmt.Fprintf(&b, "  block %v: %d iteration(s)", blk.Leader, len(blk.Members))
+			for _, dep := range si.InDeps {
+				for _, q := range dep.Rel.Lookup(blk.Leader) {
+					fmt.Fprintf(&b, ", waits for %s%v", dep.Src.Name, q)
+				}
+			}
+			b.WriteString("\n")
+		}
+		if limit < len(si.Blocks) {
+			fmt.Fprintf(&b, "  ... %d more blocks\n", len(si.Blocks)-limit)
+		}
+	}
+	return b.String()
+}
+
+// RunSequential executes the program in original order.
+func RunSequential(p *Program) Result { return exec.Sequential(p) }
+
+// RunPipelined detects, compiles, and runs the program's cross-loop
+// pipeline with the given worker count.
+func RunPipelined(p *Program, workers int, opts Options) (Result, error) {
+	return exec.Pipelined(p, workers, opts)
+}
+
+// RunPipelinedFutures is RunPipelined on the alternative futures-based
+// tasking layer — the §7 claim that the transformation retargets other
+// tasking platforms with minimal changes, demonstrated.
+func RunPipelinedFutures(p *Program, workers int, opts Options) (Result, error) {
+	return exec.PipelinedOnFutures(p, workers, opts)
+}
+
+// RunPipelinedStages is RunPipelined on the third tasking layer: one
+// long-lived goroutine per loop nest consuming its blocks in order
+// (the idiomatic Go pipeline pattern), with cross-stage dependencies
+// resolved through completion channels.
+func RunPipelinedStages(p *Program, poolWorkers int, opts Options) (Result, error) {
+	return exec.PipelinedOnStages(p, poolWorkers, opts)
+}
+
+// RunPipelinedHybrid combines cross-loop pipelining with intra-block
+// parallelism for conflict-free statements (§7's combination of the
+// pipeline with other parallelization patterns).
+func RunPipelinedHybrid(p *Program, workers, intraWorkers int, opts Options) (Result, error) {
+	return exec.PipelinedHybrid(p, workers, intraWorkers, opts)
+}
+
+// SimHybridSpeedup returns the simulated speed-up of the hybrid
+// executor, modelling perfect intra-block scaling; callers should keep
+// procs×intraWorkers within the hardware they are modelling.
+func SimHybridSpeedup(p *Program, procs, intraWorkers int, opts Options, overhead time.Duration) (float64, error) {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers})
+	if err != nil {
+		return 0, err
+	}
+	_, sch := simsched.SimulateCompiled(p, prog, procs, overhead)
+	return sch.Speedup(), nil
+}
+
+// RunParLoop executes the Polly-style per-loop parallel baseline.
+func RunParLoop(p *Program, workers int) Result { return exec.ParLoop(p, workers) }
+
+// Verify checks that pipelined and baseline executions reproduce the
+// sequential result bit-for-bit.
+func Verify(p *Program, workers int, opts Options) error {
+	return exec.Verify(p, workers, opts)
+}
+
+// Speedup measures sequential vs pipelined wall time (one run each,
+// detection amortized) and returns the ratio.
+func Speedup(p *Program, workers int, opts Options) (seq, pipe time.Duration, speedup float64, err error) {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	seqRes := exec.Sequential(p)
+	pipeRes := exec.RunCompiled(p, prog, workers)
+	return seqRes.Elapsed, pipeRes.Elapsed, float64(seqRes.Elapsed) / float64(pipeRes.Elapsed), nil
+}
+
+// TracePipelined runs the pipelined program with tracing and returns
+// the execution analysis plus an ASCII Gantt chart of statement
+// activity (the Figure 2/5 picture).
+func TracePipelined(p *Program, workers int, opts Options, ganttWidth int) (trace.Analysis, string, error) {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return trace.Analysis{}, "", err
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		return trace.Analysis{}, "", err
+	}
+	c := trace.NewCollector()
+	p.Reset()
+	prog.RunTraced(workers, c.Hook())
+	a := trace.Analyze(c.Spans())
+	names := map[int]string{}
+	for _, s := range p.SCoP.Stmts {
+		names[s.Index] = s.Name
+	}
+	return a, trace.Gantt(a.Spans, names, ganttWidth), nil
+}
+
+// TraceSVG runs the pipelined program with tracing and writes an SVG
+// Gantt timeline of statement activity (the graphical Figure 2).
+func TraceSVG(w io.Writer, p *Program, workers int, opts Options) error {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return err
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		return err
+	}
+	c := trace.NewCollector()
+	p.Reset()
+	prog.RunTraced(workers, c.Hook())
+	names := map[int]string{}
+	for _, s := range p.SCoP.Stmts {
+		names[s.Index] = s.Name
+	}
+	return trace.WriteSVG(w, c.Spans(), trace.SVGOptions{Names: names})
+}
+
+// SimSpeedup measures per-task costs during a sequential replay and
+// returns the simulated P-processor speed-up of the pipelined task
+// graph (virtual-time mode — deterministic, works on single-core
+// hosts; see internal/simsched). overhead models per-task scheduling
+// cost.
+func SimSpeedup(p *Program, procs int, opts Options, overhead time.Duration) (float64, error) {
+	_, sch, err := simsched.SimulatePipelined(p, opts, procs, overhead)
+	if err != nil {
+		return 0, err
+	}
+	return sch.Speedup(), nil
+}
+
+// SimParLoopSpeedup returns the simulated P-processor speed-up of the
+// Polly-style per-loop baseline in virtual time.
+func SimParLoopSpeedup(p *Program, procs int, overhead time.Duration) float64 {
+	_, sch := simsched.SimulateParLoop(p, procs, overhead)
+	return sch.Speedup()
+}
+
+// SimSpeedups measures the pipelined task graph once and returns its
+// simulated speed-up at each of the given processor counts — use this
+// (not repeated SimSpeedup calls) when comparing counts, so all points
+// share one set of measured task costs.
+func SimSpeedups(p *Program, opts Options, overhead time.Duration, procCounts ...int) ([]float64, error) {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		return nil, err
+	}
+	tasks, _ := simsched.MeasureCompiled(p, prog, overhead)
+	out := make([]float64, len(procCounts))
+	for i, procs := range procCounts {
+		out[i] = simsched.List(tasks, procs).Speedup()
+	}
+	return out, nil
+}
+
+// PotentialSpeedup returns the simulated speed-up of the pipelined
+// task graph with unbounded processors — the critical-path bound,
+// i.e. the best any machine could do with this blocking. Per Eq. 5 it
+// is limited by the most expensive loop nest.
+func PotentialSpeedup(p *Program, opts Options) (float64, error) {
+	info, err := core.Detect(p.SCoP, opts)
+	if err != nil {
+		return 0, err
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		return 0, err
+	}
+	procs := prog.NumTasks()
+	if procs < 1 {
+		procs = 1
+	}
+	_, sch := simsched.SimulateCompiled(p, prog, procs, 0)
+	return sch.Speedup(), nil
+}
+
+// EmitGo writes a standalone, stdlib-only Go main package executing
+// the transformed program: statement bodies, block loops, the task
+// table with integer dependency addresses, an embedded minimal
+// tasking runtime, and a self-verifying main (the textual analogue of
+// the paper's final code-generation phase).
+func EmitGo(w io.Writer, info *Info, workers int) error {
+	return gogen.Emit(w, info, workers)
+}
+
+// Interpret wraps an analysis-only SCoP (e.g. one produced by Parse)
+// into a runnable Program with deterministic synthetic statement
+// bodies that read and write exactly the declared cells — an
+// executable twin of the polyhedral description.
+func Interpret(sc *SCoP) *Program { return interp.Programify(sc) }
+
+// Workload constructors (the paper's evaluation programs).
+
+// Listing1 builds the paper's motivating two-nest stencil (Listing 1).
+func Listing1(n int) *Program { return kernels.Listing1(n) }
+
+// Listing3 builds the three-nest extension (Listing 3).
+func Listing3(n int) *Program { return kernels.Listing3(n) }
+
+// Table9Program builds one of the P1–P10 compute-intensive programs.
+func Table9Program(name string, n, size int) (*Program, error) {
+	return kernels.Table9Program(name, n, size)
+}
+
+// MMChain builds an n-long matrix-multiplication chain kernel.
+func MMChain(n, rows int, v Variant) *Program { return kernels.MMChain(n, rows, v) }
