@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: check build test vet race bench stats clean
+
+## check: the full gate — vet, build, and the race-enabled test suite.
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate the paper's evaluation numbers.
+bench:
+	$(GO) test -bench . -benchmem .
+
+## stats: one observed run with the full breakdown + trace.json.
+stats:
+	$(GO) run ./cmd/pipeline-stats -kernel listing3 -n 48 -workers 4
+
+clean:
+	rm -f trace.json

@@ -282,6 +282,30 @@ func BenchmarkExtraKernels(b *testing.B) {
 	}
 }
 
+// BenchmarkObservationOverhead quantifies the cost of the
+// observability layer: the same Listing 3 program run plain
+// (RunPipelined) and fully observed (Observe: registry metrics, event
+// collection, and critical-path analysis). The observed ns/op should
+// stay within a few percent of the plain one — the registry is sharded
+// atomics and the collector is one small allocation per task.
+func BenchmarkObservationOverhead(b *testing.B) {
+	p := polypipe.Listing3(32)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := polypipe.RunPipelined(p, 4, polypipe.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := polypipe.Observe(p, 4, polypipe.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDetect measures the compile-time cost of Algorithm 1 — the
 // analysis the paper runs inside Polly.
 func BenchmarkDetect(b *testing.B) {

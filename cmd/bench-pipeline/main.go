@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,6 +23,50 @@ import (
 	"repro/polypipe"
 )
 
+// cellResult is one (program, N, SIZE) measurement of a -json run.
+type cellResult struct {
+	Prog          string  `json:"prog"`
+	N             int     `json:"n"`
+	Size          int     `json:"size"`
+	Speedup       float64 `json:"speedup"`
+	Executor      string  `json:"executor"`
+	ElapsedNs     int64   `json:"elapsed_ns"`
+	Tasks         int     `json:"tasks"`
+	MaxConcurrent int     `json:"max_concurrent"`
+	StallNs       int64   `json:"stall_ns"`
+	Utilization   float64 `json:"utilization"`
+}
+
+// runResult is the whole bench run as one JSON object, so trajectories
+// can be collected as BENCH_*.json without scraping the text table.
+type runResult struct {
+	Workers int          `json:"workers"`
+	Mode    string       `json:"mode"`
+	Reps    int          `json:"reps"`
+	Cells   []cellResult `json:"cells"`
+}
+
+// observeCell runs one observed pipelined execution and folds its
+// metrics into a cell.
+func observeCell(p *kernels.Program, workers int, spec kernels.T9Spec, n, size int, speedup float64) (cellResult, error) {
+	m, err := polypipe.Observe(p, workers, polypipe.Options{})
+	if err != nil {
+		return cellResult{}, err
+	}
+	return cellResult{
+		Prog:          spec.Name,
+		N:             n,
+		Size:          size,
+		Speedup:       speedup,
+		Executor:      m.Result.Executor,
+		ElapsedNs:     m.Result.Elapsed.Nanoseconds(),
+		Tasks:         m.Result.Tasks,
+		MaxConcurrent: m.Result.MaxConcurrent,
+		StallNs:       m.Analysis.TotalStall.Nanoseconds(),
+		Utilization:   m.Analysis.Utilization(workers),
+	}, nil
+}
+
 func main() {
 	ns := flag.String("n", "8,12,16", "comma-separated matrix sizes N")
 	sizes := flag.String("size", "4,8", "comma-separated gmp_data SIZE values")
@@ -31,6 +76,7 @@ func main() {
 	mode := flag.String("mode", "sim", "sim (virtual time, works on any host) or real (wall clock)")
 	overhead := flag.Duration("task-overhead", 500*time.Nanosecond, "per-task scheduling overhead modelled in sim mode")
 	table9 := flag.Bool("table9", false, "print the Table 9 program specifications (Figure 9) and exit")
+	jsonOut := flag.Bool("json", false, "emit the run's results (speedups plus observed stall/utilization metrics) as one JSON object on stdout")
 	flag.Parse()
 	if *table9 {
 		fmt.Print(table9Spec())
@@ -71,9 +117,12 @@ func main() {
 		}
 	}
 
-	fmt.Printf("Figure 10 reproduction: pipelined vs sequential speed-up (workers=%d, reps=%d, mode=%s)\n\n",
-		*workers, *reps, *mode)
+	if !*jsonOut {
+		fmt.Printf("Figure 10 reproduction: pipelined vs sequential speed-up (workers=%d, reps=%d, mode=%s)\n\n",
+			*workers, *reps, *mode)
+	}
 
+	run := runResult{Workers: *workers, Mode: *mode, Reps: *reps}
 	var rowLabels []string
 	var grid [][]float64
 	for _, spec := range specs {
@@ -101,11 +150,26 @@ func main() {
 				}
 			}
 			row = append(row, best)
+			if *jsonOut {
+				cell, err := observeCell(p, *workers, spec, c.n, c.size, best)
+				if err != nil {
+					fatal(err)
+				}
+				run.Cells = append(run.Cells, cell)
+			}
 			fmt.Fprintf(os.Stderr, ".")
 		}
 		grid = append(grid, row)
 	}
 	fmt.Fprintln(os.Stderr)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(run); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	fmt.Println(report.Heatmap("prog", rowLabels, colLabels, grid))
 }
 

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/kernels"
 )
 
 func TestParseInts(t *testing.T) {
@@ -16,6 +19,38 @@ func TestParseInts(t *testing.T) {
 	one, err := parseInts("4")
 	if err != nil || len(one) != 1 {
 		t.Fatalf("single = %v, %v", one, err)
+	}
+}
+
+// TestObserveCellJSON runs one small cell through the -json path and
+// checks the emitted object carries the observed runtime metrics.
+func TestObserveCellJSON(t *testing.T) {
+	spec, ok := kernels.T9SpecByName("P1")
+	if !ok {
+		t.Fatal("P1 spec missing")
+	}
+	p := kernels.BuildTable9(spec, 8, 2)
+	cell, err := observeCell(p, 2, spec, 8, 2, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Prog != "P1" || cell.N != 8 || cell.Size != 2 || cell.Speedup != 1.5 {
+		t.Errorf("cell identity = %+v", cell)
+	}
+	if cell.Tasks <= 0 || cell.ElapsedNs <= 0 || cell.MaxConcurrent < 1 {
+		t.Errorf("cell metrics = %+v", cell)
+	}
+	if cell.Utilization <= 0 || cell.Utilization > 1.01 {
+		t.Errorf("utilization = %f", cell.Utilization)
+	}
+	data, err := json.Marshal(runResult{Workers: 2, Mode: "sim", Reps: 1, Cells: []cellResult{cell}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"workers"`, `"cells"`, `"stall_ns"`, `"utilization"`, `"max_concurrent"`, `"elapsed_ns"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
 	}
 }
 

@@ -1,0 +1,138 @@
+// Command pipeline-stats runs one of the built-in workloads with the
+// full observability layer enabled and prints where the time goes: the
+// detection/compile phase breakdown (§4's analysis cost), the run-time
+// behaviour of the tasking layer (stall, queue, per-worker
+// utilization), and the realized critical path of the executed task
+// DAG compared against the Eq. 5/6 bounds. It also writes the
+// execution as a Chrome/Perfetto trace_event file.
+//
+// Usage:
+//
+//	pipeline-stats -kernel listing3 -n 48 -workers 4
+//	pipeline-stats -kernel P5 -n 10 -size 2 -o p5-trace.json
+//	pipeline-stats -kernel 3gmm -rows 128 -no-trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/report"
+	"repro/polypipe"
+)
+
+func main() {
+	kernel := flag.String("kernel", "listing3", "workload: listing1, listing3, P1..P10, or {2,3,4}{mm,mmt,gmm,gmmt}")
+	n := flag.Int("n", 48, "grid size for listing/P workloads")
+	size := flag.Int("size", 2, "SIZE for P workloads")
+	rows := flag.Int("rows", 96, "rows for matrix-chain workloads")
+	workers := flag.Int("workers", 4, "pipeline workers")
+	work := flag.Duration("work", time.Millisecond, "extra wall-clock cost per statement instance (the Table 9 SIZE analogue; a timed wait, so overlap is visible on any host); 0 leaves the raw bodies, whose cost is below task overhead")
+	minBlock := flag.Int("min-block-iters", 8, "coarsen blocks to at least this many iterations (Options.MinBlockIters); amortizes per-task handoff")
+	out := flag.String("o", "trace.json", "Perfetto trace_event output file")
+	noTrace := flag.Bool("no-trace", false, "skip writing the trace file")
+	flag.Parse()
+
+	p, err := polypipe.Kernel(*kernel, *n, *size, *rows)
+	if err != nil {
+		fatal(err)
+	}
+	polypipe.AmplifyWork(p, *work)
+	opts := polypipe.Options{MinBlockIters: *minBlock}
+	seq := polypipe.RunSequential(p)
+	m, err := polypipe.Observe(p, *workers, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if m.Result.Hash != seq.Hash {
+		fatal(fmt.Errorf("observed run hash %x differs from sequential %x", m.Result.Hash, seq.Hash))
+	}
+	if err := printStats(os.Stdout, p.Name, *workers, seq.Elapsed, m); err != nil {
+		fatal(err)
+	}
+	if !*noTrace {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := m.WriteTraceJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s (open at ui.perfetto.dev or chrome://tracing)\n", *out)
+	}
+}
+
+// printStats renders the full breakdown of one observed execution.
+func printStats(w io.Writer, name string, workers int, sequential time.Duration, m *polypipe.Metrics) error {
+	fmt.Fprintf(w, "%s: %d workers, %d tasks, max %d concurrent\n\n",
+		name, workers, m.Result.Tasks, m.Result.MaxConcurrent)
+
+	fmt.Fprintln(w, "compile phases:")
+	pt := report.NewTable("phase", "time")
+	for _, ph := range m.Phases {
+		if ph.Name == "execute" {
+			continue
+		}
+		pt.Add(ph.Name, report.FormatDuration(ph.Duration))
+	}
+	fmt.Fprint(w, pt.String())
+
+	s := m.Snapshot
+	fmt.Fprintf(w, "\ndetection counts: statements=%d pairs=%d blocks=%d dep_edges=%d tree_nodes=%d\n",
+		s.Counter("detect.statements"), s.Counter("detect.pairs"),
+		s.Counter("detect.blocks"), s.Counter("detect.dep_edges"),
+		s.Gauge("sched.tree_nodes"))
+
+	a := m.Analysis
+	fmt.Fprintln(w, "\nruntime:")
+	rt := report.NewTable("metric", "value")
+	rt.Add("sequential elapsed", report.FormatDuration(sequential))
+	rt.Add("pipeline elapsed", report.FormatDuration(m.Result.Elapsed))
+	rt.Add("speedup", report.FormatSpeedup(float64(sequential)/float64(m.Result.Elapsed)))
+	rt.Add("makespan", report.FormatDuration(a.Makespan))
+	rt.Add("busy (Σ tasks)", report.FormatDuration(a.Busy))
+	rt.Add("overlap", report.FormatSpeedup(a.Overlap))
+	rt.Add("total stall", report.FormatDuration(a.TotalStall))
+	rt.Add("pool utilization", report.FormatPercent(a.Utilization(workers)))
+	rt.Add("peak concurrency", strconv.FormatInt(s.Gauge("tasking.peak_concurrency"), 10))
+	rt.Add("dropped events", strconv.Itoa(a.DroppedEvents))
+	fmt.Fprint(w, rt.String())
+
+	fmt.Fprintln(w, "\nper-worker:")
+	wt := report.NewTable("worker", "busy", "utilization")
+	util := a.WorkerUtilization()
+	ws := make([]int, 0, len(a.PerWorker))
+	for id := range a.PerWorker {
+		ws = append(ws, id)
+	}
+	sort.Ints(ws)
+	for _, id := range ws {
+		wt.Add(strconv.Itoa(id), report.FormatDuration(a.PerWorker[id]), report.FormatPercent(util[id]))
+	}
+	fmt.Fprint(w, wt.String())
+
+	fmt.Fprintf(w, "\ncritical path: %s\n", m.Critical)
+	fmt.Fprintf(w, "bounds: critical path %s ≤ pipeline %s ≤ sequential %s",
+		report.FormatDuration(m.Critical.Length),
+		report.FormatDuration(m.Result.Elapsed),
+		report.FormatDuration(sequential))
+	if m.Critical.Length <= m.Result.Elapsed && m.Result.Elapsed <= sequential {
+		fmt.Fprintln(w, "  [holds]")
+	} else {
+		fmt.Fprintln(w, "  [VIOLATED — noisy host?]")
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pipeline-stats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/polypipe"
+)
+
+// TestPrintStatsEndToEnd observes a real (small) kernel run and checks
+// the printed breakdown contains every section the CLI promises, plus
+// the acceptance ordering critical path ≤ pipeline makespan.
+func TestPrintStatsEndToEnd(t *testing.T) {
+	p, err := polypipe.Kernel("listing3", 16, 2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := polypipe.RunSequential(p)
+	m, err := polypipe.Observe(p, 4, polypipe.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := printStats(&b, p.Name, 4, seq.Elapsed, m); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"compile phases:",
+		"detect.pipeline_maps",
+		"detect.dependency_relations",
+		"codegen.schedule_tree",
+		"detection counts:",
+		"total stall",
+		"pool utilization",
+		"per-worker:",
+		"critical path:",
+		"bounds:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	if m.Critical.Length <= 0 {
+		t.Error("critical path length not positive")
+	}
+	if m.Critical.Length > m.Analysis.Makespan {
+		t.Errorf("critical path %v exceeds makespan %v", m.Critical.Length, m.Analysis.Makespan)
+	}
+	if m.Analysis.DroppedEvents != 0 {
+		t.Errorf("dropped events = %d", m.Analysis.DroppedEvents)
+	}
+}
+
+// TestTraceJSONIsValidTraceEvent checks the exported file is loadable
+// trace_event JSON: an object with a traceEvents array whose entries
+// carry the required keys.
+func TestTraceJSONIsValidTraceEvent(t *testing.T) {
+	p, err := polypipe.Kernel("listing1", 12, 2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := polypipe.TraceJSON(&b, p, 2, polypipe.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &file); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	sawComplete := false
+	for _, ev := range file.TraceEvents {
+		ph, ok := ev["ph"].(string)
+		if !ok || ph == "" {
+			t.Fatalf("event missing ph: %v", ev)
+		}
+		if _, ok := ev["pid"]; !ok {
+			t.Fatalf("event missing pid: %v", ev)
+		}
+		if ph == "X" {
+			sawComplete = true
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+		}
+	}
+	if !sawComplete {
+		t.Error("no complete (X) events in trace")
+	}
+}

@@ -1,21 +1,21 @@
 // Command trace-viz runs one of the built-in workloads under the
-// pipelined executor with tracing enabled and writes an SVG Gantt
-// timeline of per-statement activity — the graphical version of the
-// paper's Figure 2 overlap picture, measured rather than drawn.
+// pipelined executor with tracing enabled and writes either an SVG
+// Gantt timeline of per-statement activity — the graphical version of
+// the paper's Figure 2 overlap picture, measured rather than drawn —
+// or a Chrome/Perfetto trace_event JSON file (open it at
+// ui.perfetto.dev or chrome://tracing; see docs/OBSERVABILITY.md).
 //
 // Usage:
 //
 //	trace-viz -kernel listing3 -n 48 -workers 4 -o overlap.svg
 //	trace-viz -kernel 3gmm -rows 128 -o gmm.svg
-//	trace-viz -kernel P5 -n 10 -size 2 -o p5.svg
+//	trace-viz -kernel P5 -n 10 -size 2 -format json -o p5.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
 	"repro/polypipe"
 )
@@ -26,46 +26,57 @@ func main() {
 	size := flag.Int("size", 2, "SIZE for P workloads")
 	rows := flag.Int("rows", 96, "rows for matrix-chain workloads")
 	workers := flag.Int("workers", 4, "pipeline workers")
-	out := flag.String("o", "trace.svg", "output SVG file")
+	format := flag.String("format", "svg", "output format: svg (Gantt timeline) or json (Perfetto trace_event)")
+	out := flag.String("o", "", "output file (default trace.<format>)")
 	flag.Parse()
 
+	if err := checkFormat(*format); err != nil {
+		fatal(err)
+	}
 	prog, err := buildKernel(*kernel, *n, *size, *rows)
 	if err != nil {
 		fatal(err)
 	}
-	f, err := os.Create(*out)
+	name := outputName(*out, *format)
+	f, err := os.Create(name)
 	if err != nil {
 		fatal(err)
 	}
-	if err := polypipe.TraceSVG(f, prog, *workers, polypipe.Options{}); err != nil {
+	switch *format {
+	case "svg":
+		err = polypipe.TraceSVG(f, prog, *workers, polypipe.Options{})
+	case "json":
+		err = polypipe.TraceJSON(f, prog, *workers, polypipe.Options{})
+	}
+	if err != nil {
 		fatal(err)
 	}
 	if err := f.Close(); err != nil {
 		fatal(err)
 	}
-	fmt.Printf("wrote %s (%s, %d workers)\n", *out, prog.Name, *workers)
+	fmt.Printf("wrote %s (%s, %d workers)\n", name, prog.Name, *workers)
+}
+
+// checkFormat validates the -format flag.
+func checkFormat(format string) error {
+	switch format {
+	case "svg", "json":
+		return nil
+	}
+	return fmt.Errorf("unknown format %q (want svg or json)", format)
+}
+
+// outputName resolves the output path: an explicit -o wins, otherwise
+// trace.<format>.
+func outputName(out, format string) string {
+	if out != "" {
+		return out
+	}
+	return "trace." + format
 }
 
 func buildKernel(name string, n, size, rows int) (*polypipe.Program, error) {
-	switch {
-	case name == "listing1":
-		return polypipe.Listing1(n), nil
-	case name == "listing3":
-		return polypipe.Listing3(n), nil
-	case strings.HasPrefix(name, "P"):
-		return polypipe.Table9Program(name, n, size)
-	}
-	if len(name) >= 3 {
-		chain, err := strconv.Atoi(name[:1])
-		if err == nil {
-			for _, v := range []polypipe.Variant{polypipe.MM, polypipe.MMT, polypipe.GMM, polypipe.GMMT} {
-				if name[1:] == v.String() {
-					return polypipe.MMChain(chain, rows, v), nil
-				}
-			}
-		}
-	}
-	return nil, fmt.Errorf("unknown kernel %q", name)
+	return polypipe.Kernel(name, n, size, rows)
 }
 
 func fatal(err error) {

@@ -31,3 +31,25 @@ func TestBuildKernel(t *testing.T) {
 		}
 	}
 }
+
+func TestFormatFlagParsing(t *testing.T) {
+	for _, ok := range []string{"svg", "json"} {
+		if err := checkFormat(ok); err != nil {
+			t.Errorf("checkFormat(%q) = %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "SVG", "perfetto", "html"} {
+		if err := checkFormat(bad); err == nil {
+			t.Errorf("checkFormat(%q) accepted", bad)
+		}
+	}
+	if got := outputName("", "json"); got != "trace.json" {
+		t.Errorf("outputName default = %q", got)
+	}
+	if got := outputName("", "svg"); got != "trace.svg" {
+		t.Errorf("outputName default = %q", got)
+	}
+	if got := outputName("my.out", "json"); got != "my.out" {
+		t.Errorf("explicit -o not honored: %q", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isl"
+	"repro/internal/obs"
 	"repro/internal/schedtree"
 	"repro/internal/scop"
 	"repro/internal/tasking"
@@ -42,6 +43,10 @@ type CompileOptions struct {
 	// many goroutines. Blocks still run in order and cross-loop
 	// dependencies are unchanged, so correctness is unaffected.
 	IntraBlockWorkers int
+	// Obs, when non-nil, receives compile-phase timings
+	// ("codegen.schedule_tree", "codegen.lower") and counts
+	// ("codegen.tasks", "sched.tree_nodes").
+	Obs *obs.Recorder
 }
 
 // TaskProgram is the compiled pipelined program: tasks in creation
@@ -112,7 +117,14 @@ func CompileWithOptions(info *core.Info, opts CompileOptions) (*TaskProgram, err
 		}
 	}
 
-	instances := schedtree.Flatten(schedtree.Build(info))
+	stop := opts.Obs.Phase("codegen.schedule_tree")
+	tree := schedtree.Build(info)
+	stop()
+	opts.Obs.SetGauge("sched.tree_nodes", int64(schedtree.NumNodes(tree)))
+
+	stop = opts.Obs.Phase("codegen.lower")
+	defer stop()
+	instances := schedtree.Flatten(tree)
 	for _, inst := range instances {
 		stmt := inst.Task.Stmt
 		spec := TaskSpec{
@@ -132,11 +144,60 @@ func CompileWithOptions(info *core.Info, opts CompileOptions) (*TaskProgram, err
 		prog.Tasks = append(prog.Tasks, spec)
 	}
 	prog.blocks = len(prog.Tasks)
+	opts.Obs.Count("codegen.tasks", int64(prog.blocks))
 	return prog, nil
 }
 
 // NumTasks returns the number of tasks the program creates.
 func (p *TaskProgram) NumTasks() int { return p.blocks }
+
+// DataEdges returns the realized cross-statement dependency edges of
+// the task DAG as (producer, consumer) pairs of task indices, resolved
+// the way the runtime resolves them: each In address against the last
+// previously created task writing it. Edges always point forward in
+// creation order.
+func (p *TaskProgram) DataEdges() [][2]int {
+	lastWriter := map[int]int{}
+	var edges [][2]int
+	for i := range p.Tasks {
+		spec := &p.Tasks[i]
+		for _, addr := range spec.In {
+			if j, ok := lastWriter[addr]; ok {
+				edges = append(edges, [2]int{j, i})
+			}
+		}
+		if spec.Out >= 0 {
+			lastWriter[spec.Out] = i
+		}
+	}
+	return edges
+}
+
+// SerialEdges returns the per-statement serialization chains (the
+// funcCount self-dependencies) as (predecessor, successor) pairs of
+// task indices.
+func (p *TaskProgram) SerialEdges() [][2]int {
+	lastSerial := map[int]int{}
+	var edges [][2]int
+	for i := range p.Tasks {
+		key := p.Tasks[i].Serial
+		if key < 0 {
+			continue
+		}
+		if j, ok := lastSerial[key]; ok {
+			edges = append(edges, [2]int{j, i})
+		}
+		lastSerial[key] = i
+	}
+	return edges
+}
+
+// PrecedenceEdges returns all realized scheduling constraints of the
+// task DAG: data-dependency edges plus serial chains — the edge set the
+// critical-path analysis walks.
+func (p *TaskProgram) PrecedenceEdges() [][2]int {
+	return append(p.DataEdges(), p.SerialEdges()...)
+}
 
 // Layer is the minimal tasking interface a back end must provide; the
 // transformation targets it rather than any specific runtime (§7's

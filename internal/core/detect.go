@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/deps"
 	"repro/internal/isl"
+	"repro/internal/obs"
 	"repro/internal/scop"
 )
 
@@ -25,6 +26,13 @@ type Options struct {
 	// declared MayOverwrite — the §7 extension beyond the paper's
 	// injective-write assumption.
 	AllowOverwrites bool
+	// Obs, when non-nil, receives per-phase detection timings
+	// ("detect.dependence_analysis", "detect.pipeline_maps",
+	// "detect.blocking_integration", "detect.dependency_relations") and
+	// per-SCoP counts ("detect.statements", "detect.pairs",
+	// "detect.blocks", "detect.dep_edges"). Detection behaviour is
+	// unchanged; see docs/OBSERVABILITY.md.
+	Obs *obs.Recorder
 }
 
 // PipelinePair records the pipeline map between one dependent pair of
@@ -114,13 +122,18 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	stop := opts.Obs.Phase("detect.dependence_analysis")
 	if err := deps.CrossHazards(sc); err != nil {
+		stop()
 		return nil, fmt.Errorf("core: scop not pipelinable: %w", err)
 	}
 	g := deps.Analyze(sc)
+	stop()
+	opts.Obs.Count("detect.statements", int64(len(sc.Stmts)))
 	info := &Info{SCoP: sc, Graph: g}
 
 	// Pairwise pipeline maps and blocking maps (Algorithm 1, lines 1–7).
+	stop = opts.Obs.Phase("detect.pipeline_maps")
 	blockingMaps := make([][]*isl.Map, len(sc.Stmts))
 	for _, src := range sc.Stmts {
 		if src.Write == nil {
@@ -135,6 +148,7 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 			var err error
 			if src.Write.MayOverwrite {
 				if !opts.AllowOverwrites {
+					stop()
 					return nil, fmt.Errorf("core: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", src.Name)
 				}
 				t, err = PipelineMapRelaxed(src.Write.Rel, rd)
@@ -142,6 +156,7 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 				t, err = PipelineMap(src.Write.Rel, rd)
 			}
 			if err != nil {
+				stop()
 				return nil, fmt.Errorf("core: pipeline map %s -> %s: %w", src.Name, dst.Name, err)
 			}
 			if t.IsEmpty() {
@@ -159,8 +174,11 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 			blockingMaps[dst.Index] = append(blockingMaps[dst.Index], pair.Y)
 		}
 	}
+	stop()
+	opts.Obs.Count("detect.pairs", int64(len(info.Pairs)))
 
 	// Integrated blocking maps E_S (lines 8–9) and blocks.
+	stop = opts.Obs.Phase("detect.blocking_integration")
 	for _, s := range sc.Stmts {
 		maps := blockingMaps[s.Index]
 		if opts.PairwiseBlocks && len(maps) > 1 {
@@ -175,16 +193,23 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 		}
 		info.Stmts = append(info.Stmts, si)
 	}
+	stop()
+	opts.Obs.Count("detect.blocks", int64(info.TotalBlocks()))
 
 	// Block-level in-dependencies Q_S (lines 10–12, Eq. 4).
+	stop = opts.Obs.Phase("detect.dependency_relations")
+	depEdges := 0
 	for _, pair := range info.Pairs {
 		srcInfo := info.Stmts[pair.Src.Index]
 		dstInfo := info.Stmts[pair.Dst.Index]
 		rel := dependencyRelation(pair, srcInfo.E, dstInfo)
 		if !rel.IsEmpty() {
 			dstInfo.InDeps = append(dstInfo.InDeps, InDep{Src: pair.Src, Rel: rel})
+			depEdges += rel.Card()
 		}
 	}
+	stop()
+	opts.Obs.Count("detect.dep_edges", int64(depEdges))
 	return info, nil
 }
 

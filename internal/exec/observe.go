@@ -1,0 +1,102 @@
+package exec
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/tasking"
+	"repro/internal/trace"
+)
+
+// Observation couples one pipelined execution with everything the
+// observability layer measured about it: the ordinary Result, the
+// compile-side phase timings and counts, the span-level analysis
+// (stall, utilization, overlap, Eq. 5/6 aggregates), the realized
+// critical path of the executed task DAG, the data-dependency edges
+// (for trace export), and the full metrics snapshot.
+type Observation struct {
+	Result    Result
+	Phases    []obs.PhaseSpan
+	Analysis  trace.Analysis
+	Critical  trace.CriticalPath
+	DataEdges [][2]int
+	Snapshot  obs.Snapshot
+	// StmtNames maps statement index to name, for trace export.
+	StmtNames map[int]string
+}
+
+// PipelinedObserved is Pipelined with the full observability layer
+// threaded through the stack: detection and codegen phases are timed
+// into rec's phase list, the tasking runtime reports queue depth,
+// stall, and per-worker busy time into rec's registry, a collector
+// gathers per-task spans, and the executed DAG's critical path is
+// computed. rec may be nil; a fresh recorder is created.
+func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *obs.Recorder) (*Observation, error) {
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	opts.Obs = rec
+
+	stop := rec.Phase("detect")
+	info, err := core.Detect(p.SCoP, opts)
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("exec: detect: %w", err)
+	}
+	stop = rec.Phase("compile")
+	prog, err := codegen.CompileWithOptions(info, codegen.CompileOptions{Obs: rec})
+	stop()
+	if err != nil {
+		return nil, fmt.Errorf("exec: compile: %w", err)
+	}
+
+	c := trace.NewCollector()
+	c.SetRegistry(rec.Reg)
+	p.Reset()
+	r := tasking.New(workers)
+	r.Observe(rec.Reg)
+	r.SetTrace(c.Hook())
+
+	stop = rec.Phase("execute")
+	start := time.Now()
+	prog.Submit(r)
+	r.Wait()
+	elapsed := time.Since(start)
+	stop()
+	executed, maxRun := r.Stats()
+	r.Close()
+
+	o := &Observation{
+		Result: Result{
+			Executor:      "pipeline-observed",
+			Elapsed:       elapsed,
+			Hash:          p.Hash(),
+			Tasks:         executed,
+			MaxConcurrent: maxRun,
+		},
+		Analysis:  c.Analyze(),
+		DataEdges: prog.DataEdges(),
+		Phases:    rec.Phases.Spans(),
+		Snapshot:  rec.Snapshot(),
+		StmtNames: map[int]string{},
+	}
+	o.Critical = trace.ComputeCriticalPath(o.Analysis.Spans, prog.PrecedenceEdges())
+	for _, s := range p.SCoP.Stmts {
+		o.StmtNames[s.Index] = s.Name
+	}
+	return o, nil
+}
+
+// WriteTraceJSON exports an observation's spans as Chrome/Perfetto
+// trace_event JSON, with flow arrows along the data-dependency edges.
+func (o *Observation) WriteTraceJSON(w io.Writer) error {
+	return trace.WritePerfetto(w, o.Analysis.Spans, trace.PerfettoOptions{
+		Names: o.StmtNames,
+		Edges: o.DataEdges,
+	})
+}

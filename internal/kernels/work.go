@@ -1,0 +1,35 @@
+package kernels
+
+import (
+	"time"
+
+	"repro/internal/isl"
+)
+
+// Amplify wraps every statement body of p so each dynamic instance
+// additionally waits d on the wall clock, without changing the
+// computed values or the Hash. It plays the role of the paper's
+// gmp_data SIZE knob: the Table 9 programs carry configurable
+// per-iteration cost so that run-time schedule structure (overlap,
+// stall, critical path) dominates task-management overhead; the
+// listing kernels' raw bodies are a handful of float ops, far below
+// it. The cost is a timed wait rather than a compute spin so that the
+// elapsed time of a schedule reflects its structure even on a
+// single-core host — the real-time counterpart of internal/simsched's
+// virtual-time argument. On Linux the sleep granularity floors the
+// effective d at roughly a millisecond.
+func Amplify(p *Program, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for k := range p.SCoP.Stmts {
+		body := p.SCoP.Stmts[k].Body
+		if body == nil {
+			continue
+		}
+		p.SCoP.Stmts[k].Body = func(iv isl.Vec) {
+			body(iv)
+			time.Sleep(d)
+		}
+	}
+}

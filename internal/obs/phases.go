@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// PhaseSpan is one timed phase of a compile or run.
+type PhaseSpan struct {
+	Name     string
+	Start    time.Time
+	Duration time.Duration
+}
+
+// Phases records named, possibly nested phase timings in start order.
+// All methods are safe for concurrent use and no-ops on a nil receiver,
+// so instrumented code can call unconditionally.
+type Phases struct {
+	mu    sync.Mutex
+	spans []PhaseSpan
+}
+
+// Start begins timing a phase and returns the function that ends it.
+// The span is recorded when the stop function runs.
+func (p *Phases) Start(name string) (stop func()) {
+	if p == nil {
+		return func() {}
+	}
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		p.mu.Lock()
+		p.spans = append(p.spans, PhaseSpan{Name: name, Start: begin, Duration: d})
+		p.mu.Unlock()
+	}
+}
+
+// Spans returns the recorded phases sorted by start time.
+func (p *Phases) Spans() []PhaseSpan {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	out := make([]PhaseSpan, len(p.spans))
+	copy(out, p.spans)
+	p.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
+	return out
+}
+
+// Recorder bundles the three observability channels one execution
+// threads through the stack: a metrics registry, a phase timer, and an
+// optional structured-event sink. Every method is a no-op on a nil
+// receiver, so packages accept a *Recorder and instrument
+// unconditionally.
+type Recorder struct {
+	Reg    *Registry
+	Phases *Phases
+	Events Sink
+}
+
+// NewRecorder returns a recorder with a fresh registry and phase timer
+// and no event sink.
+func NewRecorder() *Recorder {
+	return &Recorder{Reg: NewRegistry(), Phases: &Phases{}}
+}
+
+// Phase starts a named phase; call the returned stop function to
+// record it (and emit a phase event when a sink is installed).
+func (r *Recorder) Phase(name string) (stop func()) {
+	if r == nil || r.Phases == nil {
+		return func() {}
+	}
+	inner := r.Phases.Start(name)
+	if r.Events == nil {
+		return inner
+	}
+	return func() {
+		inner()
+		r.Emit("phase", map[string]any{"name": name})
+	}
+}
+
+// Count adds n to the named counter.
+func (r *Recorder) Count(name string, n int64) {
+	if r == nil || r.Reg == nil {
+		return
+	}
+	r.Reg.Counter(name).Add(n)
+}
+
+// SetGauge stores v in the named gauge.
+func (r *Recorder) SetGauge(name string, v int64) {
+	if r == nil || r.Reg == nil {
+		return
+	}
+	r.Reg.Gauge(name).Set(v)
+}
+
+// Emit sends a structured event to the sink, if one is installed.
+func (r *Recorder) Emit(name string, fields map[string]any) {
+	if r == nil || r.Events == nil {
+		return
+	}
+	r.Events.Emit(Event{Name: name, When: time.Now(), Fields: fields})
+}
+
+// Snapshot copies the registry, or returns an empty snapshot without
+// one.
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil || r.Reg == nil {
+		return Snapshot{
+			Counters:   map[string]int64{},
+			Gauges:     map[string]int64{},
+			Histograms: map[string]HistogramSnapshot{},
+		}
+	}
+	return r.Reg.Snapshot()
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhasesOrderAndNilSafety(t *testing.T) {
+	var nilP *Phases
+	nilP.Start("x")() // must not panic
+	if nilP.Spans() != nil {
+		t.Error("nil Phases must report no spans")
+	}
+
+	p := &Phases{}
+	stopA := p.Start("a")
+	time.Sleep(time.Millisecond)
+	stopB := p.Start("b")
+	stopB()
+	stopA()
+	spans := p.Spans()
+	if len(spans) != 2 || spans[0].Name != "a" || spans[1].Name != "b" {
+		t.Fatalf("spans = %+v", spans)
+	}
+	if spans[0].Duration < spans[1].Duration {
+		t.Errorf("outer phase shorter than nested: %v < %v", spans[0].Duration, spans[1].Duration)
+	}
+}
+
+func TestRecorderNilSafety(t *testing.T) {
+	var r *Recorder
+	r.Phase("p")()
+	r.Count("c", 1)
+	r.SetGauge("g", 1)
+	r.Emit("e", nil)
+	if len(r.Snapshot().Counters) != 0 {
+		t.Error("nil recorder snapshot must be empty")
+	}
+}
+
+func TestRecorderRecords(t *testing.T) {
+	r := NewRecorder()
+	ring := NewRing(4)
+	r.Events = ring
+	stop := r.Phase("detect")
+	r.Count("pairs", 3)
+	r.SetGauge("depth", 2)
+	stop()
+	if got := r.Snapshot().Counter("pairs"); got != 3 {
+		t.Errorf("pairs = %d", got)
+	}
+	if spans := r.Phases.Spans(); len(spans) != 1 || spans[0].Name != "detect" {
+		t.Errorf("phases = %+v", spans)
+	}
+	evs := ring.Events()
+	if len(evs) != 1 || evs[0].Name != "phase" || evs[0].Fields["name"] != "detect" {
+		t.Errorf("events = %+v", evs)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(2)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Name: string(rune('a' + i))})
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Name != "d" || evs[1].Name != "e" {
+		t.Errorf("events = %+v", evs)
+	}
+	if r.Evicted() != 3 {
+		t.Errorf("evicted = %d", r.Evicted())
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Emit(Event{Name: "e"})
+				if i%50 == 0 {
+					_ = r.Events()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := int64(len(r.Events())) + r.Evicted(); got != 8*200 {
+		t.Errorf("retained+evicted = %d, want %d", got, 8*200)
+	}
+}

@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.count")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("counter = %d", c.Value())
+	}
+	if r.Counter("a.count") != c {
+		t.Error("same name must return the same counter")
+	}
+	g := r.Gauge("a.depth")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d", g.Value())
+	}
+	g.Max(3)
+	if g.Value() != 5 {
+		t.Error("Max lowered the gauge")
+	}
+	g.Max(9)
+	if g.Value() != 9 {
+		t.Error("Max did not raise the gauge")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []int64{10, 100})
+	for _, v := range []int64{5, 10, 11, 1000} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 1026 {
+		t.Errorf("count=%d sum=%d", h.Count(), h.Sum())
+	}
+	s := r.Snapshot().Histograms["lat"]
+	want := []int64{2, 1, 1} // ≤10, ≤100, +Inf
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, b.Count, want[i])
+		}
+	}
+	if s.Buckets[2].UpperBound >= 0 {
+		t.Error("last bucket must be +Inf (negative UpperBound)")
+	}
+	if m := h.Mean(); m != 1026.0/4 {
+		t.Errorf("mean = %f", m)
+	}
+}
+
+// TestRegistryConcurrent hammers one registry from many goroutines; the
+// -race run of this test is the concurrency-safety lock-in the
+// observability layer promises.
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Counter("shared.count").Inc()
+				r.Counter(fmt.Sprintf("worker.%d.count", w)).Inc()
+				r.Gauge("shared.depth").Add(1)
+				r.Gauge("shared.depth").Add(-1)
+				r.Gauge("shared.peak").Max(int64(i))
+				r.Histogram("shared.lat", nil).Observe(int64(i))
+				if i%100 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	if got := s.Counter("shared.count"); got != workers*per {
+		t.Errorf("shared.count = %d, want %d", got, workers*per)
+	}
+	if got := s.Gauge("shared.depth"); got != 0 {
+		t.Errorf("shared.depth = %d, want 0", got)
+	}
+	if got := s.Gauge("shared.peak"); got != per-1 {
+		t.Errorf("shared.peak = %d, want %d", got, per-1)
+	}
+	if got := s.Histograms["shared.lat"].Count; got != workers*per {
+		t.Errorf("histogram count = %d", got)
+	}
+	if len(s.Names()) < workers+4 {
+		t.Errorf("Names() = %d entries", len(s.Names()))
+	}
+}
+
+func TestSnapshotAbsentNames(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if s.Counter("nope") != 0 || s.Gauge("nope") != 0 {
+		t.Error("absent metrics must read 0")
+	}
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one structured observability event.
+type Event struct {
+	Name   string
+	When   time.Time
+	Fields map[string]any
+}
+
+// Sink consumes structured events. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+// Ring is a bounded in-memory sink: it keeps the most recent events up
+// to its capacity and counts the ones it evicted, so bursty runs stay
+// bounded in memory while the loss is visible.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	evicted int64
+}
+
+// NewRing returns a ring sink holding up to capacity events (minimum 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Emit stores the event, evicting the oldest when full.
+func (r *Ring) Emit(e Event) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		r.evicted++
+	}
+	r.buf[r.next] = e
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+}
+
+// Events returns the retained events oldest first.
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Evicted returns how many events were dropped to stay within capacity.
+func (r *Ring) Evicted() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.evicted
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"math"
 	"strings"
+	"time"
 )
 
 // Table is a simple aligned text table.
@@ -96,6 +97,31 @@ func FormatSpeedup(v float64) string {
 		return "-"
 	}
 	return fmt.Sprintf("%.2f", v)
+}
+
+// FormatDuration renders a duration with three significant digits in
+// the unit that fits it (ns, µs, ms, s), keeping timing tables aligned
+// and readable across six orders of magnitude.
+func FormatDuration(d time.Duration) string {
+	ns := d.Nanoseconds()
+	abs := ns
+	if abs < 0 {
+		abs = -abs
+	}
+	switch {
+	case abs < 1_000:
+		return fmt.Sprintf("%dns", ns)
+	case abs < 1_000_000:
+		return fmt.Sprintf("%.2fµs", float64(ns)/1e3)
+	case abs < 1_000_000_000:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	}
+	return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+}
+
+// FormatPercent renders a 0..1 fraction as a percentage ("87.3%").
+func FormatPercent(v float64) string {
+	return fmt.Sprintf("%.1f%%", v*100)
 }
 
 // Log2 returns log2 of a positive speed-up, the Figure 11 y-axis.

@@ -228,6 +228,17 @@ func Count(root Node) map[string]int {
 	return counts
 }
 
+// NumNodes returns the total node count of the tree (the
+// "sched.tree_nodes" metric of the observability layer).
+func NumNodes(root Node) int {
+	n := 0
+	Walk(root, func(Node) bool {
+		n++
+		return true
+	})
+	return n
+}
+
 // Validate checks the structural invariants of a transformed schedule
 // tree: every sequence child is a per-statement subtree of the exact
 // Algorithm 2 shape, the outer domain equals the contraction's range,

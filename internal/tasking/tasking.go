@@ -18,8 +18,11 @@ package tasking
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // NoSerial disables per-nest serialization for a task.
@@ -43,15 +46,49 @@ type Task struct {
 	Serial int
 }
 
+// EventKind is a task lifecycle transition.
+type EventKind uint8
+
+const (
+	// EventSubmit: the task was created (program order).
+	EventSubmit EventKind = iota + 1
+	// EventReady: the task's last predecessor finished and it entered
+	// the ready queue. The gap from Ready to Start is the task's stall.
+	EventReady
+	// EventStart: a worker began executing the task body.
+	EventStart
+	// EventEnd: the task body completed.
+	EventEnd
+)
+
+// String names the transition.
+func (k EventKind) String() string {
+	switch k {
+	case EventSubmit:
+		return "submit"
+	case EventReady:
+		return "ready"
+	case EventStart:
+		return "start"
+	case EventEnd:
+		return "end"
+	}
+	return "unknown"
+}
+
 // Event records a task lifecycle transition for tracing.
 type Event struct {
+	Kind   EventKind
 	TaskID int
 	Label  string
 	Serial int
-	Worker int  // worker index executing the task
-	Start  bool // true at task start, false at completion
+	Worker int // worker index for Start/End events, -1 otherwise
 	When   time.Time
 }
+
+// Start reports whether this is a start event (legacy accessor; switch
+// on Kind for the full transition set).
+func (e Event) Start() bool { return e.Kind == EventStart }
 
 // Runtime executes tasks with dependency tracking over integer
 // addresses. Create all tasks from one goroutine, then Wait.
@@ -66,11 +103,29 @@ type Runtime struct {
 	lastSerial map[int]*node // serialization key -> last created task
 	trace      func(Event)
 	workers    sync.WaitGroup
+	nworkers   int
 
 	// stats
 	executed int
 	running  int
 	maxRun   int
+
+	m runtimeMetrics
+}
+
+// runtimeMetrics caches the registry instruments the runtime updates on
+// its hot path; nil fields (no Observe call) cost one branch per site.
+type runtimeMetrics struct {
+	submitted  *obs.Counter
+	executed   *obs.Counter
+	stallNs    *obs.Counter
+	busyNs     *obs.Counter
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	peak       *obs.Gauge
+	stallHist  *obs.Histogram
+	taskHist   *obs.Histogram
+	workerBusy []*obs.Counter
 }
 
 // New starts a runtime with the given number of worker goroutines.
@@ -81,6 +136,7 @@ func New(workers int) *Runtime {
 	r := &Runtime{
 		lastWriter: make(map[int]*node),
 		lastSerial: make(map[int]*node),
+		nworkers:   workers,
 	}
 	r.cond = sync.NewCond(&r.mu)
 	r.workers.Add(workers)
@@ -90,13 +146,44 @@ func New(workers int) *Runtime {
 	return r
 }
 
-// SetTrace installs a tracing callback invoked at every task start and
-// completion. Install it before submitting tasks. The callback runs on
-// worker goroutines and must be internally synchronized.
+// SetTrace installs a tracing callback invoked at every task lifecycle
+// transition (submit, ready, start, end). Install it before submitting
+// tasks. The callback runs on coordinator and worker goroutines — for
+// submit and ready under the runtime lock — so it must be internally
+// synchronized and must not call back into the runtime.
 func (r *Runtime) SetTrace(fn func(Event)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.trace = fn
+}
+
+// Observe wires the runtime's execution metrics into a registry (see
+// docs/OBSERVABILITY.md for the name catalogue): task counts, live
+// queue depth, running tasks and peak concurrency, per-task stall
+// (ready→start) and duration histograms, and per-worker busy time.
+// Call before submitting tasks.
+func (r *Runtime) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.m = runtimeMetrics{
+		submitted:  reg.Counter("tasking.submitted"),
+		executed:   reg.Counter("tasking.executed"),
+		stallNs:    reg.Counter("tasking.stall_ns_total"),
+		busyNs:     reg.Counter("tasking.busy_ns_total"),
+		queueDepth: reg.Gauge("tasking.queue_depth"),
+		running:    reg.Gauge("tasking.running"),
+		peak:       reg.Gauge("tasking.peak_concurrency"),
+		stallHist:  reg.Histogram("tasking.stall_ns", nil),
+		taskHist:   reg.Histogram("tasking.task_ns", nil),
+		workerBusy: make([]*obs.Counter, r.nworkers),
+	}
+	reg.Gauge("tasking.workers").Set(int64(r.nworkers))
+	for w := 0; w < r.nworkers; w++ {
+		r.m.workerBusy[w] = reg.Counter("tasking.worker_busy_ns." + strconv.Itoa(w))
+	}
 }
 
 // node is the scheduler-internal task state.
@@ -106,6 +193,7 @@ type node struct {
 	remaining int     // unfinished predecessors
 	succs     []*node // tasks waiting on this one
 	done      bool
+	readyAt   time.Time // when the task entered the ready queue
 }
 
 // Submit creates a task. Dependencies resolve against previously
@@ -120,6 +208,12 @@ func (r *Runtime) Submit(t Task) {
 	n := &node{task: t, id: r.nextID}
 	r.nextID++
 	r.pending++
+	if r.m.submitted != nil {
+		r.m.submitted.Inc()
+	}
+	if r.trace != nil {
+		r.trace(Event{Kind: EventSubmit, TaskID: n.id, Label: t.Label, Serial: t.Serial, Worker: -1, When: time.Now()})
+	}
 
 	addPred := func(p *node) {
 		if p == nil || p.done {
@@ -143,8 +237,18 @@ func (r *Runtime) Submit(t Task) {
 	}
 }
 
+// enqueueLocked moves a node whose predecessors are all done into the
+// ready queue. The ready event is emitted under the lock so it is
+// globally ordered before the task's start event.
 func (r *Runtime) enqueueLocked(n *node) {
+	n.readyAt = time.Now()
 	r.queue = append(r.queue, n)
+	if r.m.queueDepth != nil {
+		r.m.queueDepth.Add(1)
+	}
+	if r.trace != nil {
+		r.trace(Event{Kind: EventReady, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: -1, When: n.readyAt})
+	}
 	r.cond.Signal()
 }
 
@@ -165,17 +269,37 @@ func (r *Runtime) worker(id int) {
 		if r.running > r.maxRun {
 			r.maxRun = r.running
 		}
+		maxRun := r.maxRun
+		m := r.m
 		trace := r.trace
 		r.mu.Unlock()
 
+		start := time.Now()
+		if m.queueDepth != nil {
+			m.queueDepth.Add(-1)
+			m.running.Add(1)
+			m.peak.Max(int64(maxRun))
+			stall := start.Sub(n.readyAt).Nanoseconds()
+			m.stallNs.Add(stall)
+			m.stallHist.Observe(stall)
+		}
 		if trace != nil {
-			trace(Event{TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, Start: true, When: time.Now()})
+			trace(Event{Kind: EventStart, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: start})
 		}
 		if n.task.Fn != nil {
 			n.task.Fn()
 		}
+		end := time.Now()
 		if trace != nil {
-			trace(Event{TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, Start: false, When: time.Now()})
+			trace(Event{Kind: EventEnd, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: end})
+		}
+		if m.queueDepth != nil {
+			busy := end.Sub(start).Nanoseconds()
+			m.running.Add(-1)
+			m.executed.Inc()
+			m.busyNs.Add(busy)
+			m.taskHist.Observe(busy)
+			m.workerBusy[id].Add(busy)
 		}
 
 		r.mu.Lock()

@@ -2,11 +2,14 @@ package tasking
 
 import (
 	"math/rand"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestSingleTask(t *testing.T) {
@@ -184,19 +187,94 @@ func TestTraceEvents(t *testing.T) {
 	r.Submit(Task{Fn: func() {}, Label: "a", Out: 0, Serial: NoSerial})
 	r.Submit(Task{Fn: func() {}, Label: "b", In: []int{0}, Serial: NoSerial})
 	r.Close()
-	if len(events) != 4 {
-		t.Fatalf("events = %d, want 4", len(events))
+	// Each task reports submit, ready, start, and end.
+	if len(events) != 8 {
+		t.Fatalf("events = %d, want 8", len(events))
 	}
-	starts := map[string]time.Time{}
+	seen := map[string]map[EventKind]time.Time{}
 	for _, e := range events {
-		if e.Start {
-			starts[e.Label] = e.When
-		} else if e.When.Before(starts[e.Label]) {
-			t.Fatalf("task %q finished before it started", e.Label)
+		if seen[e.Label] == nil {
+			seen[e.Label] = map[EventKind]time.Time{}
+		}
+		seen[e.Label][e.Kind] = e.When
+		switch e.Kind {
+		case EventStart, EventEnd:
+			if e.Worker < 0 {
+				t.Fatalf("%s event of %q has no worker", e.Kind, e.Label)
+			}
+		default:
+			if e.Worker != -1 {
+				t.Fatalf("%s event of %q has worker %d", e.Kind, e.Label, e.Worker)
+			}
 		}
 	}
-	if len(starts) != 2 {
-		t.Fatalf("start events = %d", len(starts))
+	for label, kinds := range seen {
+		if len(kinds) != 4 {
+			t.Fatalf("task %q saw kinds %v", label, kinds)
+		}
+		if kinds[EventReady].Before(kinds[EventSubmit]) ||
+			kinds[EventStart].Before(kinds[EventReady]) ||
+			kinds[EventEnd].Before(kinds[EventStart]) {
+			t.Fatalf("task %q transitions out of order: %v", label, kinds)
+		}
+	}
+	// b depends on a, so b must become ready no earlier than a ends.
+	if seen["b"][EventReady].Before(seen["a"][EventEnd]) {
+		t.Fatal("dependent task became ready before its predecessor ended")
+	}
+}
+
+// TestObserveMetrics runs a small dependent workload with a registry
+// installed and checks the derived execution metrics.
+func TestObserveMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	r := New(2)
+	r.Observe(reg)
+	const tasks = 20
+	for i := 0; i < tasks; i++ {
+		r.Submit(Task{
+			Fn:     func() { time.Sleep(200 * time.Microsecond) },
+			Label:  "t",
+			Out:    i,
+			Serial: 0, // one serial chain: concurrency stays at 1
+		})
+	}
+	r.Close()
+	s := reg.Snapshot()
+	if got := s.Counter("tasking.submitted"); got != tasks {
+		t.Errorf("submitted = %d", got)
+	}
+	if got := s.Counter("tasking.executed"); got != tasks {
+		t.Errorf("executed = %d", got)
+	}
+	if got := s.Gauge("tasking.queue_depth"); got != 0 {
+		t.Errorf("queue_depth after drain = %d", got)
+	}
+	if got := s.Gauge("tasking.running"); got != 0 {
+		t.Errorf("running after drain = %d", got)
+	}
+	if got := s.Gauge("tasking.peak_concurrency"); got != 1 {
+		t.Errorf("peak_concurrency = %d, want 1 (serial chain)", got)
+	}
+	if got := s.Gauge("tasking.workers"); got != 2 {
+		t.Errorf("workers = %d", got)
+	}
+	if s.Counter("tasking.busy_ns_total") <= 0 {
+		t.Error("busy_ns_total not recorded")
+	}
+	if s.Histograms["tasking.task_ns"].Count != tasks {
+		t.Errorf("task_ns count = %d", s.Histograms["tasking.task_ns"].Count)
+	}
+	if s.Histograms["tasking.stall_ns"].Count != tasks {
+		t.Errorf("stall_ns count = %d", s.Histograms["tasking.stall_ns"].Count)
+	}
+	// Busy time lands on the workers that executed the chain.
+	var workerBusy int64
+	for w := 0; w < 2; w++ {
+		workerBusy += s.Counter("tasking.worker_busy_ns." + strconv.Itoa(w))
+	}
+	if workerBusy != s.Counter("tasking.busy_ns_total") {
+		t.Errorf("worker busy sum %d != total %d", workerBusy, s.Counter("tasking.busy_ns_total"))
 	}
 }
 

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CriticalPath is the realized longest dependency chain of an executed
+// task DAG: the chain of spans, linked by precedence edges, whose
+// summed durations are maximal. Because chained tasks cannot overlap,
+// its Length is a lower bound on any execution of this task graph —
+// the measured counterpart of the Eq. 5 time(L_max) bound, and always
+// ≤ the observed makespan.
+type CriticalPath struct {
+	Length time.Duration
+	Tasks  []int    // task ids along the chain, in execution order
+	Labels []string // the corresponding span labels
+}
+
+// ComputeCriticalPath walks the executed task DAG. spans carry the
+// measured durations; edges are precedence pairs of task ids (data
+// dependencies plus per-statement serial chains) and must point
+// forward in submission order (From < To), which every edge produced
+// by the code generator does. Edges whose endpoints have no span are
+// ignored.
+func ComputeCriticalPath(spans []Span, edges [][2]int) CriticalPath {
+	byTask := make(map[int]Span, len(spans))
+	for _, s := range spans {
+		byTask[s.Task] = s
+	}
+	preds := map[int][]int{}
+	for _, e := range edges {
+		from, to := e[0], e[1]
+		if from >= to {
+			continue // malformed: precedence must follow submission order
+		}
+		if _, ok := byTask[from]; !ok {
+			continue
+		}
+		if _, ok := byTask[to]; !ok {
+			continue
+		}
+		preds[to] = append(preds[to], from)
+	}
+
+	// Ascending task id is a topological order, since every edge points
+	// from a lower id to a higher one.
+	order := make([]int, 0, len(byTask))
+	for id := range byTask {
+		order = append(order, id)
+	}
+	sort.Ints(order)
+
+	cp := make(map[int]time.Duration, len(order)) // heaviest chain ending at id
+	via := make(map[int]int, len(order))          // predecessor realizing it
+	bestID, bestLen := -1, time.Duration(-1)
+	for _, id := range order {
+		longest := time.Duration(0)
+		through := -1
+		for _, p := range preds[id] {
+			if cp[p] > longest {
+				longest, through = cp[p], p
+			}
+		}
+		cp[id] = longest + byTask[id].Duration()
+		via[id] = through
+		if cp[id] > bestLen {
+			bestID, bestLen = id, cp[id]
+		}
+	}
+	if bestID < 0 {
+		return CriticalPath{}
+	}
+
+	var path []int
+	for id := bestID; id >= 0; id = via[id] {
+		path = append(path, id)
+	}
+	// path was built sink→source; reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	out := CriticalPath{Length: bestLen, Tasks: path}
+	for _, id := range path {
+		out.Labels = append(out.Labels, byTask[id].Label)
+	}
+	return out
+}
+
+// String renders the path compactly ("S0[3] -> S1[0] -> ... (42ms)").
+func (p CriticalPath) String() string {
+	if len(p.Labels) == 0 {
+		return "(empty)"
+	}
+	const maxShown = 6
+	labels := p.Labels
+	if len(labels) > maxShown {
+		head := labels[:maxShown/2]
+		tail := labels[len(labels)-maxShown/2:]
+		labels = append(append(append([]string{}, head...), "..."), tail...)
+	}
+	s := labels[0]
+	for _, l := range labels[1:] {
+		s += " -> " + l
+	}
+	return fmt.Sprintf("%s (%d tasks, %v)", s, len(p.Tasks), p.Length)
+}

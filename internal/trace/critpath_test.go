@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// at builds a span with millisecond start/end offsets from a fixed base,
+// so durations are exact and host-independent.
+func at(task, serial, worker int, label string, startMs, endMs int) Span {
+	base := time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)
+	return Span{
+		Task:   task,
+		Label:  label,
+		Serial: serial,
+		Worker: worker,
+		Start:  base.Add(time.Duration(startMs) * time.Millisecond),
+		End:    base.Add(time.Duration(endMs) * time.Millisecond),
+	}
+}
+
+// TestCriticalPathClosedForm checks the DP against a hand-built DAG
+// with a known longest chain.
+//
+//	0 (3ms) ──▶ 2 (5ms) ──▶ 4 (2ms)      chain A: 10ms
+//	1 (4ms) ──▶ 3 (1ms) ──▶ 4            chain B: 7ms
+//
+// The heaviest chain is 0 → 2 → 4 at 10ms, even though task 1 alone
+// is longer than task 0.
+func TestCriticalPathClosedForm(t *testing.T) {
+	spans := []Span{
+		at(0, 0, 0, "S0[0]", 0, 3),
+		at(1, 0, 1, "S0[1]", 0, 4),
+		at(2, 1, 0, "S1[0]", 3, 8),
+		at(3, 1, 1, "S1[1]", 4, 5),
+		at(4, 2, 0, "S2[0]", 8, 10),
+	}
+	edges := [][2]int{{0, 2}, {1, 3}, {2, 4}, {3, 4}}
+	cp := ComputeCriticalPath(spans, edges)
+	if cp.Length != 10*time.Millisecond {
+		t.Errorf("length = %v, want 10ms", cp.Length)
+	}
+	wantTasks := []int{0, 2, 4}
+	if len(cp.Tasks) != len(wantTasks) {
+		t.Fatalf("path = %v, want %v", cp.Tasks, wantTasks)
+	}
+	for i, id := range wantTasks {
+		if cp.Tasks[i] != id {
+			t.Fatalf("path = %v, want %v", cp.Tasks, wantTasks)
+		}
+	}
+	if cp.Labels[1] != "S1[0]" {
+		t.Errorf("labels = %v", cp.Labels)
+	}
+	s := cp.String()
+	if !strings.Contains(s, "S0[0] -> S1[0] -> S2[0]") || !strings.Contains(s, "3 tasks") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+// TestCriticalPathNoEdges degenerates to the single longest task.
+func TestCriticalPathNoEdges(t *testing.T) {
+	spans := []Span{
+		at(0, 0, 0, "a", 0, 2),
+		at(1, 0, 1, "b", 0, 7),
+		at(2, 0, 0, "c", 2, 5),
+	}
+	cp := ComputeCriticalPath(spans, nil)
+	if cp.Length != 7*time.Millisecond || len(cp.Tasks) != 1 || cp.Tasks[0] != 1 {
+		t.Errorf("cp = %+v", cp)
+	}
+}
+
+// TestCriticalPathIgnoresMalformedEdges drops backward edges and edges
+// referencing unknown tasks rather than corrupting the DP.
+func TestCriticalPathIgnoresMalformedEdges(t *testing.T) {
+	spans := []Span{
+		at(0, 0, 0, "a", 0, 2),
+		at(1, 0, 1, "b", 2, 4),
+	}
+	edges := [][2]int{{1, 0}, {0, 99}, {99, 1}, {0, 1}}
+	cp := ComputeCriticalPath(spans, edges)
+	if cp.Length != 4*time.Millisecond || len(cp.Tasks) != 2 {
+		t.Errorf("cp = %+v", cp)
+	}
+}
+
+// TestCriticalPathEmpty returns a zero value, and String says so.
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := ComputeCriticalPath(nil, nil)
+	if cp.Length != 0 || len(cp.Tasks) != 0 {
+		t.Errorf("cp = %+v", cp)
+	}
+	if cp.String() != "(empty)" {
+		t.Errorf("String() = %q", cp.String())
+	}
+}
+
+// TestCriticalPathTruncatedString keeps long chains readable.
+func TestCriticalPathTruncatedString(t *testing.T) {
+	var spans []Span
+	var edges [][2]int
+	for i := 0; i < 10; i++ {
+		spans = append(spans, at(i, 0, 0, "t", i, i+1))
+		if i > 0 {
+			edges = append(edges, [2]int{i - 1, i})
+		}
+	}
+	s := ComputeCriticalPath(spans, edges).String()
+	if !strings.Contains(s, "...") || !strings.Contains(s, "10 tasks") {
+		t.Errorf("String() = %q", s)
+	}
+}

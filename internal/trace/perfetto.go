@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// PerfettoOptions controls the Chrome/Perfetto trace_event export.
+type PerfettoOptions struct {
+	// Names maps statement index (span Serial) to a display name for
+	// the per-statement tracks; missing entries render as "S<k>".
+	Names map[int]string
+	// Edges lists data-dependency edges as (producer, consumer) task-id
+	// pairs; each becomes a flow arrow from the producer's end to the
+	// consumer's start on the worker tracks.
+	Edges [][2]int
+}
+
+// Track (pid) layout of the exported trace: one process groups the
+// per-worker threads, a second groups the per-statement threads.
+const (
+	perfettoWorkersPid    = 1
+	perfettoStatementsPid = 2
+)
+
+// traceEvent is one entry of the Chrome trace_event JSON array. Field
+// order follows the trace-event format documentation; timestamps and
+// durations are microseconds.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// perfettoFile is the JSON-object flavour of the trace_event format,
+// the one both chrome://tracing and ui.perfetto.dev load directly.
+type perfettoFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+func usSince(base, t time.Time) float64 {
+	return float64(t.Sub(base).Nanoseconds()) / 1e3
+}
+
+// WritePerfetto renders the spans as Chrome/Perfetto trace_event JSON:
+// one thread per worker (execution view), one thread per statement
+// (the Figure 2 overlap view), and a flow arrow per data-dependency
+// edge. Timestamps are microseconds relative to the earliest span
+// start, so the file is host-independent and golden-testable.
+func WritePerfetto(w io.Writer, spans []Span, opts PerfettoOptions) error {
+	file := perfettoFile{TraceEvents: []traceEvent{}, DisplayTimeUnit: "ms"}
+
+	var base time.Time
+	workers := map[int]bool{}
+	serials := map[int]bool{}
+	byTask := map[int]Span{}
+	for _, s := range spans {
+		if base.IsZero() || s.Start.Before(base) {
+			base = s.Start
+		}
+		workers[s.Worker] = true
+		serials[s.Serial] = true
+		byTask[s.Task] = s
+	}
+
+	// Track metadata, in deterministic order.
+	meta := func(pid, tid int, kind, name string) {
+		file.TraceEvents = append(file.TraceEvents, traceEvent{
+			Name: kind, Ph: "M", Pid: pid, Tid: tid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	meta(perfettoWorkersPid, 0, "process_name", "workers")
+	meta(perfettoStatementsPid, 0, "process_name", "statements")
+	for _, w := range sortedKeys(workers) {
+		meta(perfettoWorkersPid, w, "thread_name", fmt.Sprintf("worker %d", w))
+	}
+	for _, k := range sortedKeys(serials) {
+		name := opts.Names[k]
+		if name == "" {
+			name = fmt.Sprintf("S%d", k)
+		}
+		meta(perfettoStatementsPid, k, "thread_name", name)
+	}
+
+	// Complete ("X") events on both views, in submission order.
+	ordered := make([]Span, len(spans))
+	copy(ordered, spans)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Task < ordered[j].Task })
+	for _, s := range ordered {
+		args := map[string]any{
+			"task":   s.Task,
+			"serial": s.Serial,
+			"worker": s.Worker,
+		}
+		if st := s.Stall(); st > 0 {
+			args["stall_us"] = float64(st.Nanoseconds()) / 1e3
+		}
+		ev := traceEvent{
+			Name: s.Label, Cat: "task", Ph: "X",
+			Ts: usSince(base, s.Start), Dur: usSince(s.Start, s.End),
+			Pid: perfettoWorkersPid, Tid: s.Worker, Args: args,
+		}
+		file.TraceEvents = append(file.TraceEvents, ev)
+		ev.Pid, ev.Tid = perfettoStatementsPid, s.Serial
+		file.TraceEvents = append(file.TraceEvents, ev)
+	}
+
+	// Flow arrows along dependency edges, producer end → consumer start.
+	for i, e := range opts.Edges {
+		from, okF := byTask[e[0]]
+		to, okT := byTask[e[1]]
+		if !okF || !okT {
+			continue
+		}
+		file.TraceEvents = append(file.TraceEvents,
+			traceEvent{
+				Name: "dep", Cat: "dep", Ph: "s", ID: i + 1,
+				Ts: usSince(base, from.End), Pid: perfettoWorkersPid, Tid: from.Worker,
+			},
+			traceEvent{
+				Name: "dep", Cat: "dep", Ph: "f", BP: "e", ID: i + 1,
+				Ts: usSince(base, to.Start), Pid: perfettoWorkersPid, Tid: to.Worker,
+			})
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(file)
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,136 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a tiny deterministic two-statement pipeline: S0 runs
+// three blocks, S1 consumes each one as soon as it lands, on two
+// workers. Task 3 has an observed ready time 1ms before its start, so
+// the stall_us arg is exercised too.
+func goldenSpans() ([]Span, PerfettoOptions) {
+	spans := []Span{
+		at(0, 0, 0, "S0[0]", 0, 2),
+		at(1, 0, 0, "S0[1]", 2, 4),
+		at(2, 0, 0, "S0[2]", 4, 6),
+		at(3, 1, 1, "S1[0]", 3, 5),
+		at(4, 1, 1, "S1[1]", 5, 7),
+		at(5, 1, 1, "S1[2]", 7, 9),
+	}
+	spans[3].Ready = spans[3].Start.Add(-time.Millisecond)
+	opts := PerfettoOptions{
+		Names: map[int]string{0: "S0: produce", 1: "S1: consume"},
+		Edges: [][2]int{{0, 3}, {1, 4}, {2, 5}},
+	}
+	return spans, opts
+}
+
+// TestPerfettoGolden locks the exporter's exact output. Timestamps are
+// relative to the earliest start, so the file is host-independent.
+// Regenerate with: go test ./internal/trace -run Golden -update
+func TestPerfettoGolden(t *testing.T) {
+	spans, opts := goldenSpans()
+	var b bytes.Buffer
+	if err := WritePerfetto(&b, spans, opts); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "perfetto_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, b.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b.Bytes(), want) {
+		t.Errorf("exporter output drifted from golden file (rerun with -update if intended)\ngot:\n%s", b.String())
+	}
+}
+
+// TestPerfettoStructure checks the semantic content independent of the
+// byte-exact golden: track metadata, both views of every span, and one
+// flow-arrow pair per edge.
+func TestPerfettoStructure(t *testing.T) {
+	spans, opts := goldenSpans()
+	var b bytes.Buffer
+	if err := WritePerfetto(&b, spans, opts); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &file); err != nil {
+		t.Fatalf("not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", file.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	stalls := 0
+	for _, ev := range file.TraceEvents {
+		counts[ev.Ph]++
+		if ev.Ph == "X" {
+			if ev.Dur != 2000 {
+				t.Errorf("dur = %v µs, want 2000", ev.Dur)
+			}
+			if _, ok := ev.Args["stall_us"]; ok {
+				stalls++
+			}
+		}
+		if ev.Ph == "f" && ev.BP != "e" {
+			t.Errorf("flow-end event missing bp=e: %+v", ev)
+		}
+	}
+	// 2 process names + 2 worker threads + 2 statement threads.
+	if counts["M"] != 6 {
+		t.Errorf("metadata events = %d, want 6", counts["M"])
+	}
+	// Each span appears on its worker track and its statement track.
+	if counts["X"] != 2*len(spans) {
+		t.Errorf("complete events = %d, want %d", counts["X"], 2*len(spans))
+	}
+	if counts["s"] != len(opts.Edges) || counts["f"] != len(opts.Edges) {
+		t.Errorf("flow events = %d start / %d finish, want %d each",
+			counts["s"], counts["f"], len(opts.Edges))
+	}
+	// Task 3 is duplicated onto two tracks, so its stall shows twice.
+	if stalls != 2 {
+		t.Errorf("spans carrying stall_us = %d, want 2", stalls)
+	}
+}
+
+// TestPerfettoSkipsEdgesWithoutSpans drops arrows whose endpoints were
+// never executed instead of emitting dangling flow ids.
+func TestPerfettoSkipsEdgesWithoutSpans(t *testing.T) {
+	spans := []Span{at(0, 0, 0, "a", 0, 1)}
+	var b bytes.Buffer
+	err := WritePerfetto(&b, spans, PerfettoOptions{Edges: [][2]int{{0, 7}, {7, 0}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &file); err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range file.TraceEvents {
+		if ev.Ph == "s" || ev.Ph == "f" {
+			t.Errorf("unexpected flow event: %+v", ev)
+		}
+	}
+}

@@ -13,14 +13,17 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/tasking"
 )
 
 // Span is one completed task execution.
 type Span struct {
+	Task   int // runtime task id (submission order)
 	Label  string
-	Serial int // statement index (the task's serialization key)
-	Worker int // worker that executed the task
+	Serial int       // statement index (the task's serialization key)
+	Worker int       // worker that executed the task
+	Ready  time.Time // when dependencies were satisfied; zero if unobserved
 	Start  time.Time
 	End    time.Time
 }
@@ -28,17 +31,44 @@ type Span struct {
 // Duration returns the span length.
 func (s Span) Duration() time.Duration { return s.End.Sub(s.Start) }
 
+// Stall returns how long the task sat ready before a worker picked it
+// up, or 0 when the ready transition was not observed.
+func (s Span) Stall() time.Duration {
+	if s.Ready.IsZero() || s.Ready.After(s.Start) {
+		return 0
+	}
+	return s.Start.Sub(s.Ready)
+}
+
 // Collector accumulates tasking events into spans. Install Hook on a
 // runtime before submitting tasks.
 type Collector struct {
-	mu    sync.Mutex
-	open  map[int]tasking.Event
-	spans []Span
+	mu             sync.Mutex
+	open           map[int]tasking.Event
+	ready          map[int]time.Time
+	spans          []Span
+	dropped        int
+	droppedCounter *obs.Counter
 }
 
 // NewCollector returns an empty collector.
 func NewCollector() *Collector {
-	return &Collector{open: make(map[int]tasking.Event)}
+	return &Collector{
+		open:  make(map[int]tasking.Event),
+		ready: make(map[int]time.Time),
+	}
+}
+
+// SetRegistry mirrors the collector's drop count into the registry's
+// "trace.dropped_events" counter, so hook-installation races surface in
+// metrics instead of silently losing spans.
+func (c *Collector) SetRegistry(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.droppedCounter = reg.Counter("trace.dropped_events")
 }
 
 // Hook returns the tracing callback to install with Runtime.SetTrace.
@@ -46,16 +76,32 @@ func (c *Collector) Hook() func(tasking.Event) {
 	return func(e tasking.Event) {
 		c.mu.Lock()
 		defer c.mu.Unlock()
-		if e.Start {
+		switch e.Kind {
+		case tasking.EventReady:
+			c.ready[e.TaskID] = e.When
+		case tasking.EventStart:
 			c.open[e.TaskID] = e
-			return
-		}
-		if s, ok := c.open[e.TaskID]; ok {
+		case tasking.EventEnd:
+			s, ok := c.open[e.TaskID]
+			if !ok {
+				// An end with no matching start: the hook was installed
+				// after the task began (or events were lost). Count it —
+				// invisible drops hide installation races.
+				c.dropped++
+				if c.droppedCounter != nil {
+					c.droppedCounter.Inc()
+				}
+				return
+			}
 			delete(c.open, e.TaskID)
+			ready := c.ready[e.TaskID]
+			delete(c.ready, e.TaskID)
 			c.spans = append(c.spans, Span{
+				Task:   e.TaskID,
 				Label:  s.Label,
 				Serial: s.Serial,
 				Worker: s.Worker,
+				Ready:  ready,
 				Start:  s.When,
 				End:    e.When,
 			})
@@ -71,6 +117,21 @@ func (c *Collector) Spans() []Span {
 	copy(out, c.spans)
 	sort.Slice(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
 	return out
+}
+
+// Dropped returns how many end events arrived with no matching start.
+func (c *Collector) Dropped() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// Analyze summarizes the collected spans, carrying the collector's
+// drop count into the result.
+func (c *Collector) Analyze() Analysis {
+	a := Analyze(c.Spans())
+	a.DroppedEvents = c.Dropped()
+	return a
 }
 
 // StmtStat aggregates the spans of one statement (one loop nest).
@@ -93,9 +154,28 @@ type Analysis struct {
 	Overlap   float64       // Busy / Makespan: average concurrency
 	StartTime time.Duration // Eq. 6: start of program to start of L_max
 	FinishGap time.Duration // Eq. 6: end of L_max to end of program
+	// TotalStall is Σ per-task ready→start gaps: time tasks spent
+	// runnable but waiting for a free worker.
+	TotalStall time.Duration
+	// DroppedEvents counts end events with no matching start (set by
+	// Collector.Analyze; 0 when analyzing bare spans).
+	DroppedEvents int
 	// PerWorker maps worker index to its total busy time; the spread
 	// shows load balance across the pool.
 	PerWorker map[int]time.Duration
+}
+
+// WorkerUtilization returns each worker's busy time divided by the
+// makespan — the fraction of the execution it spent running tasks.
+func (a Analysis) WorkerUtilization() map[int]float64 {
+	out := map[int]float64{}
+	if a.Makespan <= 0 {
+		return out
+	}
+	for w, busy := range a.PerWorker {
+		out[w] = float64(busy) / float64(a.Makespan)
+	}
+	return out
 }
 
 // Utilization returns Busy / (Makespan × workers): the fraction of the
@@ -118,6 +198,7 @@ func Analyze(spans []Span) Analysis {
 	var first, last time.Time
 	for _, s := range spans {
 		a.PerWorker[s.Worker] += s.Duration()
+		a.TotalStall += s.Stall()
 		if first.IsZero() || s.Start.Before(first) {
 			first = s.Start
 		}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/isl"
 	"repro/internal/isl/aff"
 	"repro/internal/kernels"
+	"repro/internal/obs"
 	"repro/internal/scop"
 	"repro/internal/tasking"
 )
@@ -114,12 +115,47 @@ func TestGanttEmpty(t *testing.T) {
 	}
 }
 
-func TestCollectorIgnoresUnmatchedFinish(t *testing.T) {
+func TestCollectorCountsUnmatchedFinish(t *testing.T) {
 	c := NewCollector()
+	reg := obs.NewRegistry()
+	c.SetRegistry(reg)
 	hook := c.Hook()
-	hook(tasking.Event{TaskID: 7, Start: false, When: time.Now()})
+	hook(tasking.Event{Kind: tasking.EventEnd, TaskID: 7, When: time.Now()})
 	if len(c.Spans()) != 0 {
 		t.Fatal("unmatched finish produced a span")
+	}
+	if c.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", c.Dropped())
+	}
+	if got := reg.Snapshot().Counter("trace.dropped_events"); got != 1 {
+		t.Fatalf("trace.dropped_events = %d, want 1", got)
+	}
+	if a := c.Analyze(); a.DroppedEvents != 1 {
+		t.Fatalf("Analysis.DroppedEvents = %d, want 1", a.DroppedEvents)
+	}
+}
+
+func TestCollectorStallFromReadyEvents(t *testing.T) {
+	c := NewCollector()
+	hook := c.Hook()
+	base := time.Unix(2000, 0)
+	hook(tasking.Event{Kind: tasking.EventSubmit, TaskID: 1, Label: "a", When: base})
+	hook(tasking.Event{Kind: tasking.EventReady, TaskID: 1, Label: "a", When: base.Add(time.Millisecond)})
+	hook(tasking.Event{Kind: tasking.EventStart, TaskID: 1, Label: "a", Worker: 0, When: base.Add(3 * time.Millisecond)})
+	hook(tasking.Event{Kind: tasking.EventEnd, TaskID: 1, Label: "a", Worker: 0, When: base.Add(7 * time.Millisecond)})
+	spans := c.Spans()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %d", len(spans))
+	}
+	if got := spans[0].Stall(); got != 2*time.Millisecond {
+		t.Errorf("Stall = %v, want 2ms", got)
+	}
+	if got := spans[0].Duration(); got != 4*time.Millisecond {
+		t.Errorf("Duration = %v, want 4ms", got)
+	}
+	a := Analyze(spans)
+	if a.TotalStall != 2*time.Millisecond {
+		t.Errorf("TotalStall = %v", a.TotalStall)
 	}
 }
 
