@@ -17,9 +17,12 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: regenerate the paper's evaluation numbers.
+## bench: regenerate the paper's evaluation numbers plus the detection
+## micro-benchmarks (serial vs parallel core.Detect; see
+## docs/PERFORMANCE.md and BENCH_detect.json).
 bench:
 	$(GO) test -bench . -benchmem .
+	$(GO) test -bench=Detect -benchmem -run='^$$' ./internal/core/
 
 ## stats: one observed run with the full breakdown + trace.json.
 stats:

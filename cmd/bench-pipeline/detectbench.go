@@ -1,0 +1,155 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuzzscop"
+	"repro/internal/kernels"
+	"repro/internal/scop"
+)
+
+// detectMeasure is one (kernel, mode) detection benchmark measurement.
+type detectMeasure struct {
+	Kernel      string `json:"kernel"`
+	Mode        string `json:"mode"` // "serial" (Workers=1) or "parallel" (Workers=GOMAXPROCS)
+	Workers     int    `json:"workers"`
+	Iterations  int    `json:"iterations"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// detectBenchRun is the BENCH_detect.json schema: the host shape, the
+// frozen string-keyed baseline this PR's interned core is measured
+// against, and the fresh measurements (see docs/PERFORMANCE.md for how
+// to read it).
+type detectBenchRun struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Note       string `json:"note"`
+	// Baseline holds the pre-interning (string-keyed isl) serial
+	// numbers recorded on the same host, for the allocs/op and ns/op
+	// trajectory. Empty Workers/Iterations fields mean "not recorded".
+	Baseline []detectMeasure `json:"string_keyed_baseline"`
+	Results  []detectMeasure `json:"results"`
+}
+
+// stringKeyedBaseline is the detection benchmark of the string-keyed
+// isl core (the tree as of commit 1330d58), measured serially on the
+// same container this file's results come from (Intel Xeon @ 2.10GHz,
+// 1 CPU). It is frozen here so every later run of -detect-bench
+// reports the trajectory against the same origin.
+var stringKeyedBaseline = []detectMeasure{
+	{Kernel: "P4/n=32", Mode: "serial", NsPerOp: 81378582, BytesPerOp: 38327292, AllocsPerOp: 493239},
+	{Kernel: "P7/n=32", Mode: "serial", NsPerOp: 100488180, BytesPerOp: 50294056, AllocsPerOp: 615941},
+	{Kernel: "P10/n=32", Mode: "serial", NsPerOp: 143603606, BytesPerOp: 68619141, AllocsPerOp: 870463},
+	{Kernel: "fuzzstress", Mode: "serial", NsPerOp: 2794060, BytesPerOp: 1479096, AllocsPerOp: 20083},
+}
+
+// detectBenchCases mirrors core's BenchmarkDetect input set: three
+// Table 9 programs spanning the access-pattern space plus the large
+// fuzz-generated stress SCoP.
+func detectBenchCases() ([]struct {
+	name string
+	sc   *scop.SCoP
+}, error) {
+	names := []string{"P4", "P7", "P10"}
+	var cases []struct {
+		name string
+		sc   *scop.SCoP
+	}
+	for _, name := range names {
+		spec, ok := kernels.T9SpecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown Table 9 program %q", name)
+		}
+		cases = append(cases, struct {
+			name string
+			sc   *scop.SCoP
+		}{name + "/n=32", kernels.BuildTable9(spec, 32, 1).SCoP})
+	}
+	cases = append(cases, struct {
+		name string
+		sc   *scop.SCoP
+	}{"fuzzstress", fuzzscop.Stress()})
+	return cases, nil
+}
+
+// runDetectBench measures core.Detect serial vs parallel on the
+// benchmark kernels and writes the run as JSON to out ("" or "-"
+// means stdout).
+func runDetectBench(out string) error {
+	cases, err := detectBenchCases()
+	if err != nil {
+		return err
+	}
+	run := detectBenchRun{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "serial is Workers=1, parallel is Workers=GOMAXPROCS; on a single-CPU host " +
+			"the two coincide up to noise — the parallel column shows pool overhead there, " +
+			"speedup needs num_cpu >= 2",
+		Baseline: stringKeyedBaseline,
+	}
+	for _, c := range cases {
+		for _, workers := range []int{1, 0} {
+			mode := "serial"
+			if workers != 1 {
+				mode = "parallel"
+			}
+			sc := c.sc
+			opts := core.Options{AllowOverwrites: true, Workers: workers}
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Detect(sc, opts); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if benchErr != nil {
+				return fmt.Errorf("detect-bench %s/%s: %w", c.name, mode, benchErr)
+			}
+			run.Results = append(run.Results, detectMeasure{
+				Kernel:      c.name,
+				Mode:        mode,
+				Workers:     resolveWorkers(workers),
+				Iterations:  r.N,
+				NsPerOp:     r.NsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+				AllocsPerOp: r.AllocsPerOp(),
+			})
+			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op, %d allocs/op\n",
+				c.name, mode, r.NsPerOp(), r.AllocsPerOp())
+		}
+	}
+
+	w := os.Stdout
+	if out != "" && out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(run)
+}
+
+func resolveWorkers(opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	return runtime.GOMAXPROCS(0)
+}

@@ -14,6 +14,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -77,9 +79,25 @@ func main() {
 	overhead := flag.Duration("task-overhead", 500*time.Nanosecond, "per-task scheduling overhead modelled in sim mode")
 	table9 := flag.Bool("table9", false, "print the Table 9 program specifications (Figure 9) and exit")
 	jsonOut := flag.Bool("json", false, "emit the run's results (speedups plus observed stall/utilization metrics) as one JSON object on stdout")
+	detectBench := flag.Bool("detect-bench", false, "benchmark core.Detect serial vs parallel on the P4/P7/P10/fuzzstress kernels and emit BENCH_detect.json-shaped output")
+	detectOut := flag.String("detect-out", "", "with -detect-bench, write the JSON here instead of stdout (e.g. BENCH_detect.json)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
 	if *table9 {
 		fmt.Print(table9Spec())
+		return
+	}
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProfiles()
+	if *detectBench {
+		if err := runDetectBench(*detectOut); err != nil {
+			stopProfiles()
+			fatal(err)
+		}
 		return
 	}
 	if *mode != "sim" && *mode != "real" {
@@ -208,6 +226,47 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// startProfiles begins CPU profiling and arranges the heap profile;
+// the returned stop function is idempotent and must run before the
+// process exits for the profiles to be complete.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench-pipeline: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "bench-pipeline: memprofile:", err)
+			}
+		}
+	}, nil
 }
 
 func fatal(err error) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/deps"
 	"repro/internal/isl"
 	"repro/internal/obs"
+	"repro/internal/par"
 	"repro/internal/scop"
 )
 
@@ -26,6 +27,12 @@ type Options struct {
 	// declared MayOverwrite — the §7 extension beyond the paper's
 	// injective-write assumption.
 	AllowOverwrites bool
+	// Workers bounds the detection worker pool: the per-pair pipeline-
+	// map phase, the per-statement blocking integration, and the
+	// per-pair dependency-relation phase all fan out over this many
+	// goroutines. 0 means GOMAXPROCS; 1 forces the serial path. Results
+	// are bit-identical across widths (see docs/PERFORMANCE.md).
+	Workers int
 	// Obs, when non-nil, receives per-phase detection timings
 	// ("detect.dependence_analysis", "detect.pipeline_maps",
 	// "detect.blocking_integration", "detect.dependency_relations") and
@@ -72,11 +79,26 @@ type StmtInfo struct {
 	E      *isl.Map
 	Blocks []Block
 	InDeps []InDep
+	// blockIndex maps the interned id of each block leader to its
+	// position in Blocks. Detect fills it when blocks are materialized;
+	// hand-built StmtInfo values leave it nil and BlockIndex falls back
+	// to a linear scan.
+	blockIndex map[uint32]int
+	leaders    *isl.Interner
 }
 
 // BlockIndex returns the position of the block led by leader in
-// execution order, or -1.
+// execution order, or -1. Lowering calls this once per dependency, so
+// detection indexes the leaders by interned id; the lookup is O(1).
 func (si *StmtInfo) BlockIndex(leader isl.Vec) int {
+	if si.blockIndex != nil {
+		if id, ok := si.leaders.ID(leader); ok {
+			if i, ok := si.blockIndex[id]; ok {
+				return i
+			}
+		}
+		return -1
+	}
 	for i := range si.Blocks {
 		if si.Blocks[i].Leader.Eq(leader) {
 			return i
@@ -118,92 +140,149 @@ func (in *Info) TotalBlocks() int {
 // and attaches block-level dependency relations. The SCoP must be free
 // of cross-statement anti/output hazards (each nest writes its own
 // array); Detect rejects it otherwise.
+//
+// The three map-construction phases fan their independent jobs
+// (per dependent pair, per statement, per pair again) over a pool of
+// Options.Workers goroutines. Jobs write index-addressed result slots
+// and the merges walk those slots in enumeration order, so the result
+// — including the error returned on a rejected SCoP — is bit-identical
+// to the Workers=1 serial path.
 func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	workers := par.Workers(opts.Workers)
+	opts.Obs.SetGauge("detect.parallel_workers", int64(workers))
 	stop := opts.Obs.Phase("detect.dependence_analysis")
 	if err := deps.CrossHazards(sc); err != nil {
 		stop()
 		return nil, fmt.Errorf("core: scop not pipelinable: %w", err)
 	}
-	g := deps.Analyze(sc)
+	g := deps.AnalyzeParallel(sc, workers)
 	stop()
 	opts.Obs.Count("detect.statements", int64(len(sc.Stmts)))
 	info := &Info{SCoP: sc, Graph: g}
 
+	// Statement domains are shared across the per-pair jobs below
+	// (every pair touching a statement reads its domain); freezing them
+	// materializes the lazy ordering caches so concurrent readers never
+	// mutate shared state.
+	for _, s := range sc.Stmts {
+		s.Domain.Freeze()
+	}
+
 	// Pairwise pipeline maps and blocking maps (Algorithm 1, lines 1–7).
+	// Pair enumeration is serial (it fixes the deterministic job order);
+	// the expensive map constructions run one job per dependent pair.
 	stop = opts.Obs.Phase("detect.pipeline_maps")
-	blockingMaps := make([][]*isl.Map, len(sc.Stmts))
+	type pairJob struct {
+		src, dst *scop.Statement
+		rd       *isl.Map
+	}
+	var jobs []pairJob
 	for _, src := range sc.Stmts {
 		if src.Write == nil {
 			continue
 		}
 		for _, dst := range g.Targets(src) {
-			rd := unionReads(dst, src.Write.Array())
-			if rd == nil {
-				continue
+			if rd := unionReads(dst, src.Write.Array()); rd != nil {
+				jobs = append(jobs, pairJob{src: src, dst: dst, rd: rd})
 			}
-			var t *isl.Map
-			var err error
-			if src.Write.MayOverwrite {
-				if !opts.AllowOverwrites {
-					stop()
-					return nil, fmt.Errorf("core: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", src.Name)
-				}
-				t, err = PipelineMapRelaxed(src.Write.Rel, rd)
-			} else {
-				t, err = PipelineMap(src.Write.Rel, rd)
-			}
-			if err != nil {
-				stop()
-				return nil, fmt.Errorf("core: pipeline map %s -> %s: %w", src.Name, dst.Name, err)
-			}
-			if t.IsEmpty() {
-				continue
-			}
-			pair := PipelinePair{
-				Src: src,
-				Dst: dst,
-				T:   t,
-				V:   SourceBlockingMap(src.Domain, t),
-				Y:   TargetBlockingMap(dst.Domain, t),
-			}
-			info.Pairs = append(info.Pairs, pair)
-			blockingMaps[src.Index] = append(blockingMaps[src.Index], pair.V)
-			blockingMaps[dst.Index] = append(blockingMaps[dst.Index], pair.Y)
 		}
+	}
+	type pairResult struct {
+		pair PipelinePair
+		ok   bool
+		err  error
+	}
+	results := make([]pairResult, len(jobs))
+	par.For(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		var t *isl.Map
+		var err error
+		if j.src.Write.MayOverwrite {
+			if !opts.AllowOverwrites {
+				results[i].err = fmt.Errorf("core: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", j.src.Name)
+				return
+			}
+			t, err = PipelineMapRelaxed(j.src.Write.Rel, j.rd)
+		} else {
+			t, err = PipelineMap(j.src.Write.Rel, j.rd)
+		}
+		if err != nil {
+			results[i].err = fmt.Errorf("core: pipeline map %s -> %s: %w", j.src.Name, j.dst.Name, err)
+			return
+		}
+		if t.IsEmpty() {
+			return
+		}
+		results[i] = pairResult{
+			pair: PipelinePair{
+				Src: j.src,
+				Dst: j.dst,
+				T:   t,
+				V:   SourceBlockingMap(j.src.Domain, t),
+				Y:   TargetBlockingMap(j.dst.Domain, t),
+			},
+			ok: true,
+		}
+	})
+	blockingMaps := make([][]*isl.Map, len(sc.Stmts))
+	for i := range results {
+		if err := results[i].err; err != nil {
+			stop()
+			return nil, err // first error in enumeration order, as serially
+		}
+		if !results[i].ok {
+			continue
+		}
+		pair := results[i].pair
+		info.Pairs = append(info.Pairs, pair)
+		blockingMaps[pair.Src.Index] = append(blockingMaps[pair.Src.Index], pair.V)
+		blockingMaps[pair.Dst.Index] = append(blockingMaps[pair.Dst.Index], pair.Y)
 	}
 	stop()
 	opts.Obs.Count("detect.pairs", int64(len(info.Pairs)))
 
-	// Integrated blocking maps E_S (lines 8–9) and blocks.
+	// Integrated blocking maps E_S (lines 8–9) and blocks, one job per
+	// statement. Slots are indexed by statement Index (Validate
+	// guarantees Stmts[i].Index == i).
 	stop = opts.Obs.Phase("detect.blocking_integration")
-	for _, s := range sc.Stmts {
+	info.Stmts = make([]*StmtInfo, len(sc.Stmts))
+	par.For(len(sc.Stmts), workers, func(i int) {
+		s := sc.Stmts[i]
 		maps := blockingMaps[s.Index]
 		if opts.PairwiseBlocks && len(maps) > 1 {
 			maps = maps[:1]
 		}
 		e := IntegrateBlockingMaps(s.Domain, maps)
 		e = Coarsen(e, s.Domain, opts.MinBlockIters)
-		si := &StmtInfo{
-			Stmt:   s,
-			E:      e,
-			Blocks: materializeBlocks(s.Domain, e),
+		blocks, index := materializeBlocks(s.Domain, e)
+		info.Stmts[s.Index] = &StmtInfo{
+			Stmt:       s,
+			E:          e,
+			Blocks:     blocks,
+			blockIndex: index,
+			leaders:    isl.InternerFor(e.OutSpace()),
 		}
-		info.Stmts = append(info.Stmts, si)
-	}
+	})
 	stop()
 	opts.Obs.Count("detect.blocks", int64(info.TotalBlocks()))
 
-	// Block-level in-dependencies Q_S (lines 10–12, Eq. 4).
+	// Block-level in-dependencies Q_S (lines 10–12, Eq. 4), one job per
+	// pair. A statement's E is read by every pair sharing that source,
+	// but E is single-valued so the reads (Image) are mutation-free;
+	// each pair's T and Y are owned by exactly one job here.
 	stop = opts.Obs.Phase("detect.dependency_relations")
+	rels := make([]*isl.Map, len(info.Pairs))
+	par.For(len(info.Pairs), workers, func(i int) {
+		pair := info.Pairs[i]
+		rels[i] = dependencyRelation(pair, info.Stmts[pair.Src.Index].E, info.Stmts[pair.Dst.Index])
+	})
 	depEdges := 0
-	for _, pair := range info.Pairs {
-		srcInfo := info.Stmts[pair.Src.Index]
-		dstInfo := info.Stmts[pair.Dst.Index]
-		rel := dependencyRelation(pair, srcInfo.E, dstInfo)
-		if !rel.IsEmpty() {
+	for i, pair := range info.Pairs {
+		if rel := rels[i]; !rel.IsEmpty() {
+			dstInfo := info.Stmts[pair.Dst.Index]
 			dstInfo.InDeps = append(dstInfo.InDeps, InDep{Src: pair.Src, Rel: rel})
 			depEdges += rel.Card()
 		}
@@ -228,19 +307,23 @@ func unionReads(dst *scop.Statement, array string) *isl.Map {
 }
 
 // materializeBlocks lists the blocks of e over domain in execution
-// (lexicographic leader) order.
-func materializeBlocks(domain *isl.Set, e *isl.Map) []Block {
+// (lexicographic leader) order, together with the leader-id → block
+// position index BlockIndex serves from.
+func materializeBlocks(domain *isl.Set, e *isl.Map) ([]Block, map[uint32]int) {
+	leaders := isl.InternerFor(e.OutSpace())
 	var blocks []Block
+	index := make(map[uint32]int)
 	var cur *Block
 	for _, v := range domain.Elements() {
 		leader := e.Image(v)
 		if cur == nil || !cur.Leader.Eq(leader) {
+			index[leaders.Intern(leader)] = len(blocks)
 			blocks = append(blocks, Block{Leader: leader})
 			cur = &blocks[len(blocks)-1]
 		}
 		cur.Members = append(cur.Members, v)
 	}
-	return blocks
+	return blocks, index
 }
 
 // dependencyRelation implements Eq. 4 for one pipeline pair: each

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/isl"
+	"repro/internal/par"
 	"repro/internal/scop"
 )
 
@@ -52,8 +53,20 @@ type Graph struct {
 	intra []*isl.Map
 }
 
-// Analyze computes the dependence graph of sc.
+// Analyze computes the dependence graph of sc on the calling
+// goroutine.
 func Analyze(sc *scop.SCoP) *Graph {
+	return AnalyzeParallel(sc, 1)
+}
+
+// AnalyzeParallel computes the dependence graph of sc with the
+// pairwise flow relations and the per-statement intra-conflict
+// relations fanned out over at most workers goroutines (values < 1
+// mean GOMAXPROCS). Every job owns exactly one slot of the graph, so
+// the result is identical to Analyze regardless of worker count; the
+// jobs only read the statements' access relations, which the relation
+// algebra never mutates.
+func AnalyzeParallel(sc *scop.SCoP, workers int) *Graph {
 	n := len(sc.Stmts)
 	g := &Graph{
 		scop:  sc,
@@ -63,6 +76,8 @@ func Analyze(sc *scop.SCoP) *Graph {
 	for i := range g.flow {
 		g.flow[i] = make([]*isl.Map, n)
 	}
+	type flowJob struct{ src, dst *scop.Statement }
+	var jobs []flowJob
 	for _, src := range sc.Stmts {
 		if src.Write == nil {
 			continue
@@ -71,15 +86,21 @@ func Analyze(sc *scop.SCoP) *Graph {
 			if dst.Index < src.Index {
 				continue // program order: sources precede targets
 			}
-			rel := flowRelation(src, dst)
-			if rel != nil && !rel.IsEmpty() {
-				g.flow[src.Index][dst.Index] = rel
-			}
+			jobs = append(jobs, flowJob{src: src, dst: dst})
 		}
 	}
-	for _, s := range sc.Stmts {
+	workers = par.Workers(workers)
+	par.For(len(jobs), workers, func(i int) {
+		j := jobs[i]
+		rel := flowRelation(j.src, j.dst)
+		if rel != nil && !rel.IsEmpty() {
+			g.flow[j.src.Index][j.dst.Index] = rel
+		}
+	})
+	par.For(n, workers, func(i int) {
+		s := sc.Stmts[i]
 		g.intra[s.Index] = intraConflicts(s)
-	}
+	})
 	return g
 }
 

@@ -147,6 +147,27 @@ func Random(r *rand.Rand, cfg Config) *scop.SCoP {
 	return b.MustBuild()
 }
 
+// Stress deterministically generates the large fuzz SCoP the detection
+// benchmarks use (core's BenchmarkDetect and cmd/bench-pipeline
+// -detect-bench record it as "fuzzstress"): the first seed whose
+// program has at least seven statements, so the per-pair and
+// per-statement detection phases have real fan-out.
+func Stress() *scop.SCoP {
+	cfg := Config{
+		MaxNests:   8,
+		MaxDepth:   2,
+		MaxExtent:  24,
+		SelfSerial: NeverSerial,
+		Sink:       true,
+	}
+	for seed := int64(0); ; seed++ {
+		sc := Random(rand.New(rand.NewSource(seed)), cfg)
+		if len(sc.Stmts) >= 7 {
+			return sc
+		}
+	}
+}
+
 func arrName(k int) string { return fmt.Sprintf("A%d", k) }
 
 func varCoeffs(depth, d int) []int {

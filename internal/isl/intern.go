@@ -1,0 +1,178 @@
+package isl
+
+import (
+	"strconv"
+	"sync"
+)
+
+// internTable canonicalizes the vectors of one tuple space into dense
+// uint32 ids. Every Map and Set of a space shares the space's table
+// (see InternerFor), so identical tuples always carry identical ids
+// and the relation algebra runs on integer ids instead of re-hashing
+// string-encoded vectors. Tables are append-only and guarded by an
+// RWMutex: lookups take the read lock, first-time interning the write
+// lock, so concurrent detection workers share one table safely.
+type internTable struct {
+	dim    int
+	mu     sync.RWMutex
+	byHash map[uint64][]uint32 // content hash -> candidate ids
+	vecs   []Vec               // id -> canonical vector (a private copy)
+}
+
+// hashVec is FNV-1a over the coordinates; allocation-free.
+func hashVec(v Vec) uint64 {
+	h := uint64(14695981039346656037)
+	for _, x := range v {
+		h ^= uint64(x)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// lookupLocked returns the id of v if already interned. Callers hold
+// at least the read lock.
+func (t *internTable) lookupLocked(h uint64, v Vec) (uint32, bool) {
+	for _, id := range t.byHash[h] {
+		if t.vecs[id].Eq(v) {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+// lookup returns the id of v without interning it.
+func (t *internTable) lookup(v Vec) (uint32, bool) {
+	h := hashVec(v)
+	t.mu.RLock()
+	id, ok := t.lookupLocked(h, v)
+	t.mu.RUnlock()
+	return id, ok
+}
+
+// intern returns the dense id of v together with its canonical vector,
+// inserting a private copy on first sight.
+func (t *internTable) intern(v Vec) (uint32, Vec) {
+	h := hashVec(v)
+	t.mu.RLock()
+	if id, ok := t.lookupLocked(h, v); ok {
+		cv := t.vecs[id]
+		t.mu.RUnlock()
+		return id, cv
+	}
+	t.mu.RUnlock()
+	t.mu.Lock()
+	if id, ok := t.lookupLocked(h, v); ok { // raced with another interner
+		cv := t.vecs[id]
+		t.mu.Unlock()
+		return id, cv
+	}
+	id := uint32(len(t.vecs))
+	cv := v.Clone()
+	t.vecs = append(t.vecs, cv)
+	t.byHash[h] = append(t.byHash[h], id)
+	t.mu.Unlock()
+	return id, cv
+}
+
+// vec returns the canonical vector of an id. The result is shared and
+// must not be modified.
+func (t *internTable) vec(id uint32) Vec {
+	t.mu.RLock()
+	v := t.vecs[id]
+	t.mu.RUnlock()
+	return v
+}
+
+// appendVecs appends the canonical vectors of ids to dst under a
+// single read lock.
+func (t *internTable) appendVecs(dst []Vec, ids []uint32) []Vec {
+	t.mu.RLock()
+	for _, id := range ids {
+		dst = append(dst, t.vecs[id])
+	}
+	t.mu.RUnlock()
+	return dst
+}
+
+// len returns the number of interned vectors.
+func (t *internTable) len() int {
+	t.mu.RLock()
+	n := len(t.vecs)
+	t.mu.RUnlock()
+	return n
+}
+
+// registry maps each space to its intern table. Space values compare
+// by (name, dim), so every Map/Set constructor of a space resolves to
+// the same table, process-wide.
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[Space]*internTable)
+)
+
+func tableFor(sp Space) *internTable {
+	registryMu.RLock()
+	t, ok := registry[sp]
+	registryMu.RUnlock()
+	if ok {
+		return t
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if t, ok := registry[sp]; ok {
+		return t
+	}
+	t = &internTable{dim: sp.Dim, byHash: make(map[uint64][]uint32)}
+	registry[sp] = t
+	return t
+}
+
+// Interner exposes a space's intern table: the bijection between the
+// tuples seen in the space so far and their dense uint32 ids. Callers
+// use it to key auxiliary structures (e.g. leader→index maps) by tuple
+// identity without re-encoding vectors. All methods are safe for
+// concurrent use.
+type Interner struct {
+	space Space
+	t     *internTable
+}
+
+// InternerFor returns the interner of sp. All Maps and Sets of sp
+// share it.
+func InternerFor(sp Space) *Interner {
+	return &Interner{space: sp, t: tableFor(sp)}
+}
+
+// Space returns the tuple space this interner canonicalizes.
+func (in *Interner) Space() Space { return in.space }
+
+// ID returns the id of v, or false when v has never been interned in
+// this space (it does not intern).
+func (in *Interner) ID(v Vec) (uint32, bool) {
+	if len(v) != in.space.Dim {
+		return 0, false
+	}
+	return in.t.lookup(v)
+}
+
+// Intern returns the id of v, interning it on first sight. It panics
+// if v has the wrong dimension.
+func (in *Interner) Intern(v Vec) uint32 {
+	in.space.checkVec(v)
+	id, _ := in.t.intern(v)
+	return id
+}
+
+// Vec returns the canonical vector of id. The result is shared and
+// read-only. It panics on an id that was never issued.
+func (in *Interner) Vec(id uint32) Vec {
+	if int(id) >= in.t.len() {
+		panic("isl: Interner.Vec: unknown id " + strconv.FormatUint(uint64(id), 10) +
+			" in space " + in.space.String())
+	}
+	return in.t.vec(id)
+}
+
+// Len returns the number of distinct tuples interned in the space so
+// far.
+func (in *Interner) Len() int { return in.t.len() }

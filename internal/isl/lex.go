@@ -3,8 +3,9 @@ package isl
 // Identity returns the identity map on s: { x -> x : x ∈ s }.
 func Identity(s *Set) *Map {
 	m := NewMap(s.space, s.space)
-	for _, v := range s.Elements() {
-		m.Add(v, v)
+	s.ensureSorted()
+	for i, id := range s.sortedIDs {
+		m.addIDs(id, id, s.sorted[i])
 	}
 	return m
 }
@@ -13,8 +14,10 @@ func Identity(s *Set) *Map {
 // tuple out: { x -> out : x ∈ s }.
 func ConstantMap(s *Set, outSpace Space, out Vec) *Map {
 	m := NewMap(s.space, outSpace)
-	for _, v := range s.Elements() {
-		m.Add(v, out)
+	outSpace.checkVec(out)
+	oid, ov := m.to.intern(out)
+	for id := range s.elems {
+		m.addIDs(id, oid, ov)
 	}
 	return m
 }
@@ -48,10 +51,12 @@ func lexRel(x, y *Set, keep func(cmp int) bool) *Map {
 			x.space.String() + " vs " + y.space.String())
 	}
 	m := NewMap(x.space, y.space)
-	for _, a := range x.Elements() {
-		for _, b := range y.Elements() {
+	x.ensureSorted()
+	y.ensureSorted()
+	for i, a := range x.sorted {
+		for j, b := range y.sorted {
 			if keep(a.Cmp(b)) {
-				m.Add(a, b)
+				m.addIDs(x.sortedIDs[i], y.sortedIDs[j], b)
 			}
 		}
 	}
@@ -69,15 +74,15 @@ func NearestGE(x, y *Set) *Map {
 			x.space.String() + " vs " + y.space.String())
 	}
 	m := NewMap(x.space, y.space)
-	xs := x.Elements()
-	ys := y.Elements()
+	x.ensureSorted()
+	y.ensureSorted()
 	j := 0
-	for _, a := range xs {
-		for j < len(ys) && ys[j].Cmp(a) < 0 {
+	for i, a := range x.sorted {
+		for j < len(y.sorted) && y.sorted[j].Cmp(a) < 0 {
 			j++
 		}
-		if j < len(ys) {
-			m.Add(a, ys[j])
+		if j < len(y.sorted) {
+			m.addIDs(x.sortedIDs[i], y.sortedIDs[j], y.sorted[j])
 		}
 	}
 	return m
@@ -96,16 +101,16 @@ func PrefixLexmax(m *Map, dom *Set) *Map {
 	m.in.checkSame(dom.space, "PrefixLexmax")
 	r := NewMap(m.in, m.out)
 	var running Vec
-	for _, j := range dom.Elements() {
-		if e, ok := m.rel[j.key()]; ok {
-			for _, o := range e.outs {
-				if running == nil || o.Cmp(running) > 0 {
-					running = o
-				}
+	var runningID uint32
+	for _, jid := range dom.elementIDs() {
+		if e, ok := m.rel[jid]; ok {
+			oid, ov := m.extremeOut(e, 1)
+			if running == nil || ov.Cmp(running) > 0 {
+				running, runningID = ov, oid
 			}
 		}
 		if running != nil {
-			r.Add(j, running)
+			r.addIDs(jid, runningID, running)
 		}
 	}
 	return r

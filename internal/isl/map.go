@@ -1,6 +1,7 @@
 package isl
 
 import (
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -8,21 +9,98 @@ import (
 // Map is a finite binary relation between an input tuple space and an
 // output tuple space, the analogue of an ISL map restricted to bounded
 // domains.
+//
+// Representation: both tuples of every pair are canonicalized through
+// the spaces' intern tables (see InternerFor), and the relation itself
+// is a map from input id to a deduplicated slice of output ids. All of
+// the relation algebra (Compose, Union, Inverse, ...) therefore runs
+// on dense integer ids; vectors are materialized only at observation
+// points (Lookup, Pairs, String), and those return canonical vectors
+// straight from the interned store.
 type Map struct {
 	in, out Space
-	// rel maps the key of an input tuple to its entry.
-	rel map[string]*mapEntry
+	ti, to  *internTable
+	// rel maps an input id to its entry.
+	rel map[uint32]*mapEntry
+	// inOrder caches the input ids in lexicographic vector order; nil
+	// when stale. Freeze populates it.
+	inOrder []uint32
 }
 
+// mapEntry holds the outputs of one input id.
 type mapEntry struct {
-	in     Vec
-	outs   map[string]Vec
-	sorted []Vec // lexicographically sorted outputs; nil when stale
+	// outs holds the deduplicated output ids. The sorted flag is the
+	// entry's ordering invariant: when true, outs is ascending in the
+	// lexicographic order of the underlying vectors; when false the
+	// slice is in insertion order and is re-sorted lazily at the next
+	// ordered observation.
+	outs   []uint32
+	sorted bool
+	// last is the canonical vector of outs[len(outs)-1] when known;
+	// it keeps in-lex-order appends (the common build pattern) from
+	// ever invalidating the sorted flag. nil means unknown.
+	last Vec
+	// vecs caches the canonical output vectors in lexicographic order;
+	// nil when stale. This is what Lookup returns.
+	vecs []Vec
+	// seen indexes membership once the entry grows past seenThreshold;
+	// nil for small entries, which use a linear id scan.
+	seen map[uint32]struct{}
+}
+
+// seenThreshold is the entry size beyond which membership switches
+// from a linear uint32 scan to a hash set.
+const seenThreshold = 32
+
+func (e *mapEntry) has(id uint32) bool {
+	if e.seen != nil {
+		_, ok := e.seen[id]
+		return ok
+	}
+	for _, o := range e.outs {
+		if o == id {
+			return true
+		}
+	}
+	return false
+}
+
+// addID appends id to the entry if absent. ov, when non-nil, is the
+// canonical vector of id and keeps the sorted invariant alive for
+// in-order appends; with ov == nil a multi-element entry is marked
+// unsorted and re-sorted lazily.
+func (e *mapEntry) addID(id uint32, ov Vec) bool {
+	if e.has(id) {
+		return false
+	}
+	if len(e.outs) == 0 {
+		e.sorted = true
+	} else if e.sorted && ov != nil && e.last != nil && e.last.Cmp(ov) < 0 {
+		// stays sorted
+	} else {
+		e.sorted = false
+	}
+	e.outs = append(e.outs, id)
+	e.last = ov
+	e.vecs = nil
+	if e.seen != nil {
+		e.seen[id] = struct{}{}
+	} else if len(e.outs) > seenThreshold {
+		e.seen = make(map[uint32]struct{}, 2*len(e.outs))
+		for _, o := range e.outs {
+			e.seen[o] = struct{}{}
+		}
+	}
+	return true
 }
 
 // NewMap returns an empty relation from space in to space out.
 func NewMap(in, out Space) *Map {
-	return &Map{in: in, out: out, rel: make(map[string]*mapEntry)}
+	return &Map{
+		in: in, out: out,
+		ti: tableFor(in), to: tableFor(out),
+		rel: make(map[uint32]*mapEntry),
+	}
 }
 
 // InSpace returns the input (domain) tuple space.
@@ -31,31 +109,47 @@ func (m *Map) InSpace() Space { return m.in }
 // OutSpace returns the output (range) tuple space.
 func (m *Map) OutSpace() Space { return m.out }
 
-// Add inserts the pair (in, out) into the relation.
+// entry returns the entry of iid, creating it if needed.
+func (m *Map) entry(iid uint32) *mapEntry {
+	e, ok := m.rel[iid]
+	if !ok {
+		e = &mapEntry{}
+		m.rel[iid] = e
+		m.inOrder = nil
+	}
+	return e
+}
+
+// addIDs inserts the pair (iid, oid) given ids already canonical in
+// m's tables; ov is oid's canonical vector when the caller has it.
+func (m *Map) addIDs(iid, oid uint32, ov Vec) {
+	if m.entry(iid).addID(oid, ov) {
+		m.inOrder = nil
+	}
+}
+
+// Add inserts the pair (in, out) into the relation. The vectors are
+// copied (interned); the caller keeps ownership of its slices.
 func (m *Map) Add(in, out Vec) {
 	m.in.checkVec(in)
 	m.out.checkVec(out)
-	k := in.key()
-	e, ok := m.rel[k]
-	if !ok {
-		e = &mapEntry{in: in.Clone(), outs: make(map[string]Vec)}
-		m.rel[k] = e
-	}
-	ko := out.key()
-	if _, ok := e.outs[ko]; !ok {
-		e.outs[ko] = out.Clone()
-		e.sorted = nil
-	}
+	iid, _ := m.ti.intern(in)
+	oid, ov := m.to.intern(out)
+	m.addIDs(iid, oid, ov)
 }
 
 // Contains reports whether the pair (in, out) is in the relation.
 func (m *Map) Contains(in, out Vec) bool {
-	e, ok := m.rel[in.key()]
+	iid, ok := m.ti.lookup(in)
 	if !ok {
 		return false
 	}
-	_, ok = e.outs[out.key()]
-	return ok
+	e, ok := m.rel[iid]
+	if !ok {
+		return false
+	}
+	oid, ok := m.to.lookup(out)
+	return ok && e.has(oid)
 }
 
 // Card returns the number of pairs in the relation.
@@ -70,34 +164,60 @@ func (m *Map) Card() int {
 // IsEmpty reports whether the relation has no pairs.
 func (m *Map) IsEmpty() bool { return len(m.rel) == 0 }
 
+// sortEntry establishes the entry's sorted invariant and output-vector
+// cache.
+func (m *Map) sortEntry(e *mapEntry) {
+	if e.vecs == nil {
+		e.vecs = m.to.appendVecs(make([]Vec, 0, len(e.outs)), e.outs)
+	}
+	if !e.sorted {
+		idx := make([]int, len(e.outs))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return e.vecs[idx[a]].Cmp(e.vecs[idx[b]]) < 0 })
+		outs := make([]uint32, len(e.outs))
+		vecs := make([]Vec, len(e.outs))
+		for i, j := range idx {
+			outs[i] = e.outs[j]
+			vecs[i] = e.vecs[j]
+		}
+		e.outs, e.vecs = outs, vecs
+		e.sorted = true
+	}
+	if n := len(e.vecs); n > 0 {
+		e.last = e.vecs[n-1]
+	}
+}
+
 // Lookup returns the outputs related to in, in lexicographic order.
-// The returned slice is shared; callers must not modify it.
+//
+// The returned slice and its vectors come straight from the interned
+// store and are shared with every other relation of these spaces:
+// they are strictly read-only, and modifying them corrupts the
+// process-wide canonical tables. The first Lookup of an input sorts
+// and caches the slice; repeated lookups allocate nothing.
 func (m *Map) Lookup(in Vec) []Vec {
-	e, ok := m.rel[in.key()]
+	iid, ok := m.ti.lookup(in)
 	if !ok {
 		return nil
 	}
-	return e.sortedOuts()
-}
-
-func (e *mapEntry) sortedOuts() []Vec {
-	if e.sorted == nil {
-		vs := make([]Vec, 0, len(e.outs))
-		for _, v := range e.outs {
-			vs = append(vs, v)
-		}
-		sortVecs(vs)
-		e.sorted = vs
+	e, ok := m.rel[iid]
+	if !ok {
+		return nil
 	}
-	return e.sorted
+	if e.vecs == nil || !e.sorted {
+		m.sortEntry(e)
+	}
+	return e.vecs
 }
 
 // Domain returns the set of input tuples that are related to at least
 // one output tuple.
 func (m *Map) Domain() *Set {
 	s := NewSet(m.in)
-	for k, e := range m.rel {
-		s.elems[k] = e.in
+	for iid := range m.rel {
+		s.elems[iid] = struct{}{}
 	}
 	return s
 }
@@ -106,8 +226,8 @@ func (m *Map) Domain() *Set {
 func (m *Map) Range() *Set {
 	s := NewSet(m.out)
 	for _, e := range m.rel {
-		for ko, v := range e.outs {
-			s.elems[ko] = v
+		for _, oid := range e.outs {
+			s.elems[oid] = struct{}{}
 		}
 	}
 	return s
@@ -116,9 +236,9 @@ func (m *Map) Range() *Set {
 // Inverse returns the relation with all pairs reversed.
 func (m *Map) Inverse() *Map {
 	r := NewMap(m.out, m.in)
-	for _, e := range m.rel {
-		for _, o := range e.outs {
-			r.Add(o, e.in)
+	for iid, e := range m.rel {
+		for _, oid := range e.outs {
+			r.addIDs(oid, iid, nil)
 		}
 	}
 	return r
@@ -127,10 +247,20 @@ func (m *Map) Inverse() *Map {
 // Clone returns an independent copy of m.
 func (m *Map) Clone() *Map {
 	r := NewMap(m.in, m.out)
-	for _, e := range m.rel {
-		for _, o := range e.outs {
-			r.Add(e.in, o)
+	for iid, e := range m.rel {
+		c := &mapEntry{
+			outs:   append([]uint32(nil), e.outs...),
+			sorted: e.sorted,
+			last:   e.last,
+			vecs:   e.vecs, // immutable once built; replaced, never edited
 		}
+		if e.seen != nil {
+			c.seen = make(map[uint32]struct{}, len(e.seen))
+			for o := range e.seen {
+				c.seen[o] = struct{}{}
+			}
+		}
+		r.rel[iid] = c
 	}
 	return r
 }
@@ -141,9 +271,9 @@ func (m *Map) Union(n *Map) *Map {
 	m.in.checkSame(n.in, "Map.Union(in)")
 	m.out.checkSame(n.out, "Map.Union(out)")
 	r := m.Clone()
-	for _, e := range n.rel {
-		for _, o := range e.outs {
-			r.Add(e.in, o)
+	for iid, e := range n.rel {
+		for _, oid := range e.outs {
+			r.addIDs(iid, oid, nil)
 		}
 	}
 	return r
@@ -155,14 +285,14 @@ func (m *Map) Intersect(n *Map) *Map {
 	m.in.checkSame(n.in, "Map.Intersect(in)")
 	m.out.checkSame(n.out, "Map.Intersect(out)")
 	r := NewMap(m.in, m.out)
-	for k, e := range m.rel {
-		ne, ok := n.rel[k]
+	for iid, e := range m.rel {
+		ne, ok := n.rel[iid]
 		if !ok {
 			continue
 		}
-		for ko, o := range e.outs {
-			if _, ok := ne.outs[ko]; ok {
-				r.Add(e.in, o)
+		for _, oid := range e.outs {
+			if ne.has(oid) {
+				r.addIDs(iid, oid, nil)
 			}
 		}
 	}
@@ -174,15 +304,13 @@ func (m *Map) Subtract(n *Map) *Map {
 	m.in.checkSame(n.in, "Map.Subtract(in)")
 	m.out.checkSame(n.out, "Map.Subtract(out)")
 	r := NewMap(m.in, m.out)
-	for k, e := range m.rel {
-		ne := n.rel[k]
-		for ko, o := range e.outs {
-			if ne != nil {
-				if _, ok := ne.outs[ko]; ok {
-					continue
-				}
+	for iid, e := range m.rel {
+		ne := n.rel[iid]
+		for _, oid := range e.outs {
+			if ne != nil && ne.has(oid) {
+				continue
 			}
-			r.Add(e.in, o)
+			r.addIDs(iid, oid, nil)
 		}
 	}
 	return r
@@ -194,13 +322,13 @@ func (m *Map) Equal(n *Map) bool {
 	if m.in != n.in || m.out != n.out || len(m.rel) != len(n.rel) {
 		return false
 	}
-	for k, e := range m.rel {
-		ne, ok := n.rel[k]
+	for iid, e := range m.rel {
+		ne, ok := n.rel[iid]
 		if !ok || len(e.outs) != len(ne.outs) {
 			return false
 		}
-		for ko := range e.outs {
-			if _, ok := ne.outs[ko]; !ok {
+		for _, oid := range e.outs {
+			if !ne.has(oid) {
 				return false
 			}
 		}
@@ -210,18 +338,21 @@ func (m *Map) Equal(n *Map) bool {
 
 // Compose returns outer ∘ inner: the relation of pairs (x, z) such that
 // some y satisfies (x, y) ∈ inner and (y, z) ∈ outer. This matches the
-// paper's notation M1(M2) with M1 = outer and M2 = inner.
+// paper's notation M1(M2) with M1 = outer and M2 = inner. Because both
+// relations canonicalize the shared middle space through one intern
+// table, composition is pure id plumbing — no vector is hashed or
+// materialized.
 func Compose(outer, inner *Map) *Map {
 	inner.out.checkSame(outer.in, "Compose")
 	r := NewMap(inner.in, outer.out)
-	for _, e := range inner.rel {
-		for _, y := range e.outs {
-			oe, ok := outer.rel[y.key()]
+	for iid, e := range inner.rel {
+		for _, yid := range e.outs {
+			oe, ok := outer.rel[yid]
 			if !ok {
 				continue
 			}
-			for _, z := range oe.outs {
-				r.Add(e.in, z)
+			for _, zid := range oe.outs {
+				r.addIDs(iid, zid, nil)
 			}
 		}
 	}
@@ -232,13 +363,13 @@ func Compose(outer, inner *Map) *Map {
 func (m *Map) ApplySet(s *Set) *Set {
 	m.in.checkSame(s.space, "Map.ApplySet")
 	r := NewSet(m.out)
-	for k := range s.elems {
-		e, ok := m.rel[k]
+	for iid := range s.elems {
+		e, ok := m.rel[iid]
 		if !ok {
 			continue
 		}
-		for ko, o := range e.outs {
-			r.elems[ko] = o
+		for _, oid := range e.outs {
+			r.elems[oid] = struct{}{}
 		}
 	}
 	return r
@@ -248,12 +379,12 @@ func (m *Map) ApplySet(s *Set) *Set {
 func (m *Map) IntersectDomain(s *Set) *Map {
 	m.in.checkSame(s.space, "Map.IntersectDomain")
 	r := NewMap(m.in, m.out)
-	for k, e := range m.rel {
-		if _, ok := s.elems[k]; !ok {
+	for iid, e := range m.rel {
+		if _, ok := s.elems[iid]; !ok {
 			continue
 		}
-		for _, o := range e.outs {
-			r.Add(e.in, o)
+		for _, oid := range e.outs {
+			r.addIDs(iid, oid, nil)
 		}
 	}
 	return r
@@ -263,14 +394,35 @@ func (m *Map) IntersectDomain(s *Set) *Map {
 func (m *Map) IntersectRange(s *Set) *Map {
 	m.out.checkSame(s.space, "Map.IntersectRange")
 	r := NewMap(m.in, m.out)
-	for _, e := range m.rel {
-		for ko, o := range e.outs {
-			if _, ok := s.elems[ko]; ok {
-				r.Add(e.in, o)
+	for iid, e := range m.rel {
+		for _, oid := range e.outs {
+			if _, ok := s.elems[oid]; ok {
+				r.addIDs(iid, oid, nil)
 			}
 		}
 	}
 	return r
+}
+
+// extremeOut returns the id and canonical vector of the entry's
+// lexicographic maximum (sign > 0) or minimum (sign < 0) output.
+func (m *Map) extremeOut(e *mapEntry, sign int) (uint32, Vec) {
+	if e.sorted && e.vecs != nil {
+		if sign > 0 {
+			return e.outs[len(e.outs)-1], e.vecs[len(e.vecs)-1]
+		}
+		return e.outs[0], e.vecs[0]
+	}
+	m.to.mu.RLock()
+	best := e.outs[0]
+	bv := m.to.vecs[best]
+	for _, oid := range e.outs[1:] {
+		if v := m.to.vecs[oid]; sign*v.Cmp(bv) > 0 {
+			best, bv = oid, v
+		}
+	}
+	m.to.mu.RUnlock()
+	return best, bv
 }
 
 // LexmaxPerIn returns the single-valued map relating each input of m to
@@ -278,16 +430,9 @@ func (m *Map) IntersectRange(s *Set) *Map {
 // lexmax(M) operation.
 func (m *Map) LexmaxPerIn() *Map {
 	r := NewMap(m.in, m.out)
-	for _, e := range m.rel {
-		var best Vec
-		for _, o := range e.outs {
-			if best == nil || o.Cmp(best) > 0 {
-				best = o
-			}
-		}
-		if best != nil {
-			r.Add(e.in, best)
-		}
+	for iid, e := range m.rel {
+		oid, ov := m.extremeOut(e, 1)
+		r.addIDs(iid, oid, ov)
 	}
 	return r
 }
@@ -297,16 +442,9 @@ func (m *Map) LexmaxPerIn() *Map {
 // lexmin(M) operation.
 func (m *Map) LexminPerIn() *Map {
 	r := NewMap(m.in, m.out)
-	for _, e := range m.rel {
-		var best Vec
-		for _, o := range e.outs {
-			if best == nil || o.Cmp(best) < 0 {
-				best = o
-			}
-		}
-		if best != nil {
-			r.Add(e.in, best)
-		}
+	for iid, e := range m.rel {
+		oid, ov := m.extremeOut(e, -1)
+		r.addIDs(iid, oid, ov)
 	}
 	return r
 }
@@ -324,16 +462,62 @@ func (m *Map) IsSingleValued() bool {
 
 // IsInjective reports whether no two inputs relate to the same output.
 func (m *Map) IsInjective() bool {
-	seen := make(map[string]string, len(m.rel))
-	for k, e := range m.rel {
-		for ko := range e.outs {
-			if prev, ok := seen[ko]; ok && prev != k {
+	seen := make(map[uint32]uint32, len(m.rel))
+	for iid, e := range m.rel {
+		for _, oid := range e.outs {
+			if prev, ok := seen[oid]; ok && prev != iid {
 				return false
 			}
-			seen[ko] = k
+			seen[oid] = iid
 		}
 	}
 	return true
+}
+
+// sortedIns returns the input ids in lexicographic vector order,
+// caching the result until the next Add.
+func (m *Map) sortedIns() []uint32 {
+	if m.inOrder != nil {
+		return m.inOrder
+	}
+	ids := make([]uint32, 0, len(m.rel))
+	for iid := range m.rel {
+		ids = append(ids, iid)
+	}
+	vecs := m.ti.appendVecs(make([]Vec, 0, len(ids)), ids)
+	sort.Sort(&idVecSort{ids: ids, vecs: vecs})
+	m.inOrder = ids
+	return ids
+}
+
+// idVecSort sorts an id slice and its aligned vector slice by the
+// vectors' lexicographic order.
+type idVecSort struct {
+	ids  []uint32
+	vecs []Vec
+}
+
+func (s *idVecSort) Len() int           { return len(s.ids) }
+func (s *idVecSort) Less(i, j int) bool { return s.vecs[i].Cmp(s.vecs[j]) < 0 }
+func (s *idVecSort) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.vecs[i], s.vecs[j] = s.vecs[j], s.vecs[i]
+}
+
+// Freeze sorts every entry, materializes all lazily computed caches,
+// and returns m. A frozen map serves Lookup, Image, Pairs, Foreach,
+// and ForeachEntry without further internal mutation, so it may be
+// shared by concurrent readers; Add after Freeze is allowed but
+// re-dirties the affected caches. Detection freezes the structures it
+// shares across its worker pool (see docs/PERFORMANCE.md).
+func (m *Map) Freeze() *Map {
+	for _, e := range m.rel {
+		if e.vecs == nil || !e.sorted {
+			m.sortEntry(e)
+		}
+	}
+	m.sortedIns()
+	return m
 }
 
 // Pair is one (In, Out) element of a relation.
@@ -342,42 +526,70 @@ type Pair struct {
 }
 
 // Pairs returns all pairs of m ordered lexicographically by input and
-// then by output.
+// then by output. The vectors are canonical (read-only).
 func (m *Map) Pairs() []Pair {
-	ins := make([]Vec, 0, len(m.rel))
-	for _, e := range m.rel {
-		ins = append(ins, e.in)
-	}
-	sortVecs(ins)
 	ps := make([]Pair, 0, m.Card())
-	for _, in := range ins {
-		e := m.rel[in.key()]
-		for _, o := range e.sortedOuts() {
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		for _, o := range outs {
 			ps = append(ps, Pair{In: in, Out: o})
 		}
-	}
+		return true
+	})
 	return ps
 }
 
 // Foreach calls fn for every pair in deterministic order, stopping
 // early if fn returns false.
 func (m *Map) Foreach(fn func(in, out Vec) bool) {
-	for _, p := range m.Pairs() {
-		if !fn(p.In, p.Out) {
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		for _, o := range outs {
+			if !fn(in, o) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// ForeachEntry calls fn once per input in lexicographic order with the
+// input's full output slice (lexicographically sorted). It is the
+// allocation-free iteration primitive: both arguments are shared
+// canonical data and must not be modified or retained past the call.
+// On a frozen map it performs no internal mutation.
+func (m *Map) ForeachEntry(fn func(in Vec, outs []Vec) bool) {
+	ins := m.sortedIns()
+	m.ti.mu.RLock()
+	vecs := make([]Vec, len(ins))
+	for i, iid := range ins {
+		vecs[i] = m.ti.vecs[iid]
+	}
+	m.ti.mu.RUnlock()
+	for i, iid := range ins {
+		e := m.rel[iid]
+		if e.vecs == nil || !e.sorted {
+			m.sortEntry(e)
+		}
+		if !fn(vecs[i], e.vecs) {
 			return
 		}
 	}
 }
 
 // Image returns the single output related to in. It panics unless
-// exactly one output exists; use Lookup for the general case.
+// exactly one output exists; use Lookup for the general case. On
+// single-valued maps Image performs no internal mutation, so it is
+// safe for concurrent readers even without Freeze.
 func (m *Map) Image(in Vec) Vec {
-	outs := m.Lookup(in)
-	if len(outs) != 1 {
-		panic("isl: Map.Image: input " + in.String() + " has " +
-			strconv.Itoa(len(outs)) + " outputs, want exactly 1")
+	iid, ok := m.ti.lookup(in)
+	if ok {
+		if e, found := m.rel[iid]; found && len(e.outs) == 1 {
+			return m.to.vec(e.outs[0])
+		} else if found {
+			panic("isl: Map.Image: input " + in.String() + " has " +
+				strconv.Itoa(len(e.outs)) + " outputs, want exactly 1")
+		}
 	}
-	return outs[0]
+	panic("isl: Map.Image: input " + in.String() + " has 0 outputs, want exactly 1")
 }
 
 // String renders the relation in ISL-like notation, e.g.

@@ -2,6 +2,7 @@ package isl
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -159,6 +160,133 @@ func TestQuickNearestGEAgainstNaive(t *testing.T) {
 		return NearestGE(x, y).Equal(LexLE(x, y).LexminPerIn())
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refRel is a naive string-keyed relation model — the representation
+// the isl core used before vector interning. The property tests below
+// pin the interned Map/Set to be observationally equivalent to it.
+type refRel struct {
+	pairs map[string]bool     // "in|out" membership
+	outs  map[string][]string // in key -> out keys (unordered, deduped)
+}
+
+func newRefRel() *refRel {
+	return &refRel{pairs: make(map[string]bool), outs: make(map[string][]string)}
+}
+
+func (rr *refRel) add(in, out Vec) {
+	k := in.String() + "|" + out.String()
+	if rr.pairs[k] {
+		return
+	}
+	rr.pairs[k] = true
+	rr.outs[in.String()] = append(rr.outs[in.String()], out.String())
+}
+
+func (rr *refRel) card() int { return len(rr.pairs) }
+
+func TestQuickInternedMapMatchesStringKeyed(t *testing.T) {
+	in, out := NewSpace("S", 2), NewSpace("R", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := NewMap(in, out)
+		ref := newRefRel()
+		var ins, outsSeen []Vec
+		for i := 0; i < r.Intn(40); i++ {
+			a := Vec{r.Intn(6), r.Intn(6)}
+			b := Vec{r.Intn(6), r.Intn(6)}
+			m.Add(a, b)
+			ref.add(a, b)
+			ins, outsSeen = append(ins, a), append(outsSeen, b)
+		}
+		if m.Card() != ref.card() {
+			return false
+		}
+		// Membership agrees on inserted pairs and on random probes.
+		for i := range ins {
+			if !m.Contains(ins[i], outsSeen[i]) {
+				return false
+			}
+		}
+		for i := 0; i < 20; i++ {
+			a := Vec{r.Intn(6), r.Intn(6)}
+			b := Vec{r.Intn(6), r.Intn(6)}
+			if m.Contains(a, b) != ref.pairs[a.String()+"|"+b.String()] {
+				return false
+			}
+		}
+		// Lookup returns exactly the reference outs, lex-sorted.
+		for _, a := range ins {
+			got := m.Lookup(a)
+			want := append([]string(nil), ref.outs[a.String()]...)
+			sort.Strings(want) // "[a, b]" strings of equal-width digits sort lexicographically
+			if len(got) != len(want) {
+				return false
+			}
+			for i, v := range got {
+				if v.String() != want[i] {
+					return false
+				}
+			}
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i].Cmp(got[j]) < 0 }) {
+				return false
+			}
+		}
+		// Pairs is globally lex-ordered by input then output.
+		ps := m.Pairs()
+		if len(ps) != ref.card() {
+			return false
+		}
+		for i := 1; i < len(ps); i++ {
+			if c := ps[i-1].In.Cmp(ps[i].In); c > 0 ||
+				(c == 0 && ps[i-1].Out.Cmp(ps[i].Out) >= 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInternedSetMatchesStringKeyed(t *testing.T) {
+	sp := NewSpace("S", 2)
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := NewSet(sp)
+		ref := make(map[string]bool)
+		for i := 0; i < r.Intn(40); i++ {
+			v := Vec{r.Intn(6), r.Intn(6)}
+			s.Add(v)
+			ref[v.String()] = true
+		}
+		if s.Card() != len(ref) {
+			return false
+		}
+		for i := 0; i < 20; i++ {
+			v := Vec{r.Intn(6), r.Intn(6)}
+			if s.Contains(v) != ref[v.String()] {
+				return false
+			}
+		}
+		es := s.Elements()
+		if len(es) != len(ref) {
+			return false
+		}
+		for i := range es {
+			if !ref[es[i].String()] {
+				return false
+			}
+			if i > 0 && es[i-1].Cmp(es[i]) >= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,6 +1,7 @@
 package isl
 
 import (
+	"sort"
 	"strings"
 )
 
@@ -8,15 +9,23 @@ import (
 // The zero value is not usable; construct sets with NewSet or the
 // operations on existing sets. Sets are immutable once built except
 // through Add, which callers must not use after sharing a set.
+//
+// Elements are canonicalized through the space's intern table, so the
+// set algebra runs on dense uint32 ids and Elements returns canonical
+// (read-only) vectors from the interned store.
 type Set struct {
-	space  Space
-	elems  map[string]Vec
-	sorted []Vec // lazily computed lexicographic ordering; nil when stale
+	space Space
+	t     *internTable
+	elems map[uint32]struct{}
+	// sortedIDs/sorted cache the elements in lexicographic order
+	// (ids aligned with vectors); nil when stale.
+	sortedIDs []uint32
+	sorted    []Vec
 }
 
 // NewSet returns an empty set in the given space.
 func NewSet(space Space) *Set {
-	return &Set{space: space, elems: make(map[string]Vec)}
+	return &Set{space: space, t: tableFor(space), elems: make(map[uint32]struct{})}
 }
 
 // SetOf builds a set in the given space from the listed tuples.
@@ -31,14 +40,20 @@ func SetOf(space Space, vs ...Vec) *Set {
 // Space returns the tuple space of s.
 func (s *Set) Space() Space { return s.space }
 
-// Add inserts v into s. It panics if v has the wrong dimension.
+// addID inserts an id already canonical in s's table.
+func (s *Set) addID(id uint32) {
+	if _, ok := s.elems[id]; !ok {
+		s.elems[id] = struct{}{}
+		s.sortedIDs, s.sorted = nil, nil
+	}
+}
+
+// Add inserts v into s. It panics if v has the wrong dimension. The
+// vector is copied (interned); the caller keeps ownership of v.
 func (s *Set) Add(v Vec) {
 	s.space.checkVec(v)
-	k := v.key()
-	if _, ok := s.elems[k]; !ok {
-		s.elems[k] = v.Clone()
-		s.sorted = nil
-	}
+	id, _ := s.t.intern(v)
+	s.addID(id)
 }
 
 // Contains reports whether v is an element of s.
@@ -46,7 +61,11 @@ func (s *Set) Contains(v Vec) bool {
 	if len(v) != s.space.Dim {
 		return false
 	}
-	_, ok := s.elems[v.key()]
+	id, ok := s.t.lookup(v)
+	if !ok {
+		return false
+	}
+	_, ok = s.elems[id]
 	return ok
 }
 
@@ -56,18 +75,42 @@ func (s *Set) Card() int { return len(s.elems) }
 // IsEmpty reports whether s has no elements.
 func (s *Set) IsEmpty() bool { return len(s.elems) == 0 }
 
-// Elements returns the elements of s in lexicographic order. The
-// returned slice is shared; callers must not modify it.
-func (s *Set) Elements() []Vec {
-	if s.sorted == nil {
-		vs := make([]Vec, 0, len(s.elems))
-		for _, v := range s.elems {
-			vs = append(vs, v)
-		}
-		sortVecs(vs)
-		s.sorted = vs
+// ensureSorted materializes the lexicographic element ordering.
+func (s *Set) ensureSorted() {
+	if s.sorted != nil || len(s.elems) == 0 {
+		return
 	}
+	ids := make([]uint32, 0, len(s.elems))
+	for id := range s.elems {
+		ids = append(ids, id)
+	}
+	vecs := s.t.appendVecs(make([]Vec, 0, len(ids)), ids)
+	sort.Sort(&idVecSort{ids: ids, vecs: vecs})
+	s.sortedIDs, s.sorted = ids, vecs
+}
+
+// Elements returns the elements of s in lexicographic order. The
+// returned vectors are canonical interned data: the slice and its
+// contents are strictly read-only. The ordering is computed once and
+// cached.
+func (s *Set) Elements() []Vec {
+	s.ensureSorted()
 	return s.sorted
+}
+
+// elementIDs returns the element ids aligned with Elements.
+func (s *Set) elementIDs() []uint32 {
+	s.ensureSorted()
+	return s.sortedIDs
+}
+
+// Freeze materializes the element ordering cache and returns s. A
+// frozen set serves Elements, Foreach, Lexmin/Lexmax, and the set
+// algebra without internal mutation, so it may be shared by
+// concurrent readers (until the next Add).
+func (s *Set) Freeze() *Set {
+	s.ensureSorted()
+	return s
 }
 
 // Foreach calls fn for every element in lexicographic order, stopping
@@ -83,8 +126,8 @@ func (s *Set) Foreach(fn func(Vec) bool) {
 // Clone returns an independent copy of s.
 func (s *Set) Clone() *Set {
 	t := NewSet(s.space)
-	for k, v := range s.elems {
-		t.elems[k] = v
+	for id := range s.elems {
+		t.elems[id] = struct{}{}
 	}
 	return t
 }
@@ -93,12 +136,9 @@ func (s *Set) Clone() *Set {
 func (s *Set) Union(t *Set) *Set {
 	s.space.checkSame(t.space, "Set.Union")
 	r := s.Clone()
-	for k, v := range t.elems {
-		if _, ok := r.elems[k]; !ok {
-			r.elems[k] = v
-		}
+	for id := range t.elems {
+		r.elems[id] = struct{}{}
 	}
-	r.sorted = nil
 	return r
 }
 
@@ -110,9 +150,9 @@ func (s *Set) Intersect(t *Set) *Set {
 	if large.Card() < small.Card() {
 		small, large = large, small
 	}
-	for k, v := range small.elems {
-		if _, ok := large.elems[k]; ok {
-			r.elems[k] = v
+	for id := range small.elems {
+		if _, ok := large.elems[id]; ok {
+			r.elems[id] = struct{}{}
 		}
 	}
 	return r
@@ -122,9 +162,9 @@ func (s *Set) Intersect(t *Set) *Set {
 func (s *Set) Subtract(t *Set) *Set {
 	s.space.checkSame(t.space, "Set.Subtract")
 	r := NewSet(s.space)
-	for k, v := range s.elems {
-		if _, ok := t.elems[k]; !ok {
-			r.elems[k] = v
+	for id := range s.elems {
+		if _, ok := t.elems[id]; !ok {
+			r.elems[id] = struct{}{}
 		}
 	}
 	return r
@@ -136,8 +176,8 @@ func (s *Set) Equal(t *Set) bool {
 	if s.space != t.space || len(s.elems) != len(t.elems) {
 		return false
 	}
-	for k := range s.elems {
-		if _, ok := t.elems[k]; !ok {
+	for id := range s.elems {
+		if _, ok := t.elems[id]; !ok {
 			return false
 		}
 	}
@@ -149,8 +189,8 @@ func (s *Set) IsSubset(t *Set) bool {
 	if s.space != t.space || len(s.elems) > len(t.elems) {
 		return false
 	}
-	for k := range s.elems {
-		if _, ok := t.elems[k]; !ok {
+	for id := range s.elems {
+		if _, ok := t.elems[id]; !ok {
 			return false
 		}
 	}
@@ -180,9 +220,10 @@ func (s *Set) Lexmax() (Vec, bool) {
 // Filter returns the subset of s whose elements satisfy pred.
 func (s *Set) Filter(pred func(Vec) bool) *Set {
 	r := NewSet(s.space)
-	for k, v := range s.elems {
+	s.ensureSorted()
+	for i, v := range s.sorted {
 		if pred(v) {
-			r.elems[k] = v
+			r.elems[s.sortedIDs[i]] = struct{}{}
 		}
 	}
 	return r
@@ -198,14 +239,8 @@ func (s *Set) String() string {
 			b.WriteString("; ")
 		}
 		b.WriteString(s.space.Name)
-		b.WriteString(tupleBody(v))
+		b.WriteString(v.String())
 	}
 	b.WriteString(" }")
 	return b.String()
-}
-
-// tupleBody renders "[a, b]" for use after a space name.
-func tupleBody(v Vec) string {
-	s := v.String()
-	return s
 }

@@ -76,18 +76,6 @@ func (v Vec) String() string {
 	return b.String()
 }
 
-// key returns a canonical map key for v. Keys from vectors of different
-// dimensions never collide because each coordinate is ','-terminated.
-func (v Vec) key() string {
-	var b strings.Builder
-	b.Grow(len(v) * 4)
-	for _, x := range v {
-		b.WriteString(strconv.Itoa(x))
-		b.WriteByte(',')
-	}
-	return b.String()
-}
-
 // LexMin returns the lexicographically smaller of v and w.
 func LexMin(v, w Vec) Vec {
 	if v.Cmp(w) <= 0 {

@@ -1,0 +1,56 @@
+// Package par holds the bounded worker pool the detection pipeline
+// fans its independent per-pair and per-statement jobs over. It is a
+// deliberately small primitive: jobs are indexed [0, n), workers pull
+// indices from one atomic counter, and callers write results into
+// index-addressed slots, so merges stay deterministic regardless of
+// execution interleaving (see docs/PERFORMANCE.md).
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count option: values > 0 pass through,
+// anything else means GOMAXPROCS.
+func Workers(opt int) int {
+	if opt > 0 {
+		return opt
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across at most workers
+// goroutines, pulling indices from a shared atomic counter. With
+// workers <= 1 (or a single item) it runs inline on the calling
+// goroutine — byte-for-byte the serial path. For returns only after
+// every fn call has returned, so callers may read all result slots
+// without further synchronization.
+func For(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

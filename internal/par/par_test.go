@@ -1,0 +1,43 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEachIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]atomic.Int32, n)
+			For(n, workers, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if got := hits[i].Load(); got != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, got)
+				}
+			}
+		}
+	}
+}
+
+func TestForSerialRunsInline(t *testing.T) {
+	var order []int
+	For(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(3); got != 3 {
+		t.Fatalf("Workers(3) = %d", got)
+	}
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -92,11 +93,19 @@ func (e Event) Start() bool { return e.Kind == EventStart }
 
 // Runtime executes tasks with dependency tracking over integer
 // addresses. Create all tasks from one goroutine, then Wait.
+//
+// The ready queue is sharded: each worker owns a deque guarded by its
+// own mutex, pops its own shard from the back, and steals from the
+// other shards front-first when its shard runs dry. The runtime mutex
+// guards only the dependency graph (submission and completion), so
+// ready-task handoff does not serialize the pool on one lock.
 type Runtime struct {
 	mu         sync.Mutex
-	cond       *sync.Cond
-	queue      []*node
-	pending    int // created but not finished
+	workCond   *sync.Cond // signaled under mu when a task enters a shard
+	doneCond   *sync.Cond // signaled under mu when pending reaches zero
+	shards     []deque
+	ready      atomic.Int64 // tasks currently sitting in shards
+	pending    int          // created but not finished
 	closed     bool
 	nextID     int
 	lastWriter map[int]*node // dependency address -> last writing task
@@ -106,11 +115,58 @@ type Runtime struct {
 	nworkers   int
 
 	// stats
-	executed int
-	running  int
-	maxRun   int
+	executed int // guarded by mu
+	running  atomic.Int64
+	maxRun   atomic.Int64
 
 	m runtimeMetrics
+}
+
+// deque is one worker's ready-task shard. Pushes land at the back; the
+// owner pops newest-first (cache-warm), thieves take oldest-first.
+type deque struct {
+	mu    sync.Mutex
+	head  int
+	items []*node
+}
+
+func (d *deque) push(n *node) {
+	d.mu.Lock()
+	d.items = append(d.items, n)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBack() *node {
+	d.mu.Lock()
+	if d.head == len(d.items) {
+		d.mu.Unlock()
+		return nil
+	}
+	last := len(d.items) - 1
+	n := d.items[last]
+	d.items[last] = nil
+	d.items = d.items[:last]
+	if d.head == len(d.items) {
+		d.items, d.head = d.items[:0], 0
+	}
+	d.mu.Unlock()
+	return n
+}
+
+func (d *deque) popFront() *node {
+	d.mu.Lock()
+	if d.head == len(d.items) {
+		d.mu.Unlock()
+		return nil
+	}
+	n := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.items, d.head = d.items[:0], 0
+	}
+	d.mu.Unlock()
+	return n
 }
 
 // runtimeMetrics caches the registry instruments the runtime updates on
@@ -137,8 +193,10 @@ func New(workers int) *Runtime {
 		lastWriter: make(map[int]*node),
 		lastSerial: make(map[int]*node),
 		nworkers:   workers,
+		shards:     make([]deque, workers),
 	}
-	r.cond = sync.NewCond(&r.mu)
+	r.workCond = sync.NewCond(&r.mu)
+	r.doneCond = sync.NewCond(&r.mu)
 	r.workers.Add(workers)
 	for w := 0; w < workers; w++ {
 		go r.worker(w)
@@ -237,85 +295,119 @@ func (r *Runtime) Submit(t Task) {
 	}
 }
 
-// enqueueLocked moves a node whose predecessors are all done into the
-// ready queue. The ready event is emitted under the lock so it is
-// globally ordered before the task's start event.
+// enqueueLocked moves a node whose predecessors are all done into a
+// ready shard. The ready event is emitted under the runtime lock so it
+// is globally ordered before the task's start event; the ready counter
+// is incremented under the same lock, which is what makes the workers'
+// sleep check race-free.
 func (r *Runtime) enqueueLocked(n *node) {
 	n.readyAt = time.Now()
-	r.queue = append(r.queue, n)
 	if r.m.queueDepth != nil {
 		r.m.queueDepth.Add(1)
 	}
 	if r.trace != nil {
 		r.trace(Event{Kind: EventReady, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: -1, When: n.readyAt})
 	}
-	r.cond.Signal()
+	r.shards[n.id%r.nworkers].push(n)
+	r.ready.Add(1)
+	r.workCond.Signal()
+}
+
+// take returns a ready task for worker id, or nil when every shard is
+// empty: first the worker's own shard back-first, then the other
+// shards front-first (stealing the oldest work).
+func (r *Runtime) take(id int) *node {
+	if n := r.shards[id].popBack(); n != nil {
+		r.ready.Add(-1)
+		return n
+	}
+	for k := 1; k < r.nworkers; k++ {
+		if n := r.shards[(id+k)%r.nworkers].popFront(); n != nil {
+			r.ready.Add(-1)
+			return n
+		}
+	}
+	return nil
 }
 
 func (r *Runtime) worker(id int) {
 	defer r.workers.Done()
 	for {
-		r.mu.Lock()
-		for len(r.queue) == 0 && !r.closed {
-			r.cond.Wait()
-		}
-		if len(r.queue) == 0 && r.closed {
-			r.mu.Unlock()
-			return
-		}
-		n := r.queue[0]
-		r.queue = r.queue[1:]
-		r.running++
-		if r.running > r.maxRun {
-			r.maxRun = r.running
-		}
-		maxRun := r.maxRun
-		m := r.m
-		trace := r.trace
-		r.mu.Unlock()
-
-		start := time.Now()
-		if m.queueDepth != nil {
-			m.queueDepth.Add(-1)
-			m.running.Add(1)
-			m.peak.Max(int64(maxRun))
-			stall := start.Sub(n.readyAt).Nanoseconds()
-			m.stallNs.Add(stall)
-			m.stallHist.Observe(stall)
-		}
-		if trace != nil {
-			trace(Event{Kind: EventStart, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: start})
-		}
-		if n.task.Fn != nil {
-			n.task.Fn()
-		}
-		end := time.Now()
-		if trace != nil {
-			trace(Event{Kind: EventEnd, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: end})
-		}
-		if m.queueDepth != nil {
-			busy := end.Sub(start).Nanoseconds()
-			m.running.Add(-1)
-			m.executed.Inc()
-			m.busyNs.Add(busy)
-			m.taskHist.Observe(busy)
-			m.workerBusy[id].Add(busy)
-		}
-
-		r.mu.Lock()
-		n.done = true
-		r.running--
-		r.executed++
-		r.pending--
-		for _, s := range n.succs {
-			s.remaining--
-			if s.remaining == 0 {
-				r.enqueueLocked(s)
+		n := r.take(id)
+		if n == nil {
+			// Both the increment of ready and the Signal happen under
+			// mu, so checking under mu cannot miss a wakeup; a stale
+			// positive just loops back into another steal sweep.
+			r.mu.Lock()
+			for r.ready.Load() == 0 && !r.closed {
+				r.workCond.Wait()
 			}
+			closed := r.ready.Load() == 0 && r.closed
+			r.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
 		}
-		r.cond.Broadcast()
-		r.mu.Unlock()
+		r.execute(id, n)
 	}
+}
+
+// execute runs one task body and resolves its successors.
+func (r *Runtime) execute(id int, n *node) {
+	run := r.running.Add(1)
+	for {
+		old := r.maxRun.Load()
+		if run <= old || r.maxRun.CompareAndSwap(old, run) {
+			break
+		}
+	}
+	m := r.m
+	trace := r.trace
+
+	start := time.Now()
+	if m.queueDepth != nil {
+		m.queueDepth.Add(-1)
+		m.running.Add(1)
+		m.peak.Max(r.maxRun.Load())
+		stall := start.Sub(n.readyAt).Nanoseconds()
+		m.stallNs.Add(stall)
+		m.stallHist.Observe(stall)
+	}
+	if trace != nil {
+		trace(Event{Kind: EventStart, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: start})
+	}
+	if n.task.Fn != nil {
+		n.task.Fn()
+	}
+	end := time.Now()
+	if trace != nil {
+		trace(Event{Kind: EventEnd, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: end})
+	}
+	if m.queueDepth != nil {
+		busy := end.Sub(start).Nanoseconds()
+		m.running.Add(-1)
+		m.executed.Inc()
+		m.busyNs.Add(busy)
+		m.taskHist.Observe(busy)
+		m.workerBusy[id].Add(busy)
+	}
+	r.running.Add(-1)
+
+	r.mu.Lock()
+	n.done = true
+	r.executed++
+	r.pending--
+	for _, s := range n.succs {
+		s.remaining--
+		if s.remaining == 0 {
+			r.enqueueLocked(s)
+		}
+	}
+	if r.pending == 0 {
+		r.doneCond.Broadcast()
+	}
+	r.mu.Unlock()
 }
 
 // Wait blocks until every submitted task has completed. It may be
@@ -325,7 +417,7 @@ func (r *Runtime) Wait() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for r.pending > 0 {
-		r.cond.Wait()
+		r.doneCond.Wait()
 	}
 }
 
@@ -335,7 +427,7 @@ func (r *Runtime) Close() {
 	r.Wait()
 	r.mu.Lock()
 	r.closed = true
-	r.cond.Broadcast()
+	r.workCond.Broadcast()
 	r.mu.Unlock()
 	r.workers.Wait()
 }
@@ -345,7 +437,7 @@ func (r *Runtime) Close() {
 func (r *Runtime) Stats() (executed, maxConcurrent int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.executed, r.maxRun
+	return r.executed, int(r.maxRun.Load())
 }
 
 // Run is the high-level entry point: it starts a runtime, hands the

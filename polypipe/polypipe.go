@@ -55,7 +55,9 @@ type (
 	SCoP = scop.SCoP
 	// Builder assembles SCoPs programmatically.
 	Builder = scop.Builder
-	// Options tunes pipeline detection (task granularity, ablations).
+	// Options tunes pipeline detection (task granularity, ablations,
+	// and Workers — the detection worker-pool width, 0 = GOMAXPROCS;
+	// results are bit-identical across widths, see docs/PERFORMANCE.md).
 	Options = core.Options
 	// Info is the detection result (pipeline maps, blocks, deps).
 	Info = core.Info
