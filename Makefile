@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race bench stats clean
+.PHONY: check build test vet race bench bench-cache stats clean
 
 ## check: the full gate — vet, build, and the race-enabled test suite.
 check: vet build race
@@ -23,6 +23,13 @@ race:
 bench:
 	$(GO) test -bench . -benchmem .
 	$(GO) test -bench=Detect -benchmem -run='^$$' ./internal/core/
+
+## bench-cache: the detection cache's serving path — hot Session.Detect
+## on a cached kernel vs cold core.Detect (docs/PERFORMANCE.md,
+## "Serving and the detection cache"). Add -detect-bench and
+## -detect-out BENCH_detect.json to regenerate the committed file.
+bench-cache:
+	$(GO) run ./cmd/bench-pipeline -cache-bench
 
 ## stats: one observed run with the full breakdown + trace.json.
 stats:

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/core"
+	"repro/polypipe"
+)
+
+// cacheMeasure is one kernel's hot/cold serving measurement: cold is
+// an uncached core.Detect, hot is Session.Detect served from the
+// content-addressed cache after one warming call.
+type cacheMeasure struct {
+	Kernel         string  `json:"kernel"`
+	ColdNsPerOp    int64   `json:"cold_ns_per_op"`
+	HotNsPerOp     int64   `json:"hot_ns_per_op"`
+	HotAllocsPerOp int64   `json:"hot_allocs_per_op"`
+	Speedup        float64 `json:"speedup"` // cold / hot
+}
+
+// runCacheBench measures the serving path on the detection benchmark
+// kernels: how much faster a cached session answers a repeat request
+// than detection from scratch (docs/PERFORMANCE.md, "Serving and the
+// detection cache").
+func runCacheBench() ([]cacheMeasure, error) {
+	cases, err := detectBenchCases()
+	if err != nil {
+		return nil, err
+	}
+	opts := core.Options{AllowOverwrites: true}
+	var out []cacheMeasure
+	for _, c := range cases {
+		sc := c.sc
+		var benchErr error
+		cold := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Detect(sc, opts); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("cache-bench %s/cold: %w", c.name, benchErr)
+		}
+		s := polypipe.NewSession(polypipe.WithOptions(opts), polypipe.WithCache(0))
+		if _, err := s.Detect(sc); err != nil {
+			return nil, fmt.Errorf("cache-bench %s/warm: %w", c.name, err)
+		}
+		hot := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Detect(sc); err != nil {
+					benchErr = err
+					b.Fatal(err)
+				}
+			}
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("cache-bench %s/hot: %w", c.name, benchErr)
+		}
+		m := cacheMeasure{
+			Kernel:         c.name,
+			ColdNsPerOp:    cold.NsPerOp(),
+			HotNsPerOp:     hot.NsPerOp(),
+			HotAllocsPerOp: hot.AllocsPerOp(),
+		}
+		if m.HotNsPerOp > 0 {
+			m.Speedup = float64(m.ColdNsPerOp) / float64(m.HotNsPerOp)
+		}
+		fmt.Fprintf(os.Stderr, "%s/cache: cold %d ns/op, hot %d ns/op (%.0fx)\n",
+			c.name, m.ColdNsPerOp, m.HotNsPerOp, m.Speedup)
+		out = append(out, m)
+	}
+	return out, nil
+}

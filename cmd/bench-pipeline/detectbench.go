@@ -38,6 +38,9 @@ type detectBenchRun struct {
 	// trajectory. Empty Workers/Iterations fields mean "not recorded".
 	Baseline []detectMeasure `json:"string_keyed_baseline"`
 	Results  []detectMeasure `json:"results"`
+	// Cache holds the serving-path measurements (-cache-bench): hot
+	// Session.Detect on a cached kernel vs cold core.Detect.
+	Cache []cacheMeasure `json:"cache,omitempty"`
 }
 
 // stringKeyedBaseline is the detection benchmark of the string-keyed
@@ -82,12 +85,16 @@ func detectBenchCases() ([]struct {
 }
 
 // runDetectBench measures core.Detect serial vs parallel on the
-// benchmark kernels and writes the run as JSON to out ("" or "-"
+// benchmark kernels (when detect is set), the cached serving path
+// (when cache is set), and writes the run as JSON to out ("" or "-"
 // means stdout).
-func runDetectBench(out string) error {
+func runDetectBench(out string, detect, cache bool) error {
 	cases, err := detectBenchCases()
 	if err != nil {
 		return err
+	}
+	if !detect {
+		cases = nil
 	}
 	run := detectBenchRun{
 		GoVersion:  runtime.Version(),
@@ -130,6 +137,12 @@ func runDetectBench(out string) error {
 			})
 			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op, %d allocs/op\n",
 				c.name, mode, r.NsPerOp(), r.AllocsPerOp())
+		}
+	}
+	if cache {
+		run.Cache, err = runCacheBench()
+		if err != nil {
+			return err
 		}
 	}
 

@@ -80,7 +80,8 @@ func main() {
 	table9 := flag.Bool("table9", false, "print the Table 9 program specifications (Figure 9) and exit")
 	jsonOut := flag.Bool("json", false, "emit the run's results (speedups plus observed stall/utilization metrics) as one JSON object on stdout")
 	detectBench := flag.Bool("detect-bench", false, "benchmark core.Detect serial vs parallel on the P4/P7/P10/fuzzstress kernels and emit BENCH_detect.json-shaped output")
-	detectOut := flag.String("detect-out", "", "with -detect-bench, write the JSON here instead of stdout (e.g. BENCH_detect.json)")
+	cacheBench := flag.Bool("cache-bench", false, "benchmark the detection cache's serving path (hot Session.Detect vs cold Detect) on the same kernels; combine with -detect-bench for the full BENCH_detect.json")
+	detectOut := flag.String("detect-out", "", "with -detect-bench/-cache-bench, write the JSON here instead of stdout (e.g. BENCH_detect.json)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -93,8 +94,8 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
-	if *detectBench {
-		if err := runDetectBench(*detectOut); err != nil {
+	if *detectBench || *cacheBench {
+		if err := runDetectBench(*detectOut, *detectBench, *cacheBench); err != nil {
 			stopProfiles()
 			fatal(err)
 		}

@@ -36,6 +36,7 @@ func main() {
 	minBlock := flag.Int("min-block-iters", 8, "coarsen blocks to at least this many iterations (Options.MinBlockIters); amortizes per-task handoff")
 	out := flag.String("o", "trace.json", "Perfetto trace_event output file")
 	noTrace := flag.Bool("no-trace", false, "skip writing the trace file")
+	cacheDemo := flag.Bool("cache", false, "detect through a cached Session and print the hot/cold serving times plus the cache.* counters")
 	flag.Parse()
 
 	p, err := polypipe.Kernel(*kernel, *n, *size, *rows)
@@ -54,6 +55,11 @@ func main() {
 	}
 	if err := printStats(os.Stdout, p.Name, *workers, seq.Elapsed, m); err != nil {
 		fatal(err)
+	}
+	if *cacheDemo {
+		if err := printCacheStats(os.Stdout, p, opts); err != nil {
+			fatal(err)
+		}
 	}
 	if !*noTrace {
 		f, err := os.Create(*out)
@@ -129,6 +135,44 @@ func printStats(w io.Writer, name string, workers int, sequential time.Duration,
 	} else {
 		fmt.Fprintln(w, "  [VIOLATED — noisy host?]")
 	}
+	return nil
+}
+
+// printCacheStats detects the workload twice through one cached
+// session — a cold miss and a hot content-addressed hit — and renders
+// the serving times alongside the session's cache counters (the
+// cache.* metrics of docs/OBSERVABILITY.md).
+func printCacheStats(w io.Writer, p *polypipe.Program, opts polypipe.Options) error {
+	s := polypipe.NewSession(
+		polypipe.WithOptions(opts),
+		polypipe.WithCache(0),
+		polypipe.WithRegistry(polypipe.NewRegistry()))
+	start := time.Now()
+	if _, err := s.Detect(p.SCoP); err != nil {
+		return err
+	}
+	cold := time.Since(start)
+	start = time.Now()
+	if _, err := s.Detect(p.SCoP); err != nil {
+		return err
+	}
+	hot := time.Since(start)
+
+	fmt.Fprintln(w, "\ndetection cache:")
+	t := report.NewTable("metric", "value")
+	t.Add("cold detect (miss)", report.FormatDuration(cold))
+	t.Add("hot serve (hit)", report.FormatDuration(hot))
+	if hot > 0 {
+		t.Add("hot/cold speedup", report.FormatSpeedup(float64(cold)/float64(hot)))
+	}
+	if st, ok := s.CacheStats(); ok {
+		t.Add("hits", strconv.FormatInt(st.Hits, 10))
+		t.Add("misses", strconv.FormatInt(st.Misses, 10))
+		t.Add("evictions", strconv.FormatInt(st.Evictions, 10))
+		t.Add("inflight dedup", strconv.FormatInt(st.InflightDedup, 10))
+		t.Add("entries", strconv.FormatInt(st.Entries, 10))
+	}
+	fmt.Fprint(w, t.String())
 	return nil
 }
 

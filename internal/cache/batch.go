@@ -1,0 +1,88 @@
+package cache
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/scop"
+)
+
+// GetBatch serves a batch of SCoPs through the cache: it partitions
+// the batch into hits and misses, answers hits immediately from the
+// shared frozen entries, and fans the misses over an
+// Options.Workers-wide pool — in-flight deduplication collapses
+// identical misses within the batch (and against concurrent callers)
+// to one Detect each. Results come back in input order with per-item
+// errors, and each is bit-identical to a standalone Detect of that
+// item.
+//
+// ctx cancels admission: misses not yet started when ctx is done are
+// marked with ctx.Err(); started detections run to completion and
+// still fill the cache. The whole call's latency lands in the
+// cache.batch_ns histogram.
+func (c *Cache) GetBatch(ctx context.Context, scs []*scop.SCoP, opts core.Options) ([]*core.Info, []error) {
+	start := time.Now()
+	infos := make([]*core.Info, len(scs))
+	errs := make([]error, len(scs))
+
+	// Hit pass: serve whatever is already resident without spinning up
+	// the pool. A key that misses here may still be filled by another
+	// item of this batch or a concurrent caller before its turn — Get
+	// re-probes, so that shows up as a hit or a deduplicated wait, never
+	// a second Detect.
+	var misses []int
+	for i, sc := range scs {
+		if info, ok := c.peek(sc, opts); ok {
+			infos[i] = Rebind(info, sc)
+		} else {
+			misses = append(misses, i)
+		}
+	}
+
+	if len(misses) > 0 {
+		// Multi-miss batches parallelize across items with serial inner
+		// detections, mirroring core.DetectBatch; a lone miss keeps the
+		// caller's intra-SCoP pool.
+		inner := opts
+		if len(misses) > 1 {
+			inner.Workers = 1
+		}
+		started := make([]bool, len(misses))
+		err := par.ForCtx(ctx, len(misses), par.Workers(opts.Workers), func(j int) {
+			started[j] = true
+			i := misses[j]
+			infos[i], errs[i] = c.Get(ctx, scs[i], inner)
+		})
+		if err != nil {
+			for j, i := range misses {
+				if !started[j] {
+					errs[i] = err
+				}
+			}
+		}
+	}
+	c.batchNS.Observe(time.Since(start).Nanoseconds())
+	return infos, errs
+}
+
+// peek is a promotion-counting lookup that never detects: it returns
+// the resident frozen Info for (sc, opts) and records a hit, or
+// reports a miss without counting it (the authoritative miss count
+// comes from the Get that follows).
+func (c *Cache) peek(sc *scop.SCoP, opts core.Options) (*core.Info, bool) {
+	key := KeyFor(sc, opts)
+	sh := c.shardFor(key)
+	sh.mu.Lock()
+	el, ok := sh.entries[key]
+	if !ok {
+		sh.mu.Unlock()
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	info := el.Value.(*entry).info
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return info, true
+}

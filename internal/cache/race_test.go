@@ -1,0 +1,74 @@
+package cache
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fuzzscop"
+	"repro/internal/scop"
+)
+
+// TestConcurrentGetBatchDeterministic is the serving-path determinism
+// property: many goroutines issue overlapping DetectBatch requests
+// through one cache at pool widths 1, 2, and 8 — mixing cold misses,
+// hot hits, in-flight waits, and rebinding across instances — and
+// every result is structurally identical to a standalone serial
+// Detect. Run under `make race` this also proves the frozen cached
+// Info is safe for concurrent readers.
+func TestConcurrentGetBatchDeterministic(t *testing.T) {
+	build := func() []*scop.SCoP {
+		// Fresh instances every time so most hits exercise Rebind.
+		return []*scop.SCoP{buildChain(t, 16), fuzzscop.Stress(), buildChain(t, 24), buildChain(t, 16)}
+	}
+	ref := build()
+	want := make([]*core.Info, len(ref))
+	for i, sc := range ref {
+		info, err := core.Detect(sc, core.Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = info
+	}
+
+	c := New(0, nil)
+	var wg sync.WaitGroup
+	for _, workers := range []int{1, 2, 8} {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(workers int) {
+				defer wg.Done()
+				scs := build()
+				infos, errs := c.GetBatch(context.Background(), scs, core.Options{Workers: workers})
+				for i := range scs {
+					if errs[i] != nil {
+						t.Errorf("workers=%d item %d: %v", workers, i, errs[i])
+						return
+					}
+					if err := core.EqualInfo(want[i], infos[i]); err != nil {
+						t.Errorf("workers=%d item %d differs from serial Detect: %v", workers, i, err)
+						return
+					}
+					// Cached results must be readable concurrently: walk the
+					// lookup surfaces while other goroutines do the same.
+					for _, si := range infos[i].Stmts {
+						for _, blk := range si.Blocks {
+							if si.BlockIndex(blk.Leader) < 0 {
+								t.Errorf("workers=%d: leader lookup failed", workers)
+								return
+							}
+						}
+					}
+				}
+			}(workers)
+		}
+	}
+	wg.Wait()
+
+	// Everything after the first round of leaders was served from cache.
+	st := c.Stats()
+	if st.Misses-st.InflightDedup > 3 {
+		t.Fatalf("more detections than distinct keys: stats %+v (3 distinct)", st)
+	}
+}

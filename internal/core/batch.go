@@ -1,0 +1,56 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/par"
+	"repro/internal/scop"
+)
+
+// DetectBatch runs Detect over a batch of SCoPs and returns the
+// results in input order, with a per-item error slice (exactly one of
+// infos[i], errs[i] is non-nil for every item that ran).
+//
+// Parallelism is applied across items rather than within them: the
+// batch fans out over Options.Workers goroutines and each item runs a
+// serial Detect, which keeps the pool width bounded by opts.Workers
+// instead of its square. A single-item batch degenerates to a plain
+// Detect with the caller's Workers, so the intra-SCoP pool is never
+// wasted. Either way each result is bit-identical to a standalone
+// Detect call (the determinism contract, docs/PERFORMANCE.md).
+//
+// ctx cancels admission, not detection: items not yet started when ctx
+// is done are marked with ctx.Err() and in-flight items run to
+// completion. A nil ctx never cancels. The cached serving path
+// (internal/cache.Cache.GetBatch) layers hit/miss partitioning and
+// in-flight deduplication on top of this.
+func DetectBatch(ctx context.Context, scs []*scop.SCoP, opts Options) ([]*Info, []error) {
+	infos := make([]*Info, len(scs))
+	errs := make([]error, len(scs))
+	if len(scs) == 0 {
+		return infos, errs
+	}
+	if len(scs) == 1 {
+		if ctx != nil && ctx.Err() != nil {
+			errs[0] = ctx.Err()
+			return infos, errs
+		}
+		infos[0], errs[0] = Detect(scs[0], opts)
+		return infos, errs
+	}
+	inner := opts
+	inner.Workers = 1
+	started := make([]bool, len(scs))
+	err := par.ForCtx(ctx, len(scs), par.Workers(opts.Workers), func(i int) {
+		started[i] = true
+		infos[i], errs[i] = Detect(scs[i], inner)
+	})
+	if err != nil {
+		for i := range scs {
+			if !started[i] {
+				errs[i] = err
+			}
+		}
+	}
+	return infos, errs
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/fuzzscop"
+	"repro/internal/isl/aff"
+	"repro/internal/scop"
+)
+
+// TestDetectBatchMatchesDetect: every batch slot is bit-identical to a
+// standalone Detect of the same SCoP, in input order, across pool
+// widths — including width 1 (serial) and the single-item fast path.
+func TestDetectBatchMatchesDetect(t *testing.T) {
+	scs := []*scop.SCoP{buildFigure4(t, 8), fuzzscop.Stress(), buildFigure4(t, 12)}
+	want := make([]*Info, len(scs))
+	for i, sc := range scs {
+		info, err := Detect(sc, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = info
+	}
+	for _, workers := range []int{1, 2, 8} {
+		infos, errs := DetectBatch(context.Background(), scs, Options{Workers: workers})
+		for i := range scs {
+			if errs[i] != nil {
+				t.Fatalf("workers=%d item %d: %v", workers, i, errs[i])
+			}
+			if err := EqualInfo(want[i], infos[i]); err != nil {
+				t.Fatalf("workers=%d item %d differs from standalone Detect: %v", workers, i, err)
+			}
+		}
+	}
+	// Single-item batch delegates to Detect directly.
+	infos, errs := DetectBatch(context.Background(), scs[:1], Options{Workers: 4})
+	if errs[0] != nil {
+		t.Fatal(errs[0])
+	}
+	if err := EqualInfo(want[0], infos[0]); err != nil {
+		t.Fatalf("single-item batch differs: %v", err)
+	}
+}
+
+// TestDetectBatchPerItemErrors: a rejected SCoP fails its own slot
+// without poisoning its neighbours.
+func TestDetectBatchPerItemErrors(t *testing.T) {
+	bad := scop.NewBuilder("hazard")
+	bad.Array("A", 1)
+	bad.Stmt("S", aff.RectDomain("S", 4)).Writes("A", aff.Var(1, 0))
+	bad.Stmt("T", aff.RectDomain("T", 4)).Writes("A", aff.Var(1, 0))
+	scs := []*scop.SCoP{buildFigure4(t, 8), bad.MustBuild(), buildFigure4(t, 8)}
+
+	infos, errs := DetectBatch(context.Background(), scs, Options{Workers: 4})
+	if errs[0] != nil || errs[2] != nil {
+		t.Fatalf("good items errored: %v / %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || infos[1] != nil {
+		t.Fatalf("hazardous item: info=%v err=%v, want rejection", infos[1], errs[1])
+	}
+	if err := EqualInfo(infos[0], infos[2]); err != nil {
+		t.Fatalf("identical good items differ: %v", err)
+	}
+}
+
+// TestDetectBatchCanceled: a canceled context marks unstarted items
+// with ctx.Err() instead of detecting them.
+func TestDetectBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	scs := []*scop.SCoP{buildFigure4(t, 8), buildFigure4(t, 8)}
+	infos, errs := DetectBatch(ctx, scs, Options{Workers: 2})
+	for i := range scs {
+		if errs[i] != context.Canceled {
+			t.Fatalf("item %d: err = %v, want context.Canceled", i, errs[i])
+		}
+		if infos[i] != nil {
+			t.Fatalf("item %d: got an Info despite cancellation", i)
+		}
+	}
+	// Single-item path honors the pre-canceled ctx too.
+	infos, errs = DetectBatch(ctx, scs[:1], Options{})
+	if errs[0] != context.Canceled || infos[0] != nil {
+		t.Fatalf("single item: info=%v err=%v", infos[0], errs[0])
+	}
+}

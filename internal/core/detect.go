@@ -135,6 +135,38 @@ func (in *Info) TotalBlocks() int {
 	return n
 }
 
+// Freeze materializes the lazy ordering caches of every relation the
+// result holds — statement domains, pair T/V/Y maps, integrated E
+// maps, in-dependency relations, and the dependence graph — and
+// returns in. A frozen Info is safe for any number of concurrent
+// readers (lookups, lowering, execution) with no further
+// synchronization, which is the representation the detection cache
+// stores (internal/cache).
+func (in *Info) Freeze() *Info {
+	for _, s := range in.SCoP.Stmts {
+		s.Domain.Freeze()
+	}
+	if in.Graph != nil {
+		in.Graph.Freeze()
+	}
+	for i := range in.Pairs {
+		p := &in.Pairs[i]
+		p.T.Freeze()
+		p.V.Freeze()
+		p.Y.Freeze()
+	}
+	for _, si := range in.Stmts {
+		if si == nil {
+			continue
+		}
+		si.E.Freeze()
+		for _, d := range si.InDeps {
+			d.Rel.Freeze()
+		}
+	}
+	return in
+}
+
 // Detect runs Algorithm 1 on sc: it computes pipeline maps for every
 // flow-dependent statement pair, derives and integrates blocking maps,
 // and attaches block-level dependency relations. The SCoP must be free

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"fmt"
 	"testing"
 
 	"repro/internal/fuzzscop"
@@ -33,66 +32,10 @@ func TestDetectDeterministicAcrossWorkers(t *testing.T) {
 				if err != nil {
 					t.Fatalf("workers=%d: %v", workers, err)
 				}
-				if err := sameInfo(base, got); err != nil {
+				if err := EqualInfo(base, got); err != nil {
 					t.Fatalf("workers=%d differs from serial: %v", workers, err)
 				}
 			}
 		})
 	}
-}
-
-// sameInfo compares two detection results structurally.
-func sameInfo(a, b *Info) error {
-	if len(a.Pairs) != len(b.Pairs) {
-		return fmt.Errorf("pair count %d vs %d", len(a.Pairs), len(b.Pairs))
-	}
-	for i := range a.Pairs {
-		p, q := a.Pairs[i], b.Pairs[i]
-		if p.Src != q.Src || p.Dst != q.Dst {
-			return fmt.Errorf("pair %d is %s->%s vs %s->%s", i, p.Src.Name, p.Dst.Name, q.Src.Name, q.Dst.Name)
-		}
-		if !p.T.Equal(q.T) || !p.V.Equal(q.V) || !p.Y.Equal(q.Y) {
-			return fmt.Errorf("pair %d (%s->%s) maps differ", i, p.Src.Name, p.Dst.Name)
-		}
-	}
-	if len(a.Stmts) != len(b.Stmts) {
-		return fmt.Errorf("stmt count %d vs %d", len(a.Stmts), len(b.Stmts))
-	}
-	for i := range a.Stmts {
-		x, y := a.Stmts[i], b.Stmts[i]
-		if x.Stmt != y.Stmt {
-			return fmt.Errorf("stmt %d is %s vs %s", i, x.Stmt.Name, y.Stmt.Name)
-		}
-		if !x.E.Equal(y.E) {
-			return fmt.Errorf("stmt %s: E differs", x.Stmt.Name)
-		}
-		if len(x.Blocks) != len(y.Blocks) {
-			return fmt.Errorf("stmt %s: %d vs %d blocks", x.Stmt.Name, len(x.Blocks), len(y.Blocks))
-		}
-		for j := range x.Blocks {
-			if !x.Blocks[j].Leader.Eq(y.Blocks[j].Leader) {
-				return fmt.Errorf("stmt %s block %d: leader %v vs %v", x.Stmt.Name, j, x.Blocks[j].Leader, y.Blocks[j].Leader)
-			}
-			if len(x.Blocks[j].Members) != len(y.Blocks[j].Members) {
-				return fmt.Errorf("stmt %s block %d: member count differs", x.Stmt.Name, j)
-			}
-			for k := range x.Blocks[j].Members {
-				if !x.Blocks[j].Members[k].Eq(y.Blocks[j].Members[k]) {
-					return fmt.Errorf("stmt %s block %d member %d differs", x.Stmt.Name, j, k)
-				}
-			}
-		}
-		if len(x.InDeps) != len(y.InDeps) {
-			return fmt.Errorf("stmt %s: %d vs %d in-deps", x.Stmt.Name, len(x.InDeps), len(y.InDeps))
-		}
-		for j := range x.InDeps {
-			if x.InDeps[j].Src != y.InDeps[j].Src {
-				return fmt.Errorf("stmt %s in-dep %d: src %s vs %s", x.Stmt.Name, j, x.InDeps[j].Src.Name, y.InDeps[j].Src.Name)
-			}
-			if !x.InDeps[j].Rel.Equal(y.InDeps[j].Rel) {
-				return fmt.Errorf("stmt %s in-dep %d (from %s): relation differs", x.Stmt.Name, j, x.InDeps[j].Src.Name)
-			}
-		}
-	}
-	return nil
 }

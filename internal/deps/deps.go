@@ -268,3 +268,24 @@ func CrossHazards(sc *scop.SCoP) error {
 	}
 	return nil
 }
+
+// Freeze materializes the lazy ordering caches of every relation in
+// the graph and returns g. A frozen graph serves Flow, ParallelDims,
+// and the traversal accessors without internal mutation, so it may be
+// shared by concurrent readers (see the freeze discipline in
+// docs/PERFORMANCE.md).
+func (g *Graph) Freeze() *Graph {
+	for _, row := range g.flow {
+		for _, m := range row {
+			if m != nil {
+				m.Freeze()
+			}
+		}
+	}
+	for _, m := range g.intra {
+		if m != nil {
+			m.Freeze()
+		}
+	}
+	return g
+}

@@ -1,0 +1,99 @@
+package isl
+
+// Content hashing for sets and maps: a Digest folds canonical
+// relation content into a 128-bit value, the substrate of the SCoP
+// fingerprints the detection cache is keyed by (internal/cache).
+//
+// The fold is over canonical enumeration order (lexicographic, the
+// same order Elements/ForeachEntry expose), so two relations holding
+// the same pairs hash identically regardless of the order they were
+// built in, of interning history, and of the process they run in.
+// The two lanes are independent FNV-1a streams with different offset
+// bases; 128 bits keep accidental collisions out of reach for the
+// cache sizes a serving process holds.
+
+// Digest is an incremental 128-bit content hash.
+type Digest struct {
+	lo, hi uint64
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+	// hiOffset is an arbitrary second offset basis (the FNV-1a basis
+	// XORed with a 64-bit odd constant) so the lanes decorrelate.
+	hiOffset = fnvOffset64 ^ 0x9e3779b97f4a7c15
+)
+
+// NewDigest returns a fresh digest.
+func NewDigest() *Digest {
+	return &Digest{lo: fnvOffset64, hi: hiOffset}
+}
+
+// WriteInt folds one integer into the digest.
+func (d *Digest) WriteInt(v int) { d.writeUint64(uint64(int64(v))) }
+
+func (d *Digest) writeUint64(x uint64) {
+	for i := 0; i < 8; i++ {
+		b := uint64(byte(x >> (8 * i)))
+		d.lo = (d.lo ^ b) * fnvPrime64
+		d.hi = (d.hi ^ b) * (fnvPrime64 + 2)
+	}
+}
+
+// WriteString folds a length-prefixed string into the digest, so
+// consecutive strings cannot alias ("ab","c" vs "a","bc").
+func (d *Digest) WriteString(s string) {
+	d.WriteInt(len(s))
+	for i := 0; i < len(s); i++ {
+		b := uint64(s[i])
+		d.lo = (d.lo ^ b) * fnvPrime64
+		d.hi = (d.hi ^ b) * (fnvPrime64 + 2)
+	}
+}
+
+// WriteVec folds a dimension-prefixed vector into the digest.
+func (d *Digest) WriteVec(v Vec) {
+	d.WriteInt(len(v))
+	for _, x := range v {
+		d.WriteInt(x)
+	}
+}
+
+// Sum128 returns the two 64-bit lanes of the digest.
+func (d *Digest) Sum128() (lo, hi uint64) { return d.lo, d.hi }
+
+// WriteSpace folds a space identity (name and dimension).
+func (d *Digest) WriteSpace(sp Space) {
+	d.WriteString(sp.Name)
+	d.WriteInt(sp.Dim)
+}
+
+// HashInto folds the set's canonical content — space identity,
+// cardinality, and every element in lexicographic order — into d.
+// Build order and interning history do not affect the result.
+func (s *Set) HashInto(d *Digest) {
+	d.WriteSpace(s.space)
+	es := s.Elements()
+	d.WriteInt(len(es))
+	for _, v := range es {
+		d.WriteVec(v)
+	}
+}
+
+// HashInto folds the map's canonical content — both space identities
+// and every pair in lexicographic (input, output) order — into d.
+// Build order and interning history do not affect the result.
+func (m *Map) HashInto(d *Digest) {
+	d.WriteSpace(m.in)
+	d.WriteSpace(m.out)
+	d.WriteInt(m.Card())
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		d.WriteVec(in)
+		d.WriteInt(len(outs))
+		for _, o := range outs {
+			d.WriteVec(o)
+		}
+		return true
+	})
+}

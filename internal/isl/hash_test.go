@@ -1,0 +1,87 @@
+package isl
+
+import "testing"
+
+// TestDigestOrderIndependence pins the content-addressing contract:
+// relations holding the same pairs hash identically no matter the
+// insertion order, and any content difference moves the hash.
+func TestDigestOrderIndependence(t *testing.T) {
+	in, out := NewSpace("HI", 2), NewSpace("HO", 1)
+
+	a := NewMap(in, out)
+	b := NewMap(in, out)
+	pairs := []struct{ i, o Vec }{
+		{NewVec(0, 0), NewVec(3)},
+		{NewVec(1, 2), NewVec(1)},
+		{NewVec(0, 1), NewVec(2)},
+		{NewVec(4, 4), NewVec(0)},
+	}
+	for _, p := range pairs {
+		a.Add(p.i, p.o)
+	}
+	for i := len(pairs) - 1; i >= 0; i-- {
+		b.Add(pairs[i].i, pairs[i].o)
+	}
+
+	if hashMap(a) != hashMap(b) {
+		t.Fatal("same content, different insertion order: digests differ")
+	}
+
+	b.Add(NewVec(9, 9), NewVec(4))
+	if hashMap(a) == hashMap(b) {
+		t.Fatal("different content, same digest")
+	}
+}
+
+func TestDigestSetContent(t *testing.T) {
+	sp := NewSpace("HS", 1)
+	x := SetOf(sp, NewVec(2), NewVec(0), NewVec(1))
+	y := SetOf(sp, NewVec(1), NewVec(2), NewVec(0))
+	if hashSet(x) != hashSet(y) {
+		t.Fatal("equal sets hash differently")
+	}
+	y.Add(NewVec(7))
+	if hashSet(x) == hashSet(y) {
+		t.Fatal("unequal sets hash equally")
+	}
+}
+
+// TestDigestSpaceSensitivity: the same tuples in a differently named
+// space must not collide (spaces are part of relation identity).
+func TestDigestSpaceSensitivity(t *testing.T) {
+	x := SetOf(NewSpace("HA", 1), NewVec(0), NewVec(1))
+	y := SetOf(NewSpace("HB", 1), NewVec(0), NewVec(1))
+	if hashSet(x) == hashSet(y) {
+		t.Fatal("space name ignored by digest")
+	}
+}
+
+// TestDigestStringFraming: length prefixes must keep consecutive
+// strings from aliasing.
+func TestDigestStringFraming(t *testing.T) {
+	a := NewDigest()
+	a.WriteString("ab")
+	a.WriteString("c")
+	b := NewDigest()
+	b.WriteString("a")
+	b.WriteString("bc")
+	alo, ahi := a.Sum128()
+	blo, bhi := b.Sum128()
+	if alo == blo && ahi == bhi {
+		t.Fatal("string framing aliases")
+	}
+}
+
+func hashMap(m *Map) [2]uint64 {
+	d := NewDigest()
+	m.HashInto(d)
+	lo, hi := d.Sum128()
+	return [2]uint64{lo, hi}
+}
+
+func hashSet(s *Set) [2]uint64 {
+	d := NewDigest()
+	s.HashInto(d)
+	lo, hi := d.Sum128()
+	return [2]uint64{lo, hi}
+}

@@ -7,6 +7,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -53,4 +54,48 @@ func For(n, workers int, fn func(i int)) {
 		}()
 	}
 	wg.Wait()
+}
+
+// ForCtx is For with cooperative cancellation: workers stop pulling
+// new indices once ctx is done, and ForCtx returns ctx.Err() (nil when
+// every index ran). In-flight fn calls always finish — cancellation is
+// admission control, not preemption — so on a non-nil return the set
+// of visited indices is some subset of [0, n) and callers must treat
+// unvisited result slots as unset. The deadline/cancel signal
+// propagates no further than this loop; fn itself is never handed the
+// context.
+func ForCtx(ctx context.Context, n, workers int, fn func(i int)) error {
+	if ctx == nil {
+		For(n, workers, fn)
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }

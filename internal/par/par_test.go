@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync/atomic"
 	"testing"
@@ -39,5 +40,68 @@ func TestWorkers(t *testing.T) {
 	}
 	if got := Workers(-2); got != runtime.GOMAXPROCS(0) {
 		t.Fatalf("Workers(-2) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestForCtxNilAndComplete(t *testing.T) {
+	// nil ctx is plain For.
+	hits := make([]atomic.Int32, 20)
+	if err := ForCtx(nil, 20, 4, func(i int) { hits[i].Add(1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	for i := range hits {
+		if hits[i].Load() != 1 {
+			t.Fatalf("nil ctx: index %d ran %d times", i, hits[i].Load())
+		}
+	}
+	// A live ctx covers every index exactly once, serial and parallel.
+	for _, workers := range []int{1, 3} {
+		hits := make([]atomic.Int32, 15)
+		if err := ForCtx(context.Background(), 15, workers, func(i int) { hits[i].Add(1) }); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestForCtxCancelStopsAdmission(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int32
+		err := ForCtx(ctx, 1000, workers, func(i int) {
+			if ran.Add(1) == 3 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		// Cancellation is admission control: in-flight calls finish, but
+		// admission stops soon after — well short of the full range.
+		if n := ran.Load(); n < 3 || n >= 1000 {
+			t.Fatalf("workers=%d: %d indices ran after cancel at 3", workers, n)
+		}
+	}
+}
+
+func TestForCtxPreCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	if err := ForCtx(ctx, 50, 4, func(i int) { ran.Add(1) }); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if workers := 1; true {
+		if err := ForCtx(ctx, 50, workers, func(i int) { ran.Add(1) }); err != context.Canceled {
+			t.Fatalf("serial err = %v, want context.Canceled", err)
+		}
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d indices ran on a pre-canceled ctx", ran.Load())
 	}
 }

@@ -1,0 +1,101 @@
+package scop
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/isl"
+)
+
+// Fingerprint is a 128-bit content address of a SCoP's polyhedral
+// description: everything pipeline detection reads — statement order,
+// names, iteration domains, and enumerated access relations — and
+// nothing it does not (bodies, builder history, pointer identity).
+// Two SCoPs with equal fingerprints produce bit-identical detection
+// results, which is what lets a serving process reuse one frozen
+// *core.Info across requests (see internal/cache).
+type Fingerprint [2]uint64
+
+// String renders the fingerprint as 32 hex digits.
+func (f Fingerprint) String() string {
+	return fmt.Sprintf("%016x%016x", f[0], f[1])
+}
+
+// Fingerprint computes the content address of sc, memoized per
+// instance: the first call hashes, every later call returns the stored
+// value. The memoization makes Fingerprint safe for concurrent callers
+// sharing one SCoP (hashing walks the relations through their lazy
+// ordering caches, so exactly one goroutine may do it — sync.Once
+// serializes that and publishes the side effects), which is what lets
+// the detection cache key concurrent requests without locking the
+// SCoP. The SCoP must no longer be under construction by then;
+// Builder.Build is the usual boundary.
+//
+// The hash is canonical: arrays are folded in sorted-name order (the
+// Arrays map has no order) and relations in their lexicographic
+// enumeration order, so construction order, parse order, and interning
+// history never move the fingerprint. It is parameter-aware through
+// the enumerated domains: the same program text instantiated at
+// different parameter bindings (ParseWithParams) enumerates different
+// domains and therefore fingerprints differently, while re-building
+// the same instantiation reproduces the same value.
+func (sc *SCoP) Fingerprint() Fingerprint {
+	sc.fpOnce.Do(func() { sc.fp = sc.fingerprint() })
+	return sc.fp
+}
+
+func (sc *SCoP) fingerprint() Fingerprint {
+	d := isl.NewDigest()
+	// sc.Name is deliberately excluded: the address is the content, so
+	// the same program registered under two SCoP names shares one cache
+	// entry. Statement and array names participate — tuple spaces are
+	// keyed by them, so they are part of the polyhedral content.
+	names := make([]string, 0, len(sc.Arrays))
+	for name := range sc.Arrays {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	d.WriteInt(len(names))
+	for _, name := range names {
+		d.WriteString(name)
+		d.WriteInt(sc.Arrays[name].Dim)
+	}
+	d.WriteInt(len(sc.Stmts))
+	for _, s := range sc.Stmts {
+		hashStatement(d, s)
+	}
+	lo, hi := d.Sum128()
+	return Fingerprint{lo, hi}
+}
+
+// hashStatement folds one statement: its schedule position, name,
+// domain, write (with the overwrite flag, which selects the relaxed
+// algorithm), and reads in declaration order. Read order is kept
+// because unionReads walks declarations; the union is order-free, but
+// keeping the declared order hashes strictly more than detection needs
+// and stays trivially canonical.
+func hashStatement(d *isl.Digest, s *Statement) {
+	d.WriteInt(s.Index)
+	d.WriteString(s.Name)
+	s.Domain.HashInto(d)
+	if s.Write == nil {
+		d.WriteInt(0)
+	} else {
+		d.WriteInt(1)
+		hashAccess(d, s.Write)
+	}
+	d.WriteInt(len(s.Reads))
+	for i := range s.Reads {
+		hashAccess(d, &s.Reads[i])
+	}
+}
+
+func hashAccess(d *isl.Digest, a *AccessRef) {
+	d.WriteString(a.Array())
+	if a.MayOverwrite {
+		d.WriteInt(1)
+	} else {
+		d.WriteInt(0)
+	}
+	a.Rel.HashInto(d)
+}

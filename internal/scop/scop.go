@@ -10,6 +10,7 @@ package scop
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/isl"
 	"repro/internal/isl/aff"
@@ -85,6 +86,12 @@ type SCoP struct {
 	Name   string
 	Arrays map[string]*Array
 	Stmts  []*Statement
+
+	// fp memoizes Fingerprint; fpOnce makes the first computation the
+	// only one, so concurrent fingerprinting of a shared instance never
+	// races on the relations' lazy ordering caches.
+	fpOnce sync.Once
+	fp     Fingerprint
 }
 
 // Statement returns the statement with the given name, or nil.

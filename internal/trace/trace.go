@@ -61,7 +61,9 @@ func NewCollector() *Collector {
 
 // SetRegistry mirrors the collector's drop count into the registry's
 // "trace.dropped_events" counter, so hook-installation races surface in
-// metrics instead of silently losing spans.
+// metrics instead of silently losing spans. Drops recorded before the
+// registry was attached are backfilled, so the counter always equals
+// Dropped() regardless of installation order.
 func (c *Collector) SetRegistry(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -69,6 +71,9 @@ func (c *Collector) SetRegistry(reg *obs.Registry) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.droppedCounter = reg.Counter("trace.dropped_events")
+	if c.dropped > 0 {
+		c.droppedCounter.Add(int64(c.dropped))
+	}
 }
 
 // Hook returns the tracing callback to install with Runtime.SetTrace.
@@ -127,10 +132,20 @@ func (c *Collector) Dropped() int {
 }
 
 // Analyze summarizes the collected spans, carrying the collector's
-// drop count into the result.
+// drop count into the result. The spans and the drop count are read
+// under one lock acquisition, so the analysis is a consistent snapshot
+// even while hooks are still firing — separate Spans()+Dropped() calls
+// could tear (a drop recorded between them would be counted against
+// the earlier span set).
 func (c *Collector) Analyze() Analysis {
-	a := Analyze(c.Spans())
-	a.DroppedEvents = c.Dropped()
+	c.mu.Lock()
+	spans := make([]Span, len(c.spans))
+	copy(spans, c.spans)
+	dropped := c.dropped
+	c.mu.Unlock()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start.Before(spans[j].Start) })
+	a := Analyze(spans)
+	a.DroppedEvents = dropped
 	return a
 }
 

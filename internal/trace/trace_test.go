@@ -2,6 +2,7 @@ package trace
 
 import (
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -232,5 +233,104 @@ func TestPipelineOverlapAndBounds(t *testing.T) {
 	g := Gantt(a.Spans, map[int]string{0: "S1", 1: "S2", 2: "S3"}, 40)
 	if rows := strings.Count(g, "\n"); rows != 3 {
 		t.Errorf("gantt rows = %d:\n%s", rows, g)
+	}
+}
+
+// TestCollectorConcurrentReaders hammers the collector from hook
+// writers and Analyze/Spans/Dropped readers at once — the serving
+// scenario where stats are scraped while a traced run is in flight.
+// Run under `make race` it proves the collector needs no external
+// barrier; the assertions pin the consistency contract: an Analyze
+// snapshot never tears (every observed span pairs a start before its
+// end, and drops never undercount relative to an earlier snapshot).
+func TestCollectorConcurrentReaders(t *testing.T) {
+	c := NewCollector()
+	hook := c.Hook()
+	base := time.Now()
+
+	const writers, events = 4, 300
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			for i := 0; i < events; i++ {
+				id := w*events + i
+				when := base.Add(time.Duration(id) * time.Microsecond)
+				if i%10 == 9 {
+					// Orphan end: must count as a drop, never a span.
+					hook(tasking.Event{Kind: tasking.EventEnd, TaskID: -id - 1, Worker: w, When: when})
+					continue
+				}
+				hook(tasking.Event{Kind: tasking.EventReady, TaskID: id, Worker: -1, When: when})
+				hook(tasking.Event{Kind: tasking.EventStart, TaskID: id, Serial: w, Worker: w, When: when})
+				hook(tasking.Event{Kind: tasking.EventEnd, TaskID: id, Worker: w, When: when.Add(time.Microsecond)})
+			}
+		}(w)
+	}
+
+	readWG.Add(1)
+	go func() {
+		defer readWG.Done()
+		prevDropped := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			a := c.Analyze()
+			for _, s := range a.Spans {
+				if s.End.Before(s.Start) {
+					t.Error("span with end before start")
+					return
+				}
+			}
+			if a.DroppedEvents < prevDropped {
+				t.Errorf("drop count went backwards: %d -> %d", prevDropped, a.DroppedEvents)
+				return
+			}
+			prevDropped = a.DroppedEvents
+			_ = c.Spans()
+			_ = c.Dropped()
+		}
+	}()
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	if got := c.Dropped(); got != writers*events/10 {
+		t.Fatalf("dropped = %d, want %d", got, writers*events/10)
+	}
+	if got := len(c.Spans()); got != writers*events*9/10 {
+		t.Fatalf("spans = %d, want %d", got, writers*events*9/10)
+	}
+}
+
+// TestSetRegistryBackfillsDrops: attaching a registry after drops were
+// recorded backfills them, so the mirrored counter always equals
+// Dropped() no matter the installation order.
+func TestSetRegistryBackfillsDrops(t *testing.T) {
+	c := NewCollector()
+	hook := c.Hook()
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		hook(tasking.Event{Kind: tasking.EventEnd, TaskID: i, When: now})
+	}
+	reg := obs.NewRegistry()
+	c.SetRegistry(reg)
+	if got := reg.Snapshot().Counters["trace.dropped_events"]; got != 3 {
+		t.Fatalf("backfilled counter = %d, want 3", got)
+	}
+	// Post-installation drops keep the mirror in sync.
+	hook(tasking.Event{Kind: tasking.EventEnd, TaskID: 99, When: now})
+	if got := reg.Snapshot().Counters["trace.dropped_events"]; got != 4 {
+		t.Fatalf("counter after new drop = %d, want 4", got)
+	}
+	if c.Dropped() != 4 {
+		t.Fatalf("Dropped() = %d, want 4", c.Dropped())
 	}
 }

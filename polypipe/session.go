@@ -1,0 +1,385 @@
+package polypipe
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/futures"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/simsched"
+	"repro/internal/stages"
+	"repro/internal/trace"
+)
+
+// Mode selects the executor a Session.Run call uses. The modes cover
+// the paper's evaluation matrix: the sequential reference, the
+// cross-loop pipelined executor on its three tasking layers, the
+// hybrid pipeline+intra-block executor, and the Polly-style per-loop
+// baseline.
+type Mode int
+
+const (
+	// ModeSequential runs nests in program order (the reference).
+	ModeSequential Mode = iota
+	// ModePipelined runs the detected pipeline on the OpenMP-tasks-like
+	// dependency-table runtime.
+	ModePipelined
+	// ModeFutures runs the pipeline on the futures tasking layer.
+	ModeFutures
+	// ModeStages runs the pipeline on the stage-per-nest channel layer.
+	ModeStages
+	// ModeHybrid combines the pipeline with intra-block parallelism for
+	// conflict-free statements (see WithIntraWorkers).
+	ModeHybrid
+	// ModeParLoop runs the Polly-style per-loop parallel baseline.
+	ModeParLoop
+)
+
+// String names the mode as the executors report it.
+func (m Mode) String() string {
+	switch m {
+	case ModeSequential:
+		return "sequential"
+	case ModePipelined:
+		return "pipelined"
+	case ModeFutures:
+		return "futures"
+	case ModeStages:
+		return "stages"
+	case ModeHybrid:
+		return "hybrid"
+	case ModeParLoop:
+		return "parloop"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// CacheStats is a point-in-time read of a session cache's counters.
+type CacheStats = cache.Stats
+
+// Session is one configured handle on the detection pipeline: a worker
+// count, detection options, an optional content-addressed detection
+// cache, an optional metrics registry, and a context bounding waits.
+// It consolidates what used to be a family of free functions (Detect,
+// RunPipelined*, Sim*, Verify, Speedup, TracePipelined) behind one
+// object — see docs/API.md for the migration table.
+//
+// A Session is safe for concurrent use: detection results are frozen,
+// the cache is sharded and deduplicates concurrent misses, and Run
+// touches only per-call state. The zero configuration (NewSession())
+// behaves exactly like the legacy free functions: no cache, no
+// registry, background context, GOMAXPROCS workers.
+type Session struct {
+	workers      int
+	intraWorkers int
+	opts         Options
+	ctx          context.Context
+	registry     *obs.Registry
+	cache        *cache.Cache
+	cacheCap     int
+	wantCache    bool
+}
+
+// SessionOption configures a Session at construction.
+type SessionOption func(*Session)
+
+// WithWorkers sets the execution and detection worker-pool width
+// (0 = GOMAXPROCS). It also seeds Options.Workers unless WithOptions
+// set one explicitly.
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) { s.workers = n }
+}
+
+// WithIntraWorkers bounds the intra-block worker count ModeHybrid
+// gives each conflict-free statement's blocks.
+func WithIntraWorkers(n int) SessionOption {
+	return func(s *Session) { s.intraWorkers = n }
+}
+
+// WithOptions sets the detection options every Detect this session
+// issues uses. Options.Workers, when zero, inherits WithWorkers.
+func WithOptions(opts Options) SessionOption {
+	return func(s *Session) { s.opts = opts }
+}
+
+// WithCache attaches a content-addressed detection cache bounded to
+// capacity entries (<= 0 means the default, cache.DefaultCapacity).
+// With a cache, Session.Detect on a previously seen SCoP — same
+// polyhedral content under any name, any instance — returns the frozen
+// cached result instead of re-running Algorithm 1, and concurrent
+// misses for one SCoP run Detect once. Cache counters land on the
+// session registry (see docs/OBSERVABILITY.md).
+func WithCache(capacity int) SessionOption {
+	return func(s *Session) { s.wantCache, s.cacheCap = true, capacity }
+}
+
+// WithRegistry attaches a metrics registry: detection phase timings
+// and counts, and — with WithCache — the cache.* counters, land here.
+func WithRegistry(r *Registry) SessionOption {
+	return func(s *Session) { s.registry = r }
+}
+
+// WithContext bounds the session's cancelable waits: batch admission
+// and cache in-flight waits stop when ctx is done. Detection itself
+// always runs to completion (and, when cached, still fills the cache).
+func WithContext(ctx context.Context) SessionOption {
+	return func(s *Session) { s.ctx = ctx }
+}
+
+// NewSession builds a session from the given options.
+func NewSession(options ...SessionOption) *Session {
+	s := &Session{ctx: context.Background()}
+	for _, o := range options {
+		o(s)
+	}
+	if s.opts.Workers == 0 {
+		s.opts.Workers = s.workers
+	}
+	if s.registry != nil && s.opts.Obs == nil {
+		s.opts.Obs = &obs.Recorder{Reg: s.registry, Phases: &obs.Phases{}}
+	}
+	if s.wantCache {
+		s.cache = cache.New(s.cacheCap, s.registry)
+	}
+	return s
+}
+
+// Registry returns the session's metrics registry, or nil.
+func (s *Session) Registry() *Registry { return s.registry }
+
+// Context returns the session's context (never nil).
+func (s *Session) Context() context.Context { return s.ctx }
+
+// CacheStats snapshots the session cache's counters; ok is false when
+// the session has no cache.
+func (s *Session) CacheStats() (st CacheStats, ok bool) {
+	if s.cache == nil {
+		return CacheStats{}, false
+	}
+	return s.cache.Stats(), true
+}
+
+// Detect runs (or, with a cache, serves) Algorithm 1 on sc under the
+// session's options.
+func (s *Session) Detect(sc *SCoP) (*Info, error) {
+	if s.cache != nil {
+		return s.cache.Get(s.ctx, sc, s.opts)
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.Detect(sc, s.opts)
+}
+
+// DetectBatch detects a batch of SCoPs, returning results in input
+// order with per-item errors. With a cache the batch is partitioned
+// into hits and misses and identical misses collapse onto one Detect;
+// without one every item is detected. Either way misses fan out over
+// the session's worker pool, and items not yet started when the
+// session context is done are marked with its error.
+func (s *Session) DetectBatch(scs []*SCoP) ([]*Info, []error) {
+	if s.cache != nil {
+		return s.cache.GetBatch(s.ctx, scs, s.opts)
+	}
+	return core.DetectBatch(s.ctx, scs, s.opts)
+}
+
+// compile detects (through the session cache when present) and
+// compiles p's pipeline into a task program.
+func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, error) {
+	info, err := s.Detect(p.SCoP)
+	if err != nil {
+		return nil, fmt.Errorf("exec: detect: %w", err)
+	}
+	prog, err := codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers})
+	if err != nil {
+		return nil, fmt.Errorf("exec: compile: %w", err)
+	}
+	return prog, nil
+}
+
+// Run executes p under the given mode with the session's worker count
+// and returns the execution result. Detection goes through the session
+// cache when one is attached, so repeated runs (and runs of
+// content-identical programs) skip Algorithm 1.
+func (s *Session) Run(mode Mode, p *Program) (Result, error) {
+	if err := s.ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	workers := par.Workers(s.workers)
+	switch mode {
+	case ModeSequential:
+		return exec.Sequential(p), nil
+	case ModeParLoop:
+		return exec.ParLoop(p, workers), nil
+	case ModePipelined:
+		prog, err := s.compile(p, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		return exec.RunCompiled(p, prog, workers), nil
+	case ModeFutures:
+		prog, err := s.compile(p, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		return exec.RunOnLayer(p, prog, futures.New(workers)), nil
+	case ModeStages:
+		prog, err := s.compile(p, 0)
+		if err != nil {
+			return Result{}, err
+		}
+		return exec.RunOnLayer(p, prog, stages.New(workers)), nil
+	case ModeHybrid:
+		prog, err := s.compile(p, s.intraWorkers)
+		if err != nil {
+			return Result{}, err
+		}
+		res := exec.RunCompiled(p, prog, workers)
+		res.Executor = "pipeline-hybrid"
+		return res, nil
+	}
+	return Result{}, fmt.Errorf("polypipe: unknown mode %v", mode)
+}
+
+// Verify checks that the pipelined and per-loop executions reproduce
+// the sequential result bit-for-bit, with detection going through the
+// session (cache and context included).
+func (s *Session) Verify(p *Program) error {
+	want := exec.Sequential(p).Hash
+	pipe, err := s.Run(ModePipelined, p)
+	if err != nil {
+		return err
+	}
+	if pipe.Hash != want {
+		return fmt.Errorf("exec: pipeline result differs from sequential (%x vs %x)", pipe.Hash, want)
+	}
+	if got, err := s.Run(ModeParLoop, p); err != nil {
+		return err
+	} else if got.Hash != want {
+		return fmt.Errorf("exec: parloop result differs from sequential (%x vs %x)", got.Hash, want)
+	}
+	return nil
+}
+
+// Speedup measures sequential vs pipelined wall time (one run each,
+// detection amortized — and cached across calls when the session has a
+// cache) and returns the ratio.
+func (s *Session) Speedup(p *Program) (seq, pipe time.Duration, speedup float64, err error) {
+	prog, err := s.compile(p, 0)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	seqRes := exec.Sequential(p)
+	pipeRes := exec.RunCompiled(p, prog, par.Workers(s.workers))
+	return seqRes.Elapsed, pipeRes.Elapsed, float64(seqRes.Elapsed) / float64(pipeRes.Elapsed), nil
+}
+
+// TracePipelined runs the pipelined program with tracing and returns
+// the execution analysis plus an ASCII Gantt chart of statement
+// activity (the Figure 2/5 picture).
+func (s *Session) TracePipelined(p *Program, ganttWidth int) (trace.Analysis, string, error) {
+	prog, err := s.compile(p, 0)
+	if err != nil {
+		return trace.Analysis{}, "", err
+	}
+	c := trace.NewCollector()
+	p.Reset()
+	prog.RunTraced(par.Workers(s.workers), c.Hook())
+	a := trace.Analyze(c.Spans())
+	names := map[int]string{}
+	for _, st := range p.SCoP.Stmts {
+		names[st.Index] = st.Name
+	}
+	return a, trace.Gantt(a.Spans, names, ganttWidth), nil
+}
+
+// TraceSVG runs the pipelined program with tracing and writes an SVG
+// Gantt timeline of statement activity (the graphical Figure 2).
+func (s *Session) TraceSVG(w io.Writer, p *Program) error {
+	prog, err := s.compile(p, 0)
+	if err != nil {
+		return err
+	}
+	c := trace.NewCollector()
+	p.Reset()
+	prog.RunTraced(par.Workers(s.workers), c.Hook())
+	names := map[int]string{}
+	for _, st := range p.SCoP.Stmts {
+		names[st.Index] = st.Name
+	}
+	return trace.WriteSVG(w, c.Spans(), trace.SVGOptions{Names: names})
+}
+
+// SimConfig configures Session.Simulate, consolidating the Sim* family
+// behind one call.
+type SimConfig struct {
+	// Mode selects what to simulate: ModePipelined (the default; also
+	// accepted as ModeFutures/ModeStages, which share the task graph),
+	// ModeHybrid (intra-block scaling per WithIntraWorkers), or
+	// ModeParLoop (the Polly-style baseline).
+	Mode Mode
+	// Procs lists the processor counts to schedule at; all counts share
+	// one set of measured task costs, so the points are comparable.
+	// Empty means one point at the session's worker count.
+	Procs []int
+	// Overhead models per-task scheduling cost in virtual time.
+	Overhead time.Duration
+	// Potential ignores Procs and schedules with unbounded processors —
+	// the critical-path bound (Eq. 5 is its per-nest limit).
+	Potential bool
+}
+
+// Simulate measures p's task costs during one sequential replay and
+// returns the simulated speed-up at each requested processor count
+// (virtual-time mode — deterministic, works on single-core hosts; see
+// internal/simsched). The result slice aligns with cfg.Procs (one
+// element when Procs is empty or cfg.Potential is set).
+func (s *Session) Simulate(p *Program, cfg SimConfig) ([]float64, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	procs := cfg.Procs
+	if len(procs) == 0 {
+		procs = []int{par.Workers(s.workers)}
+	}
+	if cfg.Mode == ModeParLoop {
+		if cfg.Potential {
+			return nil, fmt.Errorf("polypipe: Potential applies to the pipelined task graph, not the per-loop baseline")
+		}
+		out := make([]float64, len(procs))
+		for i, pr := range procs {
+			_, sch := simsched.SimulateParLoop(p, pr, cfg.Overhead)
+			out[i] = sch.Speedup()
+		}
+		return out, nil
+	}
+	intra := 0
+	if cfg.Mode == ModeHybrid {
+		intra = s.intraWorkers
+	}
+	prog, err := s.compile(p, intra)
+	if err != nil {
+		return nil, err
+	}
+	tasks, _ := simsched.MeasureCompiled(p, prog, cfg.Overhead)
+	if cfg.Potential {
+		n := prog.NumTasks()
+		if n < 1 {
+			n = 1
+		}
+		return []float64{simsched.List(tasks, n).Speedup()}, nil
+	}
+	out := make([]float64, len(procs))
+	for i, pr := range procs {
+		out[i] = simsched.List(tasks, pr).Speedup()
+	}
+	return out, nil
+}

@@ -1,0 +1,195 @@
+package polypipe
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestSessionRunModesAgree: every executor mode reproduces the
+// sequential hash, and the mode names render.
+func TestSessionRunModesAgree(t *testing.T) {
+	p := Listing3(24)
+	s := NewSession(WithWorkers(4), WithIntraWorkers(2))
+	want, err := s.Run(ModeSequential, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModePipelined, ModeFutures, ModeStages, ModeHybrid, ModeParLoop} {
+		res, err := s.Run(mode, p)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.Hash != want.Hash {
+			t.Fatalf("%v: hash %x, sequential %x", mode, res.Hash, want.Hash)
+		}
+		if strings.HasPrefix(mode.String(), "Mode(") {
+			t.Fatalf("mode %d has no name", int(mode))
+		}
+	}
+	if _, err := s.Run(Mode(99), p); err == nil {
+		t.Fatal("unknown mode accepted")
+	}
+}
+
+// TestSessionCachedRunsIdentical: a cached session serves repeat and
+// content-identical programs from the cache, and the executions still
+// verify against the sequential reference.
+func TestSessionCachedRunsIdentical(t *testing.T) {
+	s := NewSession(WithWorkers(2), WithCache(0), WithRegistry(NewRegistry()))
+	first, second := Listing1(32), Listing1(32)
+
+	if err := s.Verify(first); err != nil {
+		t.Fatal(err)
+	}
+	// Verify ran ModePipelined once: one miss, zero hits so far.
+	st, ok := s.CacheStats()
+	if !ok {
+		t.Fatal("session has a cache; CacheStats says otherwise")
+	}
+	if st.Misses != 1 || st.Hits != 0 {
+		t.Fatalf("after first run: %+v", st)
+	}
+	// A separately built but content-identical program hits.
+	res, err := s.Run(ModePipelined, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := s.Run(ModeSequential, second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != seq.Hash {
+		t.Fatalf("cached pipelined run wrong: %x vs %x", res.Hash, seq.Hash)
+	}
+	if st, _ := s.CacheStats(); st.Hits != 1 {
+		t.Fatalf("content-identical program missed the cache: %+v", st)
+	}
+	// Registry carries the cache counters too.
+	if v := s.Registry().Snapshot().Counters["cache.hits"]; v != 1 {
+		t.Fatalf("cache.hits on the session registry = %d, want 1", v)
+	}
+}
+
+// TestSessionDetectBatch: batch results line up with Detect, cached or
+// not.
+func TestSessionDetectBatch(t *testing.T) {
+	a, b := Listing1(16), Listing3(16)
+	for _, s := range []*Session{
+		NewSession(WithWorkers(2)),
+		NewSession(WithWorkers(2), WithCache(0)),
+	} {
+		infos, errs := s.DetectBatch([]*SCoP{a.SCoP, b.SCoP, a.SCoP})
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("item %d: %v", i, err)
+			}
+		}
+		for i, sc := range []*SCoP{a.SCoP, b.SCoP, a.SCoP} {
+			want, err := core.Detect(sc, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := core.EqualInfo(want, infos[i]); err != nil {
+				t.Fatalf("item %d differs: %v", i, err)
+			}
+		}
+	}
+}
+
+// TestSessionContextCancellation: a done session context fails Detect,
+// Run, and Simulate instead of computing.
+func TestSessionContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for name, s := range map[string]*Session{
+		"plain":  NewSession(WithContext(ctx)),
+		"cached": NewSession(WithContext(ctx), WithCache(0)),
+	} {
+		p := Listing1(8)
+		if _, err := s.Detect(p.SCoP); err != context.Canceled {
+			t.Fatalf("%s Detect: err = %v", name, err)
+		}
+		if _, err := s.Run(ModePipelined, p); err != context.Canceled {
+			t.Fatalf("%s Run: err = %v", name, err)
+		}
+		if _, err := s.Simulate(p, SimConfig{}); err != context.Canceled {
+			t.Fatalf("%s Simulate: err = %v", name, err)
+		}
+		_, errs := s.DetectBatch([]*SCoP{p.SCoP, p.SCoP})
+		if errs[0] != context.Canceled || errs[1] != context.Canceled {
+			t.Fatalf("%s DetectBatch: errs = %v", name, errs)
+		}
+	}
+}
+
+// TestSessionSimulateConsolidation: Simulate covers the Sim* family —
+// multi-point pipelined curves, the baseline, hybrid, and the
+// potential bound — with sane shapes.
+func TestSessionSimulateConsolidation(t *testing.T) {
+	p := Listing3(24)
+	s := NewSession(WithWorkers(2), WithIntraWorkers(2))
+
+	curve, err := s.Simulate(p, SimConfig{Procs: []int{1, 2, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(curve) != 3 {
+		t.Fatalf("curve has %d points, want 3", len(curve))
+	}
+	for i, v := range curve {
+		if v <= 0 {
+			t.Fatalf("point %d: speedup %v", i, v)
+		}
+	}
+	if one, err := s.Simulate(p, SimConfig{}); err != nil || len(one) != 1 {
+		t.Fatalf("default Procs: %v %v", one, err)
+	}
+	if base, err := s.Simulate(p, SimConfig{Mode: ModeParLoop, Procs: []int{2}}); err != nil || len(base) != 1 || base[0] <= 0 {
+		t.Fatalf("parloop sim: %v %v", base, err)
+	}
+	if hyb, err := s.Simulate(p, SimConfig{Mode: ModeHybrid, Procs: []int{2}}); err != nil || len(hyb) != 1 || hyb[0] <= 0 {
+		t.Fatalf("hybrid sim: %v %v", hyb, err)
+	}
+	pot, err := s.Simulate(p, SimConfig{Potential: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pot) != 1 || pot[0] <= 0 {
+		t.Fatalf("potential: %v", pot)
+	}
+	if _, err := s.Simulate(p, SimConfig{Mode: ModeParLoop, Potential: true}); err == nil {
+		t.Fatal("Potential+ParLoop accepted")
+	}
+}
+
+// TestDeprecatedWrappersStillWork: the legacy free functions keep
+// their behaviour as thin Session wrappers.
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	p := Listing1(24)
+	want := RunSequential(p).Hash
+	res, err := RunPipelined(p, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != want {
+		t.Fatalf("RunPipelined hash %x vs %x", res.Hash, want)
+	}
+	if err := Verify(p, 2, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := SimSpeedup(p, 2, Options{}, 0); err != nil || v <= 0 {
+		t.Fatalf("SimSpeedup: %v %v", v, err)
+	}
+	if v := SimParLoopSpeedup(p, 2, 0); v <= 0 {
+		t.Fatalf("SimParLoopSpeedup: %v", v)
+	}
+	if vs, err := SimSpeedups(p, Options{}, 0, 1, 2); err != nil || len(vs) != 2 {
+		t.Fatalf("SimSpeedups: %v %v", vs, err)
+	}
+	if v, err := PotentialSpeedup(p, Options{}); err != nil || v <= 0 {
+		t.Fatalf("PotentialSpeedup: %v %v", v, err)
+	}
+}
