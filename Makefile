@@ -1,9 +1,19 @@
 GO ?= go
 
-.PHONY: check build test vet race bench bench-cache stats clean
+.PHONY: check build test vet race crosscheck bench bench-cache bench-gate stats clean
 
-## check: the full gate — vet, build, and the race-enabled test suite.
-check: vet build race
+## check: the full gate — vet, build, the race-enabled test suite, and
+## the cross-backend differential suite.
+check: vet build race crosscheck
+
+## crosscheck: prove the columnar isl backend (default) and the legacy
+## hash-map backend (-tags islhashmap) are observably identical — the
+## model-based isl property tests plus bit-identical detection digests
+## against the committed goldens — under the race detector.
+crosscheck:
+	$(GO) vet -tags islhashmap ./...
+	$(GO) test -race ./internal/isl/ ./internal/core/
+	$(GO) test -race -tags islhashmap ./internal/isl/ ./internal/core/
 
 build:
 	$(GO) build ./...
@@ -30,6 +40,12 @@ bench:
 ## -detect-out BENCH_detect.json to regenerate the committed file.
 bench-cache:
 	$(GO) run ./cmd/bench-pipeline -cache-bench
+
+## bench-gate: performance regression gate — re-run the detection
+## benchmark and fail if any kernel's ns/op regressed more than 15%
+## against the committed BENCH_detect.json (tune with -gate-tol).
+bench-gate:
+	$(GO) run ./cmd/bench-pipeline -bench-gate -sizes 32,64,128
 
 ## stats: one observed run with the full breakdown + trace.json.
 stats:

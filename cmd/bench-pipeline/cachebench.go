@@ -25,7 +25,7 @@ type cacheMeasure struct {
 // than detection from scratch (docs/PERFORMANCE.md, "Serving and the
 // detection cache").
 func runCacheBench() ([]cacheMeasure, error) {
-	cases, err := detectBenchCases()
+	cases, err := detectBenchCases([]int{32})
 	if err != nil {
 		return nil, err
 	}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fuzzscop"
+	"repro/internal/isl"
 	"repro/internal/kernels"
 	"repro/internal/scop"
 )
@@ -25,19 +26,24 @@ type detectMeasure struct {
 }
 
 // detectBenchRun is the BENCH_detect.json schema: the host shape, the
-// frozen string-keyed baseline this PR's interned core is measured
-// against, and the fresh measurements (see docs/PERFORMANCE.md for how
-// to read it).
+// isl backend the binary was built with, the frozen baselines this
+// PR's columnar core is measured against, and the fresh measurements
+// (see docs/PERFORMANCE.md for how to read it).
 type detectBenchRun struct {
 	GoVersion  string `json:"go_version"`
 	GoMaxProcs int    `json:"gomaxprocs"`
 	NumCPU     int    `json:"num_cpu"`
+	Backend    string `json:"backend"`
 	Note       string `json:"note"`
 	// Baseline holds the pre-interning (string-keyed isl) serial
 	// numbers recorded on the same host, for the allocs/op and ns/op
 	// trajectory. Empty Workers/Iterations fields mean "not recorded".
 	Baseline []detectMeasure `json:"string_keyed_baseline"`
-	Results  []detectMeasure `json:"results"`
+	// HashmapBaseline holds the interned hash-map backend's serial
+	// numbers (the tree as of commit 44efc2f), the representation the
+	// columnar backend replaced; -tags islhashmap still builds it.
+	HashmapBaseline []detectMeasure `json:"hashmap_baseline"`
+	Results         []detectMeasure `json:"results"`
 	// Cache holds the serving-path measurements (-cache-bench): hot
 	// Session.Detect on a cached kernel vs cold core.Detect.
 	Cache []cacheMeasure `json:"cache,omitempty"`
@@ -55,10 +61,21 @@ var stringKeyedBaseline = []detectMeasure{
 	{Kernel: "fuzzstress", Mode: "serial", NsPerOp: 2794060, BytesPerOp: 1479096, AllocsPerOp: 20083},
 }
 
-// detectBenchCases mirrors core's BenchmarkDetect input set: three
-// Table 9 programs spanning the access-pattern space plus the large
-// fuzz-generated stress SCoP.
-func detectBenchCases() ([]struct {
+// hashmapBaseline is the detection benchmark of the interned hash-map
+// isl backend (the tree as of commit 44efc2f), the second point of the
+// trajectory and the representation the columnar backend replaced.
+// Same host as stringKeyedBaseline; serial rows only.
+var hashmapBaseline = []detectMeasure{
+	{Kernel: "P4/n=32", Mode: "serial", NsPerOp: 25363513, BytesPerOp: 11555883, AllocsPerOp: 140453},
+	{Kernel: "P7/n=32", Mode: "serial", NsPerOp: 30267268, BytesPerOp: 15707093, AllocsPerOp: 174588},
+	{Kernel: "P10/n=32", Mode: "serial", NsPerOp: 40392388, BytesPerOp: 21044585, AllocsPerOp: 249315},
+	{Kernel: "fuzzstress", Mode: "serial", NsPerOp: 908329, BytesPerOp: 445456, AllocsPerOp: 5520},
+}
+
+// detectBenchCases mirrors core's BenchmarkDetect input set — three
+// Table 9 programs spanning the access-pattern space, each at every
+// requested problem size, plus the large fuzz-generated stress SCoP.
+func detectBenchCases(sizes []int) ([]struct {
 	name string
 	sc   *scop.SCoP
 }, error) {
@@ -72,10 +89,12 @@ func detectBenchCases() ([]struct {
 		if !ok {
 			return nil, fmt.Errorf("unknown Table 9 program %q", name)
 		}
-		cases = append(cases, struct {
-			name string
-			sc   *scop.SCoP
-		}{name + "/n=32", kernels.BuildTable9(spec, 32, 1).SCoP})
+		for _, n := range sizes {
+			cases = append(cases, struct {
+				name string
+				sc   *scop.SCoP
+			}{fmt.Sprintf("%s/n=%d", name, n), kernels.BuildTable9(spec, n, 1).SCoP})
+		}
 	}
 	cases = append(cases, struct {
 		name string
@@ -84,29 +103,28 @@ func detectBenchCases() ([]struct {
 	return cases, nil
 }
 
-// runDetectBench measures core.Detect serial vs parallel on the
-// benchmark kernels (when detect is set), the cached serving path
-// (when cache is set), and writes the run as JSON to out ("" or "-"
-// means stdout).
-func runDetectBench(out string, detect, cache bool) error {
-	cases, err := detectBenchCases()
+// measureDetect benchmarks core.Detect on the given cases. Serial rows
+// (Workers=1) are always measured; the parallel row (Workers=GOMAXPROCS)
+// is measured only when it would actually run more than one worker —
+// on a single-CPU host the two configurations are the same pool and a
+// "parallel" row would only record noise.
+func measureDetect(sizes []int) ([]detectMeasure, bool, error) {
+	cases, err := detectBenchCases(sizes)
 	if err != nil {
-		return err
+		return nil, false, err
 	}
-	if !detect {
-		cases = nil
+	workerOpts := []int{1}
+	parallelSkipped := false
+	if resolveWorkers(0) > 1 {
+		workerOpts = append(workerOpts, 0)
+	} else {
+		parallelSkipped = true
+		fmt.Fprintf(os.Stderr, "detect-bench: gomaxprocs=%d, skipping the parallel column (needs > 1 worker)\n",
+			runtime.GOMAXPROCS(0))
 	}
-	run := detectBenchRun{
-		GoVersion:  runtime.Version(),
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU:     runtime.NumCPU(),
-		Note: "serial is Workers=1, parallel is Workers=GOMAXPROCS; on a single-CPU host " +
-			"the two coincide up to noise — the parallel column shows pool overhead there, " +
-			"speedup needs num_cpu >= 2",
-		Baseline: stringKeyedBaseline,
-	}
+	var results []detectMeasure
 	for _, c := range cases {
-		for _, workers := range []int{1, 0} {
+		for _, workers := range workerOpts {
 			mode := "serial"
 			if workers != 1 {
 				mode = "parallel"
@@ -124,9 +142,9 @@ func runDetectBench(out string, detect, cache bool) error {
 				}
 			})
 			if benchErr != nil {
-				return fmt.Errorf("detect-bench %s/%s: %w", c.name, mode, benchErr)
+				return nil, false, fmt.Errorf("detect-bench %s/%s: %w", c.name, mode, benchErr)
 			}
-			run.Results = append(run.Results, detectMeasure{
+			results = append(results, detectMeasure{
 				Kernel:      c.name,
 				Mode:        mode,
 				Workers:     resolveWorkers(workers),
@@ -139,7 +157,37 @@ func runDetectBench(out string, detect, cache bool) error {
 				c.name, mode, r.NsPerOp(), r.AllocsPerOp())
 		}
 	}
+	return results, parallelSkipped, nil
+}
+
+// runDetectBench measures core.Detect on the benchmark kernels at the
+// given problem sizes (when detect is set), the cached serving path
+// (when cache is set), and writes the run as JSON to out ("" or "-"
+// means stdout).
+func runDetectBench(out string, detect, cache bool, sizes []int) error {
+	note := "serial is Workers=1, parallel is Workers=GOMAXPROCS; workers records the " +
+		"resolved worker count actually used"
+	run := detectBenchRun{
+		GoVersion:       runtime.Version(),
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		Backend:         isl.BackendName,
+		Note:            note,
+		Baseline:        stringKeyedBaseline,
+		HashmapBaseline: hashmapBaseline,
+	}
+	if detect {
+		results, parallelSkipped, err := measureDetect(sizes)
+		if err != nil {
+			return err
+		}
+		run.Results = results
+		if parallelSkipped {
+			run.Note = note + "; parallel rows omitted: this host resolves to 1 worker"
+		}
+	}
 	if cache {
+		var err error
 		run.Cache, err = runCacheBench()
 		if err != nil {
 			return err
@@ -158,6 +206,75 @@ func runDetectBench(out string, detect, cache bool) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
 	return enc.Encode(run)
+}
+
+// runBenchGate re-measures the detection benchmark and fails (non-nil
+// error) when any kernel's ns/op regresses more than tol (fractional,
+// e.g. 0.15) against the committed gate file. Only rows present in
+// both the fresh run and the file's results are compared, so a gate
+// file recorded on a multi-CPU host still gates the serial rows on a
+// single-CPU one. Improvements and in-tolerance jitter pass; the gate
+// file is rewritten only by an explicit -detect-bench run.
+func runBenchGate(gateFile string, tol float64, sizes []int) error {
+	data, err := os.ReadFile(gateFile)
+	if err != nil {
+		return fmt.Errorf("bench-gate: reading %s: %w", gateFile, err)
+	}
+	var committed detectBenchRun
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("bench-gate: parsing %s: %w", gateFile, err)
+	}
+	if committed.Backend != "" && committed.Backend != isl.BackendName {
+		return fmt.Errorf("bench-gate: %s was recorded with backend %q, this binary is %q",
+			gateFile, committed.Backend, isl.BackendName)
+	}
+	want := make(map[string]detectMeasure, len(committed.Results))
+	for _, m := range committed.Results {
+		want[m.Kernel+"/"+m.Mode] = m
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("bench-gate: %s has no results to gate against", gateFile)
+	}
+
+	fresh, _, err := measureDetect(sizes)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	compared := 0
+	for _, m := range fresh {
+		key := m.Kernel + "/" + m.Mode
+		w, ok := want[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "bench-gate: %s not in %s, skipping\n", key, gateFile)
+			continue
+		}
+		compared++
+		limit := float64(w.NsPerOp) * (1 + tol)
+		status := "ok"
+		if float64(m.NsPerOp) > limit {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs committed %d (+%.1f%%, tolerance %.0f%%)",
+				key, m.NsPerOp, w.NsPerOp,
+				100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1), 100*tol))
+		}
+		fmt.Fprintf(os.Stderr, "bench-gate: %s: %d ns/op vs committed %d (%+.1f%%) %s\n",
+			key, m.NsPerOp, w.NsPerOp,
+			100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1), status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("bench-gate: no fresh measurement matched %s", gateFile)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench-gate: REGRESSION:", f)
+		}
+		return fmt.Errorf("bench-gate: %d of %d kernels regressed beyond %.0f%%",
+			len(failures), compared, 100*tol)
+	}
+	fmt.Fprintf(os.Stderr, "bench-gate: all %d kernels within %.0f%% of %s\n",
+		compared, 100*tol, gateFile)
+	return nil
 }
 
 func resolveWorkers(opt int) int {

@@ -82,6 +82,10 @@ func main() {
 	detectBench := flag.Bool("detect-bench", false, "benchmark core.Detect serial vs parallel on the P4/P7/P10/fuzzstress kernels and emit BENCH_detect.json-shaped output")
 	cacheBench := flag.Bool("cache-bench", false, "benchmark the detection cache's serving path (hot Session.Detect vs cold Detect) on the same kernels; combine with -detect-bench for the full BENCH_detect.json")
 	detectOut := flag.String("detect-out", "", "with -detect-bench/-cache-bench, write the JSON here instead of stdout (e.g. BENCH_detect.json)")
+	detectSizes := flag.String("sizes", "32", "with -detect-bench/-bench-gate, comma-separated problem sizes for the P4/P7/P10 kernels (e.g. 32,64,128 for the scaling sweep)")
+	benchGate := flag.Bool("bench-gate", false, "re-run the detection benchmark and exit non-zero if any kernel's ns/op regressed beyond -gate-tol against -gate-file")
+	gateFile := flag.String("gate-file", "BENCH_detect.json", "committed benchmark file the -bench-gate run compares against")
+	gateTol := flag.Float64("gate-tol", 0.15, "fractional ns/op regression tolerance for -bench-gate (0.15 = 15%)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -94,8 +98,19 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
-	if *detectBench || *cacheBench {
-		if err := runDetectBench(*detectOut, *detectBench, *cacheBench); err != nil {
+	if *detectBench || *cacheBench || *benchGate {
+		sizeVals, err := parseInts(*detectSizes)
+		if err != nil {
+			fatal(err)
+		}
+		if *benchGate {
+			if err := runBenchGate(*gateFile, *gateTol, sizeVals); err != nil {
+				stopProfiles()
+				fatal(err)
+			}
+			return
+		}
+		if err := runDetectBench(*detectOut, *detectBench, *cacheBench, sizeVals); err != nil {
 			stopProfiles()
 			fatal(err)
 		}

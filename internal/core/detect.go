@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 
 	"repro/internal/deps"
 	"repro/internal/isl"
@@ -182,6 +183,23 @@ func (in *Info) Freeze() *Info {
 func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.Obs != nil {
+		// Allocation accounting brackets the whole detection: the
+		// delta of the runtime's cumulative heap total (cheap but
+		// process-wide, hence gated on an observer being attached) and
+		// the isl scratch pool's reuse counter, which together show
+		// how much of the relation algebra ran out of pooled buffers.
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		startBytes := ms.TotalAlloc
+		_, startReuse := isl.ScratchStats()
+		defer func() {
+			runtime.ReadMemStats(&ms)
+			opts.Obs.Count("detect.bytes_alloc", int64(ms.TotalAlloc-startBytes))
+			_, reuse := isl.ScratchStats()
+			opts.Obs.Count("detect.scratch_reuse", int64(reuse-startReuse))
+		}()
 	}
 	workers := par.Workers(opts.Workers)
 	opts.Obs.SetGauge("detect.parallel_workers", int64(workers))

@@ -74,6 +74,20 @@ func (t *internTable) intern(v Vec) (uint32, Vec) {
 	return id, cv
 }
 
+// snapshot returns the table's id → canonical-vector column under one
+// read lock. The table is append-only: interning only ever writes at
+// indexes at or beyond the snapshot's length, so every id issued
+// before the call stays readable through the returned header; ids
+// interned later are simply not visible. Relation algebra takes one
+// snapshot per operation and then compares vectors with plain
+// indexing, lock-free.
+func (t *internTable) snapshot() []Vec {
+	t.mu.RLock()
+	v := t.vecs
+	t.mu.RUnlock()
+	return v
+}
+
 // vec returns the canonical vector of an id. The result is shared and
 // must not be modified.
 func (t *internTable) vec(id uint32) Vec {

@@ -1,11 +1,18 @@
 package isl
 
+// Lexicographic relation constructors, written against the
+// backend-neutral internal surface (Set.view, Map.addPairIDs,
+// Map.extremeOutID) so both set/map backends share them. All of them
+// emit pairs in lexicographic input order with ascending outputs — the
+// build pattern the columnar backend extends in place without ever
+// re-sorting.
+
 // Identity returns the identity map on s: { x -> x : x ∈ s }.
 func Identity(s *Set) *Map {
 	m := NewMap(s.space, s.space)
-	s.ensureSorted()
-	for i, id := range s.sortedIDs {
-		m.addIDs(id, id, s.sorted[i])
+	ids, vecs := s.view()
+	for i, id := range ids {
+		m.addPairIDs(id, vecs[i], id, vecs[i])
 	}
 	return m
 }
@@ -16,8 +23,9 @@ func ConstantMap(s *Set, outSpace Space, out Vec) *Map {
 	m := NewMap(s.space, outSpace)
 	outSpace.checkVec(out)
 	oid, ov := m.to.intern(out)
-	for id := range s.elems {
-		m.addIDs(id, oid, ov)
+	ids, vecs := s.view()
+	for i, id := range ids {
+		m.addPairIDs(id, vecs[i], oid, ov)
 	}
 	return m
 }
@@ -51,12 +59,12 @@ func lexRel(x, y *Set, keep func(cmp int) bool) *Map {
 			x.space.String() + " vs " + y.space.String())
 	}
 	m := NewMap(x.space, y.space)
-	x.ensureSorted()
-	y.ensureSorted()
-	for i, a := range x.sorted {
-		for j, b := range y.sorted {
+	xids, xvecs := x.view()
+	yids, yvecs := y.view()
+	for i, a := range xvecs {
+		for j, b := range yvecs {
 			if keep(a.Cmp(b)) {
-				m.addIDs(x.sortedIDs[i], y.sortedIDs[j], b)
+				m.addPairIDs(xids[i], a, yids[j], b)
 			}
 		}
 	}
@@ -74,15 +82,15 @@ func NearestGE(x, y *Set) *Map {
 			x.space.String() + " vs " + y.space.String())
 	}
 	m := NewMap(x.space, y.space)
-	x.ensureSorted()
-	y.ensureSorted()
+	xids, xvecs := x.view()
+	yids, yvecs := y.view()
 	j := 0
-	for i, a := range x.sorted {
-		for j < len(y.sorted) && y.sorted[j].Cmp(a) < 0 {
+	for i, a := range xvecs {
+		for j < len(yvecs) && yvecs[j].Cmp(a) < 0 {
 			j++
 		}
-		if j < len(y.sorted) {
-			m.addIDs(x.sortedIDs[i], y.sortedIDs[j], y.sorted[j])
+		if j < len(yvecs) {
+			m.addPairIDs(xids[i], a, yids[j], yvecs[j])
 		}
 	}
 	return m
@@ -102,15 +110,15 @@ func PrefixLexmax(m *Map, dom *Set) *Map {
 	r := NewMap(m.in, m.out)
 	var running Vec
 	var runningID uint32
-	for _, jid := range dom.elementIDs() {
-		if e, ok := m.rel[jid]; ok {
-			oid, ov := m.extremeOut(e, 1)
+	ids, vecs := dom.view()
+	for i, jid := range ids {
+		if oid, ov, ok := m.extremeOutID(jid, 1); ok {
 			if running == nil || ov.Cmp(running) > 0 {
 				running, runningID = ov, oid
 			}
 		}
 		if running != nil {
-			r.addIDs(jid, runningID, running)
+			r.addPairIDs(jid, vecs[i], runningID, running)
 		}
 	}
 	return r

@@ -1,0 +1,285 @@
+package isl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Edge-case coverage for the relation algebra: empty operands,
+// single-element and zero-dimensional spaces, and maps built in
+// adversarial (unsorted, duplicated) order then frozen. Every test
+// closes by asserting the sorted observable invariant, so it pins both
+// backends' lazy-normalization paths.
+
+// assertSortedInvariant checks the canonical enumeration contract:
+// ForeachEntry visits inputs in strictly ascending lexicographic order,
+// each with a strictly ascending, duplicate-free output column, and
+// Pairs/Card/String agree with that enumeration.
+func assertSortedInvariant(t *testing.T, m *Map) {
+	t.Helper()
+	var prevIn Vec
+	pairs := 0
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		if prevIn != nil && prevIn.Cmp(in) >= 0 {
+			t.Fatalf("inputs out of order: %v then %v", prevIn, in)
+		}
+		prevIn = in
+		if len(outs) == 0 {
+			t.Fatalf("input %v has an empty output column", in)
+		}
+		for i := 1; i < len(outs); i++ {
+			if outs[i-1].Cmp(outs[i]) >= 0 {
+				t.Fatalf("outputs of %v out of order: %v then %v", in, outs[i-1], outs[i])
+			}
+		}
+		pairs += len(outs)
+		return true
+	})
+	if got := m.Card(); got != pairs {
+		t.Fatalf("Card() = %d, enumeration has %d pairs", got, pairs)
+	}
+	if got := len(m.Pairs()); got != pairs {
+		t.Fatalf("len(Pairs()) = %d, enumeration has %d pairs", got, pairs)
+	}
+}
+
+func assertSetSorted(t *testing.T, s *Set) {
+	t.Helper()
+	es := s.Elements()
+	for i := 1; i < len(es); i++ {
+		if es[i-1].Cmp(es[i]) >= 0 {
+			t.Fatalf("elements out of order: %v then %v", es[i-1], es[i])
+		}
+	}
+	if s.Card() != len(es) {
+		t.Fatalf("Card() = %d, Elements has %d", s.Card(), len(es))
+	}
+}
+
+func TestMapEdgeEmptyOperands(t *testing.T) {
+	spA := NewSpace("EA", 2)
+	spB := NewSpace("EB", 2)
+	empty := NewMap(spA, spB)
+	emptyBA := NewMap(spB, spA)
+	emptyAA := NewMap(spA, spA)
+
+	m := NewMap(spA, spB)
+	m.Add(NewVec(1, 0), NewVec(0, 1))
+	m.Add(NewVec(0, 0), NewVec(2, 2))
+
+	if !empty.IsEmpty() || empty.Card() != 0 {
+		t.Fatal("fresh map not empty")
+	}
+	if got := empty.String(); got != "{  }" {
+		t.Fatalf("empty String = %q", got)
+	}
+	for name, r := range map[string]*Map{
+		"empty∪m":           empty.Union(m),
+		"m∪empty":           m.Union(empty),
+		"empty∩m":           empty.Intersect(m),
+		"m∩empty":           m.Intersect(empty),
+		"empty\\m":          empty.Subtract(m),
+		"m\\m":              m.Subtract(m),
+		"empty⁻¹":           emptyBA.Inverse(),
+		"compose(empty, m)": Compose(emptyBA, m),
+		"compose(m, empty)": Compose(m, emptyAA),
+		"lexmax(empty)":     empty.LexmaxPerIn(),
+		"lexmin(empty)":     empty.LexminPerIn(),
+		"freeze(empty)":     NewMap(spA, spB).Freeze(),
+	} {
+		assertSortedInvariant(t, r)
+		switch name {
+		case "empty∪m", "m∪empty":
+			if !r.Equal(m) {
+				t.Fatalf("%s != m", name)
+			}
+		default:
+			if !r.IsEmpty() {
+				t.Fatalf("%s not empty: %s", name, r)
+			}
+		}
+	}
+	if got := empty.ApplySet(m.Domain()); !got.IsEmpty() {
+		t.Fatalf("empty.ApplySet = %s", got)
+	}
+	if got := m.ApplySet(NewSet(spA)); !got.IsEmpty() {
+		t.Fatalf("m.ApplySet(∅) = %s", got)
+	}
+	if got := m.IntersectDomain(NewSet(spA)); !got.IsEmpty() {
+		t.Fatalf("m.IntersectDomain(∅) = %s", got)
+	}
+	if got := m.IntersectRange(NewSet(spB)); !got.IsEmpty() {
+		t.Fatalf("m.IntersectRange(∅) = %s", got)
+	}
+	if got := m.Lookup(NewVec(9, 9)); got != nil {
+		t.Fatalf("Lookup of absent input = %v", got)
+	}
+	if !empty.IsSingleValued() || !empty.IsInjective() {
+		t.Fatal("empty map must be single-valued and injective")
+	}
+}
+
+func TestMapEdgeSingleElementSpaces(t *testing.T) {
+	// Zero-dimensional spaces have exactly one tuple: the empty vector.
+	sp0a := NewSpace("Z0A", 0)
+	sp0b := NewSpace("Z0B", 0)
+	unit := NewVec()
+
+	s := SetOf(sp0a, unit)
+	assertSetSorted(t, s)
+	if mn, ok := s.Lexmin(); !ok || !mn.Eq(unit) {
+		t.Fatalf("Lexmin of unit set = %v, %v", mn, ok)
+	}
+	if mx, ok := s.Lexmax(); !ok || !mx.Eq(unit) {
+		t.Fatalf("Lexmax of unit set = %v, %v", mx, ok)
+	}
+	if !s.Union(s).Equal(s) || !s.Intersect(s).Equal(s) || !s.Subtract(s).IsEmpty() {
+		t.Fatal("unit set algebra broken")
+	}
+
+	m := NewMap(sp0a, sp0b)
+	m.Add(unit, unit)
+	m.Add(unit, unit) // duplicate pair collapses
+	assertSortedInvariant(t, m)
+	if m.Card() != 1 {
+		t.Fatalf("unit map Card = %d", m.Card())
+	}
+	if !m.IsSingleValued() || !m.IsInjective() {
+		t.Fatal("unit map must be single-valued and injective")
+	}
+	if got := m.Image(unit); !got.Eq(unit) {
+		t.Fatalf("Image = %v", got)
+	}
+	inv := m.Inverse()
+	assertSortedInvariant(t, inv)
+	if !Compose(inv, m).Equal(Identity(s.rename(sp0a))) {
+		t.Fatal("m⁻¹∘m != identity on unit space")
+	}
+	if got := m.LexmaxPerIn(); !got.Equal(m) {
+		t.Fatalf("lexmax(unit) = %s", got)
+	}
+
+	// One-dimensional singleton domain and range.
+	spX := NewSpace("X1", 1)
+	spY := NewSpace("Y1", 1)
+	one := NewMap(spX, spY)
+	one.Add(NewVec(3), NewVec(7))
+	assertSortedInvariant(t, one)
+	if got := one.ApplySet(SetOf(spX, NewVec(3))); got.Card() != 1 || !got.Contains(NewVec(7)) {
+		t.Fatalf("singleton ApplySet = %s", got)
+	}
+	if got := one.Domain(); got.Card() != 1 {
+		t.Fatalf("singleton Domain = %s", got)
+	}
+	assertSortedInvariant(t, one.Inverse())
+}
+
+// rename gives the test a same-space set for the identity comparison
+// above without widening the public API.
+func (s *Set) rename(sp Space) *Set {
+	if s.space == sp {
+		return s
+	}
+	r := NewSet(sp)
+	s.Foreach(func(v Vec) bool { r.Add(v); return true })
+	return r
+}
+
+func TestMapEdgeUnsortedBuildThenFreeze(t *testing.T) {
+	spA := NewSpace("UA", 2)
+	spB := NewSpace("UB", 2)
+	r := rand.New(rand.NewSource(7))
+
+	// Build the same relation three ways: ascending, descending, and
+	// shuffled with duplicate pairs, interleaved with observations that
+	// force normalization mid-build.
+	var pairs [][2]Vec
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 4; j++ {
+			pairs = append(pairs, [2]Vec{NewVec(i, j), NewVec(j, i)})
+		}
+	}
+	build := func(order []int, observe bool) *Map {
+		m := NewMap(spA, spB)
+		for k, idx := range order {
+			m.Add(pairs[idx][0], pairs[idx][1])
+			if observe && k%5 == 0 {
+				_ = m.Card()
+			}
+			if k%3 == 0 { // duplicate some inserts
+				m.Add(pairs[idx][0], pairs[idx][1])
+			}
+		}
+		return m
+	}
+	asc := make([]int, len(pairs))
+	desc := make([]int, len(pairs))
+	for i := range pairs {
+		asc[i] = i
+		desc[i] = len(pairs) - 1 - i
+	}
+	shuffled := r.Perm(len(pairs))
+
+	mAsc := build(asc, false).Freeze()
+	mDesc := build(desc, true).Freeze()
+	mShuf := build(shuffled, true).Freeze()
+
+	for name, m := range map[string]*Map{"asc": mAsc, "desc": mDesc, "shuffled": mShuf} {
+		assertSortedInvariant(t, m)
+		if m.Card() != len(pairs) {
+			t.Fatalf("%s: Card = %d, want %d", name, m.Card(), len(pairs))
+		}
+		if !m.Equal(mAsc) {
+			t.Fatalf("%s build differs from ascending build", name)
+		}
+		if m.String() != mAsc.String() {
+			t.Fatalf("%s String differs", name)
+		}
+	}
+
+	// The sorted invariant survives every derived operation, and Add
+	// after Freeze re-dirties cleanly.
+	ops := map[string]*Map{
+		"inverse":   mShuf.Inverse(),
+		"union":     mShuf.Union(mDesc.Inverse().Inverse()),
+		"intersect": mShuf.Intersect(mAsc),
+		"subtract":  mShuf.Subtract(mAsc),
+		"compose":   Compose(mShuf.Inverse(), mShuf),
+		"lexmax":    mShuf.LexmaxPerIn(),
+		"lexmin":    mShuf.LexminPerIn(),
+	}
+	for name, m := range ops {
+		assertSortedInvariant(t, m)
+		_ = name
+	}
+	post := mShuf.Clone()
+	post.Add(NewVec(0, 0), NewVec(9, 9)) // out-of-order after freeze
+	post.Add(NewVec(9, 9), NewVec(0, 0))
+	assertSortedInvariant(t, post)
+	if post.Card() != len(pairs)+2 {
+		t.Fatalf("post-freeze adds: Card = %d, want %d", post.Card(), len(pairs)+2)
+	}
+
+	// Sets: unsorted build then freeze holds the same invariant.
+	set := NewSet(spA)
+	for _, idx := range shuffled {
+		set.Add(pairs[idx][0])
+		set.Add(pairs[idx][0])
+	}
+	set.Freeze()
+	assertSetSorted(t, set)
+	if set.Card() != 24 {
+		t.Fatalf("set Card = %d", set.Card())
+	}
+
+	// Lookup on an unsorted-then-frozen map returns sorted outputs for
+	// every input.
+	for i := 0; i < 6; i++ {
+		outs := mShuf.Lookup(NewVec(i, 0))
+		if len(outs) != 1 || !outs[0].Eq(NewVec(0, i)) {
+			t.Fatalf("Lookup(%d,0) = %v", i, outs)
+		}
+	}
+	_ = fmt.Sprintf("%s", mShuf) // String on frozen map must not panic
+}

@@ -1,9 +1,10 @@
+//go:build islhashmap
+
 package isl
 
 import (
 	"sort"
 	"strconv"
-	"strings"
 )
 
 // Map is a finite binary relation between an input tuple space and an
@@ -126,6 +127,12 @@ func (m *Map) addIDs(iid, oid uint32, ov Vec) {
 	if m.entry(iid).addID(oid, ov) {
 		m.inOrder = nil
 	}
+}
+
+// addPairIDs inserts the pair (iid, oid) given ids already canonical
+// in m's tables; the input-vector hint iv is unused by this backend.
+func (m *Map) addPairIDs(iid uint32, iv Vec, oid uint32, ov Vec) {
+	m.addIDs(iid, oid, ov)
 }
 
 // Add inserts the pair (in, out) into the relation. The vectors are
@@ -425,6 +432,18 @@ func (m *Map) extremeOut(e *mapEntry, sign int) (uint32, Vec) {
 	return best, bv
 }
 
+// extremeOutID returns the id and canonical vector of iid's
+// lexicographic maximum (sign > 0) or minimum (sign < 0) output, or
+// false when iid has no outputs.
+func (m *Map) extremeOutID(iid uint32, sign int) (uint32, Vec, bool) {
+	e, ok := m.rel[iid]
+	if !ok || len(e.outs) == 0 {
+		return 0, nil, false
+	}
+	oid, ov := m.extremeOut(e, sign)
+	return oid, ov, true
+}
+
 // LexmaxPerIn returns the single-valued map relating each input of m to
 // the lexicographically largest of its outputs. This is the paper's
 // lexmax(M) operation.
@@ -520,37 +539,6 @@ func (m *Map) Freeze() *Map {
 	return m
 }
 
-// Pair is one (In, Out) element of a relation.
-type Pair struct {
-	In, Out Vec
-}
-
-// Pairs returns all pairs of m ordered lexicographically by input and
-// then by output. The vectors are canonical (read-only).
-func (m *Map) Pairs() []Pair {
-	ps := make([]Pair, 0, m.Card())
-	m.ForeachEntry(func(in Vec, outs []Vec) bool {
-		for _, o := range outs {
-			ps = append(ps, Pair{In: in, Out: o})
-		}
-		return true
-	})
-	return ps
-}
-
-// Foreach calls fn for every pair in deterministic order, stopping
-// early if fn returns false.
-func (m *Map) Foreach(fn func(in, out Vec) bool) {
-	m.ForeachEntry(func(in Vec, outs []Vec) bool {
-		for _, o := range outs {
-			if !fn(in, o) {
-				return false
-			}
-		}
-		return true
-	})
-}
-
 // ForeachEntry calls fn once per input in lexicographic order with the
 // input's full output slice (lexicographically sorted). It is the
 // allocation-free iteration primitive: both arguments are shared
@@ -590,23 +578,4 @@ func (m *Map) Image(in Vec) Vec {
 		}
 	}
 	panic("isl: Map.Image: input " + in.String() + " has 0 outputs, want exactly 1")
-}
-
-// String renders the relation in ISL-like notation, e.g.
-// "{ S[0] -> R[0]; S[1] -> R[2] }" in deterministic order.
-func (m *Map) String() string {
-	var b strings.Builder
-	b.WriteString("{ ")
-	for i, p := range m.Pairs() {
-		if i > 0 {
-			b.WriteString("; ")
-		}
-		b.WriteString(m.in.Name)
-		b.WriteString(p.In.String())
-		b.WriteString(" -> ")
-		b.WriteString(m.out.Name)
-		b.WriteString(p.Out.String())
-	}
-	b.WriteString(" }")
-	return b.String()
 }

@@ -1,0 +1,357 @@
+package isl
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Model-based differential tests: random build orders and operation
+// sequences are replayed against naive reference implementations
+// (string-keyed Go maps), and every observable — String, Card, Lexmin,
+// Lexmax, Lookup — must match. The file is untagged, so the same
+// properties pin both the columnar backend (default build) and the
+// hash-map backend (-tags islhashmap); `make crosscheck` runs both.
+
+// setModel is the reference Set: a map keyed by rendered vectors.
+type setModel map[string]Vec
+
+func (sm setModel) add(v Vec) { sm[v.String()] = v.Clone() }
+func (sm setModel) clone() setModel {
+	c := make(setModel, len(sm))
+	for k, v := range sm {
+		c[k] = v
+	}
+	return c
+}
+
+// render produces the same ISL-like notation Set.String uses.
+func (sm setModel) render(space Space) string {
+	vs := make([]Vec, 0, len(sm))
+	for _, v := range sm {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Cmp(vs[j]) < 0 })
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, v := range vs {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(space.Name)
+		b.WriteString(v.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+func randVec(r *rand.Rand, dim, extent int) Vec {
+	v := make(Vec, dim)
+	for i := range v {
+		v[i] = r.Intn(extent)
+	}
+	return v
+}
+
+// TestModelSetOps drives random interleavings of out-of-order builds,
+// observations, and algebra against the reference model.
+func TestModelSetOps(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		r := rand.New(rand.NewSource(int64(1000 + round)))
+		dim := 1 + r.Intn(3)
+		sp := NewSpace(fmt.Sprintf("MS%d", round), dim)
+		extent := 2 + r.Intn(6)
+
+		s, u := NewSet(sp), NewSet(sp)
+		sm, um := setModel{}, setModel{}
+		for step := 0; step < 60; step++ {
+			v := randVec(r, dim, extent)
+			switch r.Intn(5) {
+			case 0, 1, 2: // grow s, sometimes observing mid-build
+				s.Add(v)
+				sm.add(v)
+				if r.Intn(4) == 0 {
+					_ = s.Card() // force normalization mid-build
+				}
+				if r.Intn(8) == 0 {
+					_ = s.Elements()
+				}
+			case 3:
+				u.Add(v)
+				um.add(v)
+			case 4: // re-add an existing element after observation
+				if es := s.Elements(); len(es) > 0 {
+					w := es[r.Intn(len(es))]
+					s.Add(w)
+					sm.add(w)
+				}
+			}
+		}
+
+		checkSet := func(what string, got *Set, want setModel) {
+			t.Helper()
+			if g, w := got.String(), want.render(sp); g != w {
+				t.Fatalf("round %d: %s:\n got %s\nwant %s", round, what, g, w)
+			}
+			if got.Card() != len(want) {
+				t.Fatalf("round %d: %s: card %d want %d", round, what, got.Card(), len(want))
+			}
+		}
+		checkSet("s", s, sm)
+		checkSet("u", u, um)
+
+		union, inter, diff := sm.clone(), setModel{}, setModel{}
+		for k, v := range um {
+			union[k] = v
+			if _, ok := sm[k]; ok {
+				inter[k] = v
+			}
+		}
+		for k, v := range sm {
+			if _, ok := um[k]; !ok {
+				diff[k] = v
+			}
+		}
+		checkSet("union", s.Union(u), union)
+		checkSet("intersect", s.Intersect(u), inter)
+		checkSet("subtract", s.Subtract(u), diff)
+		checkSet("clone", s.Clone(), sm)
+
+		if got, want := s.IsSubset(s.Union(u)), true; got != want {
+			t.Fatalf("round %d: s ⊄ s∪u", round)
+		}
+		if got, want := s.Equal(s.Union(s)), true; got != want {
+			t.Fatalf("round %d: s != s∪s", round)
+		}
+		wantSub := len(diff) == 0
+		if got := s.IsSubset(u); got != wantSub {
+			t.Fatalf("round %d: IsSubset=%v want %v", round, got, wantSub)
+		}
+		for _, v := range sm {
+			if !s.Contains(v) {
+				t.Fatalf("round %d: s missing %v", round, v)
+			}
+		}
+		if mn, ok := s.Lexmin(); ok != (len(sm) > 0) {
+			t.Fatalf("round %d: Lexmin ok=%v", round, ok)
+		} else if ok {
+			mx, _ := s.Lexmax()
+			for _, v := range sm {
+				if v.Cmp(mn) < 0 || v.Cmp(mx) > 0 {
+					t.Fatalf("round %d: %v outside [%v, %v]", round, v, mn, mx)
+				}
+			}
+		}
+	}
+}
+
+// mapModel is the reference Map: input key → output key → pair.
+type mapModel map[string]map[string][2]Vec
+
+func (mm mapModel) add(in, out Vec) {
+	k := in.String()
+	if mm[k] == nil {
+		mm[k] = make(map[string][2]Vec)
+	}
+	mm[k][out.String()] = [2]Vec{in.Clone(), out.Clone()}
+}
+
+// render produces the same ISL-like notation Map.String uses.
+func (mm mapModel) render(in, out Space) string {
+	var ps [][2]Vec
+	for _, outs := range mm {
+		for _, p := range outs {
+			ps = append(ps, p)
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if c := ps[i][0].Cmp(ps[j][0]); c != 0 {
+			return c < 0
+		}
+		return ps[i][1].Cmp(ps[j][1]) < 0
+	})
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, p := range ps {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s%s -> %s%s", in.Name, p[0], out.Name, p[1])
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// TestModelMapOps drives random map builds (in- and out-of-order, with
+// duplicate pairs) and the full relation algebra against the model.
+func TestModelMapOps(t *testing.T) {
+	for round := 0; round < 30; round++ {
+		r := rand.New(rand.NewSource(int64(2000 + round)))
+		dim := 1 + r.Intn(2)
+		spIn := NewSpace(fmt.Sprintf("MI%d", round), dim)
+		spOut := NewSpace(fmt.Sprintf("MO%d", round), dim)
+		extent := 2 + r.Intn(5)
+
+		m, n := NewMap(spIn, spOut), NewMap(spIn, spOut)
+		mm, nm := mapModel{}, mapModel{}
+		for step := 0; step < 80; step++ {
+			in, out := randVec(r, dim, extent), randVec(r, dim, extent)
+			if r.Intn(3) == 0 {
+				n.Add(in, out)
+				nm.add(in, out)
+				continue
+			}
+			m.Add(in, out)
+			mm.add(in, out)
+			if r.Intn(6) == 0 {
+				_ = m.Card() // normalize mid-build
+			}
+			if r.Intn(10) == 0 {
+				_ = m.String()
+			}
+		}
+
+		checkMap := func(what string, got *Map, want mapModel) {
+			t.Helper()
+			if g, w := got.String(), want.render(got.InSpace(), got.OutSpace()); g != w {
+				t.Fatalf("round %d: %s:\n got %s\nwant %s", round, what, g, w)
+			}
+		}
+		checkMap("m", m, mm)
+		checkMap("n", n, nm)
+
+		union, inter, diff := mapModel{}, mapModel{}, mapModel{}
+		inverse := mapModel{}
+		for _, outs := range mm {
+			for _, p := range outs {
+				union.add(p[0], p[1])
+				diffHit := false
+				if no := nm[p[0].String()]; no != nil {
+					if _, ok := no[p[1].String()]; ok {
+						inter.add(p[0], p[1])
+						diffHit = true
+					}
+				}
+				if !diffHit {
+					diff.add(p[0], p[1])
+				}
+				inverse.add(p[1], p[0])
+			}
+		}
+		for _, outs := range nm {
+			for _, p := range outs {
+				union.add(p[0], p[1])
+			}
+		}
+		checkMap("union", m.Union(n), union)
+		checkMap("intersect", m.Intersect(n), inter)
+		checkMap("subtract", m.Subtract(n), diff)
+		checkMap("inverse", m.Inverse(), inverse)
+		checkMap("clone", m.Clone(), mm)
+		if !m.Inverse().Inverse().Equal(m) {
+			t.Fatalf("round %d: inverse not involutive", round)
+		}
+
+		// Compose m after n⁻¹ : (out → in) then (in → out).
+		comp := mapModel{}
+		for _, outs := range nm {
+			for _, p := range outs {
+				if mo := mm[p[0].String()]; mo != nil {
+					for _, q := range mo {
+						comp.add(p[1], q[1])
+					}
+				}
+			}
+		}
+		checkMap("compose", Compose(m, n.Inverse()), comp)
+
+		// Lexmax/Lexmin per input against the model.
+		for _, which := range []struct {
+			name string
+			got  *Map
+			pick func(best, v Vec) bool
+		}{
+			{"lexmax", m.LexmaxPerIn(), func(best, v Vec) bool { return v.Cmp(best) > 0 }},
+			{"lexmin", m.LexminPerIn(), func(best, v Vec) bool { return v.Cmp(best) < 0 }},
+		} {
+			want := mapModel{}
+			for _, outs := range mm {
+				var in, best Vec
+				for _, p := range outs {
+					if best == nil || which.pick(best, p[1]) {
+						in, best = p[0], p[1]
+					}
+				}
+				want.add(in, best)
+			}
+			checkMap(which.name, which.got, want)
+			if !which.got.IsSingleValued() {
+				t.Fatalf("round %d: %s not single-valued", round, which.name)
+			}
+		}
+
+		// Domain, Range, ApplySet over a random subset of the domain.
+		dm, rm := setModel{}, setModel{}
+		for _, outs := range mm {
+			for _, p := range outs {
+				dm.add(p[0])
+				rm.add(p[1])
+			}
+		}
+		if g, w := m.Domain().String(), dm.render(spIn); g != w {
+			t.Fatalf("round %d: domain:\n got %s\nwant %s", round, g, w)
+		}
+		if g, w := m.Range().String(), rm.render(spOut); g != w {
+			t.Fatalf("round %d: range:\n got %s\nwant %s", round, g, w)
+		}
+		sub := NewSet(spIn)
+		subm := setModel{}
+		for _, outs := range mm {
+			for _, p := range outs {
+				if r.Intn(2) == 0 {
+					sub.Add(p[0])
+					subm.add(p[0])
+				}
+				break
+			}
+		}
+		img := setModel{}
+		for k := range subm {
+			for _, p := range mm[k] {
+				img.add(p[1])
+			}
+		}
+		if g, w := m.ApplySet(sub).String(), img.render(spOut); g != w {
+			t.Fatalf("round %d: apply:\n got %s\nwant %s", round, g, w)
+		}
+		restricted := mapModel{}
+		for k := range subm {
+			for _, p := range mm[k] {
+				restricted.add(p[0], p[1])
+			}
+		}
+		checkMap("intersectDomain", m.IntersectDomain(sub), restricted)
+
+		// Lookup returns each input's sorted outputs.
+		for _, outs := range mm {
+			var in Vec
+			var want []Vec
+			for _, p := range outs {
+				in = p[0]
+				want = append(want, p[1])
+			}
+			sort.Slice(want, func(i, j int) bool { return want[i].Cmp(want[j]) < 0 })
+			got := m.Lookup(in)
+			if len(got) != len(want) {
+				t.Fatalf("round %d: Lookup(%v): %d outputs, want %d", round, in, len(got), len(want))
+			}
+			for i := range want {
+				if !got[i].Eq(want[i]) {
+					t.Fatalf("round %d: Lookup(%v)[%d] = %v, want %v", round, in, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}

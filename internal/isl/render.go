@@ -1,0 +1,83 @@
+package isl
+
+import "strings"
+
+// Backend-neutral iteration and rendering helpers, expressed purely in
+// terms of Elements and ForeachEntry so both set/map backends (columnar
+// and islhashmap) share one deterministic observable surface.
+
+// Foreach calls fn for every element in lexicographic order, stopping
+// early if fn returns false.
+func (s *Set) Foreach(fn func(Vec) bool) {
+	for _, v := range s.Elements() {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// String renders the set in ISL-like notation, e.g.
+// "{ S[0, 0]; S[0, 1] }", listing elements in lexicographic order.
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, v := range s.Elements() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(s.space.Name)
+		b.WriteString(v.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}
+
+// Pair is one (In, Out) element of a relation.
+type Pair struct {
+	In, Out Vec
+}
+
+// Pairs returns all pairs of m ordered lexicographically by input and
+// then by output. The vectors are canonical (read-only).
+func (m *Map) Pairs() []Pair {
+	ps := make([]Pair, 0, m.Card())
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		for _, o := range outs {
+			ps = append(ps, Pair{In: in, Out: o})
+		}
+		return true
+	})
+	return ps
+}
+
+// Foreach calls fn for every pair in deterministic order, stopping
+// early if fn returns false.
+func (m *Map) Foreach(fn func(in, out Vec) bool) {
+	m.ForeachEntry(func(in Vec, outs []Vec) bool {
+		for _, o := range outs {
+			if !fn(in, o) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// String renders the relation in ISL-like notation, e.g.
+// "{ S[0] -> R[0]; S[1] -> R[2] }" in deterministic order.
+func (m *Map) String() string {
+	var b strings.Builder
+	b.WriteString("{ ")
+	for i, p := range m.Pairs() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		b.WriteString(m.in.Name)
+		b.WriteString(p.In.String())
+		b.WriteString(" -> ")
+		b.WriteString(m.out.Name)
+		b.WriteString(p.Out.String())
+	}
+	b.WriteString(" }")
+	return b.String()
+}

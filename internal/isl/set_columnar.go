@@ -1,0 +1,303 @@
+//go:build !islhashmap
+
+package isl
+
+import "slices"
+
+// BackendName identifies the isl core representation this binary was
+// built with; benchmarks and the cross-backend tests label their
+// output with it. The default build uses the sorted-id columnar
+// backend; -tags islhashmap selects the hash-map backend it replaced
+// (kept for differential testing, see docs/PERFORMANCE.md).
+const BackendName = "columnar"
+
+// Set is a finite set of integer tuples in a single tuple space.
+// The zero value is not usable; construct sets with NewSet or the
+// operations on existing sets. Sets are immutable once built except
+// through Add, which callers must not use after sharing a set.
+//
+// Representation (the columnar backend): elements are canonicalized
+// through the space's intern table and held as one id column — a
+// []uint32 sorted ascending in the lexicographic order of the
+// canonical vectors. The set algebra runs as merge scans over the
+// columns of both operands (one result allocation, no hashing), the
+// lexicographic extremes are the column's endpoints, and Elements
+// serves a cached vector arena aligned with the column.
+//
+// Builds that insert in lexicographic order (the dominant pattern:
+// domain construction and every algebra result) keep the column
+// sorted as they append; an out-of-order Add only flips a dirty bit,
+// and the column is re-sorted and deduplicated lazily at the next
+// observation.
+type Set struct {
+	space Space
+	t     *internTable
+	ids   []uint32
+	// vecs is the canonical-vector arena aligned with ids; nil when
+	// stale. It is replaced, never mutated in place, so clones may
+	// share it.
+	vecs []Vec
+	// last is the canonical vector of ids[len-1] when known; it keeps
+	// in-order appends from re-reading the table.
+	last Vec
+	// dirty marks a column that is unsorted and may hold duplicates.
+	dirty bool
+}
+
+// NewSet returns an empty set in the given space.
+func NewSet(space Space) *Set {
+	return &Set{space: space, t: tableFor(space)}
+}
+
+// SetOf builds a set in the given space from the listed tuples.
+func SetOf(space Space, vs ...Vec) *Set {
+	s := NewSet(space)
+	for _, v := range vs {
+		s.Add(v)
+	}
+	return s
+}
+
+// Space returns the tuple space of s.
+func (s *Set) Space() Space { return s.space }
+
+// addIDVec inserts an id already canonical in s's table; cv is its
+// canonical vector when the caller has it (nil means unknown).
+func (s *Set) addIDVec(id uint32, cv Vec) {
+	n := len(s.ids)
+	if n == 0 {
+		s.ids = append(s.ids, id)
+		s.vecs, s.last, s.dirty = nil, cv, false
+		return
+	}
+	if s.ids[n-1] == id {
+		return // re-insert of the current maximum: no-op
+	}
+	s.vecs = nil
+	if s.dirty {
+		s.ids = append(s.ids, id)
+		return
+	}
+	if cv == nil {
+		cv = s.t.vec(id)
+	}
+	if s.last == nil {
+		s.last = s.t.vec(s.ids[n-1])
+	}
+	if cv.Cmp(s.last) > 0 {
+		s.last = cv // stays sorted: the common in-order append
+	} else {
+		// Out of order (equal is impossible: equal vectors intern to
+		// equal ids). Sort and deduplicate lazily.
+		s.dirty, s.last = true, nil
+	}
+	s.ids = append(s.ids, id)
+}
+
+// Add inserts v into s. It panics if v has the wrong dimension. The
+// vector is copied (interned); the caller keeps ownership of v.
+func (s *Set) Add(v Vec) {
+	s.space.checkVec(v)
+	id, cv := s.t.intern(v)
+	s.addIDVec(id, cv)
+}
+
+// normalize establishes the column invariant: sorted ascending by
+// vector order, duplicate-free.
+func (s *Set) normalize() {
+	if !s.dirty {
+		return
+	}
+	vt := s.t.snapshot()
+	sortIDsByVec(s.ids, vt)
+	w := 0
+	for i, id := range s.ids {
+		if i > 0 && s.ids[w-1] == id {
+			continue
+		}
+		s.ids[w] = id
+		w++
+	}
+	s.ids = s.ids[:w]
+	s.vecs, s.dirty = nil, false
+	if w > 0 {
+		s.last = vt[s.ids[w-1]]
+	} else {
+		s.last = nil
+	}
+}
+
+// ensureVecs materializes the vector arena.
+func (s *Set) ensureVecs() {
+	s.normalize()
+	if s.vecs != nil || len(s.ids) == 0 {
+		return
+	}
+	s.vecs = s.t.appendVecs(make([]Vec, 0, len(s.ids)), s.ids)
+}
+
+// view returns the id column and its aligned canonical vectors in
+// lexicographic order. Both slices are internal and read-only.
+func (s *Set) view() ([]uint32, []Vec) {
+	s.ensureVecs()
+	return s.ids, s.vecs
+}
+
+// Contains reports whether v is an element of s.
+func (s *Set) Contains(v Vec) bool {
+	if len(v) != s.space.Dim {
+		return false
+	}
+	id, ok := s.t.lookup(v)
+	if !ok {
+		return false
+	}
+	s.normalize()
+	vt := s.t.snapshot()
+	i := searchIDs(s.ids, 0, vt[id], vt)
+	return i < len(s.ids) && s.ids[i] == id
+}
+
+// Card returns the number of elements in s.
+func (s *Set) Card() int {
+	s.normalize()
+	return len(s.ids)
+}
+
+// IsEmpty reports whether s has no elements.
+func (s *Set) IsEmpty() bool { return len(s.ids) == 0 }
+
+// Elements returns the elements of s in lexicographic order. The
+// returned vectors are canonical interned data: the slice and its
+// contents are strictly read-only. The ordering is computed once and
+// cached.
+func (s *Set) Elements() []Vec {
+	s.ensureVecs()
+	return s.vecs
+}
+
+// elementIDs returns the element ids aligned with Elements.
+func (s *Set) elementIDs() []uint32 {
+	s.normalize()
+	return s.ids
+}
+
+// Freeze materializes the element ordering cache and returns s. A
+// frozen set serves Elements, Foreach, Lexmin/Lexmax, and the set
+// algebra without internal mutation, so it may be shared by
+// concurrent readers (until the next Add).
+func (s *Set) Freeze() *Set {
+	s.ensureVecs()
+	return s
+}
+
+// Clone returns an independent copy of s.
+func (s *Set) Clone() *Set {
+	return &Set{
+		space: s.space,
+		t:     s.t,
+		ids:   slices.Clone(s.ids),
+		vecs:  s.vecs, // replaced, never edited in place
+		last:  s.last,
+		dirty: s.dirty,
+	}
+}
+
+// Union returns s ∪ t. Both sets must live in the same space.
+func (s *Set) Union(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Union")
+	s.normalize()
+	t.normalize()
+	vt := s.t.snapshot()
+	r := NewSet(s.space)
+	r.ids = mergeUnionIDs(make([]uint32, 0, len(s.ids)+len(t.ids)), s.ids, t.ids, vt)
+	return r
+}
+
+// Intersect returns s ∩ t. Both sets must live in the same space.
+func (s *Set) Intersect(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Intersect")
+	s.normalize()
+	t.normalize()
+	vt := s.t.snapshot()
+	r := NewSet(s.space)
+	n := min(len(s.ids), len(t.ids))
+	if n > 0 {
+		r.ids = mergeIntersectIDs(make([]uint32, 0, n), s.ids, t.ids, vt)
+	}
+	return r
+}
+
+// Subtract returns s \ t. Both sets must live in the same space.
+func (s *Set) Subtract(t *Set) *Set {
+	s.space.checkSame(t.space, "Set.Subtract")
+	s.normalize()
+	t.normalize()
+	vt := s.t.snapshot()
+	r := NewSet(s.space)
+	if len(s.ids) > 0 {
+		r.ids = mergeSubtractIDs(make([]uint32, 0, len(s.ids)), s.ids, t.ids, vt)
+	}
+	return r
+}
+
+// Equal reports whether s and t contain exactly the same tuples in the
+// same space. On normalized columns this is one id-column comparison.
+func (s *Set) Equal(t *Set) bool {
+	if s.space != t.space {
+		return false
+	}
+	s.normalize()
+	t.normalize()
+	return slices.Equal(s.ids, t.ids)
+}
+
+// IsSubset reports whether every element of s is in t.
+func (s *Set) IsSubset(t *Set) bool {
+	if s.space != t.space {
+		return false
+	}
+	s.normalize()
+	t.normalize()
+	if len(s.ids) > len(t.ids) {
+		return false
+	}
+	return subsetIDs(s.ids, t.ids, s.t.snapshot())
+}
+
+// Lexmin returns the lexicographically smallest element of s and true,
+// or nil and false if s is empty. On a normalized column this is an
+// O(1) endpoint read.
+func (s *Set) Lexmin() (Vec, bool) {
+	s.normalize()
+	if len(s.ids) == 0 {
+		return nil, false
+	}
+	return s.t.vec(s.ids[0]), true
+}
+
+// Lexmax returns the lexicographically largest element of s and true,
+// or nil and false if s is empty. On a normalized column this is an
+// O(1) endpoint read.
+func (s *Set) Lexmax() (Vec, bool) {
+	s.normalize()
+	if len(s.ids) == 0 {
+		return nil, false
+	}
+	if s.last == nil {
+		s.last = s.t.vec(s.ids[len(s.ids)-1])
+	}
+	return s.last, true
+}
+
+// Filter returns the subset of s whose elements satisfy pred.
+func (s *Set) Filter(pred func(Vec) bool) *Set {
+	ids, vecs := s.view()
+	r := NewSet(s.space)
+	for i, v := range vecs {
+		if pred(v) {
+			r.ids = append(r.ids, ids[i]) // scan order is sorted order
+		}
+	}
+	return r
+}

@@ -1,9 +1,15 @@
+//go:build islhashmap
+
 package isl
 
-import (
-	"sort"
-	"strings"
-)
+import "sort"
+
+// BackendName identifies the isl core representation this binary was
+// built with; benchmarks and the cross-backend tests label their
+// output with it. The islhashmap build tag selects this hash-map
+// backend, kept as a differential-testing oracle for the default
+// columnar backend (see docs/PERFORMANCE.md).
+const BackendName = "hashmap"
 
 // Set is a finite set of integer tuples in a single tuple space.
 // The zero value is not usable; construct sets with NewSet or the
@@ -46,6 +52,17 @@ func (s *Set) addID(id uint32) {
 		s.elems[id] = struct{}{}
 		s.sortedIDs, s.sorted = nil, nil
 	}
+}
+
+// addIDVec inserts an id already canonical in s's table; the canonical
+// vector hint cv is unused by this backend.
+func (s *Set) addIDVec(id uint32, cv Vec) { s.addID(id) }
+
+// view returns the id column and its aligned canonical vectors in
+// lexicographic order. Both slices are internal and read-only.
+func (s *Set) view() ([]uint32, []Vec) {
+	s.ensureSorted()
+	return s.sortedIDs, s.sorted
 }
 
 // Add inserts v into s. It panics if v has the wrong dimension. The
@@ -111,16 +128,6 @@ func (s *Set) elementIDs() []uint32 {
 func (s *Set) Freeze() *Set {
 	s.ensureSorted()
 	return s
-}
-
-// Foreach calls fn for every element in lexicographic order, stopping
-// early if fn returns false.
-func (s *Set) Foreach(fn func(Vec) bool) {
-	for _, v := range s.Elements() {
-		if !fn(v) {
-			return
-		}
-	}
 }
 
 // Clone returns an independent copy of s.
@@ -227,20 +234,4 @@ func (s *Set) Filter(pred func(Vec) bool) *Set {
 		}
 	}
 	return r
-}
-
-// String renders the set in ISL-like notation, e.g.
-// "{ S[0, 0]; S[0, 1] }", listing elements in lexicographic order.
-func (s *Set) String() string {
-	var b strings.Builder
-	b.WriteString("{ ")
-	for i, v := range s.Elements() {
-		if i > 0 {
-			b.WriteString("; ")
-		}
-		b.WriteString(s.space.Name)
-		b.WriteString(v.String())
-	}
-	b.WriteString(" }")
-	return b.String()
 }
