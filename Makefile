@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck bench bench-cache bench-gate stats clean
+.PHONY: check build test vet race crosscheck bench bench-cache bench-gate bench-exec bench-exec-gate stats clean
 
 ## check: the full gate — vet, build, the race-enabled test suite, and
 ## the cross-backend differential suite.
@@ -46,6 +46,19 @@ bench-cache:
 ## against the committed BENCH_detect.json (tune with -gate-tol).
 bench-gate:
 	$(GO) run ./cmd/bench-pipeline -bench-gate -sizes 32,64,128
+
+## bench-exec: the execution runtime benchmark — serial reference,
+## the unified scheduler through the compiled IR, the futures/stages
+## adapters, and IR lowering first-vs-reuse, on P4/P7/P10 at
+## n=32/64/128. Regenerates the committed BENCH_exec.json.
+bench-exec:
+	$(GO) run ./cmd/bench-pipeline -exec-bench -exec-out BENCH_exec.json
+
+## bench-exec-gate: performance regression gate — re-run the execution
+## benchmark and fail if any row's ns/op regressed more than 15%
+## against the committed BENCH_exec.json (tune with -gate-tol).
+bench-exec-gate:
+	$(GO) run ./cmd/bench-pipeline -exec-gate
 
 ## stats: one observed run with the full breakdown + trace.json.
 stats:

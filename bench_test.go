@@ -42,19 +42,20 @@ func BenchmarkFigure10(b *testing.B) {
 			name := fmt.Sprintf("%s/N=%d/SIZE=%d", spec.Name, cfg.n, cfg.size)
 			b.Run(name, func(b *testing.B) {
 				p := kernels.BuildTable9(spec, cfg.n, cfg.size)
-				speedup, err := polypipe.SimSpeedup(p, 4, polypipe.Options{}, benchOverhead)
+				s := polypipe.NewSession(polypipe.WithWorkers(4))
+				speedups, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{4}, Overhead: benchOverhead})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					res, err := polypipe.RunPipelined(p, 4, polypipe.Options{})
+					res, err := s.Run(polypipe.ModePipelined, p)
 					if err != nil {
 						b.Fatal(err)
 					}
 					_ = res
 				}
-				b.ReportMetric(speedup, "speedup/4w")
+				b.ReportMetric(speedups[0], "speedup/4w")
 			})
 		}
 	}
@@ -70,21 +71,24 @@ func BenchmarkFigure11(b *testing.B) {
 		for _, v := range []polypipe.Variant{polypipe.MM, polypipe.MMT, polypipe.GMM, polypipe.GMMT} {
 			p := polypipe.MMChain(n, rows, v)
 			b.Run(p.Name, func(b *testing.B) {
-				pipe, err := polypipe.SimSpeedup(p, n, polypipe.Options{}, benchOverhead)
+				s := polypipe.NewSession(polypipe.WithWorkers(n))
+				pipes, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{n}, Overhead: benchOverhead})
 				if err != nil {
 					b.Fatal(err)
 				}
-				polly := polypipe.SimParLoopSpeedup(p, n, benchOverhead)
-				polly8 := polypipe.SimParLoopSpeedup(p, 8, benchOverhead)
+				pollys, err := s.Simulate(p, polypipe.SimConfig{Mode: polypipe.ModeParLoop, Procs: []int{n, 8}, Overhead: benchOverhead})
+				if err != nil {
+					b.Fatal(err)
+				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := polypipe.RunPipelined(p, n, polypipe.Options{}); err != nil {
+					if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 						b.Fatal(err)
 					}
 				}
-				b.ReportMetric(pipe, "speedup/pipe")
-				b.ReportMetric(polly, "speedup/polly")
-				b.ReportMetric(polly8, "speedup/polly8")
+				b.ReportMetric(pipes[0], "speedup/pipe")
+				b.ReportMetric(pollys[0], "speedup/polly")
+				b.ReportMetric(pollys[1], "speedup/polly8")
 			})
 		}
 	}
@@ -108,17 +112,18 @@ func BenchmarkAblationBlocking(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				speedup, err := polypipe.SimSpeedup(p, 4, mode.opts, benchOverhead)
+				s := polypipe.NewSession(polypipe.WithWorkers(4), polypipe.WithOptions(mode.opts))
+				speedups, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{4}, Overhead: benchOverhead})
 				if err != nil {
 					b.Fatal(err)
 				}
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, err := polypipe.RunPipelined(p, 4, mode.opts); err != nil {
+					if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 						b.Fatal(err)
 					}
 				}
-				b.ReportMetric(speedup, "speedup/4w")
+				b.ReportMetric(speedups[0], "speedup/4w")
 			})
 		}
 	}
@@ -133,21 +138,22 @@ func BenchmarkAblationGranularity(b *testing.B) {
 		b.Run(fmt.Sprintf("minIters=%d", minIters), func(b *testing.B) {
 			p := polypipe.Listing1(64)
 			opts := polypipe.Options{MinBlockIters: minIters}
-			speedup, err := polypipe.SimSpeedup(p, 4, opts, 2*time.Microsecond)
+			s := polypipe.NewSession(polypipe.WithWorkers(4), polypipe.WithOptions(opts))
+			speedups, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{4}, Overhead: 2 * time.Microsecond})
 			if err != nil {
 				b.Fatal(err)
 			}
-			info, err := polypipe.Detect(p.SCoP, opts)
+			info, err := s.Detect(p.SCoP)
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := polypipe.RunPipelined(p, 4, opts); err != nil {
+				if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(speedup, "speedup/4w")
+			b.ReportMetric(speedups[0], "speedup/4w")
 			b.ReportMetric(float64(info.TotalBlocks()), "tasks")
 		})
 	}
@@ -184,17 +190,18 @@ func BenchmarkScaling(b *testing.B) {
 	p := kernels.SeidelChain(24, 4)
 	for _, workers := range []int{1, 2, 4, 8, 16} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
-			speedup, err := polypipe.SimSpeedup(p, workers, polypipe.Options{}, benchOverhead)
+			s := polypipe.NewSession(polypipe.WithWorkers(workers))
+			speedups, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{workers}, Overhead: benchOverhead})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := polypipe.RunPipelined(p, workers, polypipe.Options{}); err != nil {
+				if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(speedup, "speedup")
+			b.ReportMetric(speedups[0], "speedup")
 		})
 	}
 }
@@ -206,7 +213,7 @@ func TestScalingCeiling(t *testing.T) {
 	p := kernels.SeidelChain(24, 4)
 	// One measurement, several processor counts: no replay noise
 	// between the points.
-	s, err := polypipe.SimSpeedups(p, polypipe.Options{}, 0, 1, 4, 16)
+	s, err := polypipe.NewSession().Simulate(p, polypipe.SimConfig{Procs: []int{1, 4, 16}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,27 +234,23 @@ func TestScalingCeiling(t *testing.T) {
 // futures layer, running the same compiled Listing 3 program.
 func BenchmarkTaskingLayers(b *testing.B) {
 	p := polypipe.Listing3(32)
-	b.Run("openmp-style", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := polypipe.RunPipelined(p, 4, polypipe.Options{}); err != nil {
-				b.Fatal(err)
+	s := polypipe.NewSession(polypipe.WithWorkers(4))
+	for _, layer := range []struct {
+		label string
+		mode  polypipe.Mode
+	}{
+		{"openmp-style", polypipe.ModePipelined},
+		{"futures", polypipe.ModeFutures},
+		{"stages", polypipe.ModeStages},
+	} {
+		b.Run(layer.label, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := s.Run(layer.mode, p); err != nil {
+					b.Fatal(err)
+				}
 			}
-		}
-	})
-	b.Run("futures", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := polypipe.RunPipelinedFutures(p, 4, polypipe.Options{}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
-	b.Run("stages", func(b *testing.B) {
-		for i := 0; i < b.N; i++ {
-			if _, err := polypipe.RunPipelinedStages(p, 4, polypipe.Options{}); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+		})
+	}
 }
 
 // BenchmarkExtraKernels reports simulated pipeline speed-ups on the
@@ -262,22 +265,25 @@ func BenchmarkExtraKernels(b *testing.B) {
 	}
 	for _, p := range progs {
 		b.Run(p.Name, func(b *testing.B) {
-			speedup, err := polypipe.SimSpeedup(p, 4, polypipe.Options{}, benchOverhead)
+			s := polypipe.NewSession(polypipe.WithWorkers(4))
+			speedups, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{4}, Overhead: benchOverhead})
 			if err != nil {
 				b.Fatal(err)
 			}
-			hybrid, err := polypipe.SimHybridSpeedup(p, 2, 2, polypipe.Options{MinBlockIters: 4}, benchOverhead)
+			hs := polypipe.NewSession(polypipe.WithWorkers(2), polypipe.WithIntraWorkers(2),
+				polypipe.WithOptions(polypipe.Options{MinBlockIters: 4}))
+			hybrids, err := hs.Simulate(p, polypipe.SimConfig{Mode: polypipe.ModeHybrid, Procs: []int{2}, Overhead: benchOverhead})
 			if err != nil {
 				b.Fatal(err)
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := polypipe.RunPipelined(p, 4, polypipe.Options{}); err != nil {
+				if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 					b.Fatal(err)
 				}
 			}
-			b.ReportMetric(speedup, "speedup/pipe4")
-			b.ReportMetric(hybrid, "speedup/hybrid2x2")
+			b.ReportMetric(speedups[0], "speedup/pipe4")
+			b.ReportMetric(hybrids[0], "speedup/hybrid2x2")
 		})
 	}
 }
@@ -290,9 +296,10 @@ func BenchmarkExtraKernels(b *testing.B) {
 // atomics and the collector is one small allocation per task.
 func BenchmarkObservationOverhead(b *testing.B) {
 	p := polypipe.Listing3(32)
+	s := polypipe.NewSession(polypipe.WithWorkers(4))
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := polypipe.RunPipelined(p, 4, polypipe.Options{}); err != nil {
+			if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -312,9 +319,10 @@ func BenchmarkDetect(b *testing.B) {
 	for _, n := range []int{16, 32, 64} {
 		b.Run(fmt.Sprintf("listing3/N=%d", n), func(b *testing.B) {
 			p := polypipe.Listing3(n)
+			s := polypipe.NewSession() // no cache: every Detect runs Algorithm 1
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := polypipe.Detect(p.SCoP, polypipe.Options{}); err != nil {
+				if _, err := s.Detect(p.SCoP); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -331,7 +339,8 @@ func TestAblationCorrectness(t *testing.T) {
 		{MinBlockIters: 16},
 		{PairwiseBlocks: true, MinBlockIters: 8},
 	} {
-		if err := polypipe.Verify(p, 4, opts); err != nil {
+		s := polypipe.NewSession(polypipe.WithWorkers(4), polypipe.WithOptions(opts))
+		if err := s.Verify(p); err != nil {
 			t.Errorf("opts %+v: %v", opts, err)
 		}
 	}
@@ -364,12 +373,13 @@ func TestFigureShapesHold(t *testing.T) {
 		spec := spec
 		retry(spec.Name, func() error {
 			p := kernels.BuildTable9(spec, 12, 2)
-			speedup, err := polypipe.SimSpeedup(p, 4, polypipe.Options{}, benchOverhead)
+			speedups, err := polypipe.NewSession(polypipe.WithWorkers(4)).
+				Simulate(p, polypipe.SimConfig{Procs: []int{4}, Overhead: benchOverhead})
 			if err != nil {
 				return err
 			}
-			if speedup < 1.1 {
-				return fmt.Errorf("simulated speedup %.2f, expected a gain (Figure 10 shape)", speedup)
+			if speedups[0] < 1.1 {
+				return fmt.Errorf("simulated speedup %.2f, expected a gain (Figure 10 shape)", speedups[0])
 			}
 			return nil
 		})
@@ -377,29 +387,37 @@ func TestFigureShapesHold(t *testing.T) {
 
 	retry("3gmm", func() error {
 		gmm := polypipe.MMChain(3, 96, polypipe.GMM)
-		pipe, err := polypipe.SimSpeedup(gmm, 3, polypipe.Options{}, benchOverhead)
+		s := polypipe.NewSession(polypipe.WithWorkers(3))
+		pipes, err := s.Simulate(gmm, polypipe.SimConfig{Procs: []int{3}, Overhead: benchOverhead})
 		if err != nil {
 			return err
 		}
-		polly := polypipe.SimParLoopSpeedup(gmm, 3, benchOverhead)
-		if pipe < 1.5 {
-			return fmt.Errorf("pipeline simulated speedup = %.2f, want >= 1.5", pipe)
+		pollys, err := s.Simulate(gmm, polypipe.SimConfig{Mode: polypipe.ModeParLoop, Procs: []int{3}, Overhead: benchOverhead})
+		if err != nil {
+			return err
 		}
-		if polly > 1.1 {
-			return fmt.Errorf("polly simulated speedup = %.2f, want ~1", polly)
+		if pipes[0] < 1.5 {
+			return fmt.Errorf("pipeline simulated speedup = %.2f, want >= 1.5", pipes[0])
+		}
+		if pollys[0] > 1.1 {
+			return fmt.Errorf("polly simulated speedup = %.2f, want ~1", pollys[0])
 		}
 		return nil
 	})
 
 	retry("3mm", func() error {
 		mm := polypipe.MMChain(3, 96, polypipe.MM)
-		pipeMM, err := polypipe.SimSpeedup(mm, 3, polypipe.Options{}, benchOverhead)
+		s := polypipe.NewSession(polypipe.WithWorkers(3))
+		pipes, err := s.Simulate(mm, polypipe.SimConfig{Procs: []int{3}, Overhead: benchOverhead})
 		if err != nil {
 			return err
 		}
-		polly8 := polypipe.SimParLoopSpeedup(mm, 8, benchOverhead)
-		if polly8 <= pipeMM {
-			return fmt.Errorf("polly_8 (%.2f) should beat pipeline (%.2f)", polly8, pipeMM)
+		pollys, err := s.Simulate(mm, polypipe.SimConfig{Mode: polypipe.ModeParLoop, Procs: []int{8}, Overhead: benchOverhead})
+		if err != nil {
+			return err
+		}
+		if pollys[0] <= pipes[0] {
+			return fmt.Errorf("polly_8 (%.2f) should beat pipeline (%.2f)", pollys[0], pipes[0])
 		}
 		return nil
 	})

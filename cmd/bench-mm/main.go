@@ -46,7 +46,7 @@ func main() {
 	for _, n := range []int{2, 3, 4} {
 		for _, v := range []polypipe.Variant{polypipe.MM, polypipe.MMT, polypipe.GMM, polypipe.GMMT} {
 			p := polypipe.MMChain(n, *rows, v)
-			if err := polypipe.Verify(p, n, polypipe.Options{}); err != nil {
+			if err := polypipe.NewSession(polypipe.WithWorkers(n)).Verify(p); err != nil {
 				fatal(fmt.Errorf("%s: %w", p.Name, err))
 			}
 			var pipe, polly, polly8 float64
@@ -70,23 +70,40 @@ func main() {
 
 // measure returns the three speed-ups for one repetition.
 func measure(p *polypipe.Program, n, allThreads int, mode string, overhead time.Duration) (pipe, polly, polly8 float64, err error) {
+	s := polypipe.NewSession(polypipe.WithWorkers(n))
+	s8 := polypipe.NewSession(polypipe.WithWorkers(allThreads))
 	if mode == "sim" {
-		pipe, err = polypipe.SimSpeedup(p, n, polypipe.Options{}, overhead)
+		out, err := s.Simulate(p, polypipe.SimConfig{Procs: []int{n}, Overhead: overhead})
 		if err != nil {
 			return 0, 0, 0, err
 		}
-		polly = polypipe.SimParLoopSpeedup(p, n, overhead)
-		polly8 = polypipe.SimParLoopSpeedup(p, allThreads, overhead)
-		return pipe, polly, polly8, nil
+		pipe = out[0]
+		base, err := s.Simulate(p, polypipe.SimConfig{Mode: polypipe.ModeParLoop, Procs: []int{n, allThreads}, Overhead: overhead})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		return pipe, base[0], base[1], nil
 	}
-	seq := polypipe.RunSequential(p).Elapsed.Seconds()
-	res, err := polypipe.RunPipelined(p, n, polypipe.Options{})
+	seqRes, err := s.Run(polypipe.ModeSequential, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	seq := seqRes.Elapsed.Seconds()
+	res, err := s.Run(polypipe.ModePipelined, p)
 	if err != nil {
 		return 0, 0, 0, err
 	}
 	pipe = seq / res.Elapsed.Seconds()
-	polly = seq / polypipe.RunParLoop(p, n).Elapsed.Seconds()
-	polly8 = seq / polypipe.RunParLoop(p, allThreads).Elapsed.Seconds()
+	pl, err := s.Run(polypipe.ModeParLoop, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	polly = seq / pl.Elapsed.Seconds()
+	pl8, err := s8.Run(polypipe.ModeParLoop, p)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	polly8 = seq / pl8.Elapsed.Seconds()
 	return pipe, polly, polly8, nil
 }
 

@@ -1,0 +1,294 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/futures"
+	"repro/internal/kernels"
+	"repro/internal/stages"
+)
+
+// execMeasure is one (kernel, mode) execution benchmark measurement.
+// Modes: "serial" (the sequential reference), "pipelined" (the unified
+// runtime scheduler driven through the compiled IR), "futures" /
+// "stages" (the same IR streamed through the adapter layers),
+// "lower_first" (building the runtime IR from the task program), and
+// "lower_reuse" (serving the memoized IR).
+type execMeasure struct {
+	Kernel      string `json:"kernel"`
+	Mode        string `json:"mode"`
+	Workers     int    `json:"workers,omitempty"`
+	Tasks       int    `json:"tasks,omitempty"`
+	Iterations  int    `json:"iterations,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+}
+
+// execBenchRun is the BENCH_exec.json schema: the host shape, the
+// frozen pre-refactor baseline the unified runtime is measured
+// against, and the fresh measurements (docs/PERFORMANCE.md explains
+// how to read it).
+type execBenchRun struct {
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Workers    int    `json:"workers"`
+	Note       string `json:"note"`
+	// Baseline holds the per-submit-resolution tasking runtime's
+	// numbers (the tree as of commit 9befa4f), recorded on the same
+	// host: "serial" is the sequential reference, "tasking" the old
+	// pipelined path that re-resolved dependency addresses on every
+	// Submit.
+	Baseline []execMeasure `json:"pre_refactor_baseline"`
+	Results  []execMeasure `json:"results"`
+}
+
+// preRefactorBaseline is the execution benchmark of the pre-IR tasking
+// runtime (the tree as of commit 9befa4f), measured with 4 workers on
+// the same container the committed results come from (Intel Xeon @
+// 2.10GHz, 1 CPU). Frozen so every later -exec-bench run reports the
+// trajectory against the same origin.
+var preRefactorBaseline = []execMeasure{
+	{Kernel: "P4/n=32", Mode: "serial", NsPerOp: 275844447},
+	{Kernel: "P4/n=32", Mode: "tasking", Workers: 4, Tasks: 1991, NsPerOp: 285678907},
+	{Kernel: "P4/n=64", Mode: "serial", NsPerOp: 1198560266},
+	{Kernel: "P4/n=64", Mode: "tasking", Workers: 4, Tasks: 8583, NsPerOp: 1247279014},
+	{Kernel: "P4/n=128", Mode: "serial", NsPerOp: 4918059335},
+	{Kernel: "P4/n=128", Mode: "tasking", Workers: 4, Tasks: 35591, NsPerOp: 5113438916},
+	{Kernel: "P7/n=32", Mode: "serial", NsPerOp: 620940112},
+	{Kernel: "P7/n=32", Mode: "tasking", Workers: 4, Tasks: 2372, NsPerOp: 635655668},
+	{Kernel: "P7/n=64", Mode: "serial", NsPerOp: 2635999586},
+	{Kernel: "P7/n=64", Mode: "tasking", Workers: 4, Tasks: 9860, NsPerOp: 2696127812},
+	{Kernel: "P7/n=128", Mode: "serial", NsPerOp: 11438210368},
+	{Kernel: "P7/n=128", Mode: "tasking", Workers: 4, Tasks: 40196, NsPerOp: 11505990999},
+	{Kernel: "P10/n=32", Mode: "serial", NsPerOp: 342539935},
+	{Kernel: "P10/n=32", Mode: "tasking", Workers: 4, Tasks: 3658, NsPerOp: 350100435},
+	{Kernel: "P10/n=64", Mode: "serial", NsPerOp: 1437986164},
+	{Kernel: "P10/n=64", Mode: "tasking", Workers: 4, Tasks: 15498, NsPerOp: 1504681874},
+	{Kernel: "P10/n=128", Mode: "serial", NsPerOp: 6064838125},
+	{Kernel: "P10/n=128", Mode: "tasking", Workers: 4, Tasks: 63754, NsPerOp: 6255253668},
+}
+
+// execBenchCases builds the execution benchmark kernels: the same
+// three Table 9 programs the detection benchmark uses, compiled once
+// per (program, size) so every mode runs the identical task program.
+func execBenchCases(sizes []int) ([]struct {
+	name string
+	p    *kernels.Program
+	prog *codegen.TaskProgram
+}, error) {
+	var cases []struct {
+		name string
+		p    *kernels.Program
+		prog *codegen.TaskProgram
+	}
+	for _, name := range []string{"P4", "P7", "P10"} {
+		spec, ok := kernels.T9SpecByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown Table 9 program %q", name)
+		}
+		for _, n := range sizes {
+			p := kernels.BuildTable9(spec, n, 1)
+			info, err := core.Detect(p.SCoP, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s/n=%d: detect: %w", name, n, err)
+			}
+			prog, err := codegen.Compile(info)
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s/n=%d: compile: %w", name, n, err)
+			}
+			cases = append(cases, struct {
+				name string
+				p    *kernels.Program
+				prog *codegen.TaskProgram
+			}{fmt.Sprintf("%s/n=%d", name, n), p, prog})
+		}
+	}
+	return cases, nil
+}
+
+// measureExec benchmarks every execution mode on the given cases. All
+// pipelined modes use the same worker count as the frozen baseline so
+// the trajectory stays comparable.
+func measureExec(sizes []int, workers int) ([]execMeasure, error) {
+	cases, err := execBenchCases(sizes)
+	if err != nil {
+		return nil, err
+	}
+	var results []execMeasure
+	record := func(name, mode string, w, tasks int, r testing.BenchmarkResult) {
+		results = append(results, execMeasure{
+			Kernel:      name,
+			Mode:        mode,
+			Workers:     w,
+			Tasks:       tasks,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", name, mode, r.NsPerOp(), r.N)
+	}
+	for _, c := range cases {
+		c := c
+		tasks := c.prog.NumTasks()
+		record(c.name, "serial", 0, 0, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exec.Sequential(c.p)
+			}
+		}))
+		record(c.name, "pipelined", workers, tasks, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exec.RunCompiled(c.p, c.prog, workers)
+			}
+		}))
+		record(c.name, "futures", workers, tasks, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exec.RunOnLayer(c.p, c.prog, futures.New(workers))
+			}
+		}))
+		record(c.name, "stages", workers, tasks, testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				exec.RunOnLayer(c.p, c.prog, stages.New(workers))
+			}
+		}))
+	}
+	// IR lowering cost: first lowering (resolving every dependency
+	// address into the CSR edge arrays) vs serving the memoized IR.
+	// One representative kernel per size keeps the run short; the cost
+	// scales with task and edge count, not with the statement bodies.
+	for _, c := range cases {
+		c := c
+		record(c.name, "lower_first", 0, c.prog.NumTasks(), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = c.prog.BuildIR()
+			}
+		}))
+		record(c.name, "lower_reuse", 0, c.prog.NumTasks(), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = c.prog.Lower()
+			}
+		}))
+	}
+	return results, nil
+}
+
+// runExecBench measures the execution benchmark at the given sizes and
+// writes the run as JSON to out ("" or "-" means stdout). It also
+// prints the pipelined-vs-baseline-tasking comparison, the number the
+// refactor is accountable for.
+func runExecBench(out string, sizes []int, workers int) error {
+	results, err := measureExec(sizes, workers)
+	if err != nil {
+		return err
+	}
+	run := execBenchRun{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+		Note: "pipelined/futures/stages all execute the compiled runtime IR; the baseline's " +
+			"\"tasking\" rows are the pre-IR runtime that re-resolved dependencies per Submit",
+		Baseline: preRefactorBaseline,
+		Results:  results,
+	}
+	base := make(map[string]execMeasure, len(preRefactorBaseline))
+	for _, m := range preRefactorBaseline {
+		base[m.Kernel+"/"+m.Mode] = m
+	}
+	for _, m := range results {
+		if m.Mode != "pipelined" {
+			continue
+		}
+		if w, ok := base[m.Kernel+"/tasking"]; ok {
+			fmt.Fprintf(os.Stderr, "exec-bench: %s pipelined %d ns/op vs pre-refactor tasking %d (%+.1f%%)\n",
+				m.Kernel, m.NsPerOp, w.NsPerOp, 100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1))
+		}
+	}
+
+	w := os.Stdout
+	if out != "" && out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(run)
+}
+
+// runExecGate re-measures the execution benchmark and fails when any
+// (kernel, mode) ns/op regresses more than tol against the committed
+// gate file. Like the detection gate, only rows present on both sides
+// are compared, improvements and in-tolerance jitter pass, and the
+// gate file is rewritten only by an explicit -exec-bench run.
+func runExecGate(gateFile string, tol float64, sizes []int, workers int) error {
+	data, err := os.ReadFile(gateFile)
+	if err != nil {
+		return fmt.Errorf("exec-gate: reading %s: %w", gateFile, err)
+	}
+	var committed execBenchRun
+	if err := json.Unmarshal(data, &committed); err != nil {
+		return fmt.Errorf("exec-gate: parsing %s: %w", gateFile, err)
+	}
+	want := make(map[string]execMeasure, len(committed.Results))
+	for _, m := range committed.Results {
+		want[m.Kernel+"/"+m.Mode] = m
+	}
+	if len(want) == 0 {
+		return fmt.Errorf("exec-gate: %s has no results to gate against", gateFile)
+	}
+
+	fresh, err := measureExec(sizes, workers)
+	if err != nil {
+		return err
+	}
+	var failures []string
+	compared := 0
+	for _, m := range fresh {
+		key := m.Kernel + "/" + m.Mode
+		w, ok := want[key]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "exec-gate: %s not in %s, skipping\n", key, gateFile)
+			continue
+		}
+		compared++
+		status := "ok"
+		if float64(m.NsPerOp) > float64(w.NsPerOp)*(1+tol) {
+			status = "FAIL"
+			failures = append(failures, fmt.Sprintf("%s: %d ns/op vs committed %d (+%.1f%%, tolerance %.0f%%)",
+				key, m.NsPerOp, w.NsPerOp,
+				100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1), 100*tol))
+		}
+		fmt.Fprintf(os.Stderr, "exec-gate: %s: %d ns/op vs committed %d (%+.1f%%) %s\n",
+			key, m.NsPerOp, w.NsPerOp,
+			100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1), status)
+	}
+	if compared == 0 {
+		return fmt.Errorf("exec-gate: no fresh measurement matched %s", gateFile)
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "exec-gate: REGRESSION:", f)
+		}
+		return fmt.Errorf("exec-gate: %d of %d rows regressed beyond %.0f%%",
+			len(failures), compared, 100*tol)
+	}
+	fmt.Fprintf(os.Stderr, "exec-gate: all %d rows within %.0f%% of %s\n",
+		compared, 100*tol, gateFile)
+	return nil
+}

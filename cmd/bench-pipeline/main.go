@@ -85,7 +85,12 @@ func main() {
 	detectSizes := flag.String("sizes", "32", "with -detect-bench/-bench-gate, comma-separated problem sizes for the P4/P7/P10 kernels (e.g. 32,64,128 for the scaling sweep)")
 	benchGate := flag.Bool("bench-gate", false, "re-run the detection benchmark and exit non-zero if any kernel's ns/op regressed beyond -gate-tol against -gate-file")
 	gateFile := flag.String("gate-file", "BENCH_detect.json", "committed benchmark file the -bench-gate run compares against")
-	gateTol := flag.Float64("gate-tol", 0.15, "fractional ns/op regression tolerance for -bench-gate (0.15 = 15%)")
+	gateTol := flag.Float64("gate-tol", 0.15, "fractional ns/op regression tolerance for -bench-gate/-exec-gate (0.15 = 15%)")
+	execBench := flag.Bool("exec-bench", false, "benchmark the execution runtime (serial/pipelined/futures/stages plus IR lowering) on the P4/P7/P10 kernels and emit BENCH_exec.json-shaped output")
+	execOut := flag.String("exec-out", "", "with -exec-bench, write the JSON here instead of stdout (e.g. BENCH_exec.json)")
+	execGate := flag.Bool("exec-gate", false, "re-run the execution benchmark and exit non-zero if any row's ns/op regressed beyond -gate-tol against -exec-gate-file")
+	execGateFile := flag.String("exec-gate-file", "BENCH_exec.json", "committed benchmark file the -exec-gate run compares against")
+	execSizes := flag.String("exec-sizes", "32,64,128", "with -exec-bench/-exec-gate, comma-separated problem sizes for the P4/P7/P10 kernels")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -98,6 +103,24 @@ func main() {
 		fatal(err)
 	}
 	defer stopProfiles()
+	if *execBench || *execGate {
+		sizeVals, err := parseInts(*execSizes)
+		if err != nil {
+			fatal(err)
+		}
+		if *execGate {
+			if err := runExecGate(*execGateFile, *gateTol, sizeVals, *workers); err != nil {
+				stopProfiles()
+				fatal(err)
+			}
+			return
+		}
+		if err := runExecBench(*execOut, sizeVals, *workers); err != nil {
+			stopProfiles()
+			fatal(err)
+		}
+		return
+	}
 	if *detectBench || *cacheBench || *benchGate {
 		sizeVals, err := parseInts(*detectSizes)
 		if err != nil {
@@ -164,7 +187,8 @@ func main() {
 		row := make([]float64, 0, len(cfgs))
 		for _, c := range cfgs {
 			p := kernels.BuildTable9(spec, c.n, c.size)
-			if err := polypipe.Verify(p, *workers, polypipe.Options{}); err != nil {
+			sess := polypipe.NewSession(polypipe.WithWorkers(*workers))
+			if err := sess.Verify(p); err != nil {
 				fatal(fmt.Errorf("%s N=%d SIZE=%d: %w", spec.Name, c.n, c.size, err))
 			}
 			best := 0.0
@@ -172,9 +196,13 @@ func main() {
 				var speedup float64
 				var err error
 				if *mode == "sim" {
-					speedup, err = polypipe.SimSpeedup(p, *workers, polypipe.Options{}, *overhead)
+					var out []float64
+					out, err = sess.Simulate(p, polypipe.SimConfig{Procs: []int{*workers}, Overhead: *overhead})
+					if err == nil {
+						speedup = out[0]
+					}
 				} else {
-					_, _, speedup, err = polypipe.Speedup(p, *workers, polypipe.Options{})
+					_, _, speedup, err = sess.Speedup(p)
 				}
 				if err != nil {
 					fatal(err)

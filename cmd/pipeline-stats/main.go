@@ -45,7 +45,10 @@ func main() {
 	}
 	polypipe.AmplifyWork(p, *work)
 	opts := polypipe.Options{MinBlockIters: *minBlock}
-	seq := polypipe.RunSequential(p)
+	seq, err := polypipe.NewSession().Run(polypipe.ModeSequential, p)
+	if err != nil {
+		fatal(err)
+	}
 	m, err := polypipe.Observe(p, *workers, opts)
 	if err != nil {
 		fatal(err)
@@ -108,7 +111,11 @@ func printStats(w io.Writer, name string, workers int, sequential time.Duration,
 	rt.Add("overlap", report.FormatSpeedup(a.Overlap))
 	rt.Add("total stall", report.FormatDuration(a.TotalStall))
 	rt.Add("pool utilization", report.FormatPercent(a.Utilization(workers)))
-	rt.Add("peak concurrency", strconv.FormatInt(s.Gauge("tasking.peak_concurrency"), 10))
+	rt.Add("peak concurrency", strconv.FormatInt(s.Gauge("runtime.peak_concurrency"), 10))
+	rt.Add("tasks stolen", strconv.FormatInt(s.Counter("runtime.steal_count"), 10))
+	rt.Add("deps resolved", strconv.FormatInt(s.Counter("runtime.deps_resolved"), 10))
+	rt.Add("IR reuse hits", strconv.FormatInt(s.Counter("runtime.ir_reuse"), 10))
+	rt.Add("ready queue depth (now)", strconv.FormatInt(s.Gauge("runtime.queue_depth"), 10))
 	rt.Add("dropped events", strconv.Itoa(a.DroppedEvents))
 	fmt.Fprint(w, rt.String())
 

@@ -16,7 +16,10 @@ func TestPrintStatsEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := polypipe.RunSequential(p)
+	seq, err := polypipe.NewSession().Run(polypipe.ModeSequential, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	m, err := polypipe.Observe(p, 4, polypipe.Options{})
 	if err != nil {
 		t.Fatal(err)

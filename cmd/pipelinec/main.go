@@ -61,7 +61,8 @@ func main() {
 		fatal(err)
 	}
 	opts := polypipe.Options{MinBlockIters: *minIters}
-	info, err := polypipe.Detect(sc, opts)
+	sess := polypipe.NewSession(polypipe.WithWorkers(*workers), polypipe.WithOptions(opts))
+	info, err := sess.Detect(sc)
 	if err != nil {
 		fatal(err)
 	}
@@ -92,14 +93,14 @@ func main() {
 	}
 	if *run {
 		prog := polypipe.Interpret(sc)
-		if err := polypipe.Verify(prog, *workers, opts); err != nil {
+		if err := sess.Verify(prog); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("verification: pipelined == parloop == sequential ✓ (%d tasks)\n",
 			info.TotalBlocks())
 		// One measurement for both points, so the critical-path bound
 		// always dominates the bounded speed-up.
-		s, err := polypipe.SimSpeedups(prog, opts, 0, *workers, 1<<16)
+		s, err := sess.Simulate(prog, polypipe.SimConfig{Procs: []int{*workers, 1 << 16}})
 		if err != nil {
 			fatal(err)
 		}

@@ -51,7 +51,7 @@ func TestBuiltinExamplesParseAndDetect(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", example, err)
 		}
-		if _, err := polypipe.Detect(sc, polypipe.Options{}); err != nil {
+		if _, err := polypipe.NewSession().Detect(sc); err != nil {
 			t.Fatalf("%s: %v", example, err)
 		}
 	}

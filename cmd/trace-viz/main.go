@@ -44,7 +44,7 @@ func main() {
 	}
 	switch *format {
 	case "svg":
-		err = polypipe.TraceSVG(f, prog, *workers, polypipe.Options{})
+		err = polypipe.NewSession(polypipe.WithWorkers(*workers)).TraceSVG(f, prog)
 	case "json":
 		err = polypipe.TraceJSON(f, prog, *workers, polypipe.Options{})
 	}

@@ -28,18 +28,23 @@ func main() {
 
 	for _, variant := range []polypipe.Variant{polypipe.GMM, polypipe.MM} {
 		prog := polypipe.MMChain(chain, rows, variant)
+		s := polypipe.NewSession(polypipe.WithWorkers(chain))
 
 		// All three executors must agree on the result.
-		if err := polypipe.Verify(prog, chain, polypipe.Options{}); err != nil {
+		if err := s.Verify(prog); err != nil {
 			log.Fatal(err)
 		}
 
-		pipe, err := polypipe.SimSpeedup(prog, chain, polypipe.Options{}, 0)
+		pipes, err := s.Simulate(prog, polypipe.SimConfig{Procs: []int{chain}})
 		if err != nil {
 			log.Fatal(err)
 		}
-		polly := polypipe.SimParLoopSpeedup(prog, chain, 0)
-		polly8 := polypipe.SimParLoopSpeedup(prog, 8, 0)
+		pipe := pipes[0]
+		base, err := s.Simulate(prog, polypipe.SimConfig{Mode: polypipe.ModeParLoop, Procs: []int{chain, 8}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		polly, polly8 := base[0], base[1]
 
 		fmt.Printf("%s (rows=%d):\n", prog.Name, rows)
 		fmt.Printf("  pipeline (%d workers): %5.2fx\n", chain, pipe)

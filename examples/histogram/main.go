@@ -109,22 +109,23 @@ func main() {
 	prog.Reset()
 
 	opts := polypipe.Options{AllowOverwrites: true}
-	info, err := polypipe.Detect(sc, opts)
+	s := polypipe.NewSession(polypipe.WithWorkers(3), polypipe.WithOptions(opts))
+	info, err := s.Detect(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(polypipe.PipelineReport(info))
 
-	if err := polypipe.Verify(prog, 3, opts); err != nil {
+	if err := s.Verify(prog); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verification: pipelined (last-writer deps) == sequential ✓")
 
-	speedup, err := polypipe.SimSpeedup(prog, 3, opts, 0)
+	speedups, err := s.Simulate(prog, polypipe.SimConfig{Procs: []int{3}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated 3-worker speed-up: %.2fx\n", speedup)
+	fmt.Printf("simulated 3-worker speed-up: %.2fx\n", speedups[0])
 
 	// The pipeline map of Bin -> CDF shows the last-writer semantics:
 	// CDF bucket k is enabled by Bin iteration (k+1)·B − 1, the bucket's

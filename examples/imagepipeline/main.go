@@ -156,24 +156,25 @@ func main() {
 	}
 	prog.Reset()
 
-	info, err := polypipe.Detect(sc, polypipe.Options{})
+	s3 := polypipe.NewSession(polypipe.WithWorkers(3))
+	info, err := s3.Detect(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(polypipe.PipelineReport(info))
 
-	if err := polypipe.Verify(prog, 4, polypipe.Options{}); err != nil {
+	if err := polypipe.NewSession(polypipe.WithWorkers(4)).Verify(prog); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verification: all executors agree ✓")
 
-	speedup, err := polypipe.SimSpeedup(prog, 3, polypipe.Options{}, 0)
+	speedups, err := s3.Simulate(prog, polypipe.SimConfig{Procs: []int{3}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated 3-worker pipeline speed-up: %.2fx (3 serial stages overlapped)\n", speedup)
+	fmt.Printf("simulated 3-worker pipeline speed-up: %.2fx (3 serial stages overlapped)\n", speedups[0])
 
-	_, gantt, err := polypipe.TracePipelined(prog, 3, polypipe.Options{}, 64)
+	_, gantt, err := s3.TracePipelined(prog, 64)
 	if err != nil {
 		log.Fatal(err)
 	}

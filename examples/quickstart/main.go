@@ -21,8 +21,12 @@ func main() {
 	// column of the array the first produces.
 	prog := polypipe.Listing1(n)
 
+	// One session holds the configuration (workers, options) and reuses
+	// the compiled task program across Verify and Simulate.
+	s := polypipe.NewSession(polypipe.WithWorkers(4))
+
 	// Detect the pipeline pattern (Algorithm 1 of the paper).
-	info, err := polypipe.Detect(prog.SCoP, polypipe.Options{})
+	info, err := s.Detect(prog.SCoP)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -30,16 +34,17 @@ func main() {
 
 	// Correctness: pipelined and baseline executions must reproduce
 	// the sequential result bit-for-bit.
-	if err := polypipe.Verify(prog, 4, polypipe.Options{}); err != nil {
+	if err := s.Verify(prog); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("verification: pipelined == parloop == sequential ✓")
 
 	// Performance: simulated 4-worker speed-up (deterministic virtual
-	// time; use RunPipelined for wall-clock on a multi-core host).
-	speedup, err := polypipe.SimSpeedup(prog, 4, polypipe.Options{}, 0)
+	// time; use s.Run(polypipe.ModePipelined, prog) for wall-clock on a
+	// multi-core host).
+	speedups, err := s.Simulate(prog, polypipe.SimConfig{Procs: []int{4}})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated speed-up on 4 workers: %.2fx\n", speedup)
+	fmt.Printf("simulated speed-up on 4 workers: %.2fx\n", speedups[0])
 }

@@ -37,7 +37,8 @@ func main() {
 	}
 
 	// Analysis: pipeline maps, blocking maps, dependency relations.
-	info, err := polypipe.Detect(sc, polypipe.Options{})
+	s := polypipe.NewSession(polypipe.WithWorkers(4))
+	info, err := s.Detect(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func main() {
 	// Execution: run the executable twin of the program pipelined and
 	// show how the three nests overlap in time (Figure 2's picture).
 	prog := polypipe.Listing3(48)
-	analysis, gantt, err := polypipe.TracePipelined(prog, 4, polypipe.Options{}, 64)
+	analysis, gantt, err := s.TracePipelined(prog, 64)
 	if err != nil {
 		log.Fatal(err)
 	}

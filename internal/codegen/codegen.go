@@ -14,6 +14,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isl"
 	"repro/internal/obs"
+	"repro/internal/runtime"
 	"repro/internal/schedtree"
 	"repro/internal/scop"
 	"repro/internal/tasking"
@@ -57,6 +58,12 @@ type TaskProgram struct {
 	Coder  VecCoder
 	Opts   CompileOptions
 	blocks int
+
+	// lowered caches the compiled runtime IR (see Lower): the §5.5
+	// dependency addresses are resolved once, then every run reuses the
+	// flat dependency arrays.
+	lowerOnce sync.Once
+	lowered   *runtime.Program
 }
 
 // VecCoder converts block-leader vectors of a given statement to
@@ -214,26 +221,70 @@ type Layer interface {
 // order.
 func (p *TaskProgram) Submit(r Layer) {
 	for i := range p.Tasks {
-		spec := &p.Tasks[i]
-		body := spec.Stmt.Body
-		members := spec.Members
-		fn := func() {
-			for _, iv := range members {
-				body(iv)
-			}
-		}
-		if spec.ParallelBody && len(members) > 1 {
-			workers := p.Opts.IntraBlockWorkers
-			fn = func() { runMembersParallel(body, members, workers) }
-		}
-		r.Submit(tasking.Task{
-			Fn:     fn,
-			Label:  spec.Label,
-			Out:    spec.Out,
-			In:     spec.In,
-			Serial: spec.Serial,
-		})
+		r.Submit(p.task(i))
 	}
+}
+
+// task materializes task i — body closure plus dependency interface —
+// for submission to a streaming layer or lowering into the IR.
+func (p *TaskProgram) task(i int) runtime.Task {
+	spec := &p.Tasks[i]
+	body := spec.Stmt.Body
+	members := spec.Members
+	fn := func() {
+		for _, iv := range members {
+			body(iv)
+		}
+	}
+	if spec.ParallelBody && len(members) > 1 {
+		workers := p.Opts.IntraBlockWorkers
+		fn = func() { runMembersParallel(body, members, workers) }
+	}
+	return runtime.Task{
+		Fn:     fn,
+		Label:  spec.Label,
+		Out:    spec.Out,
+		In:     spec.In,
+		Serial: spec.Serial,
+	}
+}
+
+// BuildIR lowers the program to the compiled runtime IR: every task's
+// In addresses and Serial key are resolved against the last-writer and
+// last-serial tables once, producing flat dependency arrays (CSR
+// adjacency plus initial indegrees) that every subsequent execution
+// reuses. BuildIR always lowers afresh; use Lower for the memoized
+// program-lifetime IR.
+func (p *TaskProgram) BuildIR() *runtime.Program {
+	b := runtime.NewBuilder(len(p.Tasks))
+	for i := range p.Tasks {
+		b.Add(p.task(i))
+	}
+	return b.Build()
+}
+
+// Lower returns the program's compiled runtime IR, lowering it on
+// first use and reusing it afterwards. The IR is immutable and safe
+// for concurrent and repeated execution.
+func (p *TaskProgram) Lower() *runtime.Program {
+	return p.LowerObserved(nil)
+}
+
+// LowerObserved is Lower with observability: a first lowering is timed
+// under the "codegen.lower_ir" phase, and every memoized reuse counts
+// one "runtime.ir_reuse" hit.
+func (p *TaskProgram) LowerObserved(rec *obs.Recorder) *runtime.Program {
+	hit := true
+	p.lowerOnce.Do(func() {
+		hit = false
+		stop := rec.Phase("codegen.lower_ir")
+		p.lowered = p.BuildIR()
+		stop()
+	})
+	if hit {
+		rec.Count("runtime.ir_reuse", 1)
+	}
+	return p.lowered
 }
 
 // runMembersParallel executes a conflict-free block's members on up to
@@ -255,19 +306,16 @@ func runMembersParallel(body scop.Body, members []isl.Vec, workers int) {
 	wg.Wait()
 }
 
-// Run executes the program on a fresh runtime with the given worker
-// count and blocks until completion.
+// Run executes the program's compiled IR with the given worker count
+// and blocks until completion. The IR is lowered on first use and
+// reused by every later Run.
 func (p *TaskProgram) Run(workers int) {
-	r := tasking.New(workers)
-	p.Submit(r)
-	r.Close()
+	p.Lower().Execute(workers, runtime.ExecOptions{})
 }
 
-// RunTraced executes the program with a tracing callback installed.
+// RunTraced executes the program's compiled IR with a tracing callback
+// installed.
 func (p *TaskProgram) RunTraced(workers int, trace func(tasking.Event)) (executed, maxConcurrent int) {
-	r := tasking.New(workers)
-	r.SetTrace(trace)
-	p.Submit(r)
-	r.Close()
-	return r.Stats()
+	st := p.Lower().Execute(workers, runtime.ExecOptions{Trace: trace})
+	return st.Executed, st.MaxConcurrent
 }

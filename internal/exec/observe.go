@@ -9,7 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/obs"
-	"repro/internal/tasking"
+	"repro/internal/runtime"
 	"repro/internal/trace"
 )
 
@@ -31,11 +31,12 @@ type Observation struct {
 }
 
 // PipelinedObserved is Pipelined with the full observability layer
-// threaded through the stack: detection and codegen phases are timed
-// into rec's phase list, the tasking runtime reports queue depth,
-// stall, and per-worker busy time into rec's registry, a collector
-// gathers per-task spans, and the executed DAG's critical path is
-// computed. rec may be nil; a fresh recorder is created.
+// threaded through the stack: detection, codegen, and IR-lowering
+// phases are timed into rec's phase list, the unified runtime core
+// reports queue depth, stall, steal counts, and per-worker busy time
+// into rec's registry under the "runtime." prefix, a collector gathers
+// per-task spans, and the executed DAG's critical path is computed.
+// rec may be nil; a fresh recorder is created.
 func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *obs.Recorder) (*Observation, error) {
 	if rec == nil {
 		rec = obs.NewRecorder()
@@ -54,30 +55,25 @@ func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *
 	if err != nil {
 		return nil, fmt.Errorf("exec: compile: %w", err)
 	}
+	ir := prog.LowerObserved(rec)
 
 	c := trace.NewCollector()
 	c.SetRegistry(rec.Reg)
 	p.Reset()
-	r := tasking.New(workers)
-	r.Observe(rec.Reg)
-	r.SetTrace(c.Hook())
 
 	stop = rec.Phase("execute")
 	start := time.Now()
-	prog.Submit(r)
-	r.Wait()
+	st := ir.Execute(workers, runtime.ExecOptions{Trace: c.Hook(), Reg: rec.Reg})
 	elapsed := time.Since(start)
 	stop()
-	executed, maxRun := r.Stats()
-	r.Close()
 
 	o := &Observation{
 		Result: Result{
 			Executor:      "pipeline-observed",
 			Elapsed:       elapsed,
 			Hash:          p.Hash(),
-			Tasks:         executed,
-			MaxConcurrent: maxRun,
+			Tasks:         st.Executed,
+			MaxConcurrent: st.MaxConcurrent,
 		},
 		Analysis:  c.Analyze(),
 		DataEdges: prog.DataEdges(),

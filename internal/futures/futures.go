@@ -1,108 +1,24 @@
-// Package futures is a second implementation of the minimal tasking
-// layer (§5.4–5.5), demonstrating the paper's claim (§7) that the
-// transformation is independent of the OpenMP tasking back end and can
-// retarget other platforms with minimal changes.
+// Package futures is a second front end over the unified runtime core,
+// historically a from-scratch futures-model implementation ("Pipelining
+// with futures") of the minimal tasking layer. It demonstrates the
+// paper's §7 claim that the transformation is independent of the
+// tasking back end: the layer accepts the same Task values and
+// satisfies codegen.Layer.
 //
-// Where package tasking tracks dependencies through a central
-// address table (the OpenMP depend-clause model), this layer follows
-// the futures model the paper cites ("Pipelining with futures"): every
-// task owns a completion future; a submitted task captures the futures
-// of its dependencies and runs — on a bounded worker pool — once they
-// have all resolved.
+// Since the runtime-core unification the dependency resolution and the
+// work-stealing scheduler live in internal/runtime, shared with the
+// tasking and stages layers; this adapter contributes only the layer
+// name ("futures", prefixing its metric catalogue) and the default
+// id-hash shard placement.
 package futures
 
-import (
-	"sync"
+import "repro/internal/runtime"
 
-	"repro/internal/tasking"
-)
+// Runtime is the futures tasking layer: the shared runtime.Scheduler
+// under the "futures" name.
+type Runtime = runtime.Scheduler
 
-// Runtime is the futures-based tasking layer. It accepts the same
-// Task values as the OpenMP-style runtime, satisfying the
-// codegen.Layer interface.
-type Runtime struct {
-	sem  chan struct{} // bounded worker slots
-	wg   sync.WaitGroup
-	mu   sync.Mutex
-	done bool
-
-	lastWriter map[int]*future
-	lastSerial map[int]*future
-}
-
-// future resolves when its task completes.
-type future struct {
-	ch chan struct{}
-}
-
-func newFuture() *future { return &future{ch: make(chan struct{})} }
-
-func (f *future) resolve() { close(f.ch) }
-func (f *future) await()   { <-f.ch }
-
-// New starts a futures runtime with the given number of worker slots.
+// New starts a futures runtime with the given number of workers.
 func New(workers int) *Runtime {
-	if workers < 1 {
-		panic("futures: workers < 1")
-	}
-	return &Runtime{
-		sem:        make(chan struct{}, workers),
-		lastWriter: make(map[int]*future),
-		lastSerial: make(map[int]*future),
-	}
-}
-
-// Submit creates a task. As with the OpenMP-style layer, tasks must be
-// submitted from a single goroutine in program order; dependencies
-// resolve against previously submitted tasks.
-func (r *Runtime) Submit(t tasking.Task) {
-	r.mu.Lock()
-	if r.done {
-		r.mu.Unlock()
-		panic("futures: Submit after Close")
-	}
-	var deps []*future
-	for _, addr := range t.In {
-		if f := r.lastWriter[addr]; f != nil {
-			deps = append(deps, f)
-		}
-	}
-	if t.Serial >= 0 {
-		if f := r.lastSerial[t.Serial]; f != nil {
-			deps = append(deps, f)
-		}
-	}
-	self := newFuture()
-	if t.Serial >= 0 {
-		r.lastSerial[t.Serial] = self
-	}
-	if t.Out >= 0 {
-		r.lastWriter[t.Out] = self
-	}
-	r.wg.Add(1)
-	r.mu.Unlock()
-
-	go func() {
-		defer r.wg.Done()
-		for _, d := range deps {
-			d.await()
-		}
-		r.sem <- struct{}{}
-		if t.Fn != nil {
-			t.Fn()
-		}
-		<-r.sem
-		self.resolve()
-	}()
-}
-
-// Wait blocks until every submitted task has completed.
-func (r *Runtime) Wait() { r.wg.Wait() }
-
-// Close waits for completion and rejects further submissions.
-func (r *Runtime) Close() {
-	r.Wait()
-	r.mu.Lock()
-	r.done = true
-	r.mu.Unlock()
+	return runtime.NewScheduler(runtime.Config{Workers: workers, Name: "futures"})
 }

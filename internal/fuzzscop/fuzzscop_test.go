@@ -4,10 +4,13 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/deps"
 	"repro/internal/exec"
 	"repro/internal/interp"
+	"repro/internal/runtime"
+	"repro/internal/scop"
 )
 
 func TestRandomProgramsAreValid(t *testing.T) {
@@ -148,6 +151,69 @@ func TestDetectNeverPanicsOnRandomPrograms(t *testing.T) {
 					seed, si.Stmt.Name, n, si.Stmt.Domain.Card())
 			}
 		}
+	}
+}
+
+// runThroughRuntime lowers sc to the compiled runtime IR and executes
+// it under several worker counts. ExecuteChecked fails if any task
+// never ran (a deadlock or lost wakeup) or any dependency edge was
+// left unresolved — i.e. some indegree never reached zero — and the
+// array state must still match sequential execution bit-for-bit.
+func runThroughRuntime(t *testing.T, sc *scop.SCoP, opts core.Options) {
+	t.Helper()
+	p := interp.Programify(sc)
+	info, err := core.Detect(sc, opts)
+	if err != nil {
+		t.Fatalf("%s: detect: %v", sc.Name, err)
+	}
+	prog, err := codegen.Compile(info)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", sc.Name, err)
+	}
+	ir := prog.Lower()
+	want := exec.Sequential(p).Hash
+	for _, workers := range []int{1, 2, 4, 7} {
+		p.Reset()
+		st, err := ir.ExecuteChecked(workers, runtime.ExecOptions{})
+		if err != nil {
+			t.Fatalf("%s (workers=%d): %v", sc.Name, workers, err)
+		}
+		if st.Executed != ir.NumTasks() {
+			t.Fatalf("%s (workers=%d): executed %d of %d tasks",
+				sc.Name, workers, st.Executed, ir.NumTasks())
+		}
+		if got := p.Hash(); got != want {
+			t.Fatalf("%s (workers=%d): runtime hash %x != sequential %x",
+				sc.Name, workers, got, want)
+		}
+	}
+}
+
+// TestStressExecutesThroughRuntime drives the deterministic stress
+// SCoP through the unified runtime: lowered once, executed under
+// several worker counts, every execution checked for completeness.
+func TestStressExecutesThroughRuntime(t *testing.T) {
+	runThroughRuntime(t, Stress(), core.Options{})
+}
+
+// TestDifferentialRuntimeExecution fuzzes the runtime directly: random
+// SCoPs (including overwriting and serial-heavy shapes) are lowered to
+// the IR and executed checked — no deadlocks, all indegrees drained,
+// results bit-identical to sequential.
+func TestDifferentialRuntimeExecution(t *testing.T) {
+	seeds := 60
+	if testing.Short() {
+		seeds = 15
+	}
+	for seed := int64(9000); seed < int64(9000+seeds); seed++ {
+		r := rand.New(rand.NewSource(seed))
+		cfg := Config{Sink: r.Intn(2) == 0, Overwrites: r.Intn(3) == 0}
+		opts := core.Options{AllowOverwrites: cfg.Overwrites}
+		if r.Intn(3) == 0 {
+			opts.MinBlockIters = 1 + r.Intn(6)
+		}
+		sc := Random(r, cfg)
+		runThroughRuntime(t, sc, opts)
 	}
 }
 

@@ -1,0 +1,51 @@
+package runtime
+
+import (
+	"strconv"
+
+	"repro/internal/obs"
+)
+
+// metrics caches the registry instruments the scheduler and the
+// compiled executor update on their hot paths; nil fields (no Observe
+// call) cost one branch per site. Instrument names are prefixed with
+// the owning layer's name ("tasking", "futures", "stages", or
+// "runtime" for the compiled IR executor) so every layer reports the
+// same catalogue (see docs/OBSERVABILITY.md).
+type metrics struct {
+	submitted  *obs.Counter
+	executed   *obs.Counter
+	stallNs    *obs.Counter
+	busyNs     *obs.Counter
+	steals     *obs.Counter
+	deps       *obs.Counter
+	queueDepth *obs.Gauge
+	running    *obs.Gauge
+	peak       *obs.Gauge
+	stallHist  *obs.Histogram
+	taskHist   *obs.Histogram
+	workerBusy []*obs.Counter
+}
+
+// newMetrics wires the full instrument set under the given name prefix.
+func newMetrics(reg *obs.Registry, name string, workers int) metrics {
+	m := metrics{
+		submitted:  reg.Counter(name + ".submitted"),
+		executed:   reg.Counter(name + ".executed"),
+		stallNs:    reg.Counter(name + ".stall_ns_total"),
+		busyNs:     reg.Counter(name + ".busy_ns_total"),
+		steals:     reg.Counter(name + ".steal_count"),
+		deps:       reg.Counter(name + ".deps_resolved"),
+		queueDepth: reg.Gauge(name + ".queue_depth"),
+		running:    reg.Gauge(name + ".running"),
+		peak:       reg.Gauge(name + ".peak_concurrency"),
+		stallHist:  reg.Histogram(name+".stall_ns", nil),
+		taskHist:   reg.Histogram(name+".task_ns", nil),
+		workerBusy: make([]*obs.Counter, workers),
+	}
+	reg.Gauge(name + ".workers").Set(int64(workers))
+	for w := 0; w < workers; w++ {
+		m.workerBusy[w] = reg.Counter(name + ".worker_busy_ns." + strconv.Itoa(w))
+	}
+	return m
+}

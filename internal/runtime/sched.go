@@ -1,0 +1,371 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Config parameterizes a Scheduler for the tasking layer that fronts
+// it. Every layer shares the same dependency resolution, sharded
+// work-stealing ready queues, lifecycle events, and metrics; only the
+// reported name and the shard-placement policy differ.
+type Config struct {
+	// Workers is the worker-goroutine count (>= 1).
+	Workers int
+	// Name prefixes metric names and panic messages ("tasking",
+	// "futures", "stages"); empty means "runtime".
+	Name string
+	// Shard places a ready task on a worker's deque: given the task's
+	// submission id, its Serial key (or NoSerial), and the worker
+	// count, it returns the shard index. Nil means id % workers.
+	Shard func(id, serial, workers int) int
+}
+
+// Scheduler executes tasks with dependency tracking over integer
+// addresses — the streaming core every tasking layer adapts. Create
+// all tasks from one goroutine, then Wait.
+//
+// The ready queue is sharded: each worker owns a deque guarded by its
+// own mutex, pops its own shard from the back, and steals from the
+// other shards front-first when its shard runs dry. The scheduler
+// mutex guards only the dependency graph (submission and completion),
+// so ready-task handoff does not serialize the pool on one lock.
+type Scheduler struct {
+	mu         sync.Mutex
+	workCond   *sync.Cond // signaled under mu when a task enters a shard
+	doneCond   *sync.Cond // signaled under mu when pending reaches zero
+	shards     []deque
+	ready      atomic.Int64 // tasks currently sitting in shards
+	pending    int          // created but not finished
+	closed     bool
+	nextID     int
+	lastWriter map[int]*node // dependency address -> last writing task
+	lastSerial map[int]*node // serialization key -> last created task
+	trace      func(Event)
+	workers    sync.WaitGroup
+	nworkers   int
+	name       string
+	shardOf    func(id, serial, workers int) int
+
+	// stats
+	executed int // guarded by mu
+	running  atomic.Int64
+	maxRun   atomic.Int64
+	steals   atomic.Int64
+
+	m metrics
+}
+
+// deque is one worker's ready-task shard. Pushes land at the back; the
+// owner pops newest-first (cache-warm), thieves take oldest-first.
+type deque struct {
+	mu    sync.Mutex
+	head  int
+	items []*node
+}
+
+func (d *deque) push(n *node) {
+	d.mu.Lock()
+	d.items = append(d.items, n)
+	d.mu.Unlock()
+}
+
+func (d *deque) popBack() *node {
+	d.mu.Lock()
+	if d.head == len(d.items) {
+		d.mu.Unlock()
+		return nil
+	}
+	last := len(d.items) - 1
+	n := d.items[last]
+	d.items[last] = nil
+	d.items = d.items[:last]
+	if d.head == len(d.items) {
+		d.items, d.head = d.items[:0], 0
+	}
+	d.mu.Unlock()
+	return n
+}
+
+func (d *deque) popFront() *node {
+	d.mu.Lock()
+	if d.head == len(d.items) {
+		d.mu.Unlock()
+		return nil
+	}
+	n := d.items[d.head]
+	d.items[d.head] = nil
+	d.head++
+	if d.head == len(d.items) {
+		d.items, d.head = d.items[:0], 0
+	}
+	d.mu.Unlock()
+	return n
+}
+
+// NewScheduler starts a scheduler per the config.
+func NewScheduler(cfg Config) *Scheduler {
+	name := cfg.Name
+	if name == "" {
+		name = "runtime"
+	}
+	if cfg.Workers < 1 {
+		panic(fmt.Sprintf("%s: workers = %d", name, cfg.Workers))
+	}
+	shard := cfg.Shard
+	if shard == nil {
+		shard = func(id, _, workers int) int { return id % workers }
+	}
+	s := &Scheduler{
+		lastWriter: make(map[int]*node),
+		lastSerial: make(map[int]*node),
+		nworkers:   cfg.Workers,
+		shards:     make([]deque, cfg.Workers),
+		name:       name,
+		shardOf:    shard,
+	}
+	s.workCond = sync.NewCond(&s.mu)
+	s.doneCond = sync.NewCond(&s.mu)
+	s.workers.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker(w)
+	}
+	return s
+}
+
+// SetTrace installs a tracing callback invoked at every task lifecycle
+// transition (submit, ready, start, end). Install it before submitting
+// tasks. The callback runs on coordinator and worker goroutines — for
+// submit and ready under the scheduler lock — so it must be internally
+// synchronized and must not call back into the scheduler.
+func (s *Scheduler) SetTrace(fn func(Event)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.trace = fn
+}
+
+// Observe wires the scheduler's execution metrics into a registry
+// under the layer's name prefix (see docs/OBSERVABILITY.md for the
+// catalogue): task counts, live queue depth, running tasks and peak
+// concurrency, steal and dependency-resolution counts, per-task stall
+// (ready→start) and duration histograms, and per-worker busy time.
+// Call before submitting tasks.
+func (s *Scheduler) Observe(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m = newMetrics(reg, s.name, s.nworkers)
+}
+
+// node is the scheduler-internal task state.
+type node struct {
+	task      Task
+	id        int
+	remaining int     // unfinished predecessors
+	succs     []*node // tasks waiting on this one
+	done      bool
+	readyAt   time.Time // when the task entered the ready queue
+}
+
+// Submit creates a task. Dependencies resolve against previously
+// submitted tasks only, so submission order is program order, exactly
+// like sequential task creation in an omp single region.
+func (s *Scheduler) Submit(t Task) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		panic(s.name + ": Submit after Close")
+	}
+	n := &node{task: t, id: s.nextID}
+	s.nextID++
+	s.pending++
+	if s.m.submitted != nil {
+		s.m.submitted.Inc()
+	}
+	if s.trace != nil {
+		s.trace(Event{Kind: EventSubmit, TaskID: n.id, Label: t.Label, Serial: t.Serial, Worker: -1, When: time.Now()})
+	}
+
+	addPred := func(p *node) {
+		if p == nil || p.done {
+			return
+		}
+		p.succs = append(p.succs, n)
+		n.remaining++
+	}
+	for _, addr := range t.In {
+		addPred(s.lastWriter[addr])
+	}
+	if t.Serial >= 0 {
+		addPred(s.lastSerial[t.Serial])
+		s.lastSerial[t.Serial] = n
+	}
+	if t.Out >= 0 {
+		s.lastWriter[t.Out] = n
+	}
+	if n.remaining == 0 {
+		s.enqueueLocked(n)
+	}
+}
+
+// enqueueLocked moves a node whose predecessors are all done into a
+// ready shard. The ready event is emitted under the scheduler lock so
+// it is globally ordered before the task's start event; the ready
+// counter is incremented under the same lock, which is what makes the
+// workers' sleep check race-free.
+func (s *Scheduler) enqueueLocked(n *node) {
+	n.readyAt = time.Now()
+	if s.m.queueDepth != nil {
+		s.m.queueDepth.Add(1)
+	}
+	if s.trace != nil {
+		s.trace(Event{Kind: EventReady, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: -1, When: n.readyAt})
+	}
+	s.shards[s.shardOf(n.id, n.task.Serial, s.nworkers)].push(n)
+	s.ready.Add(1)
+	s.workCond.Signal()
+}
+
+// take returns a ready task for worker id, or nil when every shard is
+// empty: first the worker's own shard back-first, then the other
+// shards front-first (stealing the oldest work).
+func (s *Scheduler) take(id int) *node {
+	if n := s.shards[id].popBack(); n != nil {
+		s.ready.Add(-1)
+		return n
+	}
+	for k := 1; k < s.nworkers; k++ {
+		if n := s.shards[(id+k)%s.nworkers].popFront(); n != nil {
+			s.ready.Add(-1)
+			s.steals.Add(1)
+			if s.m.steals != nil {
+				s.m.steals.Inc()
+			}
+			return n
+		}
+	}
+	return nil
+}
+
+func (s *Scheduler) worker(id int) {
+	defer s.workers.Done()
+	for {
+		n := s.take(id)
+		if n == nil {
+			// Both the increment of ready and the Signal happen under
+			// mu, so checking under mu cannot miss a wakeup; a stale
+			// positive just loops back into another steal sweep.
+			s.mu.Lock()
+			for s.ready.Load() == 0 && !s.closed {
+				s.workCond.Wait()
+			}
+			closed := s.ready.Load() == 0 && s.closed
+			s.mu.Unlock()
+			if closed {
+				return
+			}
+			continue
+		}
+		s.execute(id, n)
+	}
+}
+
+// execute runs one task body and resolves its successors.
+func (s *Scheduler) execute(id int, n *node) {
+	run := s.running.Add(1)
+	for {
+		old := s.maxRun.Load()
+		if run <= old || s.maxRun.CompareAndSwap(old, run) {
+			break
+		}
+	}
+	m := s.m
+	trace := s.trace
+
+	start := time.Now()
+	if m.queueDepth != nil {
+		m.queueDepth.Add(-1)
+		m.running.Add(1)
+		m.peak.Max(s.maxRun.Load())
+		stall := start.Sub(n.readyAt).Nanoseconds()
+		m.stallNs.Add(stall)
+		m.stallHist.Observe(stall)
+	}
+	if trace != nil {
+		trace(Event{Kind: EventStart, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: start})
+	}
+	if n.task.Fn != nil {
+		n.task.Fn()
+	}
+	end := time.Now()
+	if trace != nil {
+		trace(Event{Kind: EventEnd, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: end})
+	}
+	if m.queueDepth != nil {
+		busy := end.Sub(start).Nanoseconds()
+		m.running.Add(-1)
+		m.executed.Inc()
+		m.busyNs.Add(busy)
+		m.taskHist.Observe(busy)
+		m.workerBusy[id].Add(busy)
+	}
+	s.running.Add(-1)
+
+	s.mu.Lock()
+	n.done = true
+	s.executed++
+	s.pending--
+	if s.m.deps != nil {
+		s.m.deps.Add(int64(len(n.succs)))
+	}
+	for _, succ := range n.succs {
+		succ.remaining--
+		if succ.remaining == 0 {
+			s.enqueueLocked(succ)
+		}
+	}
+	if s.pending == 0 {
+		s.doneCond.Broadcast()
+	}
+	s.mu.Unlock()
+}
+
+// Wait blocks until every submitted task has completed. It may be
+// called repeatedly; tasks may not be submitted concurrently with
+// Wait.
+func (s *Scheduler) Wait() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for s.pending > 0 {
+		s.doneCond.Wait()
+	}
+}
+
+// Close waits for all tasks and shuts the workers down. The scheduler
+// cannot be reused afterwards.
+func (s *Scheduler) Close() {
+	s.Wait()
+	s.mu.Lock()
+	s.closed = true
+	s.workCond.Broadcast()
+	s.mu.Unlock()
+	s.workers.Wait()
+}
+
+// Stats reports execution counters: total tasks executed and the
+// maximum number of tasks observed running simultaneously.
+func (s *Scheduler) Stats() (executed, maxConcurrent int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.executed, int(s.maxRun.Load())
+}
+
+// Steals reports how many ready tasks were taken from another worker's
+// shard.
+func (s *Scheduler) Steals() int64 { return s.steals.Load() }

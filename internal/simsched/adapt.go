@@ -36,16 +36,17 @@ func SimulateCompiled(p *kernels.Program, prog *codegen.TaskProgram, procs int, 
 }
 
 // MeasureCompiled runs the compiled task program once sequentially (a
-// valid topological order), measuring each task's cost and building
-// the dependency DAG the runtime would enforce. The returned tasks can
-// be scheduled at several processor counts without re-measuring —
+// valid topological order), measuring each task's cost and taking the
+// dependency DAG from the program's compiled runtime IR — the same
+// resolved edge set the runtime enforces, so the simulation and the
+// execution schedule the identical graph. The returned tasks can be
+// scheduled at several processor counts without re-measuring —
 // required when comparing counts, since separate replays introduce
 // measurement noise between them. The program state is left reset.
 func MeasureCompiled(p *kernels.Program, prog *codegen.TaskProgram, overhead time.Duration) ([]Task, time.Duration) {
+	ir := prog.Lower()
 	p.Reset()
 	tasks := make([]Task, len(prog.Tasks))
-	lastWriter := map[int]int{} // dependency address -> task index
-	lastSerial := map[int]int{} // serialization key -> task index
 	var seq time.Duration
 	for i := range prog.Tasks {
 		spec := &prog.Tasks[i]
@@ -66,16 +67,9 @@ func MeasureCompiled(p *kernels.Program, prog *codegen.TaskProgram, overhead tim
 			cost /= time.Duration(div)
 		}
 		t := Task{Cost: cost + overhead}
-		for _, in := range spec.In {
-			if w, ok := lastWriter[in]; ok {
-				t.Deps = append(t.Deps, w)
-			}
+		for _, pred := range ir.PredsOf(i) {
+			t.Deps = append(t.Deps, int(pred))
 		}
-		if prev, ok := lastSerial[spec.Serial]; ok {
-			t.Deps = append(t.Deps, prev)
-		}
-		lastSerial[spec.Serial] = i
-		lastWriter[spec.Out] = i
 		tasks[i] = t
 	}
 	p.Reset()

@@ -1,125 +1,35 @@
-// Package stages is a third implementation of the minimal tasking
-// layer, further evidence for the paper's §7 claim that the
-// transformation retargets tasking platforms with minimal changes.
+// Package stages is a third front end over the unified runtime core,
+// historically a from-scratch Go-pipeline implementation (one goroutine
+// per serialization key) of the minimal tasking layer — further
+// evidence for the paper's §7 claim that the transformation retargets
+// tasking platforms with minimal changes.
 //
-// Where package tasking emulates OpenMP's depend clauses with a
-// central address table and package futures gives every task its own
-// completion future, this layer uses the idiomatic Go pipeline
-// pattern: one long-lived goroutine per serialization key (per loop
-// nest — the paper's pipeline stages) consumes that stage's tasks in
-// FIFO order, so per-nest serialization holds by construction; cross-
-// stage dependencies resolve through per-address completion channels.
-// The layer is a drop-in codegen.Layer implementation.
+// Since the runtime-core unification the dependency resolution and the
+// work-stealing scheduler live in internal/runtime, shared with the
+// tasking and futures layers; this adapter contributes the layer name
+// ("stages", prefixing its metric catalogue) and a stage-affinity
+// shard policy: tasks carrying a Serial key — the paper's pipeline
+// stages, one per loop nest — land on the shard keyed by that stage,
+// so one worker tends to own one stage's stream, preserving the
+// original layer's cache behaviour without its per-stage goroutines.
 package stages
 
-import (
-	"sync"
+import "repro/internal/runtime"
 
-	"repro/internal/tasking"
-)
+// Runtime is the stage tasking layer: the shared runtime.Scheduler
+// under the "stages" name with stage-affinity shard placement.
+type Runtime = runtime.Scheduler
 
-// Runtime is the stage-based tasking layer.
-type Runtime struct {
-	mu     sync.Mutex
-	done   bool
-	wg     sync.WaitGroup
-	stages map[int]chan work
-	// completion channel of the last writer of each address
-	lastWriter map[int]chan struct{}
-	// tasks without a serialization key run on a shared pool
-	free chan work
-}
-
-type work struct {
-	fn   func()
-	deps []chan struct{}
-	self chan struct{}
-}
-
-// New starts a stage runtime. poolWorkers bounds the workers that run
-// serialization-free tasks; each distinct Serial key gets its own
-// dedicated stage goroutine on demand.
-func New(poolWorkers int) *Runtime {
-	if poolWorkers < 1 {
-		panic("stages: poolWorkers < 1")
-	}
-	r := &Runtime{
-		stages:     make(map[int]chan work),
-		lastWriter: make(map[int]chan struct{}),
-		free:       make(chan work, 1024),
-	}
-	for i := 0; i < poolWorkers; i++ {
-		go func() {
-			for w := range r.free {
-				runWork(w)
-				r.wg.Done()
+// New starts a stage runtime with the given number of workers.
+func New(workers int) *Runtime {
+	return runtime.NewScheduler(runtime.Config{
+		Workers: workers,
+		Name:    "stages",
+		Shard: func(id, serial, workers int) int {
+			if serial >= 0 {
+				return serial % workers
 			}
-		}()
-	}
-	return r
-}
-
-func runWork(w work) {
-	for _, d := range w.deps {
-		<-d
-	}
-	if w.fn != nil {
-		w.fn()
-	}
-	close(w.self)
-}
-
-// Submit creates a task; call from a single goroutine in program
-// order.
-func (r *Runtime) Submit(t tasking.Task) {
-	r.mu.Lock()
-	if r.done {
-		r.mu.Unlock()
-		panic("stages: Submit after Close")
-	}
-	w := work{fn: t.Fn, self: make(chan struct{})}
-	for _, addr := range t.In {
-		if ch, ok := r.lastWriter[addr]; ok {
-			w.deps = append(w.deps, ch)
-		}
-	}
-	if t.Out >= 0 {
-		r.lastWriter[t.Out] = w.self
-	}
-	r.wg.Add(1)
-	if t.Serial < 0 {
-		r.mu.Unlock()
-		r.free <- w
-		return
-	}
-	ch, ok := r.stages[t.Serial]
-	if !ok {
-		ch = make(chan work, 1024)
-		r.stages[t.Serial] = ch
-		go func() {
-			for w := range ch {
-				runWork(w)
-				r.wg.Done()
-			}
-		}()
-	}
-	r.mu.Unlock()
-	ch <- w
-}
-
-// Wait blocks until all submitted tasks have completed.
-func (r *Runtime) Wait() { r.wg.Wait() }
-
-// Close waits for completion and stops the stage goroutines.
-func (r *Runtime) Close() {
-	r.Wait()
-	r.mu.Lock()
-	if !r.done {
-		r.done = true
-		close(r.free)
-		for _, ch := range r.stages {
-			close(ch)
-		}
-	}
-	r.mu.Unlock()
+			return id % workers
+		},
+	})
 }

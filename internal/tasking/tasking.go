@@ -1,451 +1,54 @@
-// Package tasking is the minimal, language-agnostic tasking layer the
-// transformed programs target (§5.4–5.5). It reproduces the semantics
-// of the OpenMP constructs the paper's runtime uses:
+// Package tasking is the minimal OpenMP-style tasking layer the
+// transformed pipelines run on (§5.4–5.5): tasks submitted in program
+// order, dependencies resolved through integer addresses (the depend
+// clause model), per-nest serialization via Serial keys (funcCount).
 //
-//   - task with depend(out: addr): the task writes dependency address
-//     addr; later tasks reading addr wait for it.
-//   - depend(iterator(...), in: addr...): the task waits until the
-//     last writer of every listed address has completed.
-//   - the funcCount self-dependency (Figure 8): tasks created from the
-//     same loop nest carry the same serialization key and run in
-//     creation order, because blocks of one statement must execute
-//     sequentially.
-//
-// Tasks are created from a single coordinator goroutine, in program
-// order, exactly like the `omp parallel` + `omp single` launch of
-// §5.4; a fixed pool of workers executes ready tasks concurrently.
+// Since the runtime-core unification this package is a thin adapter:
+// the task vocabulary, dependency resolution, sharded work-stealing
+// scheduler, lifecycle events, and metrics all live in
+// internal/runtime and are shared with the futures and stages layers.
+// The adapter only fixes the layer name ("tasking", which prefixes the
+// metric catalogue) and keeps the default id-hash shard policy.
 package tasking
 
-import (
-	"fmt"
-	"strconv"
-	"sync"
-	"sync/atomic"
-	"time"
-
-	"repro/internal/obs"
-)
+import "repro/internal/runtime"
 
 // NoSerial disables per-nest serialization for a task.
-const NoSerial = -1
+const NoSerial = runtime.NoSerial
 
 // Task describes one unit of work and its dependency interface, the Go
 // analogue of the CreateTask signature in Figure 7.
-type Task struct {
-	// Fn is the task body.
-	Fn func()
-	// Label identifies the task in traces ("S[3, 8]").
-	Label string
-	// Out is the dependency address this task writes, or a negative
-	// value for none.
-	Out int
-	// In lists the dependency addresses whose last writers must
-	// complete before this task may start.
-	In []int
-	// Serial, when >= 0, serializes this task after the previously
-	// created task with the same Serial key (the funcCount mechanism).
-	Serial int
-}
+type Task = runtime.Task
 
 // EventKind is a task lifecycle transition.
-type EventKind uint8
+type EventKind = runtime.EventKind
 
+// Lifecycle transitions (see runtime.EventKind).
 const (
-	// EventSubmit: the task was created (program order).
-	EventSubmit EventKind = iota + 1
-	// EventReady: the task's last predecessor finished and it entered
-	// the ready queue. The gap from Ready to Start is the task's stall.
-	EventReady
-	// EventStart: a worker began executing the task body.
-	EventStart
-	// EventEnd: the task body completed.
-	EventEnd
+	EventSubmit = runtime.EventSubmit
+	EventReady  = runtime.EventReady
+	EventStart  = runtime.EventStart
+	EventEnd    = runtime.EventEnd
 )
 
-// String names the transition.
-func (k EventKind) String() string {
-	switch k {
-	case EventSubmit:
-		return "submit"
-	case EventReady:
-		return "ready"
-	case EventStart:
-		return "start"
-	case EventEnd:
-		return "end"
-	}
-	return "unknown"
-}
-
 // Event records a task lifecycle transition for tracing.
-type Event struct {
-	Kind   EventKind
-	TaskID int
-	Label  string
-	Serial int
-	Worker int // worker index for Start/End events, -1 otherwise
-	When   time.Time
-}
-
-// Start reports whether this is a start event (legacy accessor; switch
-// on Kind for the full transition set).
-func (e Event) Start() bool { return e.Kind == EventStart }
+type Event = runtime.Event
 
 // Runtime executes tasks with dependency tracking over integer
-// addresses. Create all tasks from one goroutine, then Wait.
-//
-// The ready queue is sharded: each worker owns a deque guarded by its
-// own mutex, pops its own shard from the back, and steals from the
-// other shards front-first when its shard runs dry. The runtime mutex
-// guards only the dependency graph (submission and completion), so
-// ready-task handoff does not serialize the pool on one lock.
-type Runtime struct {
-	mu         sync.Mutex
-	workCond   *sync.Cond // signaled under mu when a task enters a shard
-	doneCond   *sync.Cond // signaled under mu when pending reaches zero
-	shards     []deque
-	ready      atomic.Int64 // tasks currently sitting in shards
-	pending    int          // created but not finished
-	closed     bool
-	nextID     int
-	lastWriter map[int]*node // dependency address -> last writing task
-	lastSerial map[int]*node // serialization key -> last created task
-	trace      func(Event)
-	workers    sync.WaitGroup
-	nworkers   int
-
-	// stats
-	executed int // guarded by mu
-	running  atomic.Int64
-	maxRun   atomic.Int64
-
-	m runtimeMetrics
-}
-
-// deque is one worker's ready-task shard. Pushes land at the back; the
-// owner pops newest-first (cache-warm), thieves take oldest-first.
-type deque struct {
-	mu    sync.Mutex
-	head  int
-	items []*node
-}
-
-func (d *deque) push(n *node) {
-	d.mu.Lock()
-	d.items = append(d.items, n)
-	d.mu.Unlock()
-}
-
-func (d *deque) popBack() *node {
-	d.mu.Lock()
-	if d.head == len(d.items) {
-		d.mu.Unlock()
-		return nil
-	}
-	last := len(d.items) - 1
-	n := d.items[last]
-	d.items[last] = nil
-	d.items = d.items[:last]
-	if d.head == len(d.items) {
-		d.items, d.head = d.items[:0], 0
-	}
-	d.mu.Unlock()
-	return n
-}
-
-func (d *deque) popFront() *node {
-	d.mu.Lock()
-	if d.head == len(d.items) {
-		d.mu.Unlock()
-		return nil
-	}
-	n := d.items[d.head]
-	d.items[d.head] = nil
-	d.head++
-	if d.head == len(d.items) {
-		d.items, d.head = d.items[:0], 0
-	}
-	d.mu.Unlock()
-	return n
-}
-
-// runtimeMetrics caches the registry instruments the runtime updates on
-// its hot path; nil fields (no Observe call) cost one branch per site.
-type runtimeMetrics struct {
-	submitted  *obs.Counter
-	executed   *obs.Counter
-	stallNs    *obs.Counter
-	busyNs     *obs.Counter
-	queueDepth *obs.Gauge
-	running    *obs.Gauge
-	peak       *obs.Gauge
-	stallHist  *obs.Histogram
-	taskHist   *obs.Histogram
-	workerBusy []*obs.Counter
-}
+// addresses. It is the shared runtime.Scheduler under the "tasking"
+// name; create all tasks from one goroutine, then Wait.
+type Runtime = runtime.Scheduler
 
 // New starts a runtime with the given number of worker goroutines.
 func New(workers int) *Runtime {
-	if workers < 1 {
-		panic(fmt.Sprintf("tasking: workers = %d", workers))
-	}
-	r := &Runtime{
-		lastWriter: make(map[int]*node),
-		lastSerial: make(map[int]*node),
-		nworkers:   workers,
-		shards:     make([]deque, workers),
-	}
-	r.workCond = sync.NewCond(&r.mu)
-	r.doneCond = sync.NewCond(&r.mu)
-	r.workers.Add(workers)
-	for w := 0; w < workers; w++ {
-		go r.worker(w)
-	}
-	return r
+	return runtime.NewScheduler(runtime.Config{Workers: workers, Name: "tasking"})
 }
 
-// SetTrace installs a tracing callback invoked at every task lifecycle
-// transition (submit, ready, start, end). Install it before submitting
-// tasks. The callback runs on coordinator and worker goroutines — for
-// submit and ready under the runtime lock — so it must be internally
-// synchronized and must not call back into the runtime.
-func (r *Runtime) SetTrace(fn func(Event)) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.trace = fn
-}
-
-// Observe wires the runtime's execution metrics into a registry (see
-// docs/OBSERVABILITY.md for the name catalogue): task counts, live
-// queue depth, running tasks and peak concurrency, per-task stall
-// (ready→start) and duration histograms, and per-worker busy time.
-// Call before submitting tasks.
-func (r *Runtime) Observe(reg *obs.Registry) {
-	if reg == nil {
-		return
-	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.m = runtimeMetrics{
-		submitted:  reg.Counter("tasking.submitted"),
-		executed:   reg.Counter("tasking.executed"),
-		stallNs:    reg.Counter("tasking.stall_ns_total"),
-		busyNs:     reg.Counter("tasking.busy_ns_total"),
-		queueDepth: reg.Gauge("tasking.queue_depth"),
-		running:    reg.Gauge("tasking.running"),
-		peak:       reg.Gauge("tasking.peak_concurrency"),
-		stallHist:  reg.Histogram("tasking.stall_ns", nil),
-		taskHist:   reg.Histogram("tasking.task_ns", nil),
-		workerBusy: make([]*obs.Counter, r.nworkers),
-	}
-	reg.Gauge("tasking.workers").Set(int64(r.nworkers))
-	for w := 0; w < r.nworkers; w++ {
-		r.m.workerBusy[w] = reg.Counter("tasking.worker_busy_ns." + strconv.Itoa(w))
-	}
-}
-
-// node is the scheduler-internal task state.
-type node struct {
-	task      Task
-	id        int
-	remaining int     // unfinished predecessors
-	succs     []*node // tasks waiting on this one
-	done      bool
-	readyAt   time.Time // when the task entered the ready queue
-}
-
-// Submit creates a task. Dependencies resolve against previously
-// submitted tasks only, so submission order is program order, exactly
-// like sequential task creation in an omp single region.
-func (r *Runtime) Submit(t Task) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
-		panic("tasking: Submit after Close")
-	}
-	n := &node{task: t, id: r.nextID}
-	r.nextID++
-	r.pending++
-	if r.m.submitted != nil {
-		r.m.submitted.Inc()
-	}
-	if r.trace != nil {
-		r.trace(Event{Kind: EventSubmit, TaskID: n.id, Label: t.Label, Serial: t.Serial, Worker: -1, When: time.Now()})
-	}
-
-	addPred := func(p *node) {
-		if p == nil || p.done {
-			return
-		}
-		p.succs = append(p.succs, n)
-		n.remaining++
-	}
-	for _, addr := range t.In {
-		addPred(r.lastWriter[addr])
-	}
-	if t.Serial >= 0 {
-		addPred(r.lastSerial[t.Serial])
-		r.lastSerial[t.Serial] = n
-	}
-	if t.Out >= 0 {
-		r.lastWriter[t.Out] = n
-	}
-	if n.remaining == 0 {
-		r.enqueueLocked(n)
-	}
-}
-
-// enqueueLocked moves a node whose predecessors are all done into a
-// ready shard. The ready event is emitted under the runtime lock so it
-// is globally ordered before the task's start event; the ready counter
-// is incremented under the same lock, which is what makes the workers'
-// sleep check race-free.
-func (r *Runtime) enqueueLocked(n *node) {
-	n.readyAt = time.Now()
-	if r.m.queueDepth != nil {
-		r.m.queueDepth.Add(1)
-	}
-	if r.trace != nil {
-		r.trace(Event{Kind: EventReady, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: -1, When: n.readyAt})
-	}
-	r.shards[n.id%r.nworkers].push(n)
-	r.ready.Add(1)
-	r.workCond.Signal()
-}
-
-// take returns a ready task for worker id, or nil when every shard is
-// empty: first the worker's own shard back-first, then the other
-// shards front-first (stealing the oldest work).
-func (r *Runtime) take(id int) *node {
-	if n := r.shards[id].popBack(); n != nil {
-		r.ready.Add(-1)
-		return n
-	}
-	for k := 1; k < r.nworkers; k++ {
-		if n := r.shards[(id+k)%r.nworkers].popFront(); n != nil {
-			r.ready.Add(-1)
-			return n
-		}
-	}
-	return nil
-}
-
-func (r *Runtime) worker(id int) {
-	defer r.workers.Done()
-	for {
-		n := r.take(id)
-		if n == nil {
-			// Both the increment of ready and the Signal happen under
-			// mu, so checking under mu cannot miss a wakeup; a stale
-			// positive just loops back into another steal sweep.
-			r.mu.Lock()
-			for r.ready.Load() == 0 && !r.closed {
-				r.workCond.Wait()
-			}
-			closed := r.ready.Load() == 0 && r.closed
-			r.mu.Unlock()
-			if closed {
-				return
-			}
-			continue
-		}
-		r.execute(id, n)
-	}
-}
-
-// execute runs one task body and resolves its successors.
-func (r *Runtime) execute(id int, n *node) {
-	run := r.running.Add(1)
-	for {
-		old := r.maxRun.Load()
-		if run <= old || r.maxRun.CompareAndSwap(old, run) {
-			break
-		}
-	}
-	m := r.m
-	trace := r.trace
-
-	start := time.Now()
-	if m.queueDepth != nil {
-		m.queueDepth.Add(-1)
-		m.running.Add(1)
-		m.peak.Max(r.maxRun.Load())
-		stall := start.Sub(n.readyAt).Nanoseconds()
-		m.stallNs.Add(stall)
-		m.stallHist.Observe(stall)
-	}
-	if trace != nil {
-		trace(Event{Kind: EventStart, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: start})
-	}
-	if n.task.Fn != nil {
-		n.task.Fn()
-	}
-	end := time.Now()
-	if trace != nil {
-		trace(Event{Kind: EventEnd, TaskID: n.id, Label: n.task.Label, Serial: n.task.Serial, Worker: id, When: end})
-	}
-	if m.queueDepth != nil {
-		busy := end.Sub(start).Nanoseconds()
-		m.running.Add(-1)
-		m.executed.Inc()
-		m.busyNs.Add(busy)
-		m.taskHist.Observe(busy)
-		m.workerBusy[id].Add(busy)
-	}
-	r.running.Add(-1)
-
-	r.mu.Lock()
-	n.done = true
-	r.executed++
-	r.pending--
-	for _, s := range n.succs {
-		s.remaining--
-		if s.remaining == 0 {
-			r.enqueueLocked(s)
-		}
-	}
-	if r.pending == 0 {
-		r.doneCond.Broadcast()
-	}
-	r.mu.Unlock()
-}
-
-// Wait blocks until every submitted task has completed. It may be
-// called repeatedly; tasks may not be submitted concurrently with
-// Wait.
-func (r *Runtime) Wait() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	for r.pending > 0 {
-		r.doneCond.Wait()
-	}
-}
-
-// Close waits for all tasks and shuts the workers down. The runtime
-// cannot be reused afterwards.
-func (r *Runtime) Close() {
-	r.Wait()
-	r.mu.Lock()
-	r.closed = true
-	r.workCond.Broadcast()
-	r.mu.Unlock()
-	r.workers.Wait()
-}
-
-// Stats reports execution counters: total tasks executed and the
-// maximum number of tasks observed running simultaneously.
-func (r *Runtime) Stats() (executed, maxConcurrent int) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.executed, int(r.maxRun.Load())
-}
-
-// Run is the high-level entry point: it starts a runtime, hands the
-// submit function to build (which creates tasks in program order, like
-// the extracted function called under omp parallel/single), and blocks
-// until all tasks finish.
+// Run is a convenience wrapper: start a runtime, let build submit
+// tasks, then wait for completion and shut down.
 func Run(workers int, build func(submit func(Task))) {
 	r := New(workers)
+	defer r.Close()
 	build(r.Submit)
-	r.Close()
+	r.Wait()
 }

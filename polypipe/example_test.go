@@ -28,10 +28,10 @@ for (i = 0; i < N; i++)
 	// T reads from A: 1 access(es)
 }
 
-// ExampleDetect runs pipeline detection on a row chain and prints the
-// pipeline map — every row of T becomes runnable as soon as the same
-// row of S has been written.
-func ExampleDetect() {
+// ExampleSession_Detect runs pipeline detection on a row chain and
+// prints the pipeline map — every row of T becomes runnable as soon as
+// the same row of S has been written.
+func ExampleSession_Detect() {
 	src := `
 for (i = 0; i < 4; i++)
   S: A[i] = f(A[i]);
@@ -42,7 +42,7 @@ for (i = 0; i < 4; i++)
 	if err != nil {
 		log.Fatal(err)
 	}
-	info, err := polypipe.Detect(sc, polypipe.Options{})
+	info, err := polypipe.NewSession().Detect(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -67,7 +67,7 @@ for (i = 0; i < 3; i++)
 	if err != nil {
 		log.Fatal(err)
 	}
-	info, err := polypipe.Detect(sc, polypipe.Options{})
+	info, err := polypipe.NewSession().Detect(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -89,12 +89,12 @@ for (i = 0; i < 3; i++)
 	// }
 }
 
-// ExampleVerify shows the correctness check every executor must pass:
-// pipelined and baseline runs reproduce the sequential result
-// bit-for-bit.
-func ExampleVerify() {
+// ExampleSession_Verify shows the correctness check every executor
+// must pass: pipelined and baseline runs reproduce the sequential
+// result bit-for-bit.
+func ExampleSession_Verify() {
 	prog := polypipe.Listing1(16)
-	if err := polypipe.Verify(prog, 4, polypipe.Options{}); err != nil {
+	if err := polypipe.NewSession(polypipe.WithWorkers(4)).Verify(prog); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("all executors agree")
@@ -116,8 +116,12 @@ for (i = 0; i < 6; i++)
 		log.Fatal(err)
 	}
 	prog := polypipe.Interpret(sc)
-	seq := polypipe.RunSequential(prog)
-	pipe, err := polypipe.RunPipelined(prog, 2, polypipe.Options{})
+	s := polypipe.NewSession(polypipe.WithWorkers(2))
+	seq, err := s.Run(polypipe.ModeSequential, prog)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipe, err := s.Run(polypipe.ModePipelined, prog)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -59,7 +59,7 @@ for (i = 0; i < 5; i++)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Detect(sc, Options{})
+	info, err := NewSession().Detect(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ for (i = 0; i < 5; i++)
 
 func TestFacadeTraceSVG(t *testing.T) {
 	var b strings.Builder
-	if err := TraceSVG(&b, Listing3(12), 2, Options{}); err != nil {
+	if err := NewSession(WithWorkers(2)).TraceSVG(&b, Listing3(12)); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(b.String(), "<svg") {
@@ -84,18 +84,27 @@ func TestFacadeTraceSVG(t *testing.T) {
 
 func TestFacadeHybridAndSim(t *testing.T) {
 	p := MMChain(2, 12, MM)
-	res, err := RunPipelinedHybrid(p, 2, 2, Options{})
+	s := NewSession(WithWorkers(2), WithIntraWorkers(2))
+	res, err := s.Run(ModeHybrid, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Hash != RunSequential(p).Hash {
-		t.Fatal("hybrid differs")
-	}
-	if _, err := SimHybridSpeedup(p, 2, 2, Options{}, time.Microsecond); err != nil {
+	seq, err := s.Run(ModeSequential, p)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if sp := SimParLoopSpeedup(p, 4, 0); sp < 1 {
-		t.Fatalf("parloop sim speedup = %f", sp)
+	if res.Hash != seq.Hash {
+		t.Fatal("hybrid differs")
+	}
+	if _, err := s.Simulate(p, SimConfig{Mode: ModeHybrid, Procs: []int{2}, Overhead: time.Microsecond}); err != nil {
+		t.Fatal(err)
+	}
+	sp, err := s.Simulate(p, SimConfig{Mode: ModeParLoop, Procs: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp[0] < 1 {
+		t.Fatalf("parloop sim speedup = %f", sp[0])
 	}
 }
 
@@ -125,12 +134,16 @@ for (i = 0; i < 4; i++)
 
 func TestFacadeFuturesLayer(t *testing.T) {
 	p := Listing1(12)
-	want := RunSequential(p).Hash
-	res, err := RunPipelinedFutures(p, 3, Options{})
+	s := NewSession(WithWorkers(3))
+	seq, err := s.Run(ModeSequential, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Hash != want {
+	res, err := s.Run(ModeFutures, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != seq.Hash {
 		t.Fatal("futures layer differs")
 	}
 }
@@ -147,35 +160,29 @@ func TestFacadeErrorPropagation(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := &Program{Name: "hazard", SCoP: sc, Reset: func() {}, Hash: func() uint64 { return 0 }}
-	if _, err := RunPipelined(p, 2, Options{}); err == nil {
-		t.Error("RunPipelined accepted hazardous scop")
+	s := NewSession(WithWorkers(2), WithIntraWorkers(2))
+	for _, mode := range []Mode{ModePipelined, ModeFutures, ModeStages, ModeHybrid} {
+		if _, err := s.Run(mode, p); err == nil {
+			t.Errorf("Run(%v) accepted hazardous scop", mode)
+		}
 	}
-	if _, err := SimSpeedup(p, 2, Options{}, 0); err == nil {
-		t.Error("SimSpeedup accepted hazardous scop")
+	if _, err := s.Simulate(p, SimConfig{Procs: []int{2}}); err == nil {
+		t.Error("Simulate accepted hazardous scop")
 	}
-	if _, err := PotentialSpeedup(p, Options{}); err == nil {
-		t.Error("PotentialSpeedup accepted hazardous scop")
+	if _, err := s.Simulate(p, SimConfig{Procs: []int{2, 4}}); err == nil {
+		t.Error("multi-proc Simulate accepted hazardous scop")
 	}
-	if _, _, err := TracePipelined(p, 2, Options{}, 10); err == nil {
+	if _, err := s.Simulate(p, SimConfig{Mode: ModeHybrid, Procs: []int{2}}); err == nil {
+		t.Error("hybrid Simulate accepted hazardous scop")
+	}
+	if _, _, err := s.TracePipelined(p, 10); err == nil {
 		t.Error("TracePipelined accepted hazardous scop")
 	}
-	if _, _, _, err := Speedup(p, 2, Options{}); err == nil {
+	if _, _, _, err := s.Speedup(p); err == nil {
 		t.Error("Speedup accepted hazardous scop")
 	}
-	if _, err := RunPipelinedHybrid(p, 2, 2, Options{}); err == nil {
-		t.Error("hybrid accepted hazardous scop")
-	}
-	if _, err := RunPipelinedFutures(p, 2, Options{}); err == nil {
-		t.Error("futures accepted hazardous scop")
-	}
-	if _, err := SimSpeedups(p, Options{}, 0, 2); err == nil {
-		t.Error("SimSpeedups accepted hazardous scop")
-	}
-	if _, err := SimHybridSpeedup(p, 2, 2, Options{}, 0); err == nil {
-		t.Error("SimHybridSpeedup accepted hazardous scop")
-	}
 	var sb strings.Builder
-	if err := TraceSVG(&sb, p, 2, Options{}); err == nil {
+	if err := s.TraceSVG(&sb, p); err == nil {
 		t.Error("TraceSVG accepted hazardous scop")
 	}
 	if err := EmitGo(&sb, &Info{SCoP: sc}, 2); err == nil {
@@ -185,12 +192,16 @@ func TestFacadeErrorPropagation(t *testing.T) {
 
 func TestFacadeStagesLayer(t *testing.T) {
 	p := Listing3(14)
-	want := RunSequential(p).Hash
-	res, err := RunPipelinedStages(p, 2, Options{})
+	s := NewSession(WithWorkers(2))
+	seq, err := s.Run(ModeSequential, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Hash != want {
+	res, err := s.Run(ModeStages, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hash != seq.Hash {
 		t.Fatal("stages layer differs")
 	}
 }
@@ -218,13 +229,14 @@ func TestAutoGranularity(t *testing.T) {
 		t.Fatalf("best = %d, speedup = %f", best, speedup)
 	}
 	// The chosen granularity must still verify.
-	if err := Verify(p, 4, Options{MinBlockIters: best}); err != nil {
+	vs := NewSession(WithWorkers(4), WithOptions(Options{MinBlockIters: best}))
+	if err := vs.Verify(p); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestBlockReport(t *testing.T) {
-	info, err := Detect(Listing3(12).SCoP, Options{})
+	info, err := NewSession().Detect(Listing3(12).SCoP)
 	if err != nil {
 		t.Fatal(err)
 	}

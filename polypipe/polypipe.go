@@ -16,12 +16,13 @@
 // Typical use:
 //
 //	prog := polypipe.Listing1(64)
-//	res, err := polypipe.RunPipelined(prog, 4, polypipe.Options{})
+//	s := polypipe.NewSession(polypipe.WithWorkers(4))
+//	res, err := s.Run(polypipe.ModePipelined, prog)
 //
 // or, from DSL source:
 //
 //	sc, err := polypipe.Parse("mine", src)
-//	info, err := polypipe.Detect(sc, polypipe.Options{})
+//	info, err := polypipe.NewSession().Detect(sc)
 //	fmt.Println(polypipe.TransformedAST("mine_pipelined", info))
 package polypipe
 
@@ -43,7 +44,6 @@ import (
 	"repro/internal/schedtree"
 	"repro/internal/scop"
 	"repro/internal/tasking"
-	"repro/internal/trace"
 )
 
 // Re-exported core types: the facade is the supported import surface.
@@ -109,24 +109,16 @@ func AutoGranularity(p *Program, procs int, overhead time.Duration, maxIters int
 	}
 	best, speedup = 1, 0
 	for k := 1; k <= maxIters; k *= 2 {
-		s, err := SimSpeedup(p, procs, Options{MinBlockIters: k}, overhead)
+		sess := NewSession(WithOptions(Options{MinBlockIters: k}))
+		out, err := sess.Simulate(p, SimConfig{Procs: []int{procs}, Overhead: overhead})
 		if err != nil {
 			return 0, 0, err
 		}
-		if s > speedup {
-			best, speedup = k, s
+		if out[0] > speedup {
+			best, speedup = k, out[0]
 		}
 	}
 	return best, speedup, nil
-}
-
-// Detect runs the paper's Algorithm 1 on a SCoP.
-//
-// Deprecated: use NewSession(WithOptions(opts)).Detect(sc), which adds
-// context cancellation, batch serving, and an optional detection cache
-// (see docs/API.md).
-func Detect(sc *SCoP, opts Options) (*Info, error) {
-	return NewSession(WithOptions(opts)).Detect(sc)
 }
 
 // MarshalSCoP serializes a SCoP's polyhedral description as JSON (the
@@ -240,174 +232,6 @@ func BlockReport(info *Info) string {
 		}
 	}
 	return b.String()
-}
-
-// RunSequential executes the program in original order.
-//
-// Deprecated: use NewSession().Run(ModeSequential, p) (docs/API.md).
-func RunSequential(p *Program) Result {
-	res, _ := NewSession().Run(ModeSequential, p)
-	return res
-}
-
-// RunPipelined detects, compiles, and runs the program's cross-loop
-// pipeline with the given worker count.
-//
-// Deprecated: use
-// NewSession(WithWorkers(workers), WithOptions(opts)).Run(ModePipelined, p)
-// (docs/API.md).
-func RunPipelined(p *Program, workers int, opts Options) (Result, error) {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).Run(ModePipelined, p)
-}
-
-// RunPipelinedFutures is RunPipelined on the alternative futures-based
-// tasking layer — the §7 claim that the transformation retargets other
-// tasking platforms with minimal changes, demonstrated.
-//
-// Deprecated: use Session.Run with ModeFutures (docs/API.md).
-func RunPipelinedFutures(p *Program, workers int, opts Options) (Result, error) {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).Run(ModeFutures, p)
-}
-
-// RunPipelinedStages is RunPipelined on the third tasking layer: one
-// long-lived goroutine per loop nest consuming its blocks in order
-// (the idiomatic Go pipeline pattern), with cross-stage dependencies
-// resolved through completion channels.
-//
-// Deprecated: use Session.Run with ModeStages (docs/API.md).
-func RunPipelinedStages(p *Program, poolWorkers int, opts Options) (Result, error) {
-	return NewSession(WithWorkers(poolWorkers), WithOptions(opts)).Run(ModeStages, p)
-}
-
-// RunPipelinedHybrid combines cross-loop pipelining with intra-block
-// parallelism for conflict-free statements (§7's combination of the
-// pipeline with other parallelization patterns).
-//
-// Deprecated: use Session.Run with ModeHybrid and WithIntraWorkers
-// (docs/API.md).
-func RunPipelinedHybrid(p *Program, workers, intraWorkers int, opts Options) (Result, error) {
-	return NewSession(WithWorkers(workers), WithIntraWorkers(intraWorkers), WithOptions(opts)).
-		Run(ModeHybrid, p)
-}
-
-// SimHybridSpeedup returns the simulated speed-up of the hybrid
-// executor, modelling perfect intra-block scaling; callers should keep
-// procs×intraWorkers within the hardware they are modelling.
-//
-// Deprecated: use Session.Simulate with SimConfig{Mode: ModeHybrid}
-// (docs/API.md).
-func SimHybridSpeedup(p *Program, procs, intraWorkers int, opts Options, overhead time.Duration) (float64, error) {
-	s := NewSession(WithIntraWorkers(intraWorkers), WithOptions(opts))
-	out, err := s.Simulate(p, SimConfig{Mode: ModeHybrid, Procs: []int{procs}, Overhead: overhead})
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
-}
-
-// RunParLoop executes the Polly-style per-loop parallel baseline.
-//
-// Deprecated: use NewSession(WithWorkers(workers)).Run(ModeParLoop, p)
-// (docs/API.md).
-func RunParLoop(p *Program, workers int) Result {
-	res, _ := NewSession(WithWorkers(workers)).Run(ModeParLoop, p)
-	return res
-}
-
-// Verify checks that pipelined and baseline executions reproduce the
-// sequential result bit-for-bit.
-//
-// Deprecated: use Session.Verify (docs/API.md).
-func Verify(p *Program, workers int, opts Options) error {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).Verify(p)
-}
-
-// Speedup measures sequential vs pipelined wall time (one run each,
-// detection amortized) and returns the ratio.
-//
-// Deprecated: use Session.Speedup (docs/API.md).
-func Speedup(p *Program, workers int, opts Options) (seq, pipe time.Duration, speedup float64, err error) {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).Speedup(p)
-}
-
-// TracePipelined runs the pipelined program with tracing and returns
-// the execution analysis plus an ASCII Gantt chart of statement
-// activity (the Figure 2/5 picture).
-//
-// Deprecated: use Session.TracePipelined (docs/API.md).
-func TracePipelined(p *Program, workers int, opts Options, ganttWidth int) (trace.Analysis, string, error) {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).TracePipelined(p, ganttWidth)
-}
-
-// TraceSVG runs the pipelined program with tracing and writes an SVG
-// Gantt timeline of statement activity (the graphical Figure 2).
-//
-// Deprecated: use Session.TraceSVG (docs/API.md).
-func TraceSVG(w io.Writer, p *Program, workers int, opts Options) error {
-	return NewSession(WithWorkers(workers), WithOptions(opts)).TraceSVG(w, p)
-}
-
-// SimSpeedup measures per-task costs during a sequential replay and
-// returns the simulated P-processor speed-up of the pipelined task
-// graph (virtual-time mode — deterministic, works on single-core
-// hosts; see internal/simsched). overhead models per-task scheduling
-// cost.
-//
-// Deprecated: use Session.Simulate (docs/API.md).
-func SimSpeedup(p *Program, procs int, opts Options, overhead time.Duration) (float64, error) {
-	out, err := NewSession(WithOptions(opts)).
-		Simulate(p, SimConfig{Procs: []int{procs}, Overhead: overhead})
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
-}
-
-// SimParLoopSpeedup returns the simulated P-processor speed-up of the
-// Polly-style per-loop baseline in virtual time.
-//
-// Deprecated: use Session.Simulate with SimConfig{Mode: ModeParLoop}
-// (docs/API.md).
-func SimParLoopSpeedup(p *Program, procs int, overhead time.Duration) float64 {
-	out, err := NewSession().
-		Simulate(p, SimConfig{Mode: ModeParLoop, Procs: []int{procs}, Overhead: overhead})
-	if err != nil {
-		return 0
-	}
-	return out[0]
-}
-
-// SimSpeedups measures the pipelined task graph once and returns its
-// simulated speed-up at each of the given processor counts — use this
-// (not repeated SimSpeedup calls) when comparing counts, so all points
-// share one set of measured task costs.
-//
-// Deprecated: use Session.Simulate with SimConfig{Procs: procCounts}
-// (docs/API.md).
-func SimSpeedups(p *Program, opts Options, overhead time.Duration, procCounts ...int) ([]float64, error) {
-	s := NewSession(WithOptions(opts))
-	if len(procCounts) == 0 {
-		if _, err := s.Detect(p.SCoP); err != nil {
-			return nil, err
-		}
-		return []float64{}, nil
-	}
-	return s.Simulate(p, SimConfig{Procs: procCounts, Overhead: overhead})
-}
-
-// PotentialSpeedup returns the simulated speed-up of the pipelined
-// task graph with unbounded processors — the critical-path bound,
-// i.e. the best any machine could do with this blocking. Per Eq. 5 it
-// is limited by the most expensive loop nest.
-//
-// Deprecated: use Session.Simulate with SimConfig{Potential: true}
-// (docs/API.md).
-func PotentialSpeedup(p *Program, opts Options) (float64, error) {
-	out, err := NewSession(WithOptions(opts)).Simulate(p, SimConfig{Potential: true})
-	if err != nil {
-		return 0, err
-	}
-	return out[0], nil
 }
 
 // EmitGo writes a standalone, stdlib-only Go main package executing

@@ -7,21 +7,28 @@ import (
 
 func TestFacadeEndToEnd(t *testing.T) {
 	p := Listing3(16)
-	if err := Verify(p, 4, Options{}); err != nil {
+	s := NewSession(WithWorkers(4))
+	if err := s.Verify(p); err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunPipelined(p, 4, Options{})
+	res, err := s.Run(ModePipelined, p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Tasks == 0 {
 		t.Fatal("no tasks created")
 	}
-	seq := RunSequential(p)
+	seq, err := s.Run(ModeSequential, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if seq.Hash != res.Hash {
 		t.Fatal("hash mismatch")
 	}
-	par := RunParLoop(p, 4)
+	par, err := s.Run(ModeParLoop, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if par.Hash != res.Hash {
 		t.Fatal("parloop hash mismatch")
 	}
@@ -38,7 +45,7 @@ for (i = 0; i < 9; i++)
 	if err != nil {
 		t.Fatal(err)
 	}
-	info, err := Detect(sc, Options{})
+	info, err := NewSession().Detect(sc)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +70,7 @@ for (i = 0; i < 9; i++)
 
 func TestFacadeLargePairSummary(t *testing.T) {
 	p := Listing1(20)
-	info, err := Detect(p.SCoP, Options{})
+	info, err := NewSession().Detect(p.SCoP)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +82,7 @@ func TestFacadeLargePairSummary(t *testing.T) {
 
 func TestFacadeSpeedupRuns(t *testing.T) {
 	p := Listing1(16)
-	seq, pipe, ratio, err := Speedup(p, 2, Options{})
+	seq, pipe, ratio, err := NewSession(WithWorkers(2)).Speedup(p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +93,7 @@ func TestFacadeSpeedupRuns(t *testing.T) {
 
 func TestFacadeTrace(t *testing.T) {
 	p := Listing3(12)
-	a, gantt, err := TracePipelined(p, 4, Options{}, 32)
+	a, gantt, err := NewSession(WithWorkers(4)).TracePipelined(p, 32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +119,7 @@ func TestFacadeKernelConstructors(t *testing.T) {
 	if p.Name != "2gmmt" {
 		t.Fatalf("name = %q", p.Name)
 	}
-	if err := Verify(p, 2, Options{}); err != nil {
+	if err := NewSession(WithWorkers(2)).Verify(p); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -126,16 +133,16 @@ func TestFacadeBuilder(t *testing.T) {
 
 func TestPotentialSpeedupBounds(t *testing.T) {
 	p := Listing3(20)
-	if potential, err := PotentialSpeedup(p, Options{}); err != nil || potential < 1 {
-		t.Fatalf("potential = %f, err = %v", potential, err)
-	}
 	// From one measurement, the unbounded (critical-path) schedule
 	// dominates every bounded one.
-	s, err := SimSpeedups(p, Options{}, 0, 1, 2, 4, 1<<14)
+	s, err := NewSession().Simulate(p, SimConfig{Procs: []int{1, 2, 4, 1 << 14}})
 	if err != nil {
 		t.Fatal(err)
 	}
 	unbounded := s[len(s)-1]
+	if unbounded < 1 {
+		t.Fatalf("potential (unbounded) speed-up = %f, want >= 1", unbounded)
+	}
 	for i, bounded := range s[:len(s)-1] {
 		if bounded > unbounded*1.0001 {
 			t.Fatalf("bounded speed-up %.3f (point %d) exceeds critical-path bound %.3f", bounded, i, unbounded)

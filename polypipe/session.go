@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/cache"
@@ -85,6 +86,22 @@ type Session struct {
 	cache        *cache.Cache
 	cacheCap     int
 	wantCache    bool
+
+	// programs caches compiled task programs (and, through them, the
+	// lowered runtime IR) per SCoP instance, so repeated Run/Simulate/
+	// Trace calls on one program build the IR once and reuse it. Keyed
+	// by SCoP pointer identity, not content: task bodies are closures
+	// over one instance's arrays, so a content-equal SCoP from another
+	// instance must not share them.
+	progMu   sync.Mutex
+	programs map[progKey]*codegen.TaskProgram
+}
+
+// progKey identifies one compiled program: the SCoP instance plus the
+// intra-block worker count compiled into the task bodies.
+type progKey struct {
+	sc    *SCoP
+	intra int
 }
 
 // SessionOption configures a Session at construction.
@@ -148,6 +165,7 @@ func NewSession(options ...SessionOption) *Session {
 	if s.wantCache {
 		s.cache = cache.New(s.cacheCap, s.registry)
 	}
+	s.programs = make(map[progKey]*codegen.TaskProgram)
 	return s
 }
 
@@ -192,16 +210,33 @@ func (s *Session) DetectBatch(scs []*SCoP) ([]*Info, []error) {
 }
 
 // compile detects (through the session cache when present) and
-// compiles p's pipeline into a task program.
+// compiles p's pipeline into a task program. Compiled programs are
+// cached per SCoP instance, so repeated calls reuse both the program
+// and its lowered runtime IR; with a session registry, IR reuse counts
+// "runtime.ir_reuse" hits.
 func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, error) {
-	info, err := s.Detect(p.SCoP)
-	if err != nil {
-		return nil, fmt.Errorf("exec: detect: %w", err)
+	key := progKey{sc: p.SCoP, intra: intraWorkers}
+	s.progMu.Lock()
+	prog, ok := s.programs[key]
+	s.progMu.Unlock()
+	if !ok {
+		info, err := s.Detect(p.SCoP)
+		if err != nil {
+			return nil, fmt.Errorf("exec: detect: %w", err)
+		}
+		prog, err = codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers})
+		if err != nil {
+			return nil, fmt.Errorf("exec: compile: %w", err)
+		}
+		s.progMu.Lock()
+		if prev, ok := s.programs[key]; ok {
+			prog = prev // concurrent miss: keep the first, IR and all
+		} else {
+			s.programs[key] = prog
+		}
+		s.progMu.Unlock()
 	}
-	prog, err := codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers})
-	if err != nil {
-		return nil, fmt.Errorf("exec: compile: %w", err)
-	}
+	prog.LowerObserved(s.opts.Obs)
 	return prog, nil
 }
 

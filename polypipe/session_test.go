@@ -165,31 +165,33 @@ func TestSessionSimulateConsolidation(t *testing.T) {
 	}
 }
 
-// TestDeprecatedWrappersStillWork: the legacy free functions keep
-// their behaviour as thin Session wrappers.
-func TestDeprecatedWrappersStillWork(t *testing.T) {
+// TestSessionCoversLegacySurface: every operation the removed free
+// functions offered is reachable through one Session, and the compiled
+// program (detection + lowered IR) is shared across them.
+func TestSessionCoversLegacySurface(t *testing.T) {
 	p := Listing1(24)
-	want := RunSequential(p).Hash
-	res, err := RunPipelined(p, 2, Options{})
+	s := NewSession(WithWorkers(2))
+	seq, err := s.Run(ModeSequential, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Hash != want {
-		t.Fatalf("RunPipelined hash %x vs %x", res.Hash, want)
-	}
-	if err := Verify(p, 2, Options{}); err != nil {
+	res, err := s.Run(ModePipelined, p)
+	if err != nil {
 		t.Fatal(err)
 	}
-	if v, err := SimSpeedup(p, 2, Options{}, 0); err != nil || v <= 0 {
-		t.Fatalf("SimSpeedup: %v %v", v, err)
+	if res.Hash != seq.Hash {
+		t.Fatalf("pipelined hash %x vs %x", res.Hash, seq.Hash)
 	}
-	if v := SimParLoopSpeedup(p, 2, 0); v <= 0 {
-		t.Fatalf("SimParLoopSpeedup: %v", v)
+	if err := s.Verify(p); err != nil {
+		t.Fatal(err)
 	}
-	if vs, err := SimSpeedups(p, Options{}, 0, 1, 2); err != nil || len(vs) != 2 {
-		t.Fatalf("SimSpeedups: %v %v", vs, err)
+	if vs, err := s.Simulate(p, SimConfig{Procs: []int{1, 2}}); err != nil || len(vs) != 2 || vs[1] <= 0 {
+		t.Fatalf("Simulate: %v %v", vs, err)
 	}
-	if v, err := PotentialSpeedup(p, Options{}); err != nil || v <= 0 {
-		t.Fatalf("PotentialSpeedup: %v %v", v, err)
+	if vs, err := s.Simulate(p, SimConfig{Mode: ModeParLoop, Procs: []int{2}}); err != nil || vs[0] <= 0 {
+		t.Fatalf("ParLoop Simulate: %v %v", vs, err)
+	}
+	if vs, err := s.Simulate(p, SimConfig{Potential: true}); err != nil || len(vs) != 1 || vs[0] <= 0 {
+		t.Fatalf("potential Simulate: %v %v", vs, err)
 	}
 }
