@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck bench bench-cache bench-gate bench-exec bench-exec-gate stats clean
+.PHONY: check build test vet race crosscheck obsd-smoke bench bench-cache bench-gate bench-exec bench-exec-gate stats serve clean
 
-## check: the full gate — vet, build, the race-enabled test suite, and
-## the cross-backend differential suite.
-check: vet build race crosscheck
+## check: the full gate — vet, build, the race-enabled test suite,
+## the cross-backend differential suite, and the live-telemetry smoke.
+check: vet build race crosscheck obsd-smoke
 
 ## crosscheck: prove the columnar isl backend (default) and the legacy
 ## hash-map backend (-tags islhashmap) are observably identical — the
@@ -60,9 +60,21 @@ bench-exec:
 bench-exec-gate:
 	$(GO) run ./cmd/bench-pipeline -exec-gate
 
+## obsd-smoke: end-to-end live-telemetry check — start
+## pipeline-stats -serve on a random port, scrape /metrics and
+## /healthz (fail on non-200 or empty exposition), require >= 2
+## sampler entries in /debug/series, then SIGINT for a clean shutdown.
+obsd-smoke:
+	GO="$(GO)" ./scripts/obsd-smoke.sh
+
 ## stats: one observed run with the full breakdown + trace.json.
 stats:
 	$(GO) run ./cmd/pipeline-stats -kernel listing3 -n 48 -workers 4
+
+## serve: run continuously with the embedded introspection server on
+## :9090 (curl localhost:9090/metrics for a live Prometheus scrape).
+serve:
+	$(GO) run ./cmd/pipeline-stats -serve :9090 -kernel P4 -n 16
 
 clean:
 	rm -f trace.json

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/obs/export"
+	"repro/polypipe"
+)
+
+// BenchmarkExpositionOverhead measures one /metrics scrape — registry
+// snapshot plus Prometheus text rendering — over the fully populated
+// registry of an observed Table-9 run. This is the per-scrape cost a
+// live -serve deployment pays on the scraper's goroutine; the
+// execution hot path itself stays alloc-free (see
+// export.TestScrapeStaysOffHotPath).
+func BenchmarkExpositionOverhead(b *testing.B) {
+	p, err := polypipe.Kernel("P4", 16, 2, 96)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := polypipe.Observe(p, 2, polypipe.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	snap := m.Snapshot
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := export.WritePrometheus(io.Discard, snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,11 +6,17 @@
 // DAG compared against the Eq. 5/6 bounds. It also writes the
 // execution as a Chrome/Perfetto trace_event file.
 //
+// With -serve it instead runs the workload continuously and exposes
+// the session's live telemetry over HTTP (/metrics, /healthz,
+// /debug/phases, /debug/series, /debug/trace; see
+// docs/OBSERVABILITY.md) until interrupted.
+//
 // Usage:
 //
 //	pipeline-stats -kernel listing3 -n 48 -workers 4
 //	pipeline-stats -kernel P5 -n 10 -size 2 -o p5-trace.json
 //	pipeline-stats -kernel 3gmm -rows 128 -no-trace
+//	pipeline-stats -serve :9090 -kernel P4 -n 16
 package main
 
 import (
@@ -18,8 +24,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strconv"
+	"syscall"
 	"time"
 
 	"repro/internal/report"
@@ -37,6 +45,9 @@ func main() {
 	out := flag.String("o", "trace.json", "Perfetto trace_event output file")
 	noTrace := flag.Bool("no-trace", false, "skip writing the trace file")
 	cacheDemo := flag.Bool("cache", false, "detect through a cached Session and print the hot/cold serving times plus the cache.* counters")
+	serve := flag.String("serve", "", "run the workload continuously and expose live telemetry on this address (e.g. :9090, or 127.0.0.1:0 for a random port)")
+	servePeriod := flag.Duration("serve-period", 250*time.Millisecond, "pause between runs in -serve mode")
+	sampleInterval := flag.Duration("sample-interval", 0, "continuous sampler period in -serve mode (0 = default)")
 	flag.Parse()
 
 	p, err := polypipe.Kernel(*kernel, *n, *size, *rows)
@@ -45,6 +56,16 @@ func main() {
 	}
 	polypipe.AmplifyWork(p, *work)
 	opts := polypipe.Options{MinBlockIters: *minBlock}
+	if *serve != "" {
+		stop := make(chan struct{})
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() { <-sig; close(stop) }()
+		if err := runServe(os.Stdout, p, *workers, opts, *serve, *servePeriod, *sampleInterval, stop, nil); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	seq, err := polypipe.NewSession().Run(polypipe.ModeSequential, p)
 	if err != nil {
 		fatal(err)
@@ -76,6 +97,49 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nwrote %s (open at ui.perfetto.dev or chrome://tracing)\n", *out)
+	}
+}
+
+// runServe is the -serve mode: one long-lived session with the
+// continuous sampler and the embedded introspection server attached,
+// executing the chosen workload in a loop so every scrape sees live
+// detect/cache/runtime counters. It returns once stop closes, after
+// draining in-flight scrapes via Session.Close. ready, if non-nil, is
+// called with the bound address once the server is up (tests use it;
+// the CLI reads the printed line instead).
+func runServe(out io.Writer, p *polypipe.Program, workers int, opts polypipe.Options,
+	addr string, period, sampleIv time.Duration, stop <-chan struct{}, ready func(addr string)) error {
+	s := polypipe.NewSession(
+		polypipe.WithWorkers(workers),
+		polypipe.WithOptions(opts),
+		polypipe.WithCache(0),
+		polypipe.WithSampler(sampleIv, 0),
+		polypipe.WithIntrospection(addr),
+	)
+	if err := s.IntrospectionError(); err != nil {
+		return err
+	}
+	bound := s.IntrospectionAddr()
+	fmt.Fprintf(out, "serving on http://%s  (/metrics /healthz /debug/phases /debug/series /debug/trace)\n", bound)
+	fmt.Fprintf(out, "running %s with %d workers every %s; interrupt to stop\n", p.Name, workers, period)
+	if ready != nil {
+		ready(bound)
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	runs := 0
+	for {
+		if _, err := s.Run(polypipe.ModePipelined, p); err != nil {
+			_ = s.Close()
+			return err
+		}
+		runs++
+		select {
+		case <-stop:
+			fmt.Fprintf(out, "shutting down after %d runs\n", runs)
+			return s.Close()
+		case <-ticker.C:
+		}
 	}
 }
 

@@ -1,0 +1,160 @@
+// Package export turns obs.Registry snapshots into external telemetry
+// formats: the Prometheus text exposition (v0.0.4) a scraper pulls
+// from /metrics, and a continuous time-series sampler that retains a
+// bounded ring of timestamped deltas for /debug/series. Everything
+// operates on point-in-time Snapshot values, so exporting never
+// touches the instruments the hot paths update — a scrape costs one
+// Snapshot() plus formatting, all off the detect/exec critical path.
+package export
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// MetricNameValid reports whether name is already a legal Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func MetricNameValid(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SanitizeMetricName deterministically mangles a registry name into
+// the Prometheus metric-name charset: every character outside
+// [a-zA-Z0-9_:] becomes '_' (the dots of the registry's flat dotted
+// names included), and a leading digit gains a '_' prefix. The mapping
+// is idempotent — sanitizing a sanitized name returns it unchanged —
+// and injective over the catalogue the pipeline emits (the exposition
+// test proves no two emitted names collide).
+func SanitizeMetricName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	if c := name[0]; c >= '0' && c <= '9' {
+		b = append(make([]byte, 0, len(name)+1), '_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9')
+		if !ok {
+			c = '_'
+		}
+		if b == nil && c != name[i] {
+			b = append(make([]byte, 0, len(name)), name[:i]...)
+		}
+		if b != nil {
+			b = append(b, c)
+		}
+	}
+	if b == nil {
+		return name
+	}
+	return string(b)
+}
+
+// fnv32 hashes a name for collision-breaking suffixes.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// exposeName resolves the exposition name for one registry series
+// (name within kind): the sanitized form, plus a deterministic
+// "_x<fnv32>" suffix when two distinct series — different registry
+// names, or one name registered as two instrument kinds — would
+// otherwise mangle to one family. taken maps exposition name ->
+// kind-qualified registry name; callers iterate registry names in
+// sorted order with a fixed kind order, so the assignment is
+// reproducible.
+func exposeName(name, kind string, taken map[string]string) string {
+	out := SanitizeMetricName(name)
+	qual := kind + "\x00" + name
+	if prev, ok := taken[out]; ok && prev != qual {
+		out = fmt.Sprintf("%s_x%08x", out, fnv32(qual))
+	}
+	taken[out] = qual
+	return out
+}
+
+// escapeHelp escapes a HELP text per the exposition format (backslash
+// and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// WritePrometheus renders a registry snapshot in the Prometheus text
+// exposition format, version 0.0.4: every counter and gauge as one
+// sample, every histogram as its cumulative le-labelled buckets plus
+// _sum and _count. Families are emitted in sorted registry-name order
+// (counters, then gauges, then histograms), each with a HELP line
+// carrying the original dotted registry name, so output on an
+// unchanging snapshot is byte-stable.
+func WritePrometheus(w io.Writer, snap obs.Snapshot) error {
+	bw := bufio.NewWriter(w)
+	taken := map[string]string{}
+
+	emitScalar := func(names map[string]int64, kind string, get func(string) int64) {
+		sorted := make([]string, 0, len(names))
+		for k := range names {
+			sorted = append(sorted, k)
+		}
+		sort.Strings(sorted)
+		for _, name := range sorted {
+			en := exposeName(name, kind, taken)
+			fmt.Fprintf(bw, "# HELP %s repro metric %s\n", en, escapeHelp(name))
+			fmt.Fprintf(bw, "# TYPE %s %s\n", en, kind)
+			fmt.Fprintf(bw, "%s %d\n", en, get(name))
+		}
+	}
+	emitScalar(snap.Counters, "counter", func(n string) int64 { return snap.Counters[n] })
+	emitScalar(snap.Gauges, "gauge", func(n string) int64 { return snap.Gauges[n] })
+
+	hnames := make([]string, 0, len(snap.Histograms))
+	for k := range snap.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := snap.Histograms[name]
+		en := exposeName(name, "histogram", taken)
+		fmt.Fprintf(bw, "# HELP %s repro metric %s\n", en, escapeHelp(name))
+		fmt.Fprintf(bw, "# TYPE %s histogram\n", en)
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := "+Inf"
+			if b.UpperBound >= 0 {
+				le = strconv.FormatInt(b.UpperBound, 10)
+			}
+			fmt.Fprintf(bw, "%s_bucket{le=%q} %d\n", en, le, cum)
+		}
+		fmt.Fprintf(bw, "%s_sum %d\n", en, h.Sum)
+		fmt.Fprintf(bw, "%s_count %d\n", en, h.Count)
+	}
+	return bw.Flush()
+}

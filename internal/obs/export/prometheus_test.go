@@ -1,0 +1,218 @@
+package export_test
+
+import (
+	"context"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+)
+
+var (
+	nameRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	// sampleRE matches one exposition sample line: name, optional le
+	// label, integer value.
+	sampleRE = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{le="(\+Inf|[0-9]+)"\})? -?[0-9]+$`)
+	helpRE   = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+)
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"detect.pairs":             "detect_pairs",
+		"runtime.worker_busy_ns.0": "runtime_worker_busy_ns_0",
+		"already_valid:name":       "already_valid:name",
+		"9starts.with.digit":       "_9starts_with_digit",
+		"weird-chars/and spaces":   "weird_chars_and_spaces",
+		"":                         "_",
+		"_9starts_with_digit":      "_9starts_with_digit", // idempotent on its own output
+		"runtime_worker_busy_ns_0": "runtime_worker_busy_ns_0",
+	}
+	for in, want := range cases {
+		if got := export.SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+	for in := range cases {
+		s := export.SanitizeMetricName(in)
+		if !export.MetricNameValid(s) {
+			t.Errorf("sanitized %q -> %q is not a valid metric name", in, s)
+		}
+		if again := export.SanitizeMetricName(s); again != s {
+			t.Errorf("sanitize not idempotent: %q -> %q -> %q", in, s, again)
+		}
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("detect.pairs").Add(42)
+	reg.Gauge("runtime.queue_depth").Set(3)
+	h := reg.Histogram("runtime.task_ns", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(5000)
+
+	var b strings.Builder
+	if err := export.WritePrometheus(&b, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	checkExposition(t, out)
+
+	for _, want := range []string{
+		"# TYPE detect_pairs counter\ndetect_pairs 42\n",
+		"# TYPE runtime_queue_depth gauge\nruntime_queue_depth 3\n",
+		"# TYPE runtime_task_ns histogram\n",
+		`runtime_task_ns_bucket{le="10"} 1`,
+		`runtime_task_ns_bucket{le="100"} 2`,
+		`runtime_task_ns_bucket{le="+Inf"} 3`,
+		"runtime_task_ns_sum 5055\n",
+		"runtime_task_ns_count 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+
+	// Byte-stable on an unchanging snapshot.
+	var b2 strings.Builder
+	if err := export.WritePrometheus(&b2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Error("exposition output is not deterministic")
+	}
+}
+
+// checkExposition asserts every line of a text-format payload is a
+// well-formed comment or sample, and that no family name is declared
+// twice.
+func checkExposition(t *testing.T, out string) {
+	t.Helper()
+	types := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE "):
+			if !helpRE.MatchString(line) {
+				t.Errorf("malformed TYPE line %q", line)
+			}
+			name := strings.Fields(line)[2]
+			if types[name] {
+				t.Errorf("family %q declared twice", name)
+			}
+			types[name] = true
+		case strings.HasPrefix(line, "#"):
+			if !helpRE.MatchString(line) {
+				t.Errorf("malformed comment line %q", line)
+			}
+		default:
+			if !sampleRE.MatchString(line) {
+				t.Errorf("malformed sample line %q", line)
+			}
+		}
+	}
+}
+
+// TestEmittedNamesRoundTrip proves that every metric name the
+// detect/cache/runtime layers currently emit survives sanitization
+// unchanged up to the documented dot-to-underscore mapping: each
+// mangled name is valid, the mapping is exactly
+// strings.ReplaceAll(name, ".", "_"), it is idempotent, and no two
+// emitted names collide after mangling.
+func TestEmittedNamesRoundTrip(t *testing.T) {
+	p, err := kernels.Table9Program("P4", 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	if _, err := exec.PipelinedObserved(p, 2, core.Options{}, rec); err != nil {
+		t.Fatal(err)
+	}
+	// Populate the cache.* family on the same registry.
+	c := cache.New(4, rec.Reg)
+	if _, err := c.Get(context.Background(), p.SCoP, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(context.Background(), p.SCoP, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := rec.Reg.Snapshot()
+	names := snap.Names()
+	for _, fam := range []string{"detect.", "cache.", "runtime."} {
+		found := false
+		for _, n := range names {
+			if strings.HasPrefix(n, fam) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("no %s* metric emitted; catalogue test is vacuous (names: %v)", fam, names)
+		}
+	}
+
+	seen := map[string]string{}
+	for _, n := range names {
+		s := export.SanitizeMetricName(n)
+		if !nameRE.MatchString(s) {
+			t.Errorf("emitted name %q mangles to invalid %q", n, s)
+		}
+		if want := strings.ReplaceAll(n, ".", "_"); s != want {
+			t.Errorf("emitted name %q mangles to %q, want the pure dot mapping %q", n, s, want)
+		}
+		if again := export.SanitizeMetricName(s); again != s {
+			t.Errorf("mangling of %q is not idempotent (%q -> %q)", n, s, again)
+		}
+		if prev, ok := seen[s]; ok {
+			t.Errorf("emitted names %q and %q collide on %q", prev, n, s)
+		}
+		seen[s] = n
+	}
+
+	var b strings.Builder
+	if err := export.WritePrometheus(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	checkExposition(t, b.String())
+}
+
+func TestCollisionSuffixDeterministic(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("a.b").Add(1)
+	reg.Counter("a_b").Add(2)
+	reg.Gauge("a.b").Set(3) // same name, different kind: also a collision
+	var b1, b2 strings.Builder
+	if err := export.WritePrometheus(&b1, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := export.WritePrometheus(&b2, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if b1.String() != b2.String() {
+		t.Fatal("collision suffixes are not deterministic")
+	}
+	checkExposition(t, b1.String())
+	if c := strings.Count(b1.String(), "# TYPE "); c != 3 {
+		t.Fatalf("want 3 distinct families, got %d:\n%s", c, b1.String())
+	}
+}
+
+func ExampleWritePrometheus() {
+	reg := obs.NewRegistry()
+	reg.Counter("detect.pairs").Add(7)
+	var b strings.Builder
+	_ = export.WritePrometheus(&b, reg.Snapshot())
+	fmt.Print(b.String())
+	// Output:
+	// # HELP detect_pairs repro metric detect.pairs
+	// # TYPE detect_pairs counter
+	// detect_pairs 7
+}

@@ -116,6 +116,44 @@ type HistogramSnapshot struct {
 	Buckets []Bucket
 }
 
+// Quantile estimates the q-quantile (q in [0, 1]) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// target rank, assuming observations spread uniformly within each
+// bucket — the same estimator Prometheus's histogram_quantile uses.
+// The first bucket interpolates from a lower edge of 0 (all recorded
+// values are durations/sizes, never negative). Ranks landing in the
+// +Inf overflow bucket clamp to the highest finite bound: there is no
+// upper edge to interpolate toward, so the estimate is a lower bound
+// on the true quantile there. An empty histogram reports 0.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count <= 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum, lower float64
+	for _, b := range s.Buckets {
+		if b.UpperBound < 0 {
+			// Overflow bucket: clamp to the last finite bound (0 when
+			// the histogram has no finite buckets at all).
+			return lower
+		}
+		upper := float64(b.UpperBound)
+		next := cum + float64(b.Count)
+		if b.Count > 0 && next >= rank {
+			return lower + (rank-cum)/float64(b.Count)*(upper-lower)
+		}
+		cum = next
+		lower = upper
+	}
+	return lower
+}
+
 func (h *Histogram) snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
 	for i := range h.counts {

@@ -106,3 +106,110 @@ func TestSnapshotAbsentNames(t *testing.T) {
 		t.Error("absent metrics must read 0")
 	}
 }
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("q.empty", []int64{10, 100})
+	s := r.Snapshot().Histograms["q.empty"]
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("zero-value Quantile = %v, want 0", got)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.interp", []int64{10, 100})
+	// 10 observations in (0,10], 10 in (10,100], none beyond.
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(50)
+	}
+	s := r.Snapshot().Histograms["q.interp"]
+	// Rank 10 is the top of the first bucket; rank 15 is halfway through
+	// the second, interpolating 10 + 0.5*(100-10) = 55.
+	if got := s.Quantile(0.5); got != 10 {
+		t.Errorf("p50 = %v, want 10", got)
+	}
+	if got := s.Quantile(0.75); got != 55 {
+		t.Errorf("p75 = %v, want 55", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Errorf("p100 = %v, want 100", got)
+	}
+	// Clamping: out-of-range q behaves like the endpoints.
+	if got := s.Quantile(-1); got != s.Quantile(0) {
+		t.Errorf("Quantile(-1) = %v, want %v", got, s.Quantile(0))
+	}
+	if got := s.Quantile(2); got != s.Quantile(1) {
+		t.Errorf("Quantile(2) = %v, want %v", got, s.Quantile(1))
+	}
+}
+
+func TestQuantileOneBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.one", []int64{8})
+	for i := 0; i < 4; i++ {
+		h.Observe(2)
+	}
+	s := r.Snapshot().Histograms["q.one"]
+	// One finite bucket with lower edge 0: quantiles interpolate 0..8.
+	if got := s.Quantile(0.5); got != 4 {
+		t.Errorf("one-bucket p50 = %v, want 4", got)
+	}
+	if got := s.Quantile(1); got != 8 {
+		t.Errorf("one-bucket p100 = %v, want 8", got)
+	}
+}
+
+func TestQuantileOverflowBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q.over", []int64{10, 100})
+	h.Observe(5)
+	h.Observe(1_000_000) // lands in +Inf
+	s := r.Snapshot().Histograms["q.over"]
+	// Ranks in the overflow bucket clamp to the highest finite bound.
+	if got := s.Quantile(0.99); got != 100 {
+		t.Errorf("overflow p99 = %v, want 100", got)
+	}
+	// A histogram whose only mass is the overflow bucket still clamps.
+	h2 := r.Histogram("q.onlyover", []int64{10})
+	h2.Observe(99)
+	s2 := r.Snapshot().Histograms["q.onlyover"]
+	if got := s2.Quantile(0.5); got != 10 {
+		t.Errorf("overflow-only p50 = %v, want 10", got)
+	}
+}
+
+func TestRingEvictedCounter(t *testing.T) {
+	reg := NewRegistry()
+	r := NewRing(2)
+	r.SetRegistry(reg)
+	for i := 0; i < 5; i++ {
+		r.Emit(Event{Name: "e"})
+	}
+	if got := reg.Snapshot().Counter("obs.events_evicted"); got != 3 {
+		t.Fatalf("obs.events_evicted = %d, want 3", got)
+	}
+	if r.Evicted() != 3 {
+		t.Fatalf("Evicted() = %d, want 3", r.Evicted())
+	}
+	// Late attachment backfills drops recorded before the registry.
+	late := NewRing(1)
+	late.Emit(Event{})
+	late.Emit(Event{})
+	late.Emit(Event{})
+	reg2 := NewRegistry()
+	late.SetRegistry(reg2)
+	if got := reg2.Snapshot().Counter("obs.events_evicted"); got != 2 {
+		t.Fatalf("backfilled obs.events_evicted = %d, want 2", got)
+	}
+	late.Emit(Event{})
+	if got := reg2.Snapshot().Counter("obs.events_evicted"); got != 3 {
+		t.Fatalf("post-backfill obs.events_evicted = %d, want 3", got)
+	}
+}

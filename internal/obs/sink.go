@@ -22,11 +22,12 @@ type Sink interface {
 // to its capacity and counts the ones it evicted, so bursty runs stay
 // bounded in memory while the loss is visible.
 type Ring struct {
-	mu      sync.Mutex
-	buf     []Event
-	next    int
-	full    bool
-	evicted int64
+	mu             sync.Mutex
+	buf            []Event
+	next           int
+	full           bool
+	evicted        int64
+	evictedCounter *Counter
 }
 
 // NewRing returns a ring sink holding up to capacity events (minimum 1).
@@ -37,12 +38,32 @@ func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
 
+// SetRegistry mirrors the ring's eviction count into the registry's
+// "obs.events_evicted" counter, so bounded-sink loss is visible on a
+// metrics scrape instead of only through Evicted(). Evictions recorded
+// before the registry was attached are backfilled, so the counter
+// always equals Evicted() regardless of installation order.
+func (r *Ring) SetRegistry(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictedCounter = reg.Counter("obs.events_evicted")
+	if r.evicted > 0 {
+		r.evictedCounter.Add(r.evicted)
+	}
+}
+
 // Emit stores the event, evicting the oldest when full.
 func (r *Ring) Emit(e Event) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.full {
 		r.evicted++
+		if r.evictedCounter != nil {
+			r.evictedCounter.Inc()
+		}
 	}
 	r.buf[r.next] = e
 	r.next++

@@ -1,0 +1,181 @@
+// Package obsd is the embedded introspection server: a small
+// http.Handler that exposes a running session's observability state —
+// Prometheus metrics, health, compile-phase timings, the continuous
+// sampler's time series, and a streaming Perfetto trace of the most
+// recent pipelined run — so detection-as-a-service deployments get
+// pull-based, always-on telemetry instead of post-mortem JSON dumps.
+//
+// Endpoints:
+//
+//	/metrics       Prometheus text exposition v0.0.4 of the registry
+//	/healthz       200 "ok" while the session is open, 503 after Close
+//	/debug/phases  JSON list of recorded compile/run phase spans
+//	/debug/series  the continuous sampler's timestamped series (JSON)
+//	/debug/trace   Perfetto trace_event JSON of the collected spans
+//
+// The server reads only point-in-time snapshots (Registry.Snapshot,
+// Collector.Spans, Sampler.Samples), so scraping while a pipeline
+// executes is race-free and stays off the execution hot path.
+package obsd
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/trace"
+)
+
+// Session is the introspection surface the server exposes —
+// polypipe.Session implements it, and tests may substitute fakes. Any
+// accessor may return its zero value; the corresponding endpoint then
+// degrades gracefully (404 or an empty document) instead of failing.
+type Session interface {
+	// Registry returns the metrics registry backing /metrics, or nil.
+	Registry() *obs.Registry
+	// PhaseSpans returns the recorded compile/run phase timings.
+	PhaseSpans() []obs.PhaseSpan
+	// Sampler returns the continuous sampler backing /debug/series, or
+	// nil.
+	Sampler() *export.Sampler
+	// TraceSpans returns the task spans of the most recent (or
+	// currently running) traced execution.
+	TraceSpans() []trace.Span
+	// StmtNames maps statement index to display name for the trace.
+	StmtNames() map[int]string
+	// Healthy reports whether the session is still open.
+	Healthy() bool
+}
+
+// Server serves a Session's introspection endpoints. Build one with
+// New, mount Handler on any mux — or call Serve to listen on an
+// address — and Shutdown when done.
+type Server struct {
+	sess Session
+	mux  *http.ServeMux
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// New builds a server over the given session.
+func New(sess Session) *Server {
+	s := &Server{sess: sess, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/debug/phases", s.handlePhases)
+	s.mux.HandleFunc("/debug/series", s.handleSeries)
+	s.mux.HandleFunc("/debug/trace", s.handleTrace)
+	return s
+}
+
+// Handler returns the endpoint mux, for mounting on an existing
+// server (or an httptest one).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Serve starts listening on addr (host:port; port 0 picks a free one)
+// and serves in a background goroutine until Shutdown. It returns the
+// bound address.
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obsd: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() {
+		// ErrServerClosed is the normal Shutdown result; anything else
+		// surfaces on the next scrape as a refused connection.
+		_ = s.srv.Serve(ln)
+	}()
+	return ln.Addr(), nil
+}
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Shutdown gracefully stops a Serve-started listener, waiting for
+// in-flight scrapes up to the context deadline. It is a no-op for
+// handler-only servers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Shutdown(ctx)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	reg := s.sess.Registry()
+	if reg == nil {
+		http.Error(w, "no registry attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = export.WritePrometheus(w, reg.Snapshot())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.sess.Healthy() {
+		http.Error(w, "closed", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// phaseJSON is one /debug/phases entry; durations are nanoseconds and
+// starts are offsets from the first span, so the document is
+// host-independent.
+type phaseJSON struct {
+	Name       string `json:"name"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
+	spans := s.sess.PhaseSpans()
+	out := make([]phaseJSON, 0, len(spans))
+	var base time.Time
+	for _, sp := range spans {
+		if base.IsZero() || sp.Start.Before(base) {
+			base = sp.Start
+		}
+	}
+	for _, sp := range spans {
+		out = append(out, phaseJSON{
+			Name:       sp.Name,
+			StartNS:    sp.Start.Sub(base).Nanoseconds(),
+			DurationNS: sp.Duration.Nanoseconds(),
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	_ = enc.Encode(out)
+}
+
+func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
+	sampler := s.sess.Sampler()
+	if sampler == nil {
+		http.Error(w, "no sampler attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = sampler.WriteJSON(w)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = trace.WritePerfetto(w, s.sess.TraceSpans(), trace.PerfettoOptions{
+		Names: s.sess.StmtNames(),
+	})
+}

@@ -60,7 +60,7 @@ func NewCollector() *Collector {
 }
 
 // SetRegistry mirrors the collector's drop count into the registry's
-// "trace.dropped_events" counter, so hook-installation races surface in
+// "trace.events_dropped" counter, so hook-installation races surface in
 // metrics instead of silently losing spans. Drops recorded before the
 // registry was attached are backfilled, so the counter always equals
 // Dropped() regardless of installation order.
@@ -70,10 +70,23 @@ func (c *Collector) SetRegistry(reg *obs.Registry) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.droppedCounter = reg.Counter("trace.dropped_events")
+	c.droppedCounter = reg.Counter("trace.events_dropped")
 	if c.dropped > 0 {
 		c.droppedCounter.Add(int64(c.dropped))
 	}
+}
+
+// Reset discards the collected spans and any in-flight start/ready
+// state so the collector can observe a fresh run (the introspection
+// server's /debug/trace serves the most recent run, not an unbounded
+// accumulation). The drop count — and its registry mirror — survive:
+// they measure lifetime loss, not one run.
+func (c *Collector) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spans = c.spans[:0]
+	clear(c.open)
+	clear(c.ready)
 }
 
 // Hook returns the tracing callback to install with Runtime.SetTrace.

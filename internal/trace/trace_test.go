@@ -128,8 +128,8 @@ func TestCollectorCountsUnmatchedFinish(t *testing.T) {
 	if c.Dropped() != 1 {
 		t.Fatalf("Dropped = %d, want 1", c.Dropped())
 	}
-	if got := reg.Snapshot().Counter("trace.dropped_events"); got != 1 {
-		t.Fatalf("trace.dropped_events = %d, want 1", got)
+	if got := reg.Snapshot().Counter("trace.events_dropped"); got != 1 {
+		t.Fatalf("trace.events_dropped = %d, want 1", got)
 	}
 	if a := c.Analyze(); a.DroppedEvents != 1 {
 		t.Fatalf("Analysis.DroppedEvents = %d, want 1", a.DroppedEvents)
@@ -322,12 +322,12 @@ func TestSetRegistryBackfillsDrops(t *testing.T) {
 	}
 	reg := obs.NewRegistry()
 	c.SetRegistry(reg)
-	if got := reg.Snapshot().Counters["trace.dropped_events"]; got != 3 {
+	if got := reg.Snapshot().Counters["trace.events_dropped"]; got != 3 {
 		t.Fatalf("backfilled counter = %d, want 3", got)
 	}
 	// Post-installation drops keep the mirror in sync.
 	hook(tasking.Event{Kind: tasking.EventEnd, TaskID: 99, When: now})
-	if got := reg.Snapshot().Counters["trace.dropped_events"]; got != 4 {
+	if got := reg.Snapshot().Counters["trace.events_dropped"]; got != 4 {
 		t.Fatalf("counter after new drop = %d, want 4", got)
 	}
 	if c.Dropped() != 4 {

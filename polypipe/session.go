@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cache"
@@ -13,7 +14,10 @@ import (
 	"repro/internal/exec"
 	"repro/internal/futures"
 	"repro/internal/obs"
+	"repro/internal/obs/export"
+	"repro/internal/obsd"
 	"repro/internal/par"
+	"repro/internal/runtime"
 	"repro/internal/simsched"
 	"repro/internal/stages"
 	"repro/internal/trace"
@@ -87,6 +91,21 @@ type Session struct {
 	cacheCap     int
 	wantCache    bool
 
+	// Live-telemetry state (WithIntrospection / WithSampler): the
+	// embedded introspection server, the continuous sampler feeding
+	// /debug/series, and the trace collector behind /debug/trace.
+	introAddr   string
+	intro       *obsd.Server
+	introErr    error
+	sampler     *export.Sampler
+	sampleIv    time.Duration
+	sampleCap   int
+	wantSampler bool
+	traceC      *trace.Collector
+	closed      atomic.Bool
+	closeOnce   sync.Once
+	closeErr    error
+
 	// programs caches compiled task programs (and, through them, the
 	// lowered runtime IR) per SCoP instance, so repeated Run/Simulate/
 	// Trace calls on one program build the IR once and reuse it. Keyed
@@ -95,6 +114,10 @@ type Session struct {
 	// instance must not share them.
 	progMu   sync.Mutex
 	programs map[progKey]*codegen.TaskProgram
+
+	// stmtNames accumulates statement display names of every compiled
+	// program (guarded by progMu), so /debug/trace can label spans.
+	stmtNames map[int]string
 }
 
 // progKey identifies one compiled program: the SCoP instance plus the
@@ -150,6 +173,32 @@ func WithContext(ctx context.Context) SessionOption {
 	return func(s *Session) { s.ctx = ctx }
 }
 
+// WithIntrospection starts the embedded introspection server on addr
+// (host:port; port 0 picks a free one — read it back with
+// IntrospectionAddr). The server exposes /metrics (Prometheus text
+// format), /healthz, /debug/phases, /debug/series (the continuous
+// sampler), and /debug/trace (Perfetto JSON of the most recent
+// pipelined run); see docs/OBSERVABILITY.md. It implies a registry
+// (one is created if WithRegistry did not attach one) and a sampler
+// with the default interval unless WithSampler configured it.
+// Shut the server down with Session.Close; a failure to listen is
+// reported by IntrospectionError.
+func WithIntrospection(addr string) SessionOption {
+	return func(s *Session) { s.introAddr = addr }
+}
+
+// WithSampler configures the continuous time-series sampler: every
+// interval the session registry (detect/cache/runtime families,
+// scheduler steal/queue-depth/deps counters included) is snapshotted
+// into a fixed ring of capacity timestamped samples, served at
+// /debug/series. interval <= 0 means export.DefaultSampleInterval;
+// capacity <= 0 means export.DefaultSampleCapacity. A sampler implies
+// a registry. Without WithIntrospection the sampler still runs and is
+// readable via Session.Sampler().
+func WithSampler(interval time.Duration, capacity int) SessionOption {
+	return func(s *Session) { s.wantSampler, s.sampleIv, s.sampleCap = true, interval, capacity }
+}
+
 // NewSession builds a session from the given options.
 func NewSession(options ...SessionOption) *Session {
 	s := &Session{ctx: context.Background()}
@@ -159,6 +208,10 @@ func NewSession(options ...SessionOption) *Session {
 	if s.opts.Workers == 0 {
 		s.opts.Workers = s.workers
 	}
+	if (s.introAddr != "" || s.wantSampler) && s.registry == nil {
+		// Live telemetry needs somewhere to read from.
+		s.registry = obs.NewRegistry()
+	}
 	if s.registry != nil && s.opts.Obs == nil {
 		s.opts.Obs = &obs.Recorder{Reg: s.registry, Phases: &obs.Phases{}}
 	}
@@ -166,6 +219,19 @@ func NewSession(options ...SessionOption) *Session {
 		s.cache = cache.New(s.cacheCap, s.registry)
 	}
 	s.programs = make(map[progKey]*codegen.TaskProgram)
+	s.stmtNames = make(map[int]string)
+	if s.introAddr != "" || s.wantSampler {
+		s.sampler = export.NewSampler(s.registry.Snapshot, s.sampleIv, s.sampleCap)
+		s.sampler.Start()
+		s.traceC = trace.NewCollector()
+		s.traceC.SetRegistry(s.registry)
+	}
+	if s.introAddr != "" {
+		s.intro = obsd.New(s)
+		if _, err := s.intro.Serve(s.introAddr); err != nil {
+			s.introErr = err
+		}
+	}
 	return s
 }
 
@@ -174,6 +240,84 @@ func (s *Session) Registry() *Registry { return s.registry }
 
 // Context returns the session's context (never nil).
 func (s *Session) Context() context.Context { return s.ctx }
+
+// PhaseSpans returns the compile/run phase timings recorded so far
+// (nil without a registry). Part of the obsd.Session surface backing
+// /debug/phases.
+func (s *Session) PhaseSpans() []obs.PhaseSpan {
+	if s.opts.Obs == nil {
+		return nil
+	}
+	return s.opts.Obs.Phases.Spans()
+}
+
+// Sampler returns the session's continuous sampler, or nil when
+// neither WithSampler nor WithIntrospection was given.
+func (s *Session) Sampler() *export.Sampler { return s.sampler }
+
+// TraceSpans returns the task spans of the most recent (or currently
+// running) traced pipelined execution; empty without introspection.
+func (s *Session) TraceSpans() []trace.Span {
+	if s.traceC == nil {
+		return nil
+	}
+	return s.traceC.Spans()
+}
+
+// StmtNames maps statement index to display name across every program
+// this session has compiled, labelling /debug/trace spans.
+func (s *Session) StmtNames() map[int]string {
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	out := make(map[int]string, len(s.stmtNames))
+	for k, v := range s.stmtNames {
+		out[k] = v
+	}
+	return out
+}
+
+// Healthy reports whether the session is open (Close not yet called);
+// /healthz turns 503 once it is false.
+func (s *Session) Healthy() bool { return !s.closed.Load() }
+
+// IntrospectionAddr returns the introspection server's bound listen
+// address ("127.0.0.1:43817"), or "" when introspection is off or
+// failed to start.
+func (s *Session) IntrospectionAddr() string {
+	if s.intro == nil {
+		return ""
+	}
+	a := s.intro.Addr()
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}
+
+// IntrospectionError reports why the introspection server failed to
+// start, or nil.
+func (s *Session) IntrospectionError() error { return s.introErr }
+
+// Close shuts the session's live-telemetry machinery down: the
+// sampler stops, /healthz flips to 503, and the introspection server
+// drains in-flight scrapes before its listener closes (a few seconds'
+// grace). The session itself remains usable for in-process calls —
+// Close ends the serving surface, not the detection pipeline. It is
+// idempotent; later calls return the first result.
+func (s *Session) Close() error {
+	s.closeOnce.Do(func() {
+		s.closed.Store(true)
+		if s.sampler != nil {
+			s.sampler.Stop()
+		}
+		if s.intro != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			defer cancel()
+			s.closeErr = s.intro.Shutdown(ctx)
+		}
+	})
+	return s.closeErr
+}
 
 // CacheStats snapshots the session cache's counters; ok is false when
 // the session has no cache.
@@ -217,6 +361,9 @@ func (s *Session) DetectBatch(scs []*SCoP) ([]*Info, []error) {
 func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, error) {
 	key := progKey{sc: p.SCoP, intra: intraWorkers}
 	s.progMu.Lock()
+	for _, st := range p.SCoP.Stmts {
+		s.stmtNames[st.Index] = st.Name
+	}
 	prog, ok := s.programs[key]
 	s.progMu.Unlock()
 	if !ok {
@@ -224,7 +371,7 @@ func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, e
 		if err != nil {
 			return nil, fmt.Errorf("exec: detect: %w", err)
 		}
-		prog, err = codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers})
+		prog, err = codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers, Obs: s.opts.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("exec: compile: %w", err)
 		}
@@ -238,6 +385,35 @@ func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, e
 	}
 	prog.LowerObserved(s.opts.Obs)
 	return prog, nil
+}
+
+// execCompiled executes a compiled program on the unified runtime with
+// the session's live telemetry attached: with a registry the runtime.*
+// instrument catalogue (steal_count, queue_depth, deps_resolved, stall
+// and task histograms) lands on it, and with introspection the trace
+// collector is reset and re-armed so /debug/trace shows this run. The
+// timed region covers execution only, like exec.RunCompiled.
+func (s *Session) execCompiled(p *Program, prog *codegen.TaskProgram, workers int, executor string) Result {
+	ir := prog.Lower()
+	var eo runtime.ExecOptions
+	if s.registry != nil {
+		eo.Reg = s.registry
+	}
+	if s.traceC != nil {
+		s.traceC.Reset()
+		eo.Trace = s.traceC.Hook()
+	}
+	p.Reset()
+	start := time.Now()
+	st := ir.Execute(workers, eo)
+	elapsed := time.Since(start)
+	return Result{
+		Executor:      executor,
+		Elapsed:       elapsed,
+		Hash:          p.Hash(),
+		Tasks:         st.Executed,
+		MaxConcurrent: st.MaxConcurrent,
+	}
 }
 
 // Run executes p under the given mode with the session's worker count
@@ -259,7 +435,7 @@ func (s *Session) Run(mode Mode, p *Program) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return exec.RunCompiled(p, prog, workers), nil
+		return s.execCompiled(p, prog, workers, "pipeline"), nil
 	case ModeFutures:
 		prog, err := s.compile(p, 0)
 		if err != nil {
@@ -277,9 +453,7 @@ func (s *Session) Run(mode Mode, p *Program) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		res := exec.RunCompiled(p, prog, workers)
-		res.Executor = "pipeline-hybrid"
-		return res, nil
+		return s.execCompiled(p, prog, workers, "pipeline-hybrid"), nil
 	}
 	return Result{}, fmt.Errorf("polypipe: unknown mode %v", mode)
 }
