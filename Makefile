@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck obsd-smoke bench bench-cache bench-gate bench-exec bench-exec-gate stats serve clean
+.PHONY: check build test vet race crosscheck crosscheck-symbolic obsd-smoke bench bench-cache bench-gate bench-exec bench-exec-gate stats serve clean
 
 ## check: the full gate — vet, build, the race-enabled test suite,
-## the cross-backend differential suite, and the live-telemetry smoke.
-check: vet build race crosscheck obsd-smoke
+## the cross-backend differential suites (isl backends and the symbolic
+## detection algebra), and the live-telemetry smoke.
+check: vet build race crosscheck crosscheck-symbolic obsd-smoke
 
 ## crosscheck: prove the columnar isl backend (default) and the legacy
 ## hash-map backend (-tags islhashmap) are observably identical — the
@@ -12,8 +13,18 @@ check: vet build race crosscheck obsd-smoke
 ## against the committed goldens — under the race detector.
 crosscheck:
 	$(GO) vet -tags islhashmap ./...
-	$(GO) test -race ./internal/isl/ ./internal/core/
-	$(GO) test -race -tags islhashmap ./internal/isl/ ./internal/core/
+	$(GO) test -race ./internal/isl/ ./internal/isl/sym/ ./internal/core/
+	$(GO) test -race -tags islhashmap ./internal/isl/ ./internal/isl/sym/ ./internal/core/
+
+## crosscheck-symbolic: prove the symbolic (constraint-form) detection
+## backend is bit-identical to the explicit path — closed-form results
+## vs enumerated relations on the in-fragment suite, dispatch-with-
+## fallback over the full cross-backend suite, and the randomized
+## lexmin/lexmax property tests against both isl backends — under the
+## race detector.
+crosscheck-symbolic:
+	$(GO) test -race -run 'Symbolic|UnknownBackend|LexOptProperty' ./internal/core/ ./internal/isl/sym/
+	$(GO) test -race -tags islhashmap -run 'Symbolic|UnknownBackend|LexOptProperty' ./internal/core/ ./internal/isl/sym/
 
 build:
 	$(GO) build ./...

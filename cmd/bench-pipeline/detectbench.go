@@ -14,15 +14,32 @@ import (
 	"repro/internal/scop"
 )
 
-// detectMeasure is one (kernel, mode) detection benchmark measurement.
+// detectMeasure is one (kernel, mode, backend) detection benchmark
+// measurement.
 type detectMeasure struct {
-	Kernel      string `json:"kernel"`
-	Mode        string `json:"mode"` // "serial" (Workers=1) or "parallel" (Workers=GOMAXPROCS)
-	Workers     int    `json:"workers"`
+	Kernel  string `json:"kernel"`
+	Mode    string `json:"mode"` // "serial" (Workers=1) or "parallel" (Workers=GOMAXPROCS)
+	Workers int    `json:"workers"`
+	// Backend names the detection algebra the row measured: the compiled
+	// isl backend ("columnar"/"hashmap") for the explicit enumerated
+	// path, or "symbolic" for core.DetectSymbolic's closed-form path
+	// (whose ns/op must stay near-flat as n grows). Empty in rows
+	// recorded before the field existed; read as the isl backend.
+	Backend     string `json:"backend,omitempty"`
 	Iterations  int    `json:"iterations"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	AllocsPerOp int64  `json:"allocs_per_op"`
+}
+
+// gateKey identifies a row for gating; rows recorded before the
+// backend field existed gate against the isl backend's fresh rows.
+func gateKey(m detectMeasure) string {
+	b := m.Backend
+	if b == "" {
+		b = isl.BackendName
+	}
+	return m.Kernel + "/" + m.Mode + "/" + b
 }
 
 // detectBenchRun is the BENCH_detect.json schema: the host shape, the
@@ -72,35 +89,97 @@ var hashmapBaseline = []detectMeasure{
 	{Kernel: "fuzzstress", Mode: "serial", NsPerOp: 908329, BytesPerOp: 445456, AllocsPerOp: 5520},
 }
 
-// detectBenchCases mirrors core's BenchmarkDetect input set — three
-// Table 9 programs spanning the access-pattern space, each at every
-// requested problem size, plus the large fuzz-generated stress SCoP.
-func detectBenchCases(sizes []int) ([]struct {
+// detectBenchCase is one named benchmark input.
+type detectBenchCase struct {
 	name string
 	sc   *scop.SCoP
-}, error) {
+}
+
+// table9Cases builds the three Table 9 programs spanning the
+// access-pattern space, each at every requested problem size.
+func table9Cases(sizes []int) ([]detectBenchCase, error) {
 	names := []string{"P4", "P7", "P10"}
-	var cases []struct {
-		name string
-		sc   *scop.SCoP
-	}
+	var cases []detectBenchCase
 	for _, name := range names {
 		spec, ok := kernels.T9SpecByName(name)
 		if !ok {
 			return nil, fmt.Errorf("unknown Table 9 program %q", name)
 		}
 		for _, n := range sizes {
-			cases = append(cases, struct {
-				name string
-				sc   *scop.SCoP
-			}{fmt.Sprintf("%s/n=%d", name, n), kernels.BuildTable9(spec, n, 1).SCoP})
+			cases = append(cases, detectBenchCase{
+				fmt.Sprintf("%s/n=%d", name, n), kernels.BuildTable9(spec, n, 1).SCoP})
 		}
 	}
-	cases = append(cases, struct {
-		name string
-		sc   *scop.SCoP
-	}{"fuzzstress", fuzzscop.Stress()})
 	return cases, nil
+}
+
+// detectBenchCases mirrors core's BenchmarkDetect input set — the
+// Table 9 sweep plus the large fuzz-generated stress SCoP.
+func detectBenchCases(sizes []int) ([]detectBenchCase, error) {
+	cases, err := table9Cases(sizes)
+	if err != nil {
+		return nil, err
+	}
+	return append(cases, detectBenchCase{"fuzzstress", fuzzscop.Stress()}), nil
+}
+
+// symbolicBenchSizes is the fixed sweep the symbolic rows are measured
+// at. It extends past the explicit sweep because the symbolic path's
+// whole claim is ns/op independent of n — the 512 point costs the same
+// as the 32 one, and a committed near-flat row across this range is
+// what BENCH_detect.json documents.
+var symbolicBenchSizes = []int{32, 64, 128, 256, 512}
+
+// measureDetectSymbolic benchmarks core.DetectSymbolic — the
+// closed-form analysis alone, no materialization — on the Table 9
+// kernels across symbolicBenchSizes.
+func measureDetectSymbolic() ([]detectMeasure, error) {
+	cases, err := table9Cases(symbolicBenchSizes)
+	if err != nil {
+		return nil, err
+	}
+	var results []detectMeasure
+	for _, c := range cases {
+		sc := c.sc
+		var benchErr error
+		// Best-of-3 with a forced GC between reps: the symbolic ops are
+		// milliseconds, so a single 1s testing.Benchmark rep on a 1-CPU
+		// host is dominated by whatever garbage the previous case left —
+		// the minimum is the stable domain-independent cost the gate
+		// compares.
+		var r testing.BenchmarkResult
+		for rep := 0; rep < 3; rep++ {
+			runtime.GC()
+			br := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.DetectSymbolic(sc, core.Options{}); err != nil {
+						benchErr = err
+						b.Fatal(err)
+					}
+				}
+			})
+			if rep == 0 || br.NsPerOp() < r.NsPerOp() {
+				r = br
+			}
+		}
+		if benchErr != nil {
+			return nil, fmt.Errorf("detect-bench %s/symbolic: %w", c.name, benchErr)
+		}
+		results = append(results, detectMeasure{
+			Kernel:      c.name,
+			Mode:        "serial",
+			Workers:     1,
+			Backend:     core.BackendSymbolic,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s/serial/symbolic: %d ns/op, %d allocs/op\n",
+			c.name, r.NsPerOp(), r.AllocsPerOp())
+	}
+	return results, nil
 }
 
 // measureDetect benchmarks core.Detect on the given cases. Serial rows
@@ -148,16 +227,21 @@ func measureDetect(sizes []int) ([]detectMeasure, bool, error) {
 				Kernel:      c.name,
 				Mode:        mode,
 				Workers:     resolveWorkers(workers),
+				Backend:     isl.BackendName,
 				Iterations:  r.N,
 				NsPerOp:     r.NsPerOp(),
 				BytesPerOp:  r.AllocedBytesPerOp(),
 				AllocsPerOp: r.AllocsPerOp(),
 			})
-			fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op, %d allocs/op\n",
-				c.name, mode, r.NsPerOp(), r.AllocsPerOp())
+			fmt.Fprintf(os.Stderr, "%s/%s/%s: %d ns/op, %d allocs/op\n",
+				c.name, mode, isl.BackendName, r.NsPerOp(), r.AllocsPerOp())
 		}
 	}
-	return results, parallelSkipped, nil
+	sym, err := measureDetectSymbolic()
+	if err != nil {
+		return nil, false, err
+	}
+	return append(results, sym...), parallelSkipped, nil
 }
 
 // runDetectBench measures core.Detect on the benchmark kernels at the
@@ -166,7 +250,8 @@ func measureDetect(sizes []int) ([]detectMeasure, bool, error) {
 // means stdout).
 func runDetectBench(out string, detect, cache bool, sizes []int) error {
 	note := "serial is Workers=1, parallel is Workers=GOMAXPROCS; workers records the " +
-		"resolved worker count actually used"
+		"resolved worker count actually used; backend names the detection algebra " +
+		"(symbolic rows measure core.DetectSymbolic and must stay near-flat across n)"
 	run := detectBenchRun{
 		GoVersion:       runtime.Version(),
 		GoMaxProcs:      runtime.GOMAXPROCS(0),
@@ -230,7 +315,7 @@ func runBenchGate(gateFile string, tol float64, sizes []int) error {
 	}
 	want := make(map[string]detectMeasure, len(committed.Results))
 	for _, m := range committed.Results {
-		want[m.Kernel+"/"+m.Mode] = m
+		want[gateKey(m)] = m
 	}
 	if len(want) == 0 {
 		return fmt.Errorf("bench-gate: %s has no results to gate against", gateFile)
@@ -243,7 +328,7 @@ func runBenchGate(gateFile string, tol float64, sizes []int) error {
 	var failures []string
 	compared := 0
 	for _, m := range fresh {
-		key := m.Kernel + "/" + m.Mode
+		key := gateKey(m)
 		w, ok := want[key]
 		if !ok {
 			fmt.Fprintf(os.Stderr, "bench-gate: %s not in %s, skipping\n", key, gateFile)

@@ -27,6 +27,7 @@ import (
 	"os/signal"
 	"sort"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -42,6 +43,7 @@ func main() {
 	workers := flag.Int("workers", 4, "pipeline workers")
 	work := flag.Duration("work", time.Millisecond, "extra wall-clock cost per statement instance (the Table 9 SIZE analogue; a timed wait, so overlap is visible on any host); 0 leaves the raw bodies, whose cost is below task overhead")
 	minBlock := flag.Int("min-block-iters", 8, "coarsen blocks to at least this many iterations (Options.MinBlockIters); amortizes per-task handoff")
+	backend := flag.String("backend", "", "detection backend: \"\"/explicit (Algorithm 1 over enumerated relations) or symbolic (closed-form constraint algebra, falls back outside its fragment)")
 	out := flag.String("o", "trace.json", "Perfetto trace_event output file")
 	noTrace := flag.Bool("no-trace", false, "skip writing the trace file")
 	cacheDemo := flag.Bool("cache", false, "detect through a cached Session and print the hot/cold serving times plus the cache.* counters")
@@ -55,7 +57,7 @@ func main() {
 		fatal(err)
 	}
 	polypipe.AmplifyWork(p, *work)
-	opts := polypipe.Options{MinBlockIters: *minBlock}
+	opts := polypipe.Options{MinBlockIters: *minBlock, Backend: *backend}
 	if *serve != "" {
 		stop := make(chan struct{})
 		sig := make(chan os.Signal, 1)
@@ -163,6 +165,16 @@ func printStats(w io.Writer, name string, workers int, sequential time.Duration,
 		s.Counter("detect.statements"), s.Counter("detect.pairs"),
 		s.Counter("detect.blocks"), s.Counter("detect.dep_edges"),
 		s.Gauge("sched.tree_nodes"))
+	var backends []string
+	for name, v := range s.Counters {
+		if strings.HasPrefix(name, "detect.backend.") {
+			backends = append(backends, fmt.Sprintf("%s=%d", strings.TrimPrefix(name, "detect.backend."), v))
+		}
+	}
+	if len(backends) > 0 {
+		sort.Strings(backends)
+		fmt.Fprintf(w, "detection backend: %s\n", strings.Join(backends, " "))
+	}
 
 	a := m.Analysis
 	fmt.Fprintln(w, "\nruntime:")

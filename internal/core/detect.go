@@ -41,6 +41,15 @@ type Options struct {
 	// "detect.blocks", "detect.dep_edges"). Detection behaviour is
 	// unchanged; see docs/OBSERVABILITY.md.
 	Obs *obs.Recorder
+	// Backend selects the detection algebra. "" and "explicit" run
+	// Algorithm 1 over the enumerated relations of the compiled isl
+	// backend. BackendSymbolic ("symbolic") evaluates the closed-form
+	// constraint algebra of internal/isl/sym first — cost independent
+	// of domain size — and falls back to the explicit path whenever the
+	// SCoP or options land outside its fragment, so the result is
+	// always bit-identical to the explicit one. The backend actually
+	// used is recorded as a "detect.backend.*" obs counter.
+	Backend string
 }
 
 // PipelinePair records the pipeline map between one dependent pair of
@@ -181,6 +190,22 @@ func (in *Info) Freeze() *Info {
 // — including the error returned on a rejected SCoP — is bit-identical
 // to the Workers=1 serial path.
 func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
+	switch opts.Backend {
+	case "", "explicit":
+	case BackendSymbolic:
+		if si, err := DetectSymbolic(sc, opts); err == nil {
+			opts.Obs.Count("detect.backend.symbolic", 1)
+			return si.Materialize(), nil
+		}
+		// Outside the symbolic fragment (or structurally invalid):
+		// the explicit path below recomputes from scratch and owns the
+		// error reporting, so selecting the backend never changes
+		// results or diagnostics.
+		opts.Obs.Count("detect.backend.symbolic_fallback", 1)
+	default:
+		return nil, fmt.Errorf("core: unknown detection backend %q", opts.Backend)
+	}
+	opts.Obs.Count("detect.backend."+isl.BackendName, 1)
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}

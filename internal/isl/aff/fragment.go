@@ -1,0 +1,82 @@
+package aff
+
+// Fragment recognizers for the symbolic detection backend
+// (internal/core's DetectSymbolic): they decide whether an expression
+// falls in the per-dimension quasi-affine fragment the closed-form
+// pipeline algebra handles, and extract its coefficients. Unlike
+// Recognize (which reconstructs forms from explicit maps), these are
+// syntactic — an expression outside the recognized shapes reports
+// ok=false even when semantically equivalent to one inside — which
+// keeps the fragment test O(size of the expression), independent of
+// any domain.
+
+// ConstVal reports whether e is a constant expression and returns its
+// value.
+func (e Expr) ConstVal() (int, bool) {
+	if len(e.Divs) != 0 || !allZero(e.Coeffs) {
+		return 0, false
+	}
+	return e.Const, true
+}
+
+// linearIn reports whether e is a·x_d + b using no other variable and
+// no floor terms.
+func (e Expr) linearIn(d int) (a, b int, ok bool) {
+	if len(e.Divs) != 0 {
+		return 0, 0, false
+	}
+	for i := 0; i < e.NVars; i++ {
+		if i != d && e.coeff(i) != 0 {
+			return 0, 0, false
+		}
+	}
+	return e.coeff(d), e.Const, true
+}
+
+// Mono1 recognizes the monomial fragment in dimension d:
+//
+//	a·x_d + b                → (a, b, 1)
+//	k + ⌊(a·x_d + b)/den⌋    → (a, b + k·den, den)
+//
+// i.e. every recognized expression equals ⌊(a·x_d + b)/c⌋ with c ≥ 1.
+// Expressions touching other variables, scaling a floor term, or
+// nesting floors are rejected.
+func (e Expr) Mono1(d int) (a, b, c int, ok bool) {
+	switch len(e.Divs) {
+	case 0:
+		a, b, ok = e.linearIn(d)
+		return a, b, 1, ok
+	case 1:
+		div := e.Divs[0]
+		if div.Coef != 1 || div.Den < 1 || !allZero(e.Coeffs) {
+			return 0, 0, 0, false
+		}
+		a, b, ok = div.Inner.linearIn(d)
+		if !ok {
+			return 0, 0, 0, false
+		}
+		return a, b + e.Const*div.Den, div.Den, true
+	}
+	return 0, 0, 0, false
+}
+
+// RectBounds reports whether the domain is a pure rectangle — every
+// per-dimension bound constant, no extra constraints — and returns the
+// half-open [lo, hi) pairs. Degenerate (empty) rectangles report
+// ok=false.
+func (d *Domain) RectBounds() (lo, hi []int, ok bool) {
+	if len(d.Constraints) != 0 {
+		return nil, nil, false
+	}
+	lo = make([]int, len(d.Bounds))
+	hi = make([]int, len(d.Bounds))
+	for i, b := range d.Bounds {
+		l, okL := b.Lo.ConstVal()
+		h, okH := b.Hi.ConstVal()
+		if !okL || !okH || h <= l {
+			return nil, nil, false
+		}
+		lo[i], hi[i] = l, h
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,214 @@
+package isl
+
+import (
+	"fmt"
+
+	"repro/internal/isl/sym"
+)
+
+// Parametric (intensional) sets and maps: the textual counterpart of
+// the constraint-form backend. Where the extensional notation lists
+// every point ("{ S[0]; S[1] }"), the parametric notation describes a
+// domain by affine constraints over iterator variables and symbolic
+// parameters:
+//
+//	[n] -> { S[i, j] : i >= 0 and n - i - 1 >= 0 and j - i >= 0 }
+//	[n] -> { S[i] -> R[i + 1] : i >= 0 and n - i - 1 >= 0 }
+//
+// ParseParamSet/ParseParamMap accept this notation (including ISL's
+// chained comparisons, "0 <= i < n"), String renders it back in
+// canonical ">= 0 / = 0" form, and Instantiate bridges to the
+// extensional backends by binding the parameters and enumerating the
+// (then bounded) domain through the Fourier–Motzkin bounds of
+// internal/isl/sym.
+
+// AffExpr is an affine expression over a ParamSet/ParamMap's iterators
+// and parameters: Σ Coef[d]·iter_d + Σ PCoef[p]·param_p + Const.
+type AffExpr struct {
+	Coef  []int64
+	PCoef []int64
+	Const int64
+}
+
+// eval substitutes iterator and parameter values.
+func (e AffExpr) eval(iters, params []int64) int64 {
+	v := e.Const
+	for d, c := range e.Coef {
+		v += c * iters[d]
+	}
+	for p, c := range e.PCoef {
+		v += c * params[p]
+	}
+	return v
+}
+
+// AffCon is one constraint: Expr >= 0, or Expr = 0 when Eq is set.
+type AffCon struct {
+	Expr AffExpr
+	Eq   bool
+}
+
+// ParamSet is a parametric set: named iterators constrained by affine
+// inequalities over the iterators and symbolic parameters.
+type ParamSet struct {
+	Params []string // symbolic parameter names, in declaration order
+	Name   string   // tuple (space) name
+	Iters  []string // iterator names, in tuple order
+	Cons   []AffCon
+}
+
+// ParamMap is a parametric relation: a ParamSet-shaped input domain
+// whose every point maps to one output tuple of affine expressions.
+type ParamMap struct {
+	Params  []string
+	InName  string
+	Iters   []string
+	OutName string
+	Outs    []AffExpr // one per output dimension, over Iters/Params
+	Cons    []AffCon
+}
+
+// maxInstantiatePoints bounds the volume Instantiate will enumerate;
+// parametric descriptions exist precisely so unbounded domains never
+// need enumeration, and a runaway binding should fail loudly.
+const maxInstantiatePoints = 1 << 20
+
+// bindParams resolves the declared parameters against the bindings.
+func bindParams(params []string, bind map[string]int) ([]int64, error) {
+	vals := make([]int64, len(params))
+	for p, name := range params {
+		v, ok := bind[name]
+		if !ok {
+			return nil, fmt.Errorf("isl: parameter %q has no binding", name)
+		}
+		vals[p] = int64(v)
+	}
+	return vals, nil
+}
+
+// boundSystem builds the FM system of the constraints with parameters
+// substituted, then extracts integer bounds for every iterator.
+func boundSystem(iters []string, cons []AffCon, pvals []int64) (sys *sym.System, lo, hi []int64, empty bool, err error) {
+	sys = sym.NewSystem(len(iters))
+	for _, c := range cons {
+		k := c.Expr.Const
+		for p, pc := range c.Expr.PCoef {
+			k += pc * pvals[p]
+		}
+		if c.Eq {
+			sys.AddEQ(c.Expr.Coef, k)
+		} else {
+			sys.AddGE(c.Expr.Coef, k)
+		}
+	}
+	if sys.RationalEmpty() {
+		return sys, nil, nil, true, nil
+	}
+	lo = make([]int64, len(iters))
+	hi = make([]int64, len(iters))
+	for d, name := range iters {
+		l, h, hasLo, hasHi, emp := sys.Bounds(d)
+		if emp {
+			return sys, nil, nil, true, nil
+		}
+		if !hasLo || !hasHi {
+			return nil, nil, nil, false, fmt.Errorf(
+				"isl: iterator %q is unbounded under the given bindings; cannot instantiate", name)
+		}
+		lo[d], hi[d] = l.Ceil(), h.Floor()
+		if lo[d] > hi[d] {
+			return sys, nil, nil, true, nil
+		}
+	}
+	var vol int64 = 1
+	for d := range lo {
+		vol *= hi[d] - lo[d] + 1
+		if vol > maxInstantiatePoints {
+			return nil, nil, nil, false, fmt.Errorf(
+				"isl: instantiated domain exceeds %d points", maxInstantiatePoints)
+		}
+	}
+	return sys, lo, hi, false, nil
+}
+
+// satisfies reports whether the iterator point meets every constraint
+// under the parameter values.
+func satisfies(cons []AffCon, pt, pvals []int64) bool {
+	for _, c := range cons {
+		v := c.Expr.eval(pt, pvals)
+		if c.Eq && v != 0 || !c.Eq && v < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// foreachPoint enumerates the integer box [lo, hi] in lexicographic
+// order, calling fn on points satisfying the constraints.
+func foreachPoint(lo, hi []int64, cons []AffCon, pvals []int64, fn func(pt []int64)) {
+	pt := make([]int64, len(lo))
+	var rec func(d int)
+	rec = func(d int) {
+		if d == len(lo) {
+			if satisfies(cons, pt, pvals) {
+				fn(pt)
+			}
+			return
+		}
+		for v := lo[d]; v <= hi[d]; v++ {
+			pt[d] = v
+			rec(d + 1)
+		}
+	}
+	rec(0)
+}
+
+// Instantiate binds the parameters and enumerates the now-bounded
+// domain into an extensional Set. Every declared parameter must be
+// bound; a domain left unbounded (or too large) by the bindings is an
+// error rather than a partial result.
+func (p *ParamSet) Instantiate(bind map[string]int) (*Set, error) {
+	pvals, err := bindParams(p.Params, bind)
+	if err != nil {
+		return nil, err
+	}
+	set := NewSet(NewSpace(p.Name, len(p.Iters)))
+	_, lo, hi, empty, err := boundSystem(p.Iters, p.Cons, pvals)
+	if err != nil || empty {
+		return set, err
+	}
+	foreachPoint(lo, hi, p.Cons, pvals, func(pt []int64) {
+		v := make(Vec, len(pt))
+		for d, x := range pt {
+			v[d] = int(x)
+		}
+		set.Add(v)
+	})
+	return set, nil
+}
+
+// Instantiate binds the parameters and enumerates the relation into an
+// extensional Map: one output tuple per domain point.
+func (m *ParamMap) Instantiate(bind map[string]int) (*Map, error) {
+	pvals, err := bindParams(m.Params, bind)
+	if err != nil {
+		return nil, err
+	}
+	out := NewMap(NewSpace(m.InName, len(m.Iters)), NewSpace(m.OutName, len(m.Outs)))
+	_, lo, hi, empty, err := boundSystem(m.Iters, m.Cons, pvals)
+	if err != nil || empty {
+		return out, err
+	}
+	foreachPoint(lo, hi, m.Cons, pvals, func(pt []int64) {
+		in := make(Vec, len(pt))
+		for d, x := range pt {
+			in[d] = int(x)
+		}
+		o := make(Vec, len(m.Outs))
+		for d, e := range m.Outs {
+			o[d] = int(e.eval(pt, pvals))
+		}
+		out.Add(in, o)
+	})
+	return out, nil
+}

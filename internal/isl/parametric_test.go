@@ -1,0 +1,161 @@
+package isl
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParamSetRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"[n] -> { S[i, j] : 0 <= i < n and i <= j <= i + 2 }",
+		"[n, m] -> { S[i] : 0 <= 2i < n + m and i > -3 }",
+		"{ S[i] : 0 <= i and i <= 7 }",
+		"{ S[i, j] : i = j and 0 <= i < 3 }",
+		"{ S[] }",
+		"[n] -> { S[i] }",
+	} {
+		p, err := ParseParamSet(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		// The canonical rendering must parse back to the same structure.
+		canon := p.String()
+		p2, err := ParseParamSet(canon)
+		if err != nil {
+			t.Fatalf("%q: reparse of %q: %v", src, canon, err)
+		}
+		if got := p2.String(); got != canon {
+			t.Errorf("%q: round trip %q -> %q", src, canon, got)
+		}
+	}
+}
+
+func TestParamSetInstantiate(t *testing.T) {
+	p, err := ParseParamSet("[n] -> { S[i, j] : 0 <= i < n and i <= j <= i + 1 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Instantiate(map[string]int{"n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SetOf(NewSpace("S", 2),
+		NewVec(0, 0), NewVec(0, 1), NewVec(1, 1), NewVec(1, 2), NewVec(2, 2), NewVec(2, 3))
+	if !got.Equal(want) {
+		t.Fatalf("instantiated %v, want %v", got, want)
+	}
+
+	// Binding the parameter to an empty range gives the empty set, not
+	// an error.
+	empty, err := p.Instantiate(map[string]int{"n": 0})
+	if err != nil || !empty.IsEmpty() {
+		t.Fatalf("n=0: %v, %v", empty, err)
+	}
+
+	// Bounds that only emerge from combined constraints (i + j <= 4)
+	// still instantiate: FM projection finds them.
+	tri, err := ParseParamSet("{ S[i, j] : i >= 0 and j >= 0 and i + j <= 2 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := tri.Instantiate(nil)
+	if err != nil || ts.Card() != 6 {
+		t.Fatalf("triangle: %v, %v (want 6 points)", ts, err)
+	}
+
+	// Equality constraints collapse the domain to the diagonal.
+	diag, err := ParseParamSet("{ S[i, j] : i = j and 0 <= i < 3 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := diag.Instantiate(nil)
+	if err != nil || !ds.Equal(SetOf(NewSpace("S", 2), NewVec(0, 0), NewVec(1, 1), NewVec(2, 2))) {
+		t.Fatalf("diagonal: %v, %v", ds, err)
+	}
+}
+
+func TestParamMapRoundTripAndInstantiate(t *testing.T) {
+	src := "[n] -> { S[i] -> R[2i + 1, i - n] : 0 <= i < n }"
+	m, err := ParseParamMap(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := m.String()
+	m2, err := ParseParamMap(canon)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", canon, err)
+	}
+	if got := m2.String(); got != canon {
+		t.Errorf("round trip %q -> %q", canon, got)
+	}
+
+	got, err := m.Instantiate(map[string]int{"n": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewMap(NewSpace("S", 1), NewSpace("R", 2))
+	want.Add(NewVec(0), NewVec(1, -3))
+	want.Add(NewVec(1), NewVec(3, -2))
+	want.Add(NewVec(2), NewVec(5, -1))
+	if !got.Equal(want) {
+		t.Fatalf("instantiated %v, want %v", got, want)
+	}
+}
+
+func TestParamParseErrorsNameTheConstraint(t *testing.T) {
+	cases := map[string][]string{
+		"{ S[i] : i >= q }":          {`in constraint "i >= q"`, `unknown identifier "q"`},
+		"{ S[i] : i and i >= 0 }":    {`in constraint "i"`, "no comparison operator"},
+		"{ S[i] : 0 <= i < }":        {`in constraint "0 <= i <"`, "empty expression"},
+		"{ S[i] : i ** 2 >= 0 }":     {`in constraint "i ** 2 >= 0"`},
+		"[n] - { S[i] }":             {"must be followed by '->'"},
+		"[2n] -> { S[i] }":           {`bad parameter name "2n"`},
+		"{ S[i, i] }":                {`duplicate iterator "i"`},
+		"{ S[4] }":                   {`iterator "4"`},
+		"{ S[i] -> R[j] : i >= 0 }":  {`output coordinate "j"`, `unknown identifier "j"`},
+		"[n] -> { S[i] -> R[n*] : }": {"output coordinate"},
+	}
+	for src, wants := range cases {
+		_, errSet := ParseParamSet(src)
+		_, errMap := ParseParamMap(src)
+		err := errSet
+		if strings.Contains(src, "->") && strings.Contains(src, "R[") {
+			err = errMap
+		}
+		if err == nil {
+			t.Errorf("%q: expected an error", src)
+			continue
+		}
+		for _, want := range wants {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%q: error %q does not mention %q", src, err, want)
+			}
+		}
+	}
+}
+
+func TestParamInstantiateErrors(t *testing.T) {
+	p, err := ParseParamSet("[n] -> { S[i] : 0 <= i < n }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Instantiate(nil); err == nil || !strings.Contains(err.Error(), `parameter "n"`) {
+		t.Errorf("missing binding: err = %v", err)
+	}
+
+	unbounded, err := ParseParamSet("{ S[i] : i >= 0 }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := unbounded.Instantiate(nil); err == nil || !strings.Contains(err.Error(), `iterator "i" is unbounded`) {
+		t.Errorf("unbounded: err = %v", err)
+	}
+
+	huge, err := ParseParamSet("[n] -> { S[i, j] : 0 <= i < n and 0 <= j < n }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.Instantiate(map[string]int{"n": 1 << 12}); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Errorf("volume cap: err = %v", err)
+	}
+}

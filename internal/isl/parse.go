@@ -180,6 +180,341 @@ func parseTuple(s string) (parsedTuple, error) {
 	return parsedTuple{name: name, coords: coords}, nil
 }
 
+// ParseParamSet parses the parametric set notation produced by
+// ParamSet.String — symbolic parameter declarations, an iterator
+// tuple, and an affine constraint conjunction:
+//
+//	[n] -> { S[i, j] : 0 <= i < n and j >= i }
+//
+// The parameter prefix and the constraint clause are both optional.
+// Constraints may chain comparisons ISL-style ("0 <= i < n"); each
+// parse error names the offending constraint.
+func ParseParamSet(s string) (*ParamSet, error) {
+	params, rest, err := parseParamPrefix(s)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := stripBraces(rest)
+	if err != nil {
+		return nil, err
+	}
+	head, consSrc, hasCons := strings.Cut(inner, ":")
+	name, iters, err := parseIterTuple(strings.TrimSpace(head))
+	if err != nil {
+		return nil, err
+	}
+	p := &ParamSet{Params: params, Name: name, Iters: iters}
+	if hasCons {
+		p.Cons, err = parseAffCons(consSrc, iters, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// ParseParamMap parses the parametric map notation produced by
+// ParamMap.String: an iterator tuple mapped to a tuple of affine
+// output expressions, under an optional constraint conjunction:
+//
+//	[n] -> { S[i] -> R[i + 1, 2i] : 0 <= i < n }
+func ParseParamMap(s string) (*ParamMap, error) {
+	params, rest, err := parseParamPrefix(s)
+	if err != nil {
+		return nil, err
+	}
+	inner, err := stripBraces(rest)
+	if err != nil {
+		return nil, err
+	}
+	head, consSrc, hasCons := strings.Cut(inner, ":")
+	lhs, rhs, ok := strings.Cut(head, "->")
+	if !ok {
+		return nil, fmt.Errorf("isl: parametric map element %q lacks '->'", strings.TrimSpace(head))
+	}
+	inName, iters, err := parseIterTuple(strings.TrimSpace(lhs))
+	if err != nil {
+		return nil, err
+	}
+	outName, outSrcs, err := splitTuple(strings.TrimSpace(rhs))
+	if err != nil {
+		return nil, err
+	}
+	m := &ParamMap{Params: params, InName: inName, Iters: iters, OutName: outName}
+	for _, src := range outSrcs {
+		e, err := parseAffExpr(src, iters, params)
+		if err != nil {
+			return nil, fmt.Errorf("isl: in output coordinate %q: %w", strings.TrimSpace(src), err)
+		}
+		m.Outs = append(m.Outs, e)
+	}
+	if hasCons {
+		m.Cons, err = parseAffCons(consSrc, iters, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// parseParamPrefix strips an optional "[n, m] ->" parameter
+// declaration, returning the declared names and the remainder.
+func parseParamPrefix(s string) (params []string, rest string, err error) {
+	t := strings.TrimSpace(s)
+	if !strings.HasPrefix(t, "[") {
+		return nil, t, nil
+	}
+	close := strings.IndexByte(t, ']')
+	if close < 0 {
+		return nil, "", fmt.Errorf("isl: unterminated parameter declaration in %q", s)
+	}
+	for _, p := range strings.Split(t[1:close], ",") {
+		name := strings.TrimSpace(p)
+		if !isIdent(name) {
+			return nil, "", fmt.Errorf("isl: bad parameter name %q", name)
+		}
+		params = append(params, name)
+	}
+	rest = strings.TrimSpace(t[close+1:])
+	if !strings.HasPrefix(rest, "->") {
+		return nil, "", fmt.Errorf("isl: parameter declaration %q must be followed by '->'", t[:close+1])
+	}
+	return params, strings.TrimSpace(rest[2:]), nil
+}
+
+// splitTuple splits "Name[a, b]" into the name and raw coordinate
+// sources.
+func splitTuple(s string) (name string, coords []string, err error) {
+	open := strings.IndexByte(s, '[')
+	if open < 0 || !strings.HasSuffix(s, "]") {
+		return "", nil, fmt.Errorf("isl: malformed tuple %q", s)
+	}
+	name = strings.TrimSpace(s[:open])
+	if name == "" {
+		return "", nil, fmt.Errorf("isl: tuple %q has no space name", s)
+	}
+	body := s[open+1 : len(s)-1]
+	if strings.TrimSpace(body) == "" {
+		return name, nil, nil
+	}
+	return name, strings.Split(body, ","), nil
+}
+
+// parseIterTuple parses "S[i, j]" where every coordinate must be a
+// fresh iterator name.
+func parseIterTuple(s string) (name string, iters []string, err error) {
+	name, coords, err := splitTuple(s)
+	if err != nil {
+		return "", nil, err
+	}
+	seen := map[string]bool{}
+	for _, c := range coords {
+		it := strings.TrimSpace(c)
+		if !isIdent(it) {
+			return "", nil, fmt.Errorf("isl: iterator %q in tuple %q is not an identifier", it, s)
+		}
+		if seen[it] {
+			return "", nil, fmt.Errorf("isl: duplicate iterator %q in tuple %q", it, s)
+		}
+		seen[it] = true
+		iters = append(iters, it)
+	}
+	return name, iters, nil
+}
+
+// parseAffCons parses an "and"-joined constraint conjunction; chained
+// comparisons expand into one constraint per adjacent pair.
+func parseAffCons(src string, iters, params []string) ([]AffCon, error) {
+	var cons []AffCon
+	for _, part := range strings.Split(src, " and ") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return nil, fmt.Errorf("isl: empty constraint in %q", strings.TrimSpace(src))
+		}
+		cs, err := parseAffCon(part, iters, params)
+		if err != nil {
+			return nil, fmt.Errorf("isl: in constraint %q: %w", part, err)
+		}
+		cons = append(cons, cs...)
+	}
+	return cons, nil
+}
+
+// parseAffCon parses one (possibly chained) comparison into >= 0 / = 0
+// normal form.
+func parseAffCon(src string, iters, params []string) ([]AffCon, error) {
+	// Split on comparison operators, longest match first, keeping them.
+	var exprs []string
+	var ops []string
+	rest := src
+	for {
+		idx, op := -1, ""
+		for _, cand := range []string{"<=", ">=", "<", ">", "="} {
+			if i := strings.Index(rest, cand); i >= 0 && (idx < 0 || i < idx || (i == idx && len(cand) > len(op))) {
+				idx, op = i, cand
+			}
+		}
+		if idx < 0 {
+			exprs = append(exprs, rest)
+			break
+		}
+		exprs = append(exprs, rest[:idx])
+		ops = append(ops, op)
+		rest = rest[idx+len(op):]
+	}
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("no comparison operator")
+	}
+	parsed := make([]AffExpr, len(exprs))
+	for i, e := range exprs {
+		var err error
+		parsed[i], err = parseAffExpr(e, iters, params)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var cons []AffCon
+	for i, op := range ops {
+		a, b := parsed[i], parsed[i+1]
+		switch op {
+		case "<=":
+			cons = append(cons, AffCon{Expr: subExpr(b, a, 0)})
+		case "<":
+			cons = append(cons, AffCon{Expr: subExpr(b, a, -1)})
+		case ">=":
+			cons = append(cons, AffCon{Expr: subExpr(a, b, 0)})
+		case ">":
+			cons = append(cons, AffCon{Expr: subExpr(a, b, -1)})
+		case "=":
+			cons = append(cons, AffCon{Expr: subExpr(a, b, 0), Eq: true})
+		}
+	}
+	return cons, nil
+}
+
+// subExpr returns a - b + k.
+func subExpr(a, b AffExpr, k int64) AffExpr {
+	out := AffExpr{
+		Coef:  make([]int64, len(a.Coef)),
+		PCoef: make([]int64, len(a.PCoef)),
+		Const: a.Const - b.Const + k,
+	}
+	for d := range out.Coef {
+		out.Coef[d] = a.Coef[d] - b.Coef[d]
+	}
+	for p := range out.PCoef {
+		out.PCoef[p] = a.PCoef[p] - b.PCoef[p]
+	}
+	return out
+}
+
+// parseAffExpr parses a sum of affine terms ("2i + 3n - 4", "-j",
+// "0") over the given iterator and parameter names. Multiplication is
+// implicit ("2i") or explicit ("2*i").
+func parseAffExpr(src string, iters, params []string) (AffExpr, error) {
+	e := AffExpr{Coef: make([]int64, len(iters)), PCoef: make([]int64, len(params))}
+	s := strings.TrimSpace(src)
+	if s == "" {
+		return e, fmt.Errorf("empty expression")
+	}
+	i, n := 0, len(s)
+	skip := func() {
+		for i < n && s[i] == ' ' {
+			i++
+		}
+	}
+	first := true
+	for {
+		skip()
+		if i >= n {
+			if first {
+				return e, fmt.Errorf("empty expression")
+			}
+			break
+		}
+		sign := int64(1)
+		switch {
+		case s[i] == '+':
+			i++
+		case s[i] == '-':
+			sign = -1
+			i++
+		default:
+			if !first {
+				return e, fmt.Errorf("expected '+' or '-' before %q", s[i:])
+			}
+		}
+		skip()
+		coef, hasNum := int64(1), false
+		start := i
+		for i < n && s[i] >= '0' && s[i] <= '9' {
+			i++
+		}
+		if i > start {
+			v, err := strconv.ParseInt(s[start:i], 10, 64)
+			if err != nil {
+				return e, fmt.Errorf("bad coefficient %q: %v", s[start:i], err)
+			}
+			coef, hasNum = v, true
+		}
+		skip()
+		if i < n && s[i] == '*' {
+			if !hasNum {
+				return e, fmt.Errorf("'*' without a coefficient in %q", s)
+			}
+			i++
+			skip()
+		}
+		start = i
+		for i < n && isIdentByte(s[i]) {
+			i++
+		}
+		ident := s[start:i]
+		switch {
+		case ident == "":
+			if !hasNum {
+				return e, fmt.Errorf("expected a term at %q", s[i:])
+			}
+			e.Const += sign * coef
+		default:
+			if d := indexOf(iters, ident); d >= 0 {
+				e.Coef[d] += sign * coef
+			} else if p := indexOf(params, ident); p >= 0 {
+				e.PCoef[p] += sign * coef
+			} else {
+				return e, fmt.Errorf("unknown identifier %q (iterators %v, parameters %v)", ident, iters, params)
+			}
+		}
+		first = false
+	}
+	return e, nil
+}
+
+func indexOf(names []string, s string) int {
+	for i, n := range names {
+		if n == s {
+			return i
+		}
+	}
+	return -1
+}
+
+func isIdent(s string) bool {
+	if s == "" || s[0] >= '0' && s[0] <= '9' {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isIdentByte(s[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func isIdentByte(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
 // Deltas returns the set of difference vectors { out − in : (in, out) ∈ m }
 // for a map whose input and output spaces have equal dimension — ISL's
 // deltas operation, the basis of dependence distance vectors. The

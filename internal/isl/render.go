@@ -1,6 +1,9 @@
 package isl
 
-import "strings"
+import (
+	"strconv"
+	"strings"
+)
 
 // Backend-neutral iteration and rendering helpers, expressed purely in
 // terms of Elements and ForeachEntry so both set/map backends (columnar
@@ -61,6 +64,110 @@ func (m *Map) Foreach(fn func(in, out Vec) bool) {
 		}
 		return true
 	})
+}
+
+// render writes the expression as a signed term sum ("2i + n - 1")
+// over the given iterator and parameter names; the zero expression
+// renders as "0".
+func (e AffExpr) render(iters, params []string) string {
+	var b strings.Builder
+	writeTerm := func(coef int64, ident string) {
+		if coef == 0 {
+			return
+		}
+		switch {
+		case b.Len() == 0 && coef < 0:
+			b.WriteByte('-')
+		case b.Len() > 0 && coef < 0:
+			b.WriteString(" - ")
+		case b.Len() > 0:
+			b.WriteString(" + ")
+		}
+		abs := coef
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs != 1 || ident == "" {
+			b.WriteString(strconv.FormatInt(abs, 10))
+		}
+		b.WriteString(ident)
+	}
+	for d, c := range e.Coef {
+		writeTerm(c, iters[d])
+	}
+	for p, c := range e.PCoef {
+		writeTerm(c, params[p])
+	}
+	writeTerm(e.Const, "")
+	if b.Len() == 0 {
+		return "0"
+	}
+	return b.String()
+}
+
+// renderParamHead writes the shared "[params] -> { Name[iters]" prefix.
+func renderParamHead(b *strings.Builder, params []string, name string, iters []string) {
+	if len(params) > 0 {
+		b.WriteString("[")
+		b.WriteString(strings.Join(params, ", "))
+		b.WriteString("] -> ")
+	}
+	b.WriteString("{ ")
+	b.WriteString(name)
+	b.WriteString("[")
+	b.WriteString(strings.Join(iters, ", "))
+	b.WriteString("]")
+}
+
+// renderCons writes the constraint clause in ">= 0" / "= 0" normal
+// form; parsing it back reproduces the constraints exactly.
+func renderCons(b *strings.Builder, cons []AffCon, iters, params []string) {
+	if len(cons) == 0 {
+		return
+	}
+	b.WriteString(" : ")
+	for i, c := range cons {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		b.WriteString(c.Expr.render(iters, params))
+		if c.Eq {
+			b.WriteString(" = 0")
+		} else {
+			b.WriteString(" >= 0")
+		}
+	}
+}
+
+// String renders the parametric set in the notation ParseParamSet
+// accepts, with constraints in canonical ">= 0" form:
+// "[n] -> { S[i] : i >= 0 and n - i - 1 >= 0 }".
+func (p *ParamSet) String() string {
+	var b strings.Builder
+	renderParamHead(&b, p.Params, p.Name, p.Iters)
+	renderCons(&b, p.Cons, p.Iters, p.Params)
+	b.WriteString(" }")
+	return b.String()
+}
+
+// String renders the parametric map in the notation ParseParamMap
+// accepts: "[n] -> { S[i] -> R[i + 1] : i >= 0 and n - i - 1 >= 0 }".
+func (m *ParamMap) String() string {
+	var b strings.Builder
+	renderParamHead(&b, m.Params, m.InName, m.Iters)
+	b.WriteString(" -> ")
+	b.WriteString(m.OutName)
+	b.WriteString("[")
+	for i, e := range m.Outs {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.render(m.Iters, m.Params))
+	}
+	b.WriteString("]")
+	renderCons(&b, m.Cons, m.Iters, m.Params)
+	b.WriteString(" }")
+	return b.String()
 }
 
 // String renders the relation in ISL-like notation, e.g.

@@ -1,0 +1,173 @@
+package sym
+
+import (
+	"testing"
+)
+
+func TestSystemEmptySet(t *testing.T) {
+	// x ≥ 3 and x ≤ 2 is empty.
+	s := NewSystem(1)
+	s.AddGE([]int64{1}, -3)
+	s.AddGE([]int64{-1}, 2)
+	if !s.RationalEmpty() {
+		t.Fatal("x>=3 and x<=2 should be rationally empty")
+	}
+	if _, ok := s.LexmaxBounded(); ok {
+		t.Fatal("empty system must have no lexmax")
+	}
+	if _, ok := s.LexminBounded(); ok {
+		t.Fatal("empty system must have no lexmin")
+	}
+}
+
+func TestSystemContradictoryEqualities(t *testing.T) {
+	// x + y = 1, x + y = 2.
+	s := NewSystem(2)
+	s.AddEQ([]int64{1, 1}, -1)
+	s.AddEQ([]int64{1, 1}, -2)
+	if !s.RationalEmpty() {
+		t.Fatal("inconsistent equalities should be empty")
+	}
+}
+
+func TestSystemEqualitySubstitution(t *testing.T) {
+	// x = 2y, 0 ≤ y ≤ 5, x ≤ 7 → max (x, y) = (6, 3).
+	s := NewSystem(2)
+	s.AddEQ([]int64{1, -2}, 0)
+	s.AddBounds(1, 0, 5)
+	s.AddGE([]int64{-1, 0}, 7)
+	v, ok := s.LexmaxBounded()
+	if !ok || v[0] != 6 || v[1] != 3 {
+		t.Fatalf("lexmax = %v, %v; want [6 3]", v, ok)
+	}
+	mn, ok := s.LexminBounded()
+	if !ok || mn[0] != 0 || mn[1] != 0 {
+		t.Fatalf("lexmin = %v, %v; want [0 0]", mn, ok)
+	}
+}
+
+func TestSystemRedundantConstraints(t *testing.T) {
+	// Many restatements of 0 ≤ x ≤ 10 plus scaled duplicates.
+	s := NewSystem(1)
+	for i := 0; i < 6; i++ {
+		s.AddBounds(0, 0, 10)
+		s.AddGE([]int64{3}, 0)    // 3x ≥ 0
+		s.AddGE([]int64{-7}, 70)  // 7x ≤ 70
+		s.AddGE([]int64{1}, 5)    // x ≥ -5, slack
+		s.AddGE([]int64{-1}, 100) // x ≤ 100, slack
+	}
+	v, ok := s.LexmaxBounded()
+	if !ok || v[0] != 10 {
+		t.Fatalf("lexmax = %v, %v; want [10]", v, ok)
+	}
+	v, ok = s.LexminBounded()
+	if !ok || v[0] != 0 {
+		t.Fatalf("lexmin = %v, %v; want [0]", v, ok)
+	}
+}
+
+func TestSystemIntegerGap(t *testing.T) {
+	// 2x = 2y + 1 has rational but no integer solutions; bounded box so
+	// the search can prove it.
+	s := NewSystem(2)
+	s.AddEQ([]int64{2, -2}, -1)
+	s.AddBounds(0, 0, 20)
+	s.AddBounds(1, 0, 20)
+	if s.RationalEmpty() {
+		t.Fatal("2x-2y=1 is rationally feasible")
+	}
+	if _, ok := s.LexmaxBounded(); ok {
+		t.Fatal("2x-2y=1 has no integer solution")
+	}
+}
+
+func TestSystemUnboundedRefused(t *testing.T) {
+	// x ≥ 0 alone is unbounded above: lexmax must refuse, not guess.
+	s := NewSystem(1)
+	s.AddGE([]int64{1}, 0)
+	if _, ok := s.LexmaxBounded(); ok {
+		t.Fatal("unbounded lexmax must report not-ok")
+	}
+	// But lexmin is also refused by design (Bounds requires both sides).
+	if _, ok := s.LexminBounded(); ok {
+		t.Fatal("half-bounded systems are refused wholesale")
+	}
+}
+
+func TestSystemTriangleLexmax(t *testing.T) {
+	// x + y ≤ 10, x ≥ 0, y ≥ 0, y ≤ x → lexmax (10, 0), lexmin (0, 0).
+	s := NewSystem(2)
+	s.AddGE([]int64{-1, -1}, 10)
+	s.AddGE([]int64{1, 0}, 0)
+	s.AddGE([]int64{0, 1}, 0)
+	s.AddGE([]int64{1, -1}, 0)
+	v, ok := s.LexmaxBounded()
+	if !ok || v[0] != 10 || v[1] != 0 {
+		t.Fatalf("lexmax = %v, %v; want [10 0]", v, ok)
+	}
+	v, ok = s.LexminBounded()
+	if !ok || v[0] != 0 || v[1] != 0 {
+		t.Fatalf("lexmin = %v, %v; want [0 0]", v, ok)
+	}
+}
+
+func TestSystemBacktracking(t *testing.T) {
+	// 0 ≤ x ≤ 4, 0 ≤ y ≤ 4, 3y = x·3+3 → y = x+1, y ≤ 4 caps x at 3 so
+	// lexmax must backtrack past x=4 (rationally fine per-dim until the
+	// equality is checked at full depth... here pruning catches it at
+	// FixVar). Also exercises equality rows through elimination.
+	s := NewSystem(2)
+	s.AddBounds(0, 0, 4)
+	s.AddBounds(1, 0, 4)
+	s.AddEQ([]int64{3, -3}, 3) // 3x - 3y + 3 = 0 → y = x + 1
+	v, ok := s.LexmaxBounded()
+	if !ok || v[0] != 3 || v[1] != 4 {
+		t.Fatalf("lexmax = %v, %v; want [3 4]", v, ok)
+	}
+	v, ok = s.LexminBounded()
+	if !ok || v[0] != 0 || v[1] != 1 {
+		t.Fatalf("lexmin = %v, %v; want [0 1]", v, ok)
+	}
+}
+
+func TestSystemStrideViaAux(t *testing.T) {
+	// x = 3t, 0 ≤ x ≤ 10, 0 ≤ t ≤ 10: lexmax x should be 9 (largest
+	// multiple of 3 in range).
+	s := NewSystem(2) // vars: x, t
+	s.AddEQ([]int64{1, -3}, 0)
+	s.AddBounds(0, 0, 10)
+	s.AddBounds(1, 0, 10)
+	v, ok := s.LexmaxBounded()
+	if !ok || v[0] != 9 || v[1] != 3 {
+		t.Fatalf("lexmax = %v, %v; want [9 3]", v, ok)
+	}
+}
+
+func TestSystemBoundsQuery(t *testing.T) {
+	// x + y ≤ 10, y ≥ 2, x ≥ 0 → x ∈ [0, 8].
+	s := NewSystem(2)
+	s.AddGE([]int64{-1, -1}, 10)
+	s.AddGE([]int64{0, 1}, -2)
+	s.AddGE([]int64{1, 0}, 0)
+	lo, hi, hasLo, hasHi, empty := s.Bounds(0)
+	if empty || !hasLo || !hasHi {
+		t.Fatalf("bounds flags: lo=%v hi=%v empty=%v", hasLo, hasHi, empty)
+	}
+	if lo.Floor() != 0 || hi.Floor() != 8 {
+		t.Fatalf("bounds = [%v, %v]; want [0, 8]", lo, hi)
+	}
+}
+
+func TestSystemFixVar(t *testing.T) {
+	s := NewSystem(2)
+	s.AddGE([]int64{-1, -1}, 10) // x + y ≤ 10
+	s.AddGE([]int64{0, 1}, 0)
+	fixed := s.FixVar(0, 7) // y ≤ 3, y ≥ 0
+	lo, hi, hasLo, hasHi, empty := fixed.Bounds(1)
+	if empty || !hasLo || !hasHi || lo.Floor() != 0 || hi.Floor() != 3 {
+		t.Fatalf("after x=7: y in [%v,%v] (lo=%v hi=%v empty=%v)", lo, hi, hasLo, hasHi, empty)
+	}
+	if !fixed.FixVar(1, 4).RationalEmpty() {
+		t.Fatal("x=7, y=4 violates x+y<=10")
+	}
+}

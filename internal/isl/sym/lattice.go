@@ -1,0 +1,388 @@
+// Package sym is the symbolic (constraint-form) core of the third isl
+// backend: instead of enumerating integer points, sets and maps are
+// held as affine constraint systems, strided-lattice products, and
+// piecewise quasi-affine functions, so every operation the pipeline
+// detector needs — lexmin/lexmax, nearest-≽ blocking, pointwise
+// integration, composition, and counting — costs time proportional to
+// the number of constraints and pieces, never to the domain volume.
+//
+// Three layers build on each other:
+//
+//	System   Fourier–Motzkin elimination over exact mpint rationals:
+//	         feasibility, variable bounds, and bounded integer
+//	         lexmin/lexmax (the small parametric ILP solver).
+//	Lat1/Box/Region
+//	         strided intervals, their products, and unions of
+//	         products: exact intersection (CRT), counting
+//	         (inclusion–exclusion), lexicographic enumeration and
+//	         successor queries.
+//	PW       piecewise quasi-affine maps with per-dimension separable
+//	         guards and outputs: nearest-≽ blocking maps in closed
+//	         form, pointwise lexicographic minimum, composition, and
+//	         FM-backed piece pruning.
+package sym
+
+// Lat1 is a one-dimensional strided interval: the integers
+// Lo, Lo+Stride, …, Hi. Invariants (established by MkLat1): Stride ≥ 1,
+// Lo ≤ Hi, and (Hi-Lo) divisible by Stride. A Lat1 is never empty.
+type Lat1 struct {
+	Lo, Hi, Stride int64
+}
+
+// MkLat1 normalizes (lo, hi, stride) into a Lat1, aligning hi down to
+// the lattice. ok is false when the range holds no point.
+func MkLat1(lo, hi, stride int64) (Lat1, bool) {
+	if stride < 1 {
+		panic("sym: non-positive stride")
+	}
+	if hi < lo {
+		return Lat1{}, false
+	}
+	hi = lo + (hi-lo)/stride*stride
+	return Lat1{Lo: lo, Hi: hi, Stride: stride}, true
+}
+
+// Point1 is the singleton lattice {v}.
+func Point1(v int64) Lat1 { return Lat1{Lo: v, Hi: v, Stride: 1} }
+
+// Interval1 is the contiguous lattice [lo, hi].
+func Interval1(lo, hi int64) (Lat1, bool) { return MkLat1(lo, hi, 1) }
+
+// Count returns the number of points.
+func (l Lat1) Count() int64 { return (l.Hi-l.Lo)/l.Stride + 1 }
+
+// Contains reports membership of x.
+func (l Lat1) Contains(x int64) bool {
+	return x >= l.Lo && x <= l.Hi && (x-l.Lo)%l.Stride == 0
+}
+
+// CountLT returns the number of points strictly below x.
+func (l Lat1) CountLT(x int64) int64 {
+	if x <= l.Lo {
+		return 0
+	}
+	if x > l.Hi {
+		return l.Count()
+	}
+	// Points Lo + k·S with Lo + k·S < x  ⇔  k ≤ ceil((x-Lo)/S) - 1.
+	return ceilDiv(x-l.Lo, l.Stride)
+}
+
+// NextGE returns the smallest point ≥ x, if any.
+func (l Lat1) NextGE(x int64) (int64, bool) {
+	if x <= l.Lo {
+		return l.Lo, true
+	}
+	v := l.Lo + ceilDiv(x-l.Lo, l.Stride)*l.Stride
+	if v > l.Hi {
+		return 0, false
+	}
+	return v, true
+}
+
+// NextGT returns the smallest point strictly greater than x, if any.
+func (l Lat1) NextGT(x int64) (int64, bool) { return l.NextGE(x + 1) }
+
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a > 0) == (b > 0) {
+		q++
+	}
+	return q
+}
+
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// egcd returns g = gcd(a, b) ≥ 0 and Bézout coefficients x, y with
+// a·x + b·y = g.
+func egcd(a, b int64) (g, x, y int64) {
+	if b == 0 {
+		if a < 0 {
+			return -a, -1, 0
+		}
+		return a, 1, 0
+	}
+	g, x1, y1 := egcd(b, a%b)
+	return g, y1, x1 - (a/b)*y1
+}
+
+// IntersectLat1 intersects two strided intervals exactly: the common
+// congruence class is solved by the Chinese remainder theorem over the
+// Bézout coefficients, then clipped to the overlapping range.
+func IntersectLat1(a, b Lat1) (Lat1, bool) {
+	lo := max64(a.Lo, b.Lo)
+	hi := min64(a.Hi, b.Hi)
+	if hi < lo {
+		return Lat1{}, false
+	}
+	// Solve x ≡ a.Lo (mod a.S), x ≡ b.Lo (mod b.S).
+	g, p, _ := egcd(a.Stride, b.Stride)
+	diff := b.Lo - a.Lo
+	if diff%g != 0 {
+		return Lat1{}, false
+	}
+	lcm := a.Stride / g * b.Stride
+	// x = a.Lo + a.S·t with t ≡ (diff/g)·p (mod b.S/g).
+	bs := b.Stride / g
+	t := mod64((diff/g)%bs*(p%bs), bs)
+	x0 := a.Lo + a.Stride*t // one solution; all solutions are x0 + k·lcm
+	// Smallest solution ≥ lo.
+	first := x0 + ceilDiv(lo-x0, lcm)*lcm
+	if first > hi {
+		return Lat1{}, false
+	}
+	return MkLat1(first, hi, lcm)
+}
+
+func mod64(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Box is a product of per-dimension lattices — a strided box.
+type Box []Lat1
+
+// Count returns the number of points.
+func (b Box) Count() int64 {
+	n := int64(1)
+	for _, l := range b {
+		n *= l.Count()
+	}
+	return n
+}
+
+// Contains reports membership of v.
+func (b Box) Contains(v []int64) bool {
+	for d, l := range b {
+		if !l.Contains(v[d]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Lexmin returns the lexicographically smallest point.
+func (b Box) Lexmin() []int64 {
+	v := make([]int64, len(b))
+	for d, l := range b {
+		v[d] = l.Lo
+	}
+	return v
+}
+
+// Lexmax returns the lexicographically largest point.
+func (b Box) Lexmax() []int64 {
+	v := make([]int64, len(b))
+	for d, l := range b {
+		v[d] = l.Hi
+	}
+	return v
+}
+
+// IntersectBox intersects two boxes of equal dimension.
+func IntersectBox(a, b Box) (Box, bool) {
+	if len(a) != len(b) {
+		panic("sym: box dimension mismatch")
+	}
+	out := make(Box, len(a))
+	for d := range a {
+		l, ok := IntersectLat1(a[d], b[d])
+		if !ok {
+			return nil, false
+		}
+		out[d] = l
+	}
+	return out, true
+}
+
+// CountLexLE returns the number of points lexicographically ≤ v. The
+// standard mixed-radix prefix count: points that branch below v at
+// dimension d (agreeing on all earlier dimensions) plus v itself when
+// it is a member.
+func (b Box) CountLexLE(v []int64) int64 {
+	total := int64(0)
+	suffix := make([]int64, len(b)+1)
+	suffix[len(b)] = 1
+	for d := len(b) - 1; d >= 0; d-- {
+		suffix[d] = suffix[d+1] * b[d].Count()
+	}
+	for d := 0; d < len(b); d++ {
+		total += b[d].CountLT(v[d]) * suffix[d+1]
+		if !b[d].Contains(v[d]) {
+			return total
+		}
+	}
+	return total + 1 // every dimension matched: v itself
+}
+
+// NextGTLex returns the smallest member strictly lex-greater than v,
+// if any. v need not be a member. The candidate sharing the longest
+// valid prefix with v wins: scanning the bump position from the last
+// dimension to the first, the first success is the successor.
+func (b Box) NextGTLex(v []int64) ([]int64, bool) {
+	for d := len(b) - 1; d >= 0; d-- {
+		prefixOK := true
+		for j := 0; j < d; j++ {
+			if !b[j].Contains(v[j]) {
+				prefixOK = false
+				break
+			}
+		}
+		if !prefixOK {
+			continue
+		}
+		next, ok := b[d].NextGT(v[d])
+		if !ok {
+			continue
+		}
+		out := make([]int64, len(b))
+		copy(out, v[:d])
+		out[d] = next
+		for j := d + 1; j < len(b); j++ {
+			out[j] = b[j].Lo
+		}
+		return out, true
+	}
+	return nil, false
+}
+
+// Region is a union of equal-dimension boxes, not necessarily
+// disjoint. The nil region is empty.
+type Region []Box
+
+// maxRegionBoxes bounds the inclusion–exclusion fan-out; the detector
+// builds regions of at most a handful of boxes, so hitting this is a
+// construction bug, not a data-dependent condition.
+const maxRegionBoxes = 20
+
+// Count returns the number of distinct points via inclusion–exclusion
+// over all non-empty subset intersections.
+func (r Region) Count() int64 {
+	return r.ieCount(func(b Box) int64 { return b.Count() })
+}
+
+// CountLexLE returns the number of distinct points lex-≤ v.
+func (r Region) CountLexLE(v []int64) int64 {
+	return r.ieCount(func(b Box) int64 { return b.CountLexLE(v) })
+}
+
+func (r Region) ieCount(measure func(Box) int64) int64 {
+	if len(r) > maxRegionBoxes {
+		panic("sym: region has too many boxes for inclusion-exclusion")
+	}
+	total := int64(0)
+	for mask := 1; mask < 1<<len(r); mask++ {
+		var inter Box
+		ok := true
+		sign := int64(-1)
+		for i := 0; i < len(r) && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			sign = -sign
+			if inter == nil {
+				inter = r[i]
+			} else {
+				inter, ok = IntersectBox(inter, r[i])
+			}
+		}
+		if ok {
+			total += sign * measure(inter)
+		}
+	}
+	return total
+}
+
+// Contains reports membership of v in any box.
+func (r Region) Contains(v []int64) bool {
+	for _, b := range r {
+		if b.Contains(v) {
+			return true
+		}
+	}
+	return false
+}
+
+// Lexmax returns the lexicographically largest point, if the region is
+// non-empty.
+func (r Region) Lexmax() ([]int64, bool) {
+	var best []int64
+	for _, b := range r {
+		m := b.Lexmax()
+		if best == nil || lexCmp(m, best) > 0 {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+// Lexmin returns the lexicographically smallest point, if any.
+func (r Region) Lexmin() ([]int64, bool) {
+	var best []int64
+	for _, b := range r {
+		m := b.Lexmin()
+		if best == nil || lexCmp(m, best) < 0 {
+			best = m
+		}
+	}
+	return best, best != nil
+}
+
+// NextGTLex returns the smallest point of the region strictly
+// lex-greater than v, if any.
+func (r Region) NextGTLex(v []int64) ([]int64, bool) {
+	var best []int64
+	for _, b := range r {
+		if n, ok := b.NextGTLex(v); ok && (best == nil || lexCmp(n, best) < 0) {
+			best = n
+		}
+	}
+	return best, best != nil
+}
+
+// ForeachLex visits every distinct point in lexicographic order until
+// fn returns false.
+func (r Region) ForeachLex(fn func(v []int64) bool) {
+	cur, ok := r.Lexmin()
+	for ok {
+		if !fn(cur) {
+			return
+		}
+		cur, ok = r.NextGTLex(cur)
+	}
+}
+
+func lexCmp(a, b []int64) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

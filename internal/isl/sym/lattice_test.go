@@ -1,0 +1,213 @@
+package sym
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestLat1Basics(t *testing.T) {
+	l, ok := MkLat1(2, 17, 5) // {2, 7, 12, 17}
+	if !ok {
+		t.Fatal("non-empty lattice reported empty")
+	}
+	if l.Hi != 17 || l.Count() != 4 {
+		t.Fatalf("lat = %+v count=%d", l, l.Count())
+	}
+	// MkLat1 aligns hi down.
+	l2, _ := MkLat1(2, 16, 5)
+	if l2.Hi != 12 || l2.Count() != 3 {
+		t.Fatalf("aligned lat = %+v", l2)
+	}
+	if _, ok := MkLat1(5, 4, 1); ok {
+		t.Fatal("empty range must report not-ok")
+	}
+	for x := int64(-1); x <= 20; x++ {
+		want := x >= 2 && x <= 17 && (x-2)%5 == 0
+		if l.Contains(x) != want {
+			t.Fatalf("Contains(%d) = %v, want %v", x, l.Contains(x), want)
+		}
+	}
+}
+
+func TestLat1CountLTAndNext(t *testing.T) {
+	l, _ := MkLat1(2, 17, 5) // {2, 7, 12, 17}
+	wantLT := map[int64]int64{1: 0, 2: 0, 3: 1, 7: 1, 8: 2, 17: 3, 18: 4, 100: 4}
+	for x, want := range wantLT {
+		if got := l.CountLT(x); got != want {
+			t.Fatalf("CountLT(%d) = %d, want %d", x, got, want)
+		}
+	}
+	// Brute-force cross-check NextGE/NextGT.
+	for x := int64(-3); x <= 20; x++ {
+		var wantGE int64
+		foundGE := false
+		for v := l.Lo; v <= l.Hi; v += l.Stride {
+			if v >= x {
+				wantGE, foundGE = v, true
+				break
+			}
+		}
+		got, ok := l.NextGE(x)
+		if ok != foundGE || (ok && got != wantGE) {
+			t.Fatalf("NextGE(%d) = %d,%v; want %d,%v", x, got, ok, wantGE, foundGE)
+		}
+	}
+}
+
+func TestIntersectLat1(t *testing.T) {
+	cases := []struct {
+		a, b  Lat1
+		want  Lat1
+		empty bool
+	}{
+		{Lat1{0, 30, 6}, Lat1{0, 30, 10}, Lat1{0, 30, 30}, false},
+		{Lat1{0, 20, 4}, Lat1{2, 20, 6}, Lat1{8, 20, 12}, false},
+		{Lat1{0, 10, 2}, Lat1{1, 11, 2}, Lat1{}, true}, // disjoint parity
+		{Lat1{0, 5, 1}, Lat1{3, 9, 1}, Lat1{3, 5, 1}, false},
+		{Lat1{0, 5, 1}, Lat1{6, 9, 1}, Lat1{}, true}, // disjoint ranges
+		{Lat1{3, 3, 1}, Lat1{0, 12, 3}, Lat1{3, 3, 3}, false},
+	}
+	for _, c := range cases {
+		got, ok := IntersectLat1(c.a, c.b)
+		if c.empty {
+			if ok {
+				t.Fatalf("IntersectLat1(%+v, %+v) = %+v; want empty", c.a, c.b, got)
+			}
+			continue
+		}
+		if !ok || got != c.want {
+			t.Fatalf("IntersectLat1(%+v, %+v) = %+v,%v; want %+v", c.a, c.b, got, ok, c.want)
+		}
+		// Membership cross-check.
+		for x := int64(-2); x <= 35; x++ {
+			want := c.a.Contains(x) && c.b.Contains(x)
+			if got.Contains(x) != want {
+				t.Fatalf("intersection of %+v and %+v: Contains(%d) = %v, want %v",
+					c.a, c.b, x, got.Contains(x), want)
+			}
+		}
+	}
+}
+
+func enumBox(b Box) [][]int64 {
+	var out [][]int64
+	var rec func(d int, cur []int64)
+	rec = func(d int, cur []int64) {
+		if d == len(b) {
+			out = append(out, append([]int64(nil), cur...))
+			return
+		}
+		for v := b[d].Lo; v <= b[d].Hi; v += b[d].Stride {
+			rec(d+1, append(cur, v))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestBoxLexOps(t *testing.T) {
+	b := Box{{0, 9, 3}, {1, 7, 2}} // 4 × 4 points
+	pts := enumBox(b)
+	if int64(len(pts)) != b.Count() {
+		t.Fatalf("Count = %d, want %d", b.Count(), len(pts))
+	}
+	if !reflect.DeepEqual(b.Lexmin(), pts[0]) || !reflect.DeepEqual(b.Lexmax(), pts[len(pts)-1]) {
+		t.Fatalf("lexmin/lexmax = %v/%v; enum ends %v/%v", b.Lexmin(), b.Lexmax(), pts[0], pts[len(pts)-1])
+	}
+	// CountLexLE and NextGTLex against brute force on a grid including
+	// non-members.
+	for x0 := int64(-1); x0 <= 10; x0++ {
+		for x1 := int64(-1); x1 <= 8; x1++ {
+			v := []int64{x0, x1}
+			var wantLE int64
+			var wantNext []int64
+			for _, p := range pts {
+				if lexCmp(p, v) <= 0 {
+					wantLE++
+				} else if wantNext == nil {
+					wantNext = p
+				}
+			}
+			if got := b.CountLexLE(v); got != wantLE {
+				t.Fatalf("CountLexLE(%v) = %d, want %d", v, got, wantLE)
+			}
+			got, ok := b.NextGTLex(v)
+			if ok != (wantNext != nil) || (ok && !reflect.DeepEqual(got, wantNext)) {
+				t.Fatalf("NextGTLex(%v) = %v,%v; want %v", v, got, ok, wantNext)
+			}
+		}
+	}
+}
+
+func TestRegionCounting(t *testing.T) {
+	// Overlapping boxes: evens 0..8 and all of 4..10.
+	r := Region{
+		Box{{0, 8, 2}},
+		Box{{4, 10, 1}},
+	}
+	member := func(x int64) bool {
+		return (x >= 0 && x <= 8 && x%2 == 0) || (x >= 4 && x <= 10)
+	}
+	var want int64
+	for x := int64(0); x <= 10; x++ {
+		if member(x) {
+			want++
+		}
+	}
+	if got := r.Count(); got != want {
+		t.Fatalf("Region.Count = %d, want %d", got, want)
+	}
+	for v := int64(-1); v <= 12; v++ {
+		var wantLE int64
+		for x := int64(0); x <= 10; x++ {
+			if member(x) && x <= v {
+				wantLE++
+			}
+		}
+		if got := r.CountLexLE([]int64{v}); got != wantLE {
+			t.Fatalf("Region.CountLexLE(%d) = %d, want %d", v, got, wantLE)
+		}
+	}
+}
+
+func TestRegionForeachLex(t *testing.T) {
+	r := Region{
+		Box{{0, 6, 3}, {0, 2, 2}},
+		Box{{2, 4, 2}, {1, 3, 1}},
+	}
+	seen := map[[2]int64]bool{}
+	var visited [][]int64
+	r.ForeachLex(func(v []int64) bool {
+		visited = append(visited, append([]int64(nil), v...))
+		seen[[2]int64{v[0], v[1]}] = true
+		return true
+	})
+	// Strictly increasing, all members, count matches Count().
+	for i := 1; i < len(visited); i++ {
+		if lexCmp(visited[i-1], visited[i]) >= 0 {
+			t.Fatalf("ForeachLex not strictly increasing at %d: %v then %v", i, visited[i-1], visited[i])
+		}
+	}
+	for _, v := range visited {
+		if !r.Contains(v) {
+			t.Fatalf("visited non-member %v", v)
+		}
+	}
+	if int64(len(visited)) != r.Count() {
+		t.Fatalf("visited %d points, Count = %d", len(visited), r.Count())
+	}
+	// Exhaustive membership agreement.
+	for x0 := int64(-1); x0 <= 7; x0++ {
+		for x1 := int64(-1); x1 <= 4; x1++ {
+			inBoxes := false
+			for _, b := range r {
+				if b.Contains([]int64{x0, x1}) {
+					inBoxes = true
+				}
+			}
+			if seen[[2]int64{x0, x1}] != inBoxes {
+				t.Fatalf("enumeration disagrees with membership at (%d,%d)", x0, x1)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package sym
+
+// Bounded integer lexicographic optimization on top of the
+// Fourier–Motzkin projector: variables are fixed one at a time in
+// order, each scanned from the preferred end of its exact rational
+// shadow bounds, with rational-infeasibility pruning between levels.
+// Because FM projection is exact over the rationals, the scan interval
+// always contains every integer solution; the backtracking handles the
+// integer gaps an elimination can introduce (the classic dark-shadow
+// cases). A step budget turns pathological instances into an honest
+// "unknown" instead of a hang — the detector only calls this on small
+// constraint systems where the budget is never reached.
+
+// lexSearchBudget bounds the total number of candidate fixings one
+// LexmaxBounded/LexminBounded call may try.
+const lexSearchBudget = 1 << 16
+
+// LexmaxBounded returns the lexicographically largest integer solution
+// of the system. ok is false when the system has no integer solution,
+// is unbounded in the search direction, or the search budget is
+// exhausted.
+func (s *System) LexmaxBounded() ([]int64, bool) { return s.lexSearch(+1) }
+
+// LexminBounded returns the lexicographically smallest integer
+// solution, with the same contract as LexmaxBounded.
+func (s *System) LexminBounded() ([]int64, bool) { return s.lexSearch(-1) }
+
+func (s *System) lexSearch(sign int) ([]int64, bool) {
+	budget := lexSearchBudget
+	out := make([]int64, s.N)
+	if s.lexStep(0, sign, out, &budget) {
+		return out, true
+	}
+	return nil, false
+}
+
+func (s *System) lexStep(dim, sign int, out []int64, budget *int) bool {
+	if dim == s.N {
+		// All variables fixed: every constraint is variable-free.
+		for _, c := range s.Cons {
+			if c.Eq && c.K.Sign() != 0 || !c.Eq && c.K.Sign() < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	lo, hi, hasLo, hasHi, empty := s.Bounds(dim)
+	if empty {
+		return false
+	}
+	if !hasLo || !hasHi {
+		return false // unbounded in some direction: refuse, don't guess
+	}
+	ilo, ihi := lo.Ceil(), hi.Floor()
+	if ilo > ihi {
+		return false
+	}
+	for v := pick(sign, ilo, ihi); v >= ilo && v <= ihi; v -= int64(sign) {
+		*budget--
+		if *budget < 0 {
+			return false
+		}
+		sub := s.FixVar(dim, v)
+		if sub.RationalEmpty() {
+			continue
+		}
+		out[dim] = v
+		if sub.lexStep(dim+1, sign, out, budget) {
+			return true
+		}
+	}
+	return false
+}
+
+func pick(sign int, lo, hi int64) int64 {
+	if sign > 0 {
+		return hi
+	}
+	return lo
+}

@@ -1,0 +1,177 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Piece pruning: product constructions (LexMinPW, ComposePW) generate
+// a guard for every piece pair, most of which are mutually exclusive —
+// a congruence from one blocking map contradicting an interval from
+// another. Each dimension's guard is a univariate quasi-affine system,
+// so it encodes into a linear constraint system over the input
+// coordinate plus one auxiliary variable per floor stage
+// (C·y ≤ A·x+B ≤ C·y+C−1), and Fourier–Motzkin decides rational
+// feasibility exactly. Clamped stages are over-approximated (the
+// clamp's one-sided inequalities only), and encodings past the size
+// caps are skipped, so pruning is conservative: a dropped piece is
+// provably unreachable, a kept piece may still be dead.
+
+const (
+	pruneMaxVars = 24
+	pruneMaxCons = 160
+)
+
+// encRow is one constraint row being collected before the variable
+// count is known.
+type encRow struct {
+	coefs map[int]int64
+	k     int64
+	eq    bool
+}
+
+type dimEncoder struct {
+	nvars int
+	rows  []encRow
+	memo  map[string]int // stage-chain fingerprint → variable index
+	ok    bool
+}
+
+func newDimEncoder() *dimEncoder {
+	return &dimEncoder{nvars: 1, memo: map[string]int{}, ok: true} // var 0 = x
+}
+
+func (e *dimEncoder) newVar() int {
+	v := e.nvars
+	e.nvars++
+	if e.nvars > pruneMaxVars {
+		e.ok = false
+	}
+	return v
+}
+
+func (e *dimEncoder) addRow(coefs map[int]int64, k int64, eq bool) {
+	e.rows = append(e.rows, encRow{coefs: coefs, k: k, eq: eq})
+	if len(e.rows) > pruneMaxCons {
+		e.ok = false
+	}
+}
+
+// value is either a known constant or a variable of the encoding.
+type encValue struct {
+	isConst bool
+	c       int64
+	v       int
+}
+
+// encodeForm returns the value holding f(x), introducing floor and
+// clamp variables as needed.
+func (e *dimEncoder) encodeForm(f Form) encValue {
+	cur := encValue{v: 0}
+	var key strings.Builder
+	for _, st := range f.Stages {
+		fmt.Fprintf(&key, "%d,%d,%d,%v,%d,%v,%d;", st.A, st.B, st.C, st.ClampLo, st.Lo, st.ClampHi, st.Hi)
+		if cur.isConst {
+			cur = encValue{isConst: true, c: st.Eval(cur.c)}
+			continue
+		}
+		if st.A == 0 {
+			cur = encValue{isConst: true, c: st.Eval(0)}
+			continue
+		}
+		if memoed, hit := e.memo[key.String()]; hit {
+			cur = encValue{v: memoed}
+			continue
+		}
+		in := cur.v
+		y := e.newVar()
+		if st.C == 1 {
+			// y = A·x + B exactly.
+			e.addRow(map[int]int64{y: 1, in: -st.A}, -st.B, true)
+		} else {
+			// C·y ≤ A·x + B ≤ C·y + C − 1.
+			e.addRow(map[int]int64{in: st.A, y: -st.C}, st.B, false)
+			e.addRow(map[int]int64{y: st.C, in: -st.A}, st.C - 1 - st.B, false)
+		}
+		out := y
+		if st.ClampLo || st.ClampHi {
+			z := e.newVar()
+			if st.ClampLo {
+				e.addRow(map[int]int64{z: 1, y: -1}, 0, false) // z ≥ y
+				e.addRow(map[int]int64{z: 1}, -st.Lo, false)   // z ≥ Lo
+			}
+			if st.ClampHi {
+				e.addRow(map[int]int64{y: 1, z: -1}, 0, false) // z ≤ y
+				e.addRow(map[int]int64{z: -1}, st.Hi, false)   // z ≤ Hi
+			}
+			out = z
+		}
+		e.memo[key.String()] = out
+		cur = encValue{v: out}
+	}
+	return cur
+}
+
+func (e *dimEncoder) encodeCond(c Cond) {
+	coefs := map[int]int64{}
+	k := c.K
+	for _, t := range c.Terms {
+		val := e.encodeForm(t.F)
+		if val.isConst {
+			k += t.Coef * val.c
+		} else {
+			coefs[val.v] += t.Coef
+		}
+	}
+	e.addRow(coefs, k, c.Op == CondEQ)
+}
+
+// guardFeasible reports whether the per-dimension guard can hold for
+// some rational x in [lo, hi]; errs on the side of true.
+func guardFeasible(conds []Cond, lo, hi int64) bool {
+	e := newDimEncoder()
+	e.addRow(map[int]int64{0: 1}, -lo, false)
+	e.addRow(map[int]int64{0: -1}, hi, false)
+	for _, c := range conds {
+		e.encodeCond(c)
+		if !e.ok {
+			return true // encoding too large: keep conservatively
+		}
+	}
+	sys := NewSystem(e.nvars)
+	for _, r := range e.rows {
+		row := make([]int64, e.nvars)
+		for v, co := range r.coefs {
+			row[v] = co
+		}
+		if r.eq {
+			sys.AddEQ(row, r.k)
+		} else {
+			sys.AddGE(row, r.k)
+		}
+	}
+	return !sys.RationalEmpty()
+}
+
+// PrunePW drops pieces whose guard is rationally infeasible over the
+// per-dimension ranges of dom. Conservative: every surviving piece is
+// exactly as before, every dropped piece matched no domain point.
+func PrunePW(p PW, dom Box) PW {
+	if len(dom) != p.Dim {
+		panic("sym: PrunePW dimension mismatch")
+	}
+	out := PW{Dim: p.Dim}
+	for _, pc := range p.Pieces {
+		live := true
+		for d := 0; d < p.Dim && live; d++ {
+			if len(pc.Guard[d]) == 0 {
+				continue
+			}
+			live = guardFeasible(pc.Guard[d], dom[d].Lo, dom[d].Hi)
+		}
+		if live {
+			out.Pieces = append(out.Pieces, pc)
+		}
+	}
+	return out
+}

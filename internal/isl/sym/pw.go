@@ -1,0 +1,378 @@
+package sym
+
+// Piecewise quasi-affine maps with per-dimension separable structure:
+// every guard condition and every output coordinate of a piece depends
+// on exactly one input dimension. This is the fragment Algorithm 1
+// needs — pipeline maps compose per-dimension, nearest-≽ blocking maps
+// over strided-lattice leader sets split into one bump position per
+// dimension, and pointwise lexicographic minima split on per-dimension
+// comparisons — and it keeps every operation a product construction
+// whose cost depends only on piece counts.
+
+// Stage is one step of a quasi-affine evaluation chain:
+// y = ⌊(A·x + B)/C⌋, optionally clamped from below/above. C ≥ 1.
+type Stage struct {
+	A, B, C int64
+	ClampLo bool
+	Lo      int64
+	ClampHi bool
+	Hi      int64
+}
+
+// Eval applies the stage.
+func (st Stage) Eval(x int64) int64 {
+	y := floorDiv(st.A*x+st.B, st.C)
+	if st.ClampLo && y < st.Lo {
+		y = st.Lo
+	}
+	if st.ClampHi && y > st.Hi {
+		y = st.Hi
+	}
+	return y
+}
+
+// Form is a composition chain of stages applied left to right to one
+// input coordinate. The empty chain is the identity.
+type Form struct {
+	Stages []Stage
+}
+
+// Eval applies the chain.
+func (f Form) Eval(x int64) int64 {
+	for _, st := range f.Stages {
+		x = st.Eval(x)
+	}
+	return x
+}
+
+// IdentityForm is x ↦ x.
+func IdentityForm() Form { return Form{} }
+
+// ConstForm is x ↦ k.
+func ConstForm(k int64) Form { return Form{Stages: []Stage{{A: 0, B: k, C: 1}}} }
+
+// AffineForm is x ↦ a·x + b.
+func AffineForm(a, b int64) Form { return Form{Stages: []Stage{{A: a, B: b, C: 1}}} }
+
+// RatForm is x ↦ ⌊(a·x + b)/c⌋.
+func RatForm(a, b, c int64) Form { return Form{Stages: []Stage{{A: a, B: b, C: c}}} }
+
+// Then returns the chain f followed by st.
+func (f Form) Then(st Stage) Form {
+	out := Form{Stages: make([]Stage, 0, len(f.Stages)+1)}
+	out.Stages = append(out.Stages, f.Stages...)
+	out.Stages = append(out.Stages, st)
+	return out
+}
+
+// ComposeForm returns "first inner, then outer".
+func ComposeForm(inner, outer Form) Form {
+	out := Form{Stages: make([]Stage, 0, len(inner.Stages)+len(outer.Stages))}
+	out.Stages = append(out.Stages, inner.Stages...)
+	out.Stages = append(out.Stages, outer.Stages...)
+	return out
+}
+
+// IsConst reports the chain's constant value when it ignores its
+// input.
+func (f Form) IsConst() (int64, bool) {
+	if len(f.Stages) == 0 {
+		return 0, false
+	}
+	first := f.Stages[0]
+	if first.A != 0 {
+		return 0, false
+	}
+	return f.Eval(0), true
+}
+
+// upForm is the "smallest lattice point ≥ x" map of l, clamped to l.Lo
+// from below so inputs left of the lattice land on its first point.
+func upForm(l Lat1) Form {
+	return Form{Stages: []Stage{
+		{A: 1, B: -l.Lo + l.Stride - 1, C: l.Stride},
+		{A: l.Stride, B: l.Lo, C: 1, ClampLo: true, Lo: l.Lo},
+	}}
+}
+
+// upStrictForm is the "smallest lattice point > x" map of l, with the
+// same left clamp.
+func upStrictForm(l Lat1) Form {
+	return Form{Stages: []Stage{
+		{A: 1, B: -l.Lo, C: l.Stride},
+		{A: l.Stride, B: l.Lo + l.Stride, C: 1, ClampLo: true, Lo: l.Lo},
+	}}
+}
+
+// CondOp distinguishes ≥ from =.
+type CondOp int
+
+const (
+	// CondGE is Σ Coef·F(x) + K ≥ 0.
+	CondGE CondOp = iota
+	// CondEQ is Σ Coef·F(x) + K = 0.
+	CondEQ
+)
+
+// Term is one Coef·F(x) summand of a condition.
+type Term struct {
+	Coef int64
+	F    Form
+}
+
+// Cond is a univariate quasi-affine condition over one input
+// coordinate: Σ Terms + K  op  0.
+type Cond struct {
+	Terms []Term
+	K     int64
+	Op    CondOp
+}
+
+// Eval evaluates the condition at coordinate x.
+func (c Cond) Eval(x int64) bool {
+	v := c.K
+	for _, t := range c.Terms {
+		v += t.Coef * t.F.Eval(x)
+	}
+	if c.Op == CondEQ {
+		return v == 0
+	}
+	return v >= 0
+}
+
+// geCond builds f(x) + k ≥ 0.
+func geCond(f Form, k int64) Cond { return Cond{Terms: []Term{{Coef: 1, F: f}}, K: k} }
+
+// leCond builds f(x) ≤ k, i.e. k − f(x) ≥ 0.
+func leCond(f Form, k int64) Cond { return Cond{Terms: []Term{{Coef: -1, F: f}}, K: k} }
+
+// memberConds encode x ∈ l as bounds plus (for stride > 1) a lattice
+// congruence x − Lo − S·⌊(x−Lo)/S⌋ = 0.
+func memberConds(l Lat1) []Cond {
+	conds := []Cond{
+		geCond(IdentityForm(), -l.Lo), // x ≥ Lo
+		leCond(IdentityForm(), l.Hi),  // x ≤ Hi
+	}
+	if l.Stride > 1 {
+		conds = append(conds, Cond{
+			Terms: []Term{
+				{Coef: 1, F: IdentityForm()},
+				{Coef: -l.Stride, F: RatForm(1, -l.Lo, l.Stride)},
+			},
+			K:  -l.Lo,
+			Op: CondEQ,
+		})
+	}
+	return conds
+}
+
+// substCond rewrites a condition over the output of pre into a
+// condition over pre's input.
+func substCond(c Cond, pre Form) Cond {
+	terms := make([]Term, len(c.Terms))
+	for i, t := range c.Terms {
+		terms[i] = Term{Coef: t.Coef, F: ComposeForm(pre, t.F)}
+	}
+	return Cond{Terms: terms, K: c.K, Op: c.Op}
+}
+
+// Piece is one guarded branch of a piecewise map: per-dimension guard
+// condition lists (conjunction; empty = always) and per-dimension
+// output forms.
+type Piece struct {
+	Guard [][]Cond
+	Out   []Form
+}
+
+// PW is a piecewise per-dimension-separable quasi-affine map with
+// first-match piece semantics. A PW built by the detector is total
+// over the iteration domain it is used on (the final piece of a
+// blocking map has an empty guard).
+type PW struct {
+	Dim    int
+	Pieces []Piece
+}
+
+// Eval returns the image of v under the first matching piece.
+func (p PW) Eval(v []int64) ([]int64, bool) {
+	for _, pc := range p.Pieces {
+		if pieceMatches(pc, v) {
+			out := make([]int64, p.Dim)
+			for d := 0; d < p.Dim; d++ {
+				out[d] = pc.Out[d].Eval(v[d])
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+func pieceMatches(pc Piece, v []int64) bool {
+	for d, conds := range pc.Guard {
+		for _, c := range conds {
+			if !c.Eval(v[d]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConstPW is the total map sending everything to out.
+func ConstPW(out []int64) PW {
+	forms := make([]Form, len(out))
+	for d, k := range out {
+		forms[d] = ConstForm(k)
+	}
+	return PW{Dim: len(out), Pieces: []Piece{{Guard: make([][]Cond, len(out)), Out: forms}}}
+}
+
+// SinglePW is the total map with one unconditional piece of the given
+// per-dimension forms.
+func SinglePW(forms []Form) PW {
+	return PW{Dim: len(forms), Pieces: []Piece{{Guard: make([][]Cond, len(forms)), Out: forms}}}
+}
+
+// NearestGETotal is the closed form of a totalized blocking map: each
+// point x maps to the lex-smallest leader ≽ x, and points beyond the
+// last leader map to dommax (the BlockingMap tail rule). One piece per
+// bump position, most-specific first, plus the tail piece:
+//
+//	exact on dims < D−1, up within the last dim's lattice
+//	exact on dims < k, strict-up at dim k, lattice minima after
+//	…
+//	dommax
+func NearestGETotal(leaders Box, dommax []int64) PW {
+	d := len(leaders)
+	var pieces []Piece
+
+	exactGuard := func(k int) [][]Cond {
+		g := make([][]Cond, d)
+		for j := 0; j < k; j++ {
+			g[j] = memberConds(leaders[j])
+		}
+		return g
+	}
+	identityPrefix := func(k int) []Form {
+		out := make([]Form, d)
+		for j := 0; j < k; j++ {
+			out[j] = IdentityForm()
+		}
+		return out
+	}
+
+	// Bump at the last dimension (non-strict: up within the lattice).
+	g := exactGuard(d - 1)
+	up := upForm(leaders[d-1])
+	g[d-1] = []Cond{leCond(up, leaders[d-1].Hi)}
+	out := identityPrefix(d - 1)
+	out[d-1] = up
+	pieces = append(pieces, Piece{Guard: g, Out: out})
+
+	// Bumps at earlier dimensions, innermost first (longest shared
+	// prefix binds first under first-match).
+	for k := d - 2; k >= 0; k-- {
+		g := exactGuard(k)
+		ups := upStrictForm(leaders[k])
+		g[k] = []Cond{leCond(ups, leaders[k].Hi)}
+		out := identityPrefix(k)
+		out[k] = ups
+		for j := k + 1; j < d; j++ {
+			out[j] = ConstForm(leaders[j].Lo)
+		}
+		pieces = append(pieces, Piece{Guard: g, Out: out})
+	}
+
+	// Tail: everything past the last leader belongs to the block led
+	// by the domain's lexicographic maximum.
+	tail := ConstPW(dommax).Pieces[0]
+	pieces = append(pieces, tail)
+	return PW{Dim: d, Pieces: pieces}
+}
+
+// LexMinPW is the pointwise lexicographic minimum of two total maps.
+// Product pieces preserve first-match semantics (the first matching
+// product pair is the pair of first matches), and each pair splits
+// into "a wins at some dimension" branches with an unconditional
+// "b wins" fallback.
+func LexMinPW(a, b PW) PW {
+	if a.Dim != b.Dim {
+		panic("sym: LexMinPW dimension mismatch")
+	}
+	d := a.Dim
+	out := PW{Dim: d}
+	for _, pa := range a.Pieces {
+		for _, pb := range b.Pieces {
+			base := make([][]Cond, d)
+			for j := 0; j < d; j++ {
+				base[j] = append(append([]Cond{}, pa.Guard[j]...), pb.Guard[j]...)
+			}
+			// a wins: equal on dims < k, strictly below at k (at the
+			// last dimension, ≤ suffices).
+			for k := 0; k < d; k++ {
+				g := cloneGuard(base)
+				for j := 0; j < k; j++ {
+					g[j] = append(g[j], diffCond(pa.Out[j], pb.Out[j], CondEQ, 0))
+				}
+				if k == d-1 {
+					g[k] = append(g[k], diffCond(pb.Out[k], pa.Out[k], CondGE, 0)) // a_k ≤ b_k
+				} else {
+					g[k] = append(g[k], diffCond(pb.Out[k], pa.Out[k], CondGE, -1)) // a_k < b_k
+				}
+				out.Pieces = append(out.Pieces, Piece{Guard: g, Out: pa.Out})
+			}
+			// b wins unconditionally otherwise.
+			out.Pieces = append(out.Pieces, Piece{Guard: base, Out: pb.Out})
+		}
+	}
+	return out
+}
+
+// diffCond builds hi(x) − lo(x) + k op 0.
+func diffCond(hi, lo Form, op CondOp, k int64) Cond {
+	return Cond{Terms: []Term{{Coef: 1, F: hi}, {Coef: -1, F: lo}}, K: k, Op: op}
+}
+
+func cloneGuard(g [][]Cond) [][]Cond {
+	out := make([][]Cond, len(g))
+	for i := range g {
+		out[i] = append([]Cond{}, g[i]...)
+	}
+	return out
+}
+
+// LexMinFold folds LexMinPW over maps (which must be non-empty).
+func LexMinFold(maps []PW) PW {
+	acc := maps[0]
+	for _, m := range maps[1:] {
+		acc = LexMinPW(acc, m)
+	}
+	return acc
+}
+
+// ComposePW returns outer ∘ inner. Both maps must be total on the
+// points they are evaluated at; the product piece (i, o) guards
+// inner's piece i plus outer's piece o rewritten through inner's
+// outputs.
+func ComposePW(outer, inner PW) PW {
+	if outer.Dim != inner.Dim {
+		panic("sym: ComposePW dimension mismatch")
+	}
+	d := inner.Dim
+	out := PW{Dim: d}
+	for _, pi := range inner.Pieces {
+		for _, po := range outer.Pieces {
+			g := make([][]Cond, d)
+			forms := make([]Form, d)
+			for j := 0; j < d; j++ {
+				g[j] = append([]Cond{}, pi.Guard[j]...)
+				for _, c := range po.Guard[j] {
+					g[j] = append(g[j], substCond(c, pi.Out[j]))
+				}
+				forms[j] = ComposeForm(pi.Out[j], po.Out[j])
+			}
+			out.Pieces = append(out.Pieces, Piece{Guard: g, Out: forms})
+		}
+	}
+	return out
+}

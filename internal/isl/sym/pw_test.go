@@ -1,0 +1,180 @@
+package sym
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestUpForms(t *testing.T) {
+	lats := []Lat1{{0, 12, 3}, {2, 17, 5}, {-4, 8, 2}, {5, 5, 1}}
+	for _, l := range lats {
+		up := upForm(l)
+		ups := upStrictForm(l)
+		for x := l.Lo - 7; x <= l.Hi+7; x++ {
+			// upForm: smallest lattice point ≥ x on the unbounded
+			// lattice (it runs past Hi; guards cut the overshoot),
+			// saturating at Lo below.
+			wantGE := l.Lo
+			if x > l.Lo {
+				wantGE = l.Lo + ceilDiv(x-l.Lo, l.Stride)*l.Stride
+			}
+			if got := up.Eval(x); got != wantGE {
+				t.Fatalf("upForm(%+v)(%d) = %d, want %d", l, x, got, wantGE)
+			}
+			wantGT := l.Lo
+			if x >= l.Lo {
+				wantGT = l.Lo + ceilDiv(x+1-l.Lo, l.Stride)*l.Stride
+			}
+			if got := ups.Eval(x); got != wantGT {
+				t.Fatalf("upStrictForm(%+v)(%d) = %d, want %d", l, x, got, wantGT)
+			}
+		}
+	}
+}
+
+func TestMemberConds(t *testing.T) {
+	lats := []Lat1{{0, 12, 3}, {2, 17, 5}, {0, 9, 1}}
+	for _, l := range lats {
+		conds := memberConds(l)
+		for x := l.Lo - 5; x <= l.Hi+5; x++ {
+			got := true
+			for _, c := range conds {
+				if !c.Eval(x) {
+					got = false
+					break
+				}
+			}
+			if got != l.Contains(x) {
+				t.Fatalf("memberConds(%+v) at %d = %v, want %v", l, x, got, l.Contains(x))
+			}
+		}
+	}
+}
+
+// bruteNearestGE is the reference: lex-smallest leader ≽ x, else dommax.
+func bruteNearestGE(leaders Box, dommax, x []int64) []int64 {
+	for _, p := range enumBox(leaders) {
+		if lexCmp(p, x) >= 0 {
+			return p
+		}
+	}
+	return dommax
+}
+
+func gridPoints(dims []Lat1, pad int64) [][]int64 {
+	var out [][]int64
+	var rec func(d int, cur []int64)
+	rec = func(d int, cur []int64) {
+		if d == len(dims) {
+			out = append(out, append([]int64(nil), cur...))
+			return
+		}
+		for v := dims[d].Lo - pad; v <= dims[d].Hi+pad; v++ {
+			rec(d+1, append(cur, v))
+		}
+	}
+	rec(0, nil)
+	return out
+}
+
+func TestNearestGETotal(t *testing.T) {
+	cases := []struct {
+		leaders Box
+		dommax  []int64
+	}{
+		{Box{{0, 12, 4}}, []int64{15}},
+		{Box{{0, 6, 3}, {0, 4, 2}}, []int64{7, 5}},
+		{Box{{0, 8, 4}, {1, 7, 3}, {0, 4, 2}}, []int64{9, 8, 5}},
+	}
+	for _, c := range cases {
+		pw := NearestGETotal(c.leaders, c.dommax)
+		for _, x := range gridPoints(c.leaders, 2) {
+			want := bruteNearestGE(c.leaders, c.dommax, x)
+			got, ok := pw.Eval(x)
+			if !ok {
+				t.Fatalf("NearestGETotal(%v) not total at %v", c.leaders, x)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("NearestGETotal(%v)(%v) = %v, want %v", c.leaders, x, got, want)
+			}
+		}
+	}
+}
+
+func TestLexMinPW(t *testing.T) {
+	a := NearestGETotal(Box{{0, 6, 3}, {0, 4, 2}}, []int64{7, 5})
+	b := NearestGETotal(Box{{0, 6, 2}, {1, 5, 2}}, []int64{7, 5})
+	m := LexMinPW(a, b)
+	for _, x := range gridPoints(Box{{0, 7, 1}, {0, 5, 1}}, 1) {
+		va, _ := a.Eval(x)
+		vb, _ := b.Eval(x)
+		want := va
+		if lexCmp(vb, va) < 0 {
+			want = vb
+		}
+		got, ok := m.Eval(x)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("LexMinPW at %v = %v,%v; want %v (a=%v b=%v)", x, got, ok, want, va, vb)
+		}
+	}
+}
+
+func TestComposePW(t *testing.T) {
+	inner := NearestGETotal(Box{{0, 6, 2}, {0, 4, 2}}, []int64{7, 5})
+	// outer: per-dimension affine shift into a second space.
+	outer := SinglePW([]Form{AffineForm(3, 1), AffineForm(1, -2)})
+	comp := ComposePW(outer, inner)
+	for _, x := range gridPoints(Box{{0, 7, 1}, {0, 5, 1}}, 1) {
+		mid, _ := inner.Eval(x)
+		want, _ := outer.Eval(mid)
+		got, ok := comp.Eval(x)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("ComposePW at %v = %v,%v; want %v", x, got, ok, want)
+		}
+	}
+
+	// Composition where the outer map is itself piecewise: nearest-≽
+	// after a floor-divide coarsening.
+	coarse := SinglePW([]Form{RatForm(1, 0, 2), RatForm(1, 0, 2)})
+	outer2 := NearestGETotal(Box{{0, 3, 1}, {0, 2, 1}}, []int64{3, 2})
+	comp2 := ComposePW(outer2, coarse)
+	for _, x := range gridPoints(Box{{0, 7, 1}, {0, 5, 1}}, 0) {
+		mid, _ := coarse.Eval(x)
+		want, _ := outer2.Eval(mid)
+		got, ok := comp2.Eval(x)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("ComposePW(piecewise) at %v = %v,%v; want %v", x, got, ok, want)
+		}
+	}
+}
+
+func TestPrunePW(t *testing.T) {
+	a := NearestGETotal(Box{{0, 6, 3}, {0, 4, 2}}, []int64{7, 5})
+	b := NearestGETotal(Box{{0, 6, 2}, {1, 5, 2}}, []int64{7, 5})
+	m := LexMinPW(a, b)
+	dom := Box{{0, 7, 1}, {0, 5, 1}}
+	pruned := PrunePW(m, dom)
+	if len(pruned.Pieces) >= len(m.Pieces) {
+		t.Fatalf("pruning dropped nothing: %d -> %d pieces", len(m.Pieces), len(pruned.Pieces))
+	}
+	for _, x := range gridPoints(dom, 0) {
+		want, _ := m.Eval(x)
+		got, ok := pruned.Eval(x)
+		if !ok || !reflect.DeepEqual(got, want) {
+			t.Fatalf("pruned map diverges at %v: %v,%v vs %v", x, got, ok, want)
+		}
+	}
+}
+
+func TestConstAndSinglePW(t *testing.T) {
+	c := ConstPW([]int64{4, -1})
+	got, ok := c.Eval([]int64{99, 99})
+	if !ok || got[0] != 4 || got[1] != -1 {
+		t.Fatalf("ConstPW eval = %v, %v", got, ok)
+	}
+	s := SinglePW([]Form{AffineForm(2, 0), IdentityForm()})
+	got, ok = s.Eval([]int64{3, 7})
+	if !ok || got[0] != 6 || got[1] != 7 {
+		t.Fatalf("SinglePW eval = %v, %v", got, ok)
+	}
+}

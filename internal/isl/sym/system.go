@@ -1,0 +1,322 @@
+package sym
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mpint"
+)
+
+// SysCon is one affine constraint Σ Coef[i]·x_i + K  (≥ 0, or = 0 when
+// Eq is set) over exact rationals.
+type SysCon struct {
+	Coef []mpint.Rat
+	K    mpint.Rat
+	Eq   bool
+}
+
+// System is a conjunction of affine constraints over N integer
+// variables. Elimination and feasibility work over the rationals
+// (Fourier–Motzkin); the integer lexmin/lexmax search in lexopt.go
+// layers exact integer reasoning on top.
+type System struct {
+	N    int
+	Cons []SysCon
+}
+
+// NewSystem returns an unconstrained system over nvars variables.
+func NewSystem(nvars int) *System { return &System{N: nvars} }
+
+func (s *System) addRat(coef []mpint.Rat, k mpint.Rat, eq bool) {
+	if len(coef) != s.N {
+		panic("sym: constraint arity mismatch")
+	}
+	s.Cons = append(s.Cons, SysCon{Coef: coef, K: k, Eq: eq})
+}
+
+func ratRow(coefs []int64) []mpint.Rat {
+	row := make([]mpint.Rat, len(coefs))
+	for i, c := range coefs {
+		row[i] = mpint.RatFromInt(c)
+	}
+	return row
+}
+
+// AddGE adds Σ coefs[i]·x_i + k ≥ 0.
+func (s *System) AddGE(coefs []int64, k int64) {
+	s.addRat(ratRow(coefs), mpint.RatFromInt(k), false)
+}
+
+// AddLE adds Σ coefs[i]·x_i + k ≤ 0.
+func (s *System) AddLE(coefs []int64, k int64) {
+	neg := make([]int64, len(coefs))
+	for i, c := range coefs {
+		neg[i] = -c
+	}
+	s.AddGE(neg, -k)
+}
+
+// AddEQ adds Σ coefs[i]·x_i + k = 0.
+func (s *System) AddEQ(coefs []int64, k int64) {
+	s.addRat(ratRow(coefs), mpint.RatFromInt(k), true)
+}
+
+// AddBounds adds lo ≤ x_v ≤ hi.
+func (s *System) AddBounds(v int, lo, hi int64) {
+	row := make([]int64, s.N)
+	row[v] = 1
+	s.AddGE(row, -lo)
+	row2 := make([]int64, s.N)
+	row2[v] = -1
+	s.AddGE(row2, hi)
+}
+
+// Clone returns an independent copy (constraint rows are immutable and
+// shared).
+func (s *System) Clone() *System {
+	out := &System{N: s.N, Cons: make([]SysCon, len(s.Cons))}
+	copy(out.Cons, s.Cons)
+	return out
+}
+
+// uses reports whether the constraint mentions variable v.
+func (c SysCon) uses(v int) bool { return c.Coef[v].Sign() != 0 }
+
+// scaleAdd returns c + f·d as a fresh constraint row (inequality kind
+// of c is preserved; the caller guarantees the combination is sound).
+func scaleAdd(c SysCon, f mpint.Rat, d SysCon) SysCon {
+	coef := make([]mpint.Rat, len(c.Coef))
+	for i := range coef {
+		coef[i] = c.Coef[i].Add(f.Mul(d.Coef[i]))
+	}
+	return SysCon{Coef: coef, K: c.K.Add(f.Mul(d.K)), Eq: c.Eq && d.Eq}
+}
+
+// Eliminate projects out variable v and returns the shadow system over
+// the remaining variables (v keeps its slot with zero coefficients).
+// Equalities are used for exact Gaussian substitution when available;
+// otherwise inequalities combine pairwise in the classic
+// Fourier–Motzkin fashion. The projection is exact over the rationals.
+func (s *System) Eliminate(v int) *System {
+	out := NewSystem(s.N)
+	// Gaussian step: substitute through the first equality using v.
+	for _, e := range s.Cons {
+		if !e.Eq || !e.uses(v) {
+			continue
+		}
+		for _, c := range s.Cons {
+			if sameCon(c, e) {
+				continue
+			}
+			if !c.uses(v) {
+				out.addRat(c.Coef, c.K, c.Eq)
+				continue
+			}
+			f := c.Coef[v].Div(e.Coef[v]).Neg()
+			nc := scaleAdd(c, f, e)
+			nc.Eq = c.Eq
+			out.addRat(nc.Coef, nc.K, nc.Eq)
+		}
+		return out.dedup()
+	}
+	// Fourier–Motzkin on the inequalities (equalities not using v are
+	// carried; an equality using v would have been handled above).
+	var lower, upper []SysCon // lower: Coef[v] > 0 (x_v ≥ …), upper: < 0
+	for _, c := range s.Cons {
+		switch {
+		case !c.uses(v):
+			out.addRat(c.Coef, c.K, c.Eq)
+		case c.Coef[v].Sign() > 0:
+			lower = append(lower, c)
+		default:
+			upper = append(upper, c)
+		}
+	}
+	for _, lo := range lower {
+		for _, up := range upper {
+			// lo: a·x_v + R ≥ 0 (a>0), up: -b·x_v + S ≥ 0 (b>0):
+			// lo + (a/b)·up cancels x_v with positive multipliers.
+			f := lo.Coef[v].Div(up.Coef[v].Neg())
+			nc := scaleAdd(lo, f, up)
+			nc.Eq = false
+			out.addRat(nc.Coef, nc.K, false)
+		}
+	}
+	return out.dedup()
+}
+
+func sameCon(a, b SysCon) bool {
+	if a.Eq != b.Eq || a.K.Cmp(b.K) != 0 {
+		return false
+	}
+	for i := range a.Coef {
+		if a.Coef[i].Cmp(b.Coef[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// dedup removes duplicate constraints after normalizing each row by
+// its first non-zero coefficient's magnitude (cheap redundancy
+// control; full redundancy elimination is not needed for correctness).
+func (s *System) dedup() *System {
+	seen := make(map[string]bool, len(s.Cons))
+	out := NewSystem(s.N)
+	for _, c := range s.Cons {
+		n := normalizeCon(c)
+		key := conKey(n)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out.Cons = append(out.Cons, n)
+	}
+	return out
+}
+
+func normalizeCon(c SysCon) SysCon {
+	var scale mpint.Rat
+	found := false
+	for _, r := range c.Coef {
+		if r.Sign() != 0 {
+			scale = r
+			if scale.Sign() < 0 {
+				scale = scale.Neg()
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return c
+	}
+	coef := make([]mpint.Rat, len(c.Coef))
+	for i := range coef {
+		coef[i] = c.Coef[i].Div(scale)
+	}
+	return SysCon{Coef: coef, K: c.K.Div(scale), Eq: c.Eq}
+}
+
+func conKey(c SysCon) string {
+	var b strings.Builder
+	for _, r := range c.Coef {
+		b.WriteString(r.String())
+		b.WriteByte(',')
+	}
+	b.WriteString(c.K.String())
+	if c.Eq {
+		b.WriteString("=")
+	}
+	return b.String()
+}
+
+// RationalEmpty reports whether the system has no rational solution.
+// It eliminates every variable and checks the resulting variable-free
+// constraints; Fourier–Motzkin projection is exact over the rationals,
+// so the answer is exact (an integer-empty but rational-feasible
+// system reports false — callers needing integer emptiness use the
+// lexopt search).
+func (s *System) RationalEmpty() bool {
+	cur := s
+	for v := 0; v < s.N; v++ {
+		cur = cur.Eliminate(v)
+	}
+	for _, c := range cur.Cons {
+		if c.Eq {
+			if c.K.Sign() != 0 {
+				return true
+			}
+		} else if c.K.Sign() < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FixVar substitutes x_v = val and returns the reduced system (v keeps
+// its slot with zero coefficient).
+func (s *System) FixVar(v int, val int64) *System {
+	out := NewSystem(s.N)
+	rv := mpint.RatFromInt(val)
+	for _, c := range s.Cons {
+		if !c.uses(v) {
+			out.Cons = append(out.Cons, c)
+			continue
+		}
+		coef := make([]mpint.Rat, len(c.Coef))
+		copy(coef, c.Coef)
+		coef[v] = mpint.Rat{}
+		out.addRat(coef, c.K.Add(c.Coef[v].Mul(rv)), c.Eq)
+	}
+	return out
+}
+
+// Bounds returns the rational bounds the system induces on x_v once
+// every other variable has been projected out. hasLo/hasHi report
+// whether the corresponding side is bounded; empty reports a
+// rationally infeasible system.
+func (s *System) Bounds(v int) (lo, hi mpint.Rat, hasLo, hasHi, empty bool) {
+	cur := s
+	for u := 0; u < s.N; u++ {
+		if u != v {
+			cur = cur.Eliminate(u)
+		}
+	}
+	for _, c := range cur.Cons {
+		a := c.Coef[v]
+		if a.Sign() == 0 {
+			if c.Eq && c.K.Sign() != 0 || !c.Eq && c.K.Sign() < 0 {
+				return lo, hi, false, false, true
+			}
+			continue
+		}
+		// a·x + K ≥ 0 → x ≥ -K/a (a>0) or x ≤ -K/a (a<0); equalities
+		// clamp both sides.
+		b := c.K.Div(a).Neg()
+		if c.Eq {
+			if !hasLo || b.Cmp(lo) > 0 {
+				lo, hasLo = b, true
+			}
+			if !hasHi || b.Cmp(hi) < 0 {
+				hi, hasHi = b, true
+			}
+			continue
+		}
+		if a.Sign() > 0 {
+			if !hasLo || b.Cmp(lo) > 0 {
+				lo, hasLo = b, true
+			}
+		} else {
+			if !hasHi || b.Cmp(hi) < 0 {
+				hi, hasHi = b, true
+			}
+		}
+	}
+	if hasLo && hasHi && lo.Cmp(hi) > 0 {
+		return lo, hi, hasLo, hasHi, true
+	}
+	return lo, hi, hasLo, hasHi, false
+}
+
+// String renders the system for diagnostics.
+func (s *System) String() string {
+	var b strings.Builder
+	for i, c := range s.Cons {
+		if i > 0 {
+			b.WriteString(" and ")
+		}
+		for j, r := range c.Coef {
+			if r.Sign() == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "%+v*x%d ", r, j)
+		}
+		op := ">="
+		if c.Eq {
+			op = "="
+		}
+		fmt.Fprintf(&b, "%+v %s 0", c.K, op)
+	}
+	return b.String()
+}

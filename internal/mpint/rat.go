@@ -1,0 +1,115 @@
+// Exact rational arithmetic for the symbolic isl backend.
+//
+// The Fourier–Motzkin eliminator in internal/isl/sym combines
+// inequality rows with positive rational multipliers; doing that in
+// machine integers silently overflows once coefficients compound
+// across eliminations. Rat wraps math/big.Rat behind the small API the
+// solver needs — construction from machine integers, ring operations,
+// comparisons, and the integer floor/ceil used when rounding rational
+// vertices to lattice points.
+package mpint
+
+import "math/big"
+
+// Rat is an immutable exact rational. The zero value is 0/1 and ready
+// to use. All operations return fresh values; operands are never
+// mutated, so Rats can be shared freely across goroutines.
+type Rat struct {
+	r big.Rat
+}
+
+// NewRat returns the rational num/den. den must be non-zero.
+func NewRat(num, den int64) Rat {
+	var out Rat
+	out.r.SetFrac64(num, den)
+	return out
+}
+
+// RatFromInt returns v as a rational.
+func RatFromInt(v int64) Rat {
+	var out Rat
+	out.r.SetInt64(v)
+	return out
+}
+
+// Add returns a + b.
+func (a Rat) Add(b Rat) Rat {
+	var out Rat
+	out.r.Add(&a.r, &b.r)
+	return out
+}
+
+// Sub returns a - b.
+func (a Rat) Sub(b Rat) Rat {
+	var out Rat
+	out.r.Sub(&a.r, &b.r)
+	return out
+}
+
+// Mul returns a * b.
+func (a Rat) Mul(b Rat) Rat {
+	var out Rat
+	out.r.Mul(&a.r, &b.r)
+	return out
+}
+
+// Div returns a / b. b must be non-zero.
+func (a Rat) Div(b Rat) Rat {
+	var out Rat
+	out.r.Quo(&a.r, &b.r)
+	return out
+}
+
+// Neg returns -a.
+func (a Rat) Neg() Rat {
+	var out Rat
+	out.r.Neg(&a.r)
+	return out
+}
+
+// Cmp returns -1, 0, or +1 as a is less than, equal to, or greater
+// than b.
+func (a Rat) Cmp(b Rat) int { return a.r.Cmp(&b.r) }
+
+// Sign returns -1, 0, or +1 by the sign of a.
+func (a Rat) Sign() int { return a.r.Sign() }
+
+// IsInt reports whether a is an integer.
+func (a Rat) IsInt() bool { return a.r.IsInt() }
+
+// Floor returns the largest integer <= a. It panics if the result does
+// not fit an int64, which cannot happen for the bounded systems the
+// solver builds from int64 constraint coefficients.
+func (a Rat) Floor() int64 {
+	var q, m big.Int
+	q.QuoRem(a.r.Num(), a.r.Denom(), &m)
+	if m.Sign() < 0 {
+		q.Sub(&q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("mpint: Rat.Floor overflows int64")
+	}
+	return q.Int64()
+}
+
+// Ceil returns the smallest integer >= a, with the same overflow
+// contract as Floor.
+func (a Rat) Ceil() int64 {
+	var q, m big.Int
+	q.QuoRem(a.r.Num(), a.r.Denom(), &m)
+	if m.Sign() > 0 {
+		q.Add(&q, big.NewInt(1))
+	}
+	if !q.IsInt64() {
+		panic("mpint: Rat.Ceil overflows int64")
+	}
+	return q.Int64()
+}
+
+// String renders a in lowest terms ("-3/2", "7").
+func (a Rat) String() string {
+	if a.r.IsInt() {
+		return a.r.Num().String()
+	}
+	return a.r.RatString()
+}

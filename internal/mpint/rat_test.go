@@ -1,0 +1,70 @@
+package mpint
+
+import "testing"
+
+func TestRatArithmetic(t *testing.T) {
+	a := NewRat(1, 3)
+	b := NewRat(1, 6)
+	if got := a.Add(b); got.Cmp(NewRat(1, 2)) != 0 {
+		t.Fatalf("1/3 + 1/6 = %v, want 1/2", got)
+	}
+	if got := a.Sub(b); got.Cmp(NewRat(1, 6)) != 0 {
+		t.Fatalf("1/3 - 1/6 = %v, want 1/6", got)
+	}
+	if got := a.Mul(b); got.Cmp(NewRat(1, 18)) != 0 {
+		t.Fatalf("1/3 * 1/6 = %v, want 1/18", got)
+	}
+	if got := a.Div(b); got.Cmp(RatFromInt(2)) != 0 {
+		t.Fatalf("1/3 / 1/6 = %v, want 2", got)
+	}
+	if got := a.Neg(); got.Cmp(NewRat(-1, 3)) != 0 {
+		t.Fatalf("-(1/3) = %v, want -1/3", got)
+	}
+}
+
+func TestRatFloorCeil(t *testing.T) {
+	cases := []struct {
+		num, den    int64
+		floor, ceil int64
+	}{
+		{7, 2, 3, 4},
+		{-7, 2, -4, -3},
+		{6, 3, 2, 2},
+		{-6, 3, -2, -2},
+		{0, 5, 0, 0},
+		{1, 1000000, 0, 1},
+		{-1, 1000000, -1, 0},
+	}
+	for _, c := range cases {
+		r := NewRat(c.num, c.den)
+		if got := r.Floor(); got != c.floor {
+			t.Errorf("floor(%d/%d) = %d, want %d", c.num, c.den, got, c.floor)
+		}
+		if got := r.Ceil(); got != c.ceil {
+			t.Errorf("ceil(%d/%d) = %d, want %d", c.num, c.den, got, c.ceil)
+		}
+	}
+}
+
+func TestRatZeroValueAndString(t *testing.T) {
+	var z Rat
+	if z.Sign() != 0 || !z.IsInt() {
+		t.Fatalf("zero value is not 0: %v", z)
+	}
+	if s := NewRat(-3, 2).String(); s != "-3/2" {
+		t.Fatalf("String() = %q, want -3/2", s)
+	}
+	if s := NewRat(14, 2).String(); s != "7" {
+		t.Fatalf("String() = %q, want 7", s)
+	}
+}
+
+func TestRatImmutability(t *testing.T) {
+	a := NewRat(2, 3)
+	b := NewRat(1, 3)
+	_ = a.Add(b)
+	_ = a.Mul(b)
+	if a.Cmp(NewRat(2, 3)) != 0 || b.Cmp(NewRat(1, 3)) != 0 {
+		t.Fatalf("operands mutated: a=%v b=%v", a, b)
+	}
+}

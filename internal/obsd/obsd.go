@@ -9,7 +9,7 @@
 //
 //	/metrics       Prometheus text exposition v0.0.4 of the registry
 //	/healthz       200 "ok" while the session is open, 503 after Close
-//	/debug/phases  JSON list of recorded compile/run phase spans
+//	/debug/phases  active backends + recorded compile/run phase spans (JSON)
 //	/debug/series  the continuous sampler's timestamped series (JSON)
 //	/debug/trace   Perfetto trace_event JSON of the collected spans
 //
@@ -48,6 +48,10 @@ type Session interface {
 	TraceSpans() []trace.Span
 	// StmtNames maps statement index to display name for the trace.
 	StmtNames() map[int]string
+	// Backends names the compiled isl backend and the configured
+	// detection backend, so /debug/phases reports which algebra served
+	// the timed spans.
+	Backends() (islBackend, detectBackend string)
 	// Healthy reports whether the session is still open.
 	Healthy() bool
 }
@@ -132,13 +136,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// phaseJSON is one /debug/phases entry; durations are nanoseconds and
+// phaseJSON is one /debug/phases span; durations are nanoseconds and
 // starts are offsets from the first span, so the document is
 // host-independent.
 type phaseJSON struct {
 	Name       string `json:"name"`
 	StartNS    int64  `json:"start_ns"`
 	DurationNS int64  `json:"duration_ns"`
+}
+
+// phasesJSON is the /debug/phases document: the backends that served
+// the session (the compiled isl set representation and the selected
+// detection algebra) plus the recorded spans.
+type phasesJSON struct {
+	ISLBackend    string      `json:"isl_backend"`
+	DetectBackend string      `json:"detect_backend"`
+	Phases        []phaseJSON `json:"phases"`
 }
 
 func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
@@ -157,10 +170,15 @@ func (s *Server) handlePhases(w http.ResponseWriter, r *http.Request) {
 			DurationNS: sp.Duration.Nanoseconds(),
 		})
 	}
+	islBackend, detectBackend := s.sess.Backends()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	_ = enc.Encode(out)
+	_ = enc.Encode(phasesJSON{
+		ISLBackend:    islBackend,
+		DetectBackend: detectBackend,
+		Phases:        out,
+	})
 }
 
 func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {

@@ -38,6 +38,7 @@ func (f *fakeSession) PhaseSpans() []obs.PhaseSpan { return f.phases }
 func (f *fakeSession) Sampler() *export.Sampler    { return f.sampler }
 func (f *fakeSession) TraceSpans() []trace.Span    { return f.spans }
 func (f *fakeSession) StmtNames() map[int]string   { return map[int]string{0: "S0"} }
+func (f *fakeSession) Backends() (string, string)  { return "fake-isl", "explicit" }
 func (f *fakeSession) Healthy() bool               { return f.healthy }
 
 func get(t *testing.T, url string) (int, string) {
@@ -68,8 +69,20 @@ func TestEndpointsDegradeGracefully(t *testing.T) {
 	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
 	}
-	if code, body := get(t, ts.URL+"/debug/phases"); code != http.StatusOK || strings.TrimSpace(body) != "[]" {
-		t.Errorf("/debug/phases empty = %d %q, want 200 []", code, body)
+	if code, body := get(t, ts.URL+"/debug/phases"); code != http.StatusOK {
+		t.Errorf("/debug/phases empty = %d, want 200", code)
+	} else {
+		var doc struct {
+			ISL    string           `json:"isl_backend"`
+			Detect string           `json:"detect_backend"`
+			Phases []map[string]any `json:"phases"`
+		}
+		if err := json.Unmarshal([]byte(body), &doc); err != nil {
+			t.Fatalf("/debug/phases JSON: %v", err)
+		}
+		if doc.ISL != "fake-isl" || doc.Detect != "explicit" || len(doc.Phases) != 0 {
+			t.Errorf("/debug/phases empty = %+v, want fake-isl/explicit with no spans", doc)
+		}
 	}
 	if code, body := get(t, ts.URL+"/debug/trace"); code != http.StatusOK || !strings.Contains(body, "traceEvents") {
 		t.Errorf("/debug/trace empty = %d %q, want a trace_event document", code, body)
@@ -194,12 +207,20 @@ func TestDebugEndpointsOnFixedRun(t *testing.T) {
 	if code != http.StatusOK {
 		t.Fatalf("/debug/phases = %d, want 200", code)
 	}
-	var phases []map[string]any
-	if err := json.Unmarshal([]byte(body), &phases); err != nil {
+	var phasesDoc struct {
+		ISL    string           `json:"isl_backend"`
+		Detect string           `json:"detect_backend"`
+		Phases []map[string]any `json:"phases"`
+	}
+	if err := json.Unmarshal([]byte(body), &phasesDoc); err != nil {
 		t.Fatalf("phases JSON: %v", err)
 	}
+	if phasesDoc.ISL == "" || phasesDoc.Detect != "explicit" {
+		t.Errorf("/debug/phases backends = %q/%q, want a named isl backend and %q",
+			phasesDoc.ISL, phasesDoc.Detect, "explicit")
+	}
 	names := map[string]bool{}
-	for _, ph := range phases {
+	for _, ph := range phasesDoc.Phases {
 		names[ph["name"].(string)] = true
 	}
 	for _, want := range []string{"detect", "codegen.schedule_tree"} {

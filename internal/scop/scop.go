@@ -108,7 +108,17 @@ func (sc *SCoP) Statement(name string) *Statement {
 // rely on: unique statement names, declared arrays, access relations
 // with matching spaces, and injective writes (the paper's no-overwrite
 // assumption).
-func (sc *SCoP) Validate() error {
+func (sc *SCoP) Validate() error { return sc.validate(true) }
+
+// ValidateShallow checks the same structural invariants as Validate
+// but skips the write-injectivity scan, the only check whose cost
+// grows with the iteration domain. The symbolic detection backend
+// (internal/core's DetectSymbolic) uses it and establishes injectivity
+// from the write's closed form instead, keeping its cost independent
+// of domain size.
+func (sc *SCoP) ValidateShallow() error { return sc.validate(false) }
+
+func (sc *SCoP) validate(injective bool) error {
 	seen := make(map[string]bool)
 	for i, s := range sc.Stmts {
 		if s.Name == "" {
@@ -148,7 +158,7 @@ func (sc *SCoP) Validate() error {
 					sc.Name, s.Name, a.Rel.InSpace(), s.Domain.Space())
 			}
 		}
-		if s.Write != nil && !s.Write.MayOverwrite && !s.Write.Rel.IsInjective() {
+		if injective && s.Write != nil && !s.Write.MayOverwrite && !s.Write.Rel.IsInjective() {
 			return fmt.Errorf("scop %q: statement %q write access to %q is not injective (the transformation requires no over-writes; declare the access with WritesOverwriting to opt into the relaxed extension)",
 				sc.Name, s.Name, s.Write.Array())
 		}

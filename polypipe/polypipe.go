@@ -79,6 +79,12 @@ const (
 	GMMT = kernels.GMMT
 )
 
+// BackendSymbolic selects the symbolic (constraint-form) detection
+// backend — closed-form pipeline/blocking/dependency maps whose cost is
+// independent of domain size, with automatic fallback to the explicit
+// path outside its fragment. Pass to WithBackend or Options.Backend.
+const BackendSymbolic = core.BackendSymbolic
+
 // NewBuilder starts a programmatic SCoP definition.
 func NewBuilder(name string) *Builder { return scop.NewBuilder(name) }
 

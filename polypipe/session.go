@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/futures"
+	"repro/internal/isl"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
 	"repro/internal/obsd"
@@ -85,6 +86,8 @@ type Session struct {
 	workers      int
 	intraWorkers int
 	opts         Options
+	backend      string
+	wantBackend  bool
 	ctx          context.Context
 	registry     *obs.Registry
 	cache        *cache.Cache
@@ -149,6 +152,16 @@ func WithOptions(opts Options) SessionOption {
 	return func(s *Session) { s.opts = opts }
 }
 
+// WithBackend selects the detection backend every Detect this session
+// issues uses: "" or "explicit" for Algorithm 1 over enumerated
+// relations, BackendSymbolic for the closed-form constraint algebra
+// (with automatic fallback to the explicit path outside its fragment).
+// It overrides Options.Backend regardless of option order, so it
+// composes with WithOptions.
+func WithBackend(name string) SessionOption {
+	return func(s *Session) { s.backend, s.wantBackend = name, true }
+}
+
 // WithCache attaches a content-addressed detection cache bounded to
 // capacity entries (<= 0 means the default, cache.DefaultCapacity).
 // With a cache, Session.Detect on a previously seen SCoP — same
@@ -207,6 +220,9 @@ func NewSession(options ...SessionOption) *Session {
 	}
 	if s.opts.Workers == 0 {
 		s.opts.Workers = s.workers
+	}
+	if s.wantBackend {
+		s.opts.Backend = s.backend
 	}
 	if (s.introAddr != "" || s.wantSampler) && s.registry == nil {
 		// Live telemetry needs somewhere to read from.
@@ -274,6 +290,18 @@ func (s *Session) StmtNames() map[int]string {
 		out[k] = v
 	}
 	return out
+}
+
+// Backends names the compiled isl backend and the session's configured
+// detection backend ("explicit" for the default enumerated path). Part
+// of the obsd.Session surface: /debug/phases reports both, so live
+// telemetry shows which algebra handled a request.
+func (s *Session) Backends() (islBackend, detectBackend string) {
+	detectBackend = s.opts.Backend
+	if detectBackend == "" {
+		detectBackend = "explicit"
+	}
+	return isl.BackendName, detectBackend
 }
 
 // Healthy reports whether the session is open (Close not yet called);

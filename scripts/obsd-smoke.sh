@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # obsd-smoke: end-to-end check of the live-telemetry path. Builds
-# pipeline-stats, starts it in -serve mode on a random port, scrapes
-# /metrics and /healthz (failing on non-200 or an empty exposition),
-# waits for the continuous sampler to accumulate at least two samples
-# in /debug/series, then interrupts the process and expects a clean
+# pipeline-stats, starts it in -serve mode on a random port with the
+# symbolic detection backend selected, scrapes /metrics and /healthz
+# (failing on non-200 or an empty exposition), asserts /debug/phases
+# reports the active isl and detection backends, waits for the
+# continuous sampler to accumulate at least two samples in
+# /debug/series, then interrupts the process and expects a clean
 # shutdown. Wired into `make check` as the obsd-smoke target.
 set -euo pipefail
 
@@ -30,7 +32,11 @@ fail() {
 echo "obsd-smoke: building pipeline-stats"
 "$GO" build -o "$tmp/pipeline-stats" ./cmd/pipeline-stats
 
+# -backend symbolic with -min-block-iters 1 keeps P4 inside the
+# symbolic fragment, so the served detection really runs the
+# closed-form path (coarsening would force the explicit fallback).
 "$tmp/pipeline-stats" -serve 127.0.0.1:0 -kernel P4 -n 8 -size 2 -work 0 \
+    -backend symbolic -min-block-iters 1 \
     -serve-period 50ms -sample-interval 50ms >"$tmp/serve.log" 2>&1 &
 pid=$!
 
@@ -51,6 +57,11 @@ curl -fsS "http://$addr/metrics" >"$tmp/metrics" || fail "/metrics scrape failed
 grep -q '^# TYPE detect_statements counter' "$tmp/metrics" || fail "/metrics missing the detect family"
 grep -q '^# TYPE runtime_executed counter' "$tmp/metrics" || fail "/metrics missing the runtime family"
 grep -q '_bucket{le="+Inf"}' "$tmp/metrics" || fail "/metrics missing histogram buckets"
+grep -q '^# TYPE detect_backend_symbolic counter' "$tmp/metrics" || fail "/metrics missing the detect.backend.symbolic counter"
+
+curl -fsS "http://$addr/debug/phases" >"$tmp/phases" || fail "/debug/phases scrape failed"
+grep -q '"isl_backend": "' "$tmp/phases" || fail "/debug/phases does not name the isl backend"
+grep -q '"detect_backend": "symbolic"' "$tmp/phases" || fail "/debug/phases does not report the symbolic detection backend"
 
 samples=0
 for _ in $(seq 1 100); do
