@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck crosscheck-symbolic obsd-smoke bench bench-cache bench-gate bench-exec bench-exec-gate stats serve clean
+.PHONY: check build test vet race crosscheck crosscheck-symbolic obsd-smoke serve-smoke bench bench-cache bench-gate bench-exec bench-exec-gate bench-serve bench-serve-gate stats serve clean
 
 ## check: the full gate — vet, build, the race-enabled test suite,
 ## the cross-backend differential suites (isl backends and the symbolic
-## detection algebra), and the live-telemetry smoke.
-check: vet build race crosscheck crosscheck-symbolic obsd-smoke
+## detection algebra), the live-telemetry smoke, and the detection-
+## service smoke.
+check: vet build race crosscheck crosscheck-symbolic obsd-smoke serve-smoke
 
 ## crosscheck: prove the columnar isl backend (default) and the legacy
 ## hash-map backend (-tags islhashmap) are observably identical — the
@@ -77,6 +78,28 @@ bench-exec-gate:
 ## sampler entries in /debug/series, then SIGINT for a clean shutdown.
 obsd-smoke:
 	GO="$(GO)" ./scripts/obsd-smoke.sh
+
+## serve-smoke: end-to-end detection-service check — start pipelined
+## with a disk cache on a random port, POST an enveloped SCoP, refuse a
+## bare legacy document, scrape the serve.* metrics, SIGTERM for a
+## graceful drain, then restart over the same cache directory and
+## require the disk tier to answer (cache_disk_hits >= 1).
+serve-smoke:
+	GO="$(GO)" ./scripts/serve-smoke.sh
+
+## bench-serve: the detection-service load benchmark — replayable
+## zipf-skewed traffic over the Table 9 + nmm corpus against an
+## in-process pipelined, cold pass then cache-warm pass; regenerates
+## the committed BENCH_serve.json (p50/p99 latency, throughput, shed
+## rate).
+bench-serve:
+	$(GO) run ./cmd/serveload -out BENCH_serve.json
+
+## bench-serve-gate: performance regression gate — re-run the serving
+## benchmark and fail if p50 or p99 of either pass regressed more than
+## 15% against the committed BENCH_serve.json (tune with -gate-tol).
+bench-serve-gate:
+	$(GO) run ./cmd/serveload -gate
 
 ## stats: one observed run with the full breakdown + trace.json.
 stats:

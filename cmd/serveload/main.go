@@ -1,0 +1,276 @@
+// Command serveload is the replayable load generator for the
+// detection service: it builds the paper's corpus (Table 9 P1–P10
+// plus the nmm matrix chains), draws a zipf-skewed request sequence
+// from a fixed seed — so two runs replay byte-identical traffic — and
+// drives it over HTTP against an in-process pipelined server (or, with
+// -addr, any running one), reporting p50/p99 latency, throughput, and
+// the shed rate.
+//
+// The sequence runs twice: the "cold" pass starts with an empty cache
+// and pays detection on every distinct kernel; the "warm" pass replays
+// the same traffic against the now-populated fingerprint cache, which
+// is the steady state a deployment lives in.
+//
+// -out writes the BENCH_serve.json document; -gate re-runs and fails
+// if p50 or p99 of any pass regressed more than -gate-tol (default
+// 15%) against the committed file. Wired into `make bench-serve` and
+// `make bench-serve-gate`.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/scop"
+	"repro/internal/serve"
+	"repro/polypipe"
+)
+
+type result struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	OK            int     `json:"ok"`
+	Shed          int     `json:"shed"`
+	ClientErrors  int     `json:"client_errors"`
+	P50NS         int64   `json:"p50_ns"`
+	P99NS         int64   `json:"p99_ns"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	ShedRate      float64 `json:"shed_rate"`
+}
+
+type doc struct {
+	GoVersion  string   `json:"go_version"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	NumCPU     int      `json:"num_cpu"`
+	Note       string   `json:"note"`
+	Config     config   `json:"config"`
+	Results    []result `json:"results"`
+}
+
+type config struct {
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	ZipfS       float64 `json:"zipf_s"`
+	Seed        int64   `json:"seed"`
+	Corpus      int     `json:"corpus"`
+	N           int     `json:"n"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target a running pipelined instead of an in-process server")
+	requests := flag.Int("requests", 1500, "requests per pass")
+	concurrency := flag.Int("concurrency", 8, "concurrent client connections")
+	n := flag.Int("n", 12, "kernel grid size")
+	zipfS := flag.Float64("zipf-s", 1.2, "zipf skew (>1; larger = hotter head)")
+	seed := flag.Int64("seed", 1, "traffic seed; same seed = same request sequence")
+	out := flag.String("out", "", "write the JSON document here (e.g. BENCH_serve.json)")
+	gate := flag.Bool("gate", false, "compare against -gate-file and fail on regression")
+	gateFile := flag.String("gate-file", "BENCH_serve.json", "committed baseline for -gate")
+	gateTol := flag.Float64("gate-tol", 0.15, "allowed fractional latency regression")
+	flag.Parse()
+
+	corpus, err := buildCorpus(*n)
+	if err != nil {
+		fatal(err)
+	}
+	// The request sequence is drawn up front from the seed so the
+	// traffic replays exactly regardless of concurrency or timing.
+	zr := rand.NewZipf(rand.New(rand.NewSource(*seed)), *zipfS, 1, uint64(len(corpus)-1))
+	seq := make([]int, *requests)
+	for i := range seq {
+		seq[i] = int(zr.Uint64())
+	}
+
+	base := *addr
+	if base == "" {
+		sess := polypipe.NewSession(polypipe.WithCache(0))
+		defer sess.Close()
+		srv := serve.New(sess, serve.Limits{}, nil)
+		bound, err := srv.Serve("127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		base = bound.String()
+	}
+	url := "http://" + base + "/v1/detect"
+
+	d := doc{
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Note: "zipf-skewed replayable traffic over Table 9 P1-P10 + nmm chains; " +
+			"cold = empty cache, warm = same sequence replayed against the populated fingerprint cache; " +
+			"shed counts 429/503 refusals",
+		Config: config{Requests: *requests, Concurrency: *concurrency, ZipfS: *zipfS, Seed: *seed, Corpus: len(corpus), N: *n},
+	}
+	for _, pass := range []string{"cold", "warm"} {
+		r := runPass(pass, url, corpus, seq, *concurrency)
+		d.Results = append(d.Results, r)
+		fmt.Printf("%-5s  %6d req  ok %6d  shed %4d  p50 %8.2fms  p99 %8.2fms  %8.1f req/s  shed rate %.3f\n",
+			r.Name, r.Requests, r.OK, r.Shed,
+			float64(r.P50NS)/1e6, float64(r.P99NS)/1e6, r.ThroughputRPS, r.ShedRate)
+	}
+
+	if *out != "" {
+		buf, _ := json.MarshalIndent(d, "", " ")
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *gate {
+		if err := runGate(*gateFile, *gateTol, d.Results); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("gate: OK (tolerance %.0f%%)\n", *gateTol*100)
+	}
+}
+
+// buildCorpus serializes the served kernel set: the ten Table 9
+// programs and the 2/3/4-deep matrix chains, all in the scop/v1
+// envelope.
+func buildCorpus(n int) ([][]byte, error) {
+	var out [][]byte
+	for i := 1; i <= 10; i++ {
+		p, err := kernels.Table9Program(fmt.Sprintf("P%d", i), n, 2)
+		if err != nil {
+			return nil, err
+		}
+		body, err := scop.ToJSONEnveloped(p.SCoP)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		out = append(out, body)
+	}
+	for _, chain := range []int{2, 3, 4} {
+		p := kernels.MMChain(chain, 8, kernels.MM)
+		body, err := scop.ToJSONEnveloped(p.SCoP)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Name, err)
+		}
+		out = append(out, body)
+	}
+	return out, nil
+}
+
+// runPass replays seq against url with the given client concurrency.
+func runPass(name, url string, corpus [][]byte, seq []int, concurrency int) result {
+	var (
+		mu                  sync.Mutex
+		latencies           []int64
+		ok, shed, clientErr int
+	)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := &http.Client{}
+			var lats []int64
+			myOK, myShed, myErr := 0, 0, 0
+			for i := range next {
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(corpus[seq[i]]))
+				lat := time.Since(t0).Nanoseconds()
+				if err != nil {
+					myErr++
+					continue
+				}
+				resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					myOK++
+					lats = append(lats, lat)
+				case resp.StatusCode == http.StatusTooManyRequests,
+					resp.StatusCode == http.StatusServiceUnavailable:
+					myShed++
+				default:
+					myErr++
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, lats...)
+			ok += myOK
+			shed += myShed
+			clientErr += myErr
+			mu.Unlock()
+		}()
+	}
+	for i := range seq {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	wall := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	r := result{Name: name, Requests: len(seq), OK: ok, Shed: shed, ClientErrors: clientErr}
+	if len(latencies) > 0 {
+		r.P50NS = latencies[len(latencies)/2]
+		r.P99NS = latencies[len(latencies)*99/100]
+	}
+	r.ThroughputRPS = float64(ok) / wall.Seconds()
+	r.ShedRate = float64(shed) / float64(len(seq))
+	return r
+}
+
+// runGate compares fresh results against the committed baseline: p50
+// and p99 of each named pass may regress at most tol.
+func runGate(file string, tol float64, fresh []result) error {
+	buf, err := os.ReadFile(file)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var base doc
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	byName := map[string]result{}
+	for _, r := range base.Results {
+		byName[r.Name] = r
+	}
+	var failures []string
+	for _, r := range fresh {
+		b, okRow := byName[r.Name]
+		if !okRow {
+			continue
+		}
+		for _, m := range []struct {
+			what      string
+			base, got int64
+		}{{"p50", b.P50NS, r.P50NS}, {"p99", b.P99NS, r.P99NS}} {
+			if m.base <= 0 {
+				continue
+			}
+			ratio := float64(m.got)/float64(m.base) - 1
+			if ratio > tol {
+				failures = append(failures, fmt.Sprintf("%s %s regressed %.1f%% (%.2fms -> %.2fms)",
+					r.Name, m.what, ratio*100, float64(m.base)/1e6, float64(m.got)/1e6))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "gate:", f)
+		}
+		return fmt.Errorf("%d latency regression(s) beyond %.0f%%", len(failures), tol*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serveload:", err)
+	os.Exit(1)
+}

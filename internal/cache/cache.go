@@ -75,12 +75,28 @@ type shard struct {
 	inflight map[Key]*flight
 }
 
+// Tier is a second-level store consulted behind the in-memory LRU: a
+// miss probes Load before running Detect, and a completed detection is
+// written through with Store. Implementations must be safe for
+// concurrent use and must return Load results that are frozen and
+// bound to the passed SCoP; internal/cache/disk is the durable
+// implementation.
+type Tier interface {
+	// Load returns the frozen detection result for key bound to sc, or
+	// false on a miss. Failures are misses — a tier accelerates, it
+	// never gates.
+	Load(key Key, sc *scop.SCoP) (*core.Info, bool)
+	// Store persists a frozen detection result under key.
+	Store(key Key, info *core.Info)
+}
+
 // Cache is a sharded, bounded, in-process detection cache. All methods
 // are safe for concurrent use; cached Info values are frozen and may
 // be read (and executed) concurrently without synchronization.
 type Cache struct {
 	shards   [numShards]shard
 	perShard int
+	tier     Tier
 
 	hits      *obs.Counter
 	misses    *obs.Counter
@@ -164,9 +180,20 @@ func (c *Cache) Get(ctx context.Context, sc *scop.SCoP, opts core.Options) (*cor
 	sh.inflight[key] = f
 	sh.mu.Unlock()
 
-	info, err := core.Detect(sc, opts)
-	if err == nil {
-		info.Freeze()
+	// Second tier: a durable store (disk) answers before Detect runs.
+	// The flight is already registered, so concurrent misses wait on
+	// one tier probe + detection, not N.
+	var info *core.Info
+	var err error
+	fromTier := false
+	if c.tier != nil {
+		info, fromTier = c.tier.Load(key, sc)
+	}
+	if !fromTier {
+		info, err = core.Detect(sc, opts)
+		if err == nil {
+			info.Freeze()
+		}
 	}
 	f.info, f.err = info, err
 	close(f.done)
@@ -177,8 +204,16 @@ func (c *Cache) Get(ctx context.Context, sc *scop.SCoP, opts core.Options) (*cor
 		c.insertLocked(sh, key, info)
 	}
 	sh.mu.Unlock()
+	if err == nil && !fromTier && c.tier != nil {
+		c.tier.Store(key, info)
+	}
 	return info, err
 }
+
+// SetTier attaches a second-level store behind the in-memory LRU (nil
+// detaches). Set it before serving traffic; the field is read without
+// synchronization on the miss path.
+func (c *Cache) SetTier(t Tier) { c.tier = t }
 
 // wait blocks until f resolves or ctx is done, rebinding a successful
 // result to the waiter's own SCoP instance.

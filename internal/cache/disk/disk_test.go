@@ -1,0 +1,294 @@
+package disk
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/isl"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+	"repro/internal/scop"
+)
+
+// infoDigest folds every observable component of a detection result
+// into a 128-bit content digest — the same fold the cross-backend
+// golden tests use (internal/core), so "equal digests" here means the
+// same thing it means there: bit-identical detection results.
+func infoDigest(in *core.Info) string {
+	d := isl.NewDigest()
+	d.WriteInt(len(in.Pairs))
+	for _, p := range in.Pairs {
+		d.WriteInt(p.Src.Index)
+		d.WriteString(p.Src.Name)
+		d.WriteInt(p.Dst.Index)
+		d.WriteString(p.Dst.Name)
+		p.T.HashInto(d)
+		p.V.HashInto(d)
+		p.Y.HashInto(d)
+	}
+	d.WriteInt(len(in.Stmts))
+	for _, si := range in.Stmts {
+		d.WriteInt(si.Stmt.Index)
+		d.WriteString(si.Stmt.Name)
+		si.E.HashInto(d)
+		d.WriteInt(len(si.Blocks))
+		for _, b := range si.Blocks {
+			d.WriteVec(b.Leader)
+			d.WriteInt(len(b.Members))
+			for _, v := range b.Members {
+				d.WriteVec(v)
+			}
+		}
+		d.WriteInt(len(si.InDeps))
+		for _, dep := range si.InDeps {
+			d.WriteInt(dep.Src.Index)
+			d.WriteString(dep.Src.Name)
+			dep.Rel.HashInto(d)
+		}
+	}
+	lo, hi := d.Sum128()
+	return fmt.Sprintf("%016x%016x", hi, lo)
+}
+
+func testPrograms(t *testing.T) []struct {
+	name string
+	sc   *scop.SCoP
+	opts core.Options
+} {
+	t.Helper()
+	var out []struct {
+		name string
+		sc   *scop.SCoP
+		opts core.Options
+	}
+	for _, name := range []string{"P4", "P7", "P10"} {
+		p, err := kernels.Table9Program(name, 12, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, struct {
+			name string
+			sc   *scop.SCoP
+			opts core.Options
+		}{name, p.SCoP, core.Options{}})
+	}
+	out = append(out, struct {
+		name string
+		sc   *scop.SCoP
+		opts core.Options
+	}{"listing3_coarse", kernels.Listing3(16).SCoP, core.Options{MinBlockIters: 4}})
+	out = append(out, struct {
+		name string
+		sc   *scop.SCoP
+		opts core.Options
+	}{"nmm", kernels.MMChain(3, 8, kernels.MM).SCoP, core.Options{}})
+	return out
+}
+
+// TestDiskRoundTripBitIdentical is the cross-backend-style contract of
+// the disk tier: Detect → Store → Load into a separately built SCoP of
+// the same content must rebind to an Info that is structurally equal
+// AND digest-identical to a fresh detection on that instance.
+func TestDiskRoundTripBitIdentical(t *testing.T) {
+	store, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range testPrograms(t) {
+		want, err := core.Detect(tc.sc, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want.Freeze()
+		key := cache.KeyFor(tc.sc, tc.opts)
+		store.Store(key, want)
+
+		got, ok := store.Load(key, tc.sc)
+		if !ok {
+			t.Fatalf("%s: stored entry did not load", tc.name)
+		}
+		if err := core.EqualInfo(want, got); err != nil {
+			t.Fatalf("%s: loaded Info differs: %v", tc.name, err)
+		}
+		if dw, dg := infoDigest(want), infoDigest(got); dw != dg {
+			t.Fatalf("%s: digest %s vs %s", tc.name, dw, dg)
+		}
+		if got.SCoP != tc.sc {
+			t.Fatalf("%s: loaded Info not bound to the requesting SCoP", tc.name)
+		}
+	}
+}
+
+// TestDiskRebindAcrossInstances: an entry written from one SCoP
+// instance loads into a second, separately built instance of the same
+// content, bound to the second instance's statements.
+func TestDiskRebindAcrossInstances(t *testing.T) {
+	store, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := kernels.Listing3(16).SCoP
+	b := kernels.Listing3(16).SCoP
+	if a == b {
+		t.Fatal("want two instances")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("instances should share content")
+	}
+	info, err := core.Detect(a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info.Freeze()
+	store.Store(cache.KeyFor(a, core.Options{}), info)
+
+	got, ok := store.Load(cache.KeyFor(b, core.Options{}), b)
+	if !ok {
+		t.Fatal("no load into second instance")
+	}
+	if got.SCoP != b {
+		t.Fatal("loaded Info bound to the wrong instance")
+	}
+	for i, si := range got.Stmts {
+		if si.Stmt != b.Stmts[i] {
+			t.Fatalf("stmt %d not rebound to instance b", i)
+		}
+	}
+	fresh, err := core.Detect(b, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.EqualInfo(fresh, got); err != nil {
+		t.Fatalf("rebound Info differs from fresh detection: %v", err)
+	}
+	if infoDigest(fresh) != infoDigest(got) {
+		t.Fatal("rebound Info digest differs from fresh detection")
+	}
+}
+
+// TestDiskOptionVariantsCoexist: the same SCoP under different
+// semantic options lands in distinct files and loads distinctly.
+func TestDiskOptionVariantsCoexist(t *testing.T) {
+	store, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := kernels.Listing3(16).SCoP
+	plain, err := core.Detect(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := core.Detect(sc, core.Options{MinBlockIters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Store(cache.KeyFor(sc, core.Options{}), plain.Freeze())
+	store.Store(cache.KeyFor(sc, core.Options{MinBlockIters: 4}), coarse.Freeze())
+	if store.Len() != 2 {
+		t.Fatalf("store has %d entries, want 2", store.Len())
+	}
+	got, ok := store.Load(cache.KeyFor(sc, core.Options{MinBlockIters: 4}), sc)
+	if !ok {
+		t.Fatal("coarse entry did not load")
+	}
+	if err := core.EqualInfo(coarse, got); err != nil {
+		t.Fatalf("coarse round trip: %v", err)
+	}
+}
+
+// TestDiskCorruptEntryIsMiss: truncated or garbage files degrade to
+// misses and count on cache.disk.errors.
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	reg := obs.NewRegistry()
+	store, err := New(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := kernels.Listing1(8).SCoP
+	key := cache.KeyFor(sc, core.Options{})
+	info, err := core.Detect(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store.Store(key, info.Freeze())
+
+	// Truncate the entry file mid-way.
+	files, _ := filepath.Glob(filepath.Join(store.Dir(), "*.gob"))
+	if len(files) != 1 {
+		t.Fatalf("want 1 entry file, got %d", len(files))
+	}
+	data, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(files[0], data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := store.Load(key, sc); ok {
+		t.Fatal("corrupt entry loaded")
+	}
+	if got := reg.Snapshot().Counter("cache.disk.errors"); got == 0 {
+		t.Fatal("corruption not counted on cache.disk.errors")
+	}
+}
+
+// TestTieredCacheWarmsFromDisk: a fresh in-memory cache with the disk
+// tier serves a previously stored SCoP without re-running Detect
+// (cache.disk.hits goes up, and the result matches a fresh detection).
+func TestTieredCacheWarmsFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	reg1 := obs.NewRegistry()
+	store1, err := New(dir, reg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := cache.New(0, reg1)
+	c1.SetTier(store1)
+	sc1 := kernels.Listing3(16).SCoP
+	want, err := c1.Get(nil, sc1, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if store1.Len() != 1 {
+		t.Fatalf("write-through left %d entries, want 1", store1.Len())
+	}
+
+	// "Cold start": new registry, new memory cache, same directory.
+	reg2 := obs.NewRegistry()
+	store2, err := New(dir, reg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := cache.New(0, reg2)
+	c2.SetTier(store2)
+	sc2 := kernels.Listing3(16).SCoP // separate instance, same content
+	got, err := c2.Get(nil, sc2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg2.Snapshot()
+	if snap.Counter("cache.disk.hits") != 1 {
+		t.Fatalf("cache.disk.hits = %d, want 1", snap.Counter("cache.disk.hits"))
+	}
+	if err := core.EqualInfo(want, got); err != nil {
+		t.Fatalf("disk-warmed result differs: %v", err)
+	}
+	if infoDigest(want) != infoDigest(got) {
+		t.Fatal("disk-warmed digest differs")
+	}
+	// Second request on the warmed process is a pure memory hit.
+	if _, err := c2.Get(nil, sc2, core.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg2.Snapshot()
+	if snap.Counter("cache.hits") != 1 {
+		t.Fatalf("cache.hits = %d, want 1", snap.Counter("cache.hits"))
+	}
+	if snap.Counter("cache.disk.hits") != 1 {
+		t.Fatal("memory hit consulted the disk tier")
+	}
+}

@@ -203,11 +203,11 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 		// results or diagnostics.
 		opts.Obs.Count("detect.backend.symbolic_fallback", 1)
 	default:
-		return nil, fmt.Errorf("core: unknown detection backend %q", opts.Backend)
+		return nil, fmt.Errorf("%w %q", ErrUnknownBackend, opts.Backend)
 	}
 	opts.Obs.Count("detect.backend."+isl.BackendName, 1)
 	if err := sc.Validate(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %w", ErrNotPipelinable, err)
 	}
 	if opts.Obs != nil {
 		// Allocation accounting brackets the whole detection: the
@@ -231,7 +231,7 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 	stop := opts.Obs.Phase("detect.dependence_analysis")
 	if err := deps.CrossHazards(sc); err != nil {
 		stop()
-		return nil, fmt.Errorf("core: scop not pipelinable: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrNotPipelinable, err)
 	}
 	g := deps.AnalyzeParallel(sc, workers)
 	stop()
@@ -277,7 +277,7 @@ func Detect(sc *scop.SCoP, opts Options) (*Info, error) {
 		var err error
 		if j.src.Write.MayOverwrite {
 			if !opts.AllowOverwrites {
-				results[i].err = fmt.Errorf("core: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", j.src.Name)
+				results[i].err = fmt.Errorf("%w: statement %q has a non-injective write; set Options.AllowOverwrites to use the relaxed extension", ErrNotPipelinable, j.src.Name)
 				return
 			}
 			t, err = PipelineMapRelaxed(j.src.Write.Rel, j.rd)

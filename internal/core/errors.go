@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the detection core. Callers — the serving layer
+// above all — branch on these with errors.Is instead of string-matching
+// formatted messages; every formatted error Detect returns wraps the
+// matching sentinel.
+var (
+	// ErrNotPipelinable reports a SCoP the transformation cannot
+	// accept: cross-statement anti/output hazards, a non-injective
+	// write without AllowOverwrites, or a structurally invalid SCoP.
+	// The wrapped message names the offending statements.
+	ErrNotPipelinable = errors.New("core: scop not pipelinable")
+
+	// ErrUnknownBackend reports an Options.Backend value naming no
+	// compiled detection backend.
+	ErrUnknownBackend = errors.New("core: unknown detection backend")
+)

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"repro/internal/isl"
+	"repro/internal/scop"
+)
+
+// NewStmtInfo assembles a per-statement detection result from its
+// components, rebuilding the interned leader index that makes
+// BlockIndex O(1). Decoders reconstructing persisted detection results
+// (internal/cache/disk) use it so a rebound Info behaves exactly like
+// one Detect produced — hand-built StmtInfo literals in tests keep the
+// nil-index linear-scan fallback instead.
+func NewStmtInfo(stmt *scop.Statement, e *isl.Map, blocks []Block, inDeps []InDep) *StmtInfo {
+	si := &StmtInfo{
+		Stmt:       stmt,
+		E:          e,
+		Blocks:     blocks,
+		InDeps:     inDeps,
+		blockIndex: make(map[uint32]int, len(blocks)),
+		leaders:    isl.InternerFor(e.OutSpace()),
+	}
+	for i := range blocks {
+		si.blockIndex[si.leaders.Intern(blocks[i].Leader)] = i
+	}
+	return si
+}

@@ -467,7 +467,7 @@ func DetectSymbolic(sc *scop.SCoP, opts Options) (*SymInfo, error) {
 		if errors.Is(err, ErrSymbolicUnsupported) {
 			return nil, err
 		}
-		return nil, fmt.Errorf("core: scop not pipelinable: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrNotPipelinable, err)
 	}
 	opts.Obs.Count("detect.statements", int64(len(sc.Stmts)))
 

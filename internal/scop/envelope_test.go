@@ -1,0 +1,95 @@
+package scop
+
+import (
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/isl/aff"
+)
+
+func envelopeTestSCoP(t *testing.T) *SCoP {
+	t.Helper()
+	b := NewBuilder("env")
+	b.Array("A", 2)
+	b.Array("B", 2)
+	b.Stmt("S1", aff.RectDomain("S1", 4, 4)).
+		Writes("A", aff.Var(2, 0), aff.Var(2, 1))
+	b.Stmt("S2", aff.RectDomain("S2", 4, 4)).
+		Writes("B", aff.Var(2, 0), aff.Var(2, 1)).
+		Reads("A", aff.Var(2, 0), aff.Var(2, 1))
+	sc, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestEnvelopeRoundTrip proves the enveloped form reproduces the same
+// SCoP (same fingerprint) as the bare form it wraps.
+func TestEnvelopeRoundTrip(t *testing.T) {
+	sc := envelopeTestSCoP(t)
+	data, err := ToJSONEnveloped(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Schema string          `json:"schema"`
+		Scop   json.RawMessage `json:"scop"`
+	}
+	if err := json.Unmarshal(data, &env); err != nil {
+		t.Fatalf("envelope is not valid JSON: %v\n%s", err, data)
+	}
+	if env.Schema != SchemaV1 {
+		t.Fatalf("schema = %q, want %q", env.Schema, SchemaV1)
+	}
+	back, err := FromJSON(data)
+	if err != nil {
+		t.Fatalf("FromJSON(enveloped): %v", err)
+	}
+	if back.Fingerprint() != sc.Fingerprint() {
+		t.Fatalf("enveloped round trip changed the fingerprint: %s vs %s",
+			back.Fingerprint(), sc.Fingerprint())
+	}
+}
+
+// TestEnvelopeBareLegacyAccepted proves bare documents (the pre-v1
+// form) still parse, and produce the same SCoP as their envelope.
+func TestEnvelopeBareLegacyAccepted(t *testing.T) {
+	sc := envelopeTestSCoP(t)
+	bare, err := ToJSON(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromJSON(bare)
+	if err != nil {
+		t.Fatalf("FromJSON(bare): %v", err)
+	}
+	if back.Fingerprint() != sc.Fingerprint() {
+		t.Fatal("bare round trip changed the fingerprint")
+	}
+}
+
+func TestEnvelopeUnknownSchemaRejected(t *testing.T) {
+	for _, schema := range []string{"scop/v2", "scop/v0", "bogus"} {
+		data := []byte(`{"schema": "` + schema + `", "scop": {"name": "x"}}`)
+		_, err := FromJSON(data)
+		var se *SchemaError
+		if !errors.As(err, &se) {
+			t.Fatalf("schema %q: err = %v, want *SchemaError", schema, err)
+		}
+		if se.Schema != schema {
+			t.Fatalf("SchemaError.Schema = %q, want %q", se.Schema, schema)
+		}
+		if !strings.Contains(err.Error(), schema) {
+			t.Fatalf("error %q does not name the schema", err)
+		}
+	}
+}
+
+func TestEnvelopeMissingPayloadRejected(t *testing.T) {
+	if _, err := FromJSON([]byte(`{"schema": "scop/v1"}`)); err == nil {
+		t.Fatal("envelope without scop payload accepted")
+	}
+}

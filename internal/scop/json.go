@@ -121,7 +121,14 @@ func exprsToJSON(es []aff.Expr) []jsonExpr {
 }
 
 // FromJSON rebuilds an analysis-only SCoP from its JSON description.
+// It accepts both the bare legacy document and the scop/v1 envelope
+// (see ToJSONEnveloped); an envelope with an unrecognized schema fails
+// with *SchemaError.
 func FromJSON(data []byte) (*SCoP, error) {
+	data, err := unwrapEnvelope(data)
+	if err != nil {
+		return nil, err
+	}
 	var in jsonSCoP
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("scop: bad JSON: %w", err)

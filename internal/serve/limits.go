@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Limits is the admission-control policy of a detection server. The
+// zero value means "defaults everywhere": in-flight bounded to twice
+// the CPU count, queue to four times the in-flight bound, and no
+// per-tenant quota.
+type Limits struct {
+	// MaxInFlight bounds the detections executing concurrently.
+	// Requests beyond it wait in the admission queue. <= 0 selects
+	// 2 × GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds the waiters behind the in-flight set; a request
+	// arriving with the queue full is shed with 503 + Retry-After
+	// instead of piling latency onto everyone. <= 0 selects
+	// 4 × MaxInFlight.
+	MaxQueue int
+	// TenantRate is the sustained request rate (tokens per second)
+	// each tenant — keyed by the X-Tenant header — may spend. 0
+	// disables quotas.
+	TenantRate float64
+	// TenantBurst is the bucket depth: how far above the sustained
+	// rate a tenant may burst. <= 0 selects max(TenantRate, 1).
+	TenantBurst float64
+}
+
+// withDefaults resolves the zero fields.
+func (l Limits) withDefaults() Limits {
+	if l.MaxInFlight <= 0 {
+		l.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if l.MaxQueue <= 0 {
+		l.MaxQueue = 4 * l.MaxInFlight
+	}
+	if l.TenantRate > 0 && l.TenantBurst <= 0 {
+		l.TenantBurst = math.Max(l.TenantRate, 1)
+	}
+	return l
+}
+
+// bucket is one tenant's token bucket. Tokens refill continuously at
+// rate per second up to burst; a request spends one token.
+type bucket struct {
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+	rate   float64
+	burst  float64
+}
+
+// take spends one token if available. On refusal it returns the wait
+// until the next token accrues, for the Retry-After header.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens = math.Min(b.burst, b.tokens+now.Sub(b.last).Seconds()*b.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := 1 - b.tokens
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}
+
+// tenantTable lazily builds one bucket per tenant name.
+type tenantTable struct {
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	rate    float64
+	burst   float64
+}
+
+func newTenantTable(l Limits) *tenantTable {
+	return &tenantTable{buckets: make(map[string]*bucket), rate: l.TenantRate, burst: l.TenantBurst}
+}
+
+// take charges one request to tenant. With quotas disabled it always
+// admits.
+func (t *tenantTable) take(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if t.rate <= 0 {
+		return true, 0
+	}
+	t.mu.Lock()
+	b := t.buckets[tenant]
+	if b == nil {
+		b = &bucket{tokens: t.burst, last: now, rate: t.rate, burst: t.burst}
+		t.buckets[tenant] = b
+	}
+	t.mu.Unlock()
+	return b.take(now)
+}

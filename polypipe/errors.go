@@ -1,0 +1,56 @@
+package polypipe
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Typed errors of the session API. A serving layer maps these to wire
+// statuses with errors.Is instead of string-matching messages:
+//
+//	ErrNotPipelinable  the request can never succeed        → 4xx
+//	ErrUnknownBackend  the request names no such backend    → 4xx
+//	ErrUnknownMode     the request names no such executor   → 4xx
+//	ErrDetectCanceled  the caller's wait ended first        → retryable
+//	ErrSessionClosed   the session is shut down             → 503
+var (
+	// ErrNotPipelinable reports a SCoP outside the fragment the
+	// transformation accepts (cross-statement hazards, non-injective
+	// writes without AllowOverwrites, structural invalidity). The
+	// wrapped message names the offending statement.
+	ErrNotPipelinable = core.ErrNotPipelinable
+
+	// ErrUnknownBackend reports a backend name (WithBackend,
+	// Options.Backend) no compiled detection backend answers to.
+	ErrUnknownBackend = core.ErrUnknownBackend
+
+	// ErrUnknownMode reports a Run/Simulate mode this build does not
+	// know.
+	ErrUnknownMode = errors.New("polypipe: unknown mode")
+
+	// ErrDetectCanceled reports a detection wait ended by the session
+	// context: a cache miss whose in-flight wait was canceled, or batch
+	// admission stopped by a done context. The underlying context error
+	// is wrapped, so errors.Is also matches context.Canceled /
+	// context.DeadlineExceeded.
+	ErrDetectCanceled = errors.New("polypipe: detection wait canceled")
+
+	// ErrSessionClosed reports a call on a session after Close.
+	ErrSessionClosed = errors.New("polypipe: session closed")
+)
+
+// wrapCtxErr translates a context cancellation surfacing from a
+// detection wait into ErrDetectCanceled (keeping the context error in
+// the chain); other errors pass through unchanged.
+func wrapCtxErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("%w: %w", ErrDetectCanceled, err)
+	}
+	return err
+}

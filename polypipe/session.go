@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/cache"
+	"repro/internal/cache/disk"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -93,6 +94,8 @@ type Session struct {
 	cache        *cache.Cache
 	cacheCap     int
 	wantCache    bool
+	diskDir      string
+	diskErr      error
 
 	// Live-telemetry state (WithIntrospection / WithSampler): the
 	// embedded introspection server, the continuous sampler feeding
@@ -173,6 +176,19 @@ func WithCache(capacity int) SessionOption {
 	return func(s *Session) { s.wantCache, s.cacheCap = true, capacity }
 }
 
+// WithDiskCache backs the in-memory detection cache with the durable
+// content-addressed disk tier rooted at dir (created if absent): a
+// memory miss probes the directory before running Algorithm 1, and
+// completed detections are written through, so a restarted process
+// warms from disk at file-read cost instead of re-detecting
+// (docs/SERVING.md, "Cache tiers"). It implies WithCache with the
+// default capacity unless WithCache set one. A store that cannot be
+// opened degrades to the memory-only cache; DiskCacheError reports
+// why.
+func WithDiskCache(dir string) SessionOption {
+	return func(s *Session) { s.diskDir = dir }
+}
+
 // WithRegistry attaches a metrics registry: detection phase timings
 // and counts, and — with WithCache — the cache.* counters, land here.
 func WithRegistry(r *Registry) SessionOption {
@@ -231,8 +247,16 @@ func NewSession(options ...SessionOption) *Session {
 	if s.registry != nil && s.opts.Obs == nil {
 		s.opts.Obs = &obs.Recorder{Reg: s.registry, Phases: &obs.Phases{}}
 	}
-	if s.wantCache {
+	if s.wantCache || s.diskDir != "" {
 		s.cache = cache.New(s.cacheCap, s.registry)
+		if s.diskDir != "" {
+			store, err := disk.New(s.diskDir, s.registry)
+			if err != nil {
+				s.diskErr = err
+			} else {
+				s.cache.SetTier(store)
+			}
+		}
 	}
 	s.programs = make(map[progKey]*codegen.TaskProgram)
 	s.stmtNames = make(map[int]string)
@@ -326,12 +350,13 @@ func (s *Session) IntrospectionAddr() string {
 // start, or nil.
 func (s *Session) IntrospectionError() error { return s.introErr }
 
-// Close shuts the session's live-telemetry machinery down: the
-// sampler stops, /healthz flips to 503, and the introspection server
-// drains in-flight scrapes before its listener closes (a few seconds'
-// grace). The session itself remains usable for in-process calls —
-// Close ends the serving surface, not the detection pipeline. It is
-// idempotent; later calls return the first result.
+// Close shuts the session down: the sampler stops, /healthz flips to
+// 503, the introspection server drains in-flight scrapes before its
+// listener closes (a few seconds' grace), and subsequent
+// Detect/DetectBatch/Run/Simulate calls fail with ErrSessionClosed —
+// the typed signal a serving layer maps to 503. Calls already in
+// flight run to completion. It is idempotent; later calls return the
+// first result.
 func (s *Session) Close() error {
 	s.closeOnce.Do(func() {
 		s.closed.Store(true)
@@ -347,6 +372,10 @@ func (s *Session) Close() error {
 	return s.closeErr
 }
 
+// DiskCacheError reports why the WithDiskCache store failed to open
+// (the session then runs memory-only), or nil.
+func (s *Session) DiskCacheError() error { return s.diskErr }
+
 // CacheStats snapshots the session cache's counters; ok is false when
 // the session has no cache.
 func (s *Session) CacheStats() (st CacheStats, ok bool) {
@@ -357,13 +386,18 @@ func (s *Session) CacheStats() (st CacheStats, ok bool) {
 }
 
 // Detect runs (or, with a cache, serves) Algorithm 1 on sc under the
-// session's options.
+// session's options. After Close it fails with ErrSessionClosed; a
+// wait ended by the session context fails with ErrDetectCanceled.
 func (s *Session) Detect(sc *SCoP) (*Info, error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
 	if s.cache != nil {
-		return s.cache.Get(s.ctx, sc, s.opts)
+		info, err := s.cache.Get(s.ctx, sc, s.opts)
+		return info, wrapCtxErr(err)
 	}
 	if err := s.ctx.Err(); err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	return core.Detect(sc, s.opts)
 }
@@ -375,10 +409,24 @@ func (s *Session) Detect(sc *SCoP) (*Info, error) {
 // the session's worker pool, and items not yet started when the
 // session context is done are marked with its error.
 func (s *Session) DetectBatch(scs []*SCoP) ([]*Info, []error) {
-	if s.cache != nil {
-		return s.cache.GetBatch(s.ctx, scs, s.opts)
+	if s.closed.Load() {
+		errs := make([]error, len(scs))
+		for i := range errs {
+			errs[i] = ErrSessionClosed
+		}
+		return make([]*Info, len(scs)), errs
 	}
-	return core.DetectBatch(s.ctx, scs, s.opts)
+	var infos []*Info
+	var errs []error
+	if s.cache != nil {
+		infos, errs = s.cache.GetBatch(s.ctx, scs, s.opts)
+	} else {
+		infos, errs = core.DetectBatch(s.ctx, scs, s.opts)
+	}
+	for i, err := range errs {
+		errs[i] = wrapCtxErr(err)
+	}
+	return infos, errs
 }
 
 // compile detects (through the session cache when present) and
@@ -449,8 +497,11 @@ func (s *Session) execCompiled(p *Program, prog *codegen.TaskProgram, workers in
 // cache when one is attached, so repeated runs (and runs of
 // content-identical programs) skip Algorithm 1.
 func (s *Session) Run(mode Mode, p *Program) (Result, error) {
+	if s.closed.Load() {
+		return Result{}, ErrSessionClosed
+	}
 	if err := s.ctx.Err(); err != nil {
-		return Result{}, err
+		return Result{}, wrapCtxErr(err)
 	}
 	workers := par.Workers(s.workers)
 	switch mode {
@@ -483,7 +534,7 @@ func (s *Session) Run(mode Mode, p *Program) (Result, error) {
 		}
 		return s.execCompiled(p, prog, workers, "pipeline-hybrid"), nil
 	}
-	return Result{}, fmt.Errorf("polypipe: unknown mode %v", mode)
+	return Result{}, fmt.Errorf("%w %v", ErrUnknownMode, mode)
 }
 
 // Verify checks that the pipelined and per-loop executions reproduce
@@ -580,8 +631,11 @@ type SimConfig struct {
 // internal/simsched). The result slice aligns with cfg.Procs (one
 // element when Procs is empty or cfg.Potential is set).
 func (s *Session) Simulate(p *Program, cfg SimConfig) ([]float64, error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
 	if err := s.ctx.Err(); err != nil {
-		return nil, err
+		return nil, wrapCtxErr(err)
 	}
 	procs := cfg.Procs
 	if len(procs) == 0 {

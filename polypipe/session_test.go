@@ -2,6 +2,7 @@ package polypipe
 
 import (
 	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -109,17 +110,22 @@ func TestSessionContextCancellation(t *testing.T) {
 		"cached": NewSession(WithContext(ctx), WithCache(0)),
 	} {
 		p := Listing1(8)
-		if _, err := s.Detect(p.SCoP); err != context.Canceled {
+		// The typed surface: ErrDetectCanceled wraps the context error,
+		// so both errors.Is probes hold.
+		canceled := func(err error) bool {
+			return errors.Is(err, ErrDetectCanceled) && errors.Is(err, context.Canceled)
+		}
+		if _, err := s.Detect(p.SCoP); !canceled(err) {
 			t.Fatalf("%s Detect: err = %v", name, err)
 		}
-		if _, err := s.Run(ModePipelined, p); err != context.Canceled {
+		if _, err := s.Run(ModePipelined, p); !canceled(err) {
 			t.Fatalf("%s Run: err = %v", name, err)
 		}
-		if _, err := s.Simulate(p, SimConfig{}); err != context.Canceled {
+		if _, err := s.Simulate(p, SimConfig{}); !canceled(err) {
 			t.Fatalf("%s Simulate: err = %v", name, err)
 		}
 		_, errs := s.DetectBatch([]*SCoP{p.SCoP, p.SCoP})
-		if errs[0] != context.Canceled || errs[1] != context.Canceled {
+		if !canceled(errs[0]) || !canceled(errs[1]) {
 			t.Fatalf("%s DetectBatch: errs = %v", name, errs)
 		}
 	}

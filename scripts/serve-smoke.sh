@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# serve-smoke: end-to-end check of the detection service. Builds
+# pipelined, starts it on a random port with a disk cache, POSTs an
+# enveloped SCoP to /v1/detect (expecting a pipeline pair in the
+# summary), rejects a bare legacy document (the HTTP surface speaks
+# only scop/v1), scrapes /metrics for the serve.* family, then SIGTERMs
+# and expects a graceful drain. A second instance over the same cache
+# directory must answer the same SCoP from the disk tier
+# (cache_disk_hits >= 1) — the restart-warm path that justifies the
+# tier. Wired into `make check` as the serve-smoke target.
+set -euo pipefail
+
+GO=${GO:-go}
+tmp=$(mktemp -d)
+pid=""
+
+cleanup() {
+    if [ -n "$pid" ] && kill -0 "$pid" 2>/dev/null; then
+        kill "$pid" 2>/dev/null || true
+        wait "$pid" 2>/dev/null || true
+    fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    echo "--- server log ---" >&2
+    cat "$tmp/serve.log" >&2 || true
+    exit 1
+}
+
+cat >"$tmp/scop.json" <<'EOF'
+{"schema":"scop/v1","scop":{
+ "name":"smoke","arrays":[{"name":"A","dim":1},{"name":"B","dim":1}],
+ "statements":[
+  {"name":"S","bounds":[{"lo":{"nvars":0,"const":0},"hi":{"nvars":0,"const":15}}],
+   "write":{"array":"A","index":[{"nvars":1,"coeffs":[1]}]}},
+  {"name":"T","bounds":[{"lo":{"nvars":0,"const":0},"hi":{"nvars":0,"const":15}}],
+   "write":{"array":"B","index":[{"nvars":1,"coeffs":[1]}]},
+   "reads":[{"array":"A","index":[{"nvars":1,"coeffs":[1]}]}]}]}}
+EOF
+
+echo "serve-smoke: building pipelined"
+"$GO" build -o "$tmp/pipelined" ./cmd/pipelined
+
+start_server() {
+    "$tmp/pipelined" -addr 127.0.0.1:0 -disk-cache "$tmp/cache" >"$tmp/serve.log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's#^serving on http://\([^ ]*\).*#\1#p' "$tmp/serve.log" | head -1)
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || fail "server exited before binding"
+        sleep 0.1
+    done
+    [ -n "$addr" ] || fail "no bound address in server output"
+}
+
+stop_server() {
+    kill -TERM "$pid"
+    wait "$pid" || fail "server exited non-zero on SIGTERM"
+    pid=""
+    grep -q 'drained; bye' "$tmp/serve.log" || fail "no graceful-drain message"
+}
+
+start_server
+echo "serve-smoke: serving on $addr"
+
+curl -fsS "http://$addr/healthz" | grep -q ok || fail "/healthz did not answer ok"
+
+curl -fsS -X POST --data-binary @"$tmp/scop.json" "http://$addr/v1/detect" >"$tmp/resp.json" \
+    || fail "POST /v1/detect failed"
+grep -q '"src":"S"' "$tmp/resp.json" || fail "detection summary missing the S->T pair: $(cat "$tmp/resp.json")"
+grep -q '"fingerprint":"' "$tmp/resp.json" || fail "no fingerprint in response"
+
+# A bare legacy document must be refused: the wire contract is
+# versioned-envelope only.
+status=$(curl -s -o "$tmp/bare.json" -w '%{http_code}' -X POST \
+    --data-binary '{"name":"smoke","arrays":[],"statements":[]}' "http://$addr/v1/detect")
+[ "$status" = 400 ] || fail "bare document answered $status, want 400"
+grep -q bad_schema "$tmp/bare.json" || fail "bare document not classified bad_schema"
+
+curl -fsS "http://$addr/metrics" >"$tmp/metrics" || fail "/metrics scrape failed"
+grep -q '^# TYPE serve_requests counter' "$tmp/metrics" || fail "/metrics missing serve.requests"
+grep -q '^serve_queue_depth' "$tmp/metrics" || fail "/metrics missing serve.queue_depth"
+grep -q '^# TYPE cache_disk_writes counter' "$tmp/metrics" || fail "/metrics missing cache.disk.writes"
+grep -q '^serve_tenant_default_request_ns_bucket' "$tmp/metrics" || fail "/metrics missing the per-tenant latency histogram"
+
+stop_server
+echo "serve-smoke: first instance drained cleanly"
+
+# Restart over the same cache directory: the disk tier must answer.
+start_server
+curl -fsS -X POST --data-binary @"$tmp/scop.json" "http://$addr/v1/detect" >/dev/null \
+    || fail "POST after restart failed"
+curl -fsS "http://$addr/metrics" >"$tmp/metrics2" || fail "second /metrics scrape failed"
+hits=$(sed -n 's/^cache_disk_hits \([0-9]*\)$/\1/p' "$tmp/metrics2")
+[ -n "$hits" ] && [ "$hits" -ge 1 ] || fail "restart did not warm from the disk tier (cache_disk_hits=$hits)"
+stop_server
+
+echo "serve-smoke: OK (restart warmed from disk, $hits disk hit(s))"
