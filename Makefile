@@ -1,12 +1,19 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck crosscheck-symbolic obsd-smoke serve-smoke bench bench-cache bench-gate bench-exec bench-exec-gate bench-serve bench-serve-gate stats serve clean
+.PHONY: check build test vet race crosscheck crosscheck-symbolic hybrid-race autotune-smoke obsd-smoke serve-smoke bench bench-cache bench-gate bench-exec bench-exec-gate bench-autotune bench-serve bench-serve-gate stats serve clean
 
 ## check: the full gate — vet, build, the race-enabled test suite,
 ## the cross-backend differential suites (isl backends and the symbolic
-## detection algebra), the live-telemetry smoke, and the detection-
-## service smoke.
-check: vet build race crosscheck crosscheck-symbolic obsd-smoke serve-smoke
+## detection algebra), the hybrid-schedule equivalence suite under
+## contention, the live-telemetry smoke, and the detection-service
+## smoke. The autotune smoke joins in only on multi-core hosts: on one
+## CPU the search measures scheduling noise, not blocking.
+check: vet build race crosscheck crosscheck-symbolic hybrid-race obsd-smoke serve-smoke
+	@if [ "$$(nproc 2>/dev/null || echo 1)" -ge 2 ]; then \
+		$(MAKE) autotune-smoke; \
+	else \
+		echo "check: skipping autotune-smoke (single-CPU host)"; \
+	fi
 
 ## crosscheck: prove the columnar isl backend (default) and the legacy
 ## hash-map backend (-tags islhashmap) are observably identical — the
@@ -60,17 +67,40 @@ bench-gate:
 	$(GO) run ./cmd/bench-pipeline -bench-gate -sizes 32,64,128
 
 ## bench-exec: the execution runtime benchmark — serial reference,
-## the unified scheduler through the compiled IR, the futures/stages
-## adapters, and IR lowering first-vs-reuse, on P4/P7/P10 at
-## n=32/64/128. Regenerates the committed BENCH_exec.json.
+## the unified scheduler through the compiled IR, the hybrid schedule,
+## the profile-guided autotuned blocking, the futures/stages adapters,
+## and IR lowering first-vs-reuse, on P4/P7/P10 at n=32/64/128.
+## Regenerates the committed BENCH_exec.json.
 bench-exec:
-	$(GO) run ./cmd/bench-pipeline -exec-bench -exec-out BENCH_exec.json
+	$(GO) run ./cmd/bench-pipeline -exec-bench -autotune -exec-out BENCH_exec.json
 
 ## bench-exec-gate: performance regression gate — re-run the execution
-## benchmark and fail if any row's ns/op regressed more than 15%
-## against the committed BENCH_exec.json (tune with -gate-tol).
+## benchmark (including the hybrid-schedule and autotuned rows) and
+## fail if any row's ns/op regressed more than 15% against the
+## committed BENCH_exec.json (tune with -gate-tol). Committed rows
+## measured under a different GOMAXPROCS than this host are skipped.
 bench-exec-gate:
-	$(GO) run ./cmd/bench-pipeline -exec-gate
+	$(GO) run ./cmd/bench-pipeline -exec-gate -autotune
+
+## bench-autotune: the profile-guided block-size search, human-readable
+## — per kernel, every candidate granularity with its measured wall
+## time / critical path / stall / steal / fused-chain profile, and the
+## chosen block size (docs/PERFORMANCE.md, "Autotuning & hybrid
+## scheduling").
+bench-autotune:
+	$(GO) run ./cmd/bench-pipeline -autotune -autotune-sizes 32 -autotune-budget 8
+
+## hybrid-race: the static/dynamic hybrid schedule under the race
+## detector at 2 and 4 CPUs — chain fusion, steal paths, and the
+## bit-identical-to-dynamic equivalence suite on the Table 9 corpus.
+hybrid-race:
+	$(GO) test -race -cpu 2,4 -run 'Hybrid|Chain|FuseChains' ./internal/runtime/ ./internal/exec/ ./polypipe/
+
+## autotune-smoke: one short end-to-end search on a multi-core host —
+## proves the tuner converges and its choice reproduces the sequential
+## result (the per-candidate hash check is built into the search).
+autotune-smoke:
+	$(GO) run ./cmd/bench-pipeline -autotune -autotune-sizes 16 -autotune-budget 5
 
 ## obsd-smoke: end-to-end live-telemetry check — start
 ## pipeline-stats -serve on a random port, scrape /metrics and

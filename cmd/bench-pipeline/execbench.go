@@ -6,7 +6,9 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/codegen"
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -17,15 +19,24 @@ import (
 
 // execMeasure is one (kernel, mode) execution benchmark measurement.
 // Modes: "serial" (the sequential reference), "pipelined" (the unified
-// runtime scheduler driven through the compiled IR), "futures" /
-// "stages" (the same IR streamed through the adapter layers),
-// "lower_first" (building the runtime IR from the task program), and
-// "lower_reuse" (serving the memoized IR).
+// runtime scheduler driven through the compiled IR), "hybrid" (the
+// same blocking under the static/dynamic hybrid schedule —
+// single-predecessor chains fused into statically ordered runs),
+// "autotuned" (profile-guided MinBlockIters search, hybrid schedule),
+// "futures" / "stages" (the same IR streamed through the adapter
+// layers), "lower_first" (building the runtime IR from the task
+// program), and "lower_reuse" (serving the memoized IR).
+//
+// GoMaxProcs records the parallelism the row was measured under so
+// rows from differently-shaped hosts are never gate-compared;
+// BlockIters records the tuned granularity of "autotuned" rows.
 type execMeasure struct {
 	Kernel      string `json:"kernel"`
 	Mode        string `json:"mode"`
 	Workers     int    `json:"workers,omitempty"`
 	Tasks       int    `json:"tasks,omitempty"`
+	BlockIters  int    `json:"block_iters,omitempty"`
+	GoMaxProcs  int    `json:"gomaxprocs,omitempty"`
 	Iterations  int    `json:"iterations,omitempty"`
 	NsPerOp     int64  `json:"ns_per_op"`
 	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
@@ -77,19 +88,23 @@ var preRefactorBaseline = []execMeasure{
 	{Kernel: "P10/n=128", Mode: "tasking", Workers: 4, Tasks: 63754, NsPerOp: 6255253668},
 }
 
+// execCase is one execution benchmark kernel: the program plus the
+// task program compiled under the default dynamic schedule and under
+// the hybrid schedule, both from the same detection so every mode
+// runs the identical blocking.
+type execCase struct {
+	name string
+	n    int
+	p    *kernels.Program
+	prog *codegen.TaskProgram
+	hyb  *codegen.TaskProgram
+}
+
 // execBenchCases builds the execution benchmark kernels: the same
 // three Table 9 programs the detection benchmark uses, compiled once
 // per (program, size) so every mode runs the identical task program.
-func execBenchCases(sizes []int) ([]struct {
-	name string
-	p    *kernels.Program
-	prog *codegen.TaskProgram
-}, error) {
-	var cases []struct {
-		name string
-		p    *kernels.Program
-		prog *codegen.TaskProgram
-	}
+func execBenchCases(sizes []int) ([]execCase, error) {
+	var cases []execCase
 	for _, name := range []string{"P4", "P7", "P10"} {
 		spec, ok := kernels.T9SpecByName(name)
 		if !ok {
@@ -105,31 +120,65 @@ func execBenchCases(sizes []int) ([]struct {
 			if err != nil {
 				return nil, fmt.Errorf("exec-bench %s/n=%d: compile: %w", name, n, err)
 			}
-			cases = append(cases, struct {
-				name string
-				p    *kernels.Program
-				prog *codegen.TaskProgram
-			}{fmt.Sprintf("%s/n=%d", name, n), p, prog})
+			hyb, err := codegen.CompileWithOptions(info, codegen.CompileOptions{HybridSchedule: true})
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s/n=%d: compile hybrid: %w", name, n, err)
+			}
+			cases = append(cases, execCase{fmt.Sprintf("%s/n=%d", name, n), n, p, prog, hyb})
 		}
 	}
 	return cases, nil
 }
 
+// tuneOpts selects which kernels get the profile-guided "autotuned"
+// rows. The search re-detects and re-executes the kernel per
+// candidate, so it is restricted to the sizes listed in Sizes (the
+// -autotune-sizes flag); the skipped cases are logged.
+type tuneOpts struct {
+	Enabled bool
+	Sizes   []int
+	Budget  int
+}
+
+func (t tuneOpts) wants(n int) bool {
+	if !t.Enabled {
+		return false
+	}
+	for _, s := range t.Sizes {
+		if s == n {
+			return true
+		}
+	}
+	return false
+}
+
 // measureExec benchmarks every execution mode on the given cases. All
 // pipelined modes use the same worker count as the frozen baseline so
 // the trajectory stays comparable.
-func measureExec(sizes []int, workers int) ([]execMeasure, error) {
+func measureExec(sizes []int, workers int, tune tuneOpts) ([]execMeasure, error) {
 	cases, err := execBenchCases(sizes)
 	if err != nil {
 		return nil, err
 	}
 	var results []execMeasure
-	record := func(name, mode string, w, tasks int, r testing.BenchmarkResult) {
+	// bestOf runs a benchmark twice and keeps the faster ns/op: the
+	// big kernels run a single iteration per testing.Benchmark call,
+	// and one noisy-neighbor sample would otherwise be the row.
+	bestOf := func(fn func(b *testing.B)) testing.BenchmarkResult {
+		best := testing.Benchmark(fn)
+		if again := testing.Benchmark(fn); again.NsPerOp() < best.NsPerOp() {
+			best = again
+		}
+		return best
+	}
+	record := func(name, mode string, w, tasks, blockIters int, r testing.BenchmarkResult) {
 		results = append(results, execMeasure{
 			Kernel:      name,
 			Mode:        mode,
 			Workers:     w,
 			Tasks:       tasks,
+			BlockIters:  blockIters,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
 			Iterations:  r.N,
 			NsPerOp:     r.NsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
@@ -140,23 +189,59 @@ func measureExec(sizes []int, workers int) ([]execMeasure, error) {
 	for _, c := range cases {
 		c := c
 		tasks := c.prog.NumTasks()
-		record(c.name, "serial", 0, 0, testing.Benchmark(func(b *testing.B) {
+		record(c.name, "serial", 0, 0, 0, bestOf(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				exec.Sequential(c.p)
 			}
 		}))
-		record(c.name, "pipelined", workers, tasks, testing.Benchmark(func(b *testing.B) {
+		record(c.name, "pipelined", workers, tasks, 0, bestOf(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				exec.RunCompiled(c.p, c.prog, workers)
 			}
 		}))
-		record(c.name, "futures", workers, tasks, testing.Benchmark(func(b *testing.B) {
+		record(c.name, "hybrid", workers, tasks, 0, bestOf(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				exec.RunCompiled(c.p, c.hyb, workers)
+			}
+		}))
+		if tune.Enabled && !tune.wants(c.n) {
+			fmt.Fprintf(os.Stderr, "%s/autotuned: skipped (n=%d not in -autotune-sizes)\n", c.name, c.n)
+		}
+		if tune.wants(c.n) {
+			res, err := autotune.Tune(c.p, autotune.Config{
+				Workers: workers,
+				Hybrid:  true,
+				Budget:  tune.Budget,
+				Reps:    1,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s: autotune: %w", c.name, err)
+			}
+			fmt.Fprintf(os.Stderr, "%s/autotune: chose block_iters=%d after %d evals (converged=%v, search speedup %.2fx)\n",
+				c.name, res.Chosen, res.Evals, res.Converged, res.Speedup())
+			info, err := core.Detect(c.p.SCoP, core.Options{MinBlockIters: res.Chosen})
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s: detect tuned: %w", c.name, err)
+			}
+			tuned, err := codegen.CompileWithOptions(info, codegen.CompileOptions{HybridSchedule: true})
+			if err != nil {
+				return nil, fmt.Errorf("exec-bench %s: compile tuned: %w", c.name, err)
+			}
+			record(c.name, "autotuned", workers, tuned.NumTasks(), res.Chosen, bestOf(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					exec.RunCompiled(c.p, tuned, workers)
+				}
+			}))
+		}
+		record(c.name, "futures", workers, tasks, 0, testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				exec.RunOnLayer(c.p, c.prog, futures.New(workers))
 			}
 		}))
-		record(c.name, "stages", workers, tasks, testing.Benchmark(func(b *testing.B) {
+		record(c.name, "stages", workers, tasks, 0, testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				exec.RunOnLayer(c.p, c.prog, stages.New(workers))
 			}
@@ -168,13 +253,13 @@ func measureExec(sizes []int, workers int) ([]execMeasure, error) {
 	// scales with task and edge count, not with the statement bodies.
 	for _, c := range cases {
 		c := c
-		record(c.name, "lower_first", 0, c.prog.NumTasks(), testing.Benchmark(func(b *testing.B) {
+		record(c.name, "lower_first", 0, c.prog.NumTasks(), 0, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = c.prog.BuildIR()
 			}
 		}))
-		record(c.name, "lower_reuse", 0, c.prog.NumTasks(), testing.Benchmark(func(b *testing.B) {
+		record(c.name, "lower_reuse", 0, c.prog.NumTasks(), 0, testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				_ = c.prog.Lower()
@@ -186,10 +271,11 @@ func measureExec(sizes []int, workers int) ([]execMeasure, error) {
 
 // runExecBench measures the execution benchmark at the given sizes and
 // writes the run as JSON to out ("" or "-" means stdout). It also
-// prints the pipelined-vs-baseline-tasking comparison, the number the
-// refactor is accountable for.
-func runExecBench(out string, sizes []int, workers int) error {
-	results, err := measureExec(sizes, workers)
+// prints the pipelined-vs-baseline-tasking comparison (the number the
+// refactor is accountable for) and, per kernel, what the hybrid
+// schedule and the tuned blocking bought over plain pipelined.
+func runExecBench(out string, sizes []int, workers int, tune tuneOpts) error {
+	results, err := measureExec(sizes, workers, tune)
 	if err != nil {
 		return err
 	}
@@ -198,8 +284,11 @@ func runExecBench(out string, sizes []int, workers int) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    workers,
-		Note: "pipelined/futures/stages all execute the compiled runtime IR; the baseline's " +
-			"\"tasking\" rows are the pre-IR runtime that re-resolved dependencies per Submit",
+		Note: "pipelined/futures/stages all execute the compiled runtime IR; \"hybrid\" fuses " +
+			"single-predecessor chains into static runs, \"autotuned\" adds profile-guided " +
+			"MinBlockIters; rows carry the gomaxprocs they were measured under and are only " +
+			"gate-compared on a matching host; the baseline's \"tasking\" rows are the pre-IR " +
+			"runtime that re-resolved dependencies per Submit",
 		Baseline: preRefactorBaseline,
 		Results:  results,
 	}
@@ -207,13 +296,22 @@ func runExecBench(out string, sizes []int, workers int) error {
 	for _, m := range preRefactorBaseline {
 		base[m.Kernel+"/"+m.Mode] = m
 	}
+	fresh := make(map[string]execMeasure, len(results))
 	for _, m := range results {
-		if m.Mode != "pipelined" {
-			continue
-		}
-		if w, ok := base[m.Kernel+"/tasking"]; ok {
-			fmt.Fprintf(os.Stderr, "exec-bench: %s pipelined %d ns/op vs pre-refactor tasking %d (%+.1f%%)\n",
-				m.Kernel, m.NsPerOp, w.NsPerOp, 100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1))
+		fresh[m.Kernel+"/"+m.Mode] = m
+	}
+	for _, m := range results {
+		switch m.Mode {
+		case "pipelined":
+			if w, ok := base[m.Kernel+"/tasking"]; ok {
+				fmt.Fprintf(os.Stderr, "exec-bench: %s pipelined %d ns/op vs pre-refactor tasking %d (%+.1f%%)\n",
+					m.Kernel, m.NsPerOp, w.NsPerOp, 100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1))
+			}
+		case "hybrid", "autotuned":
+			if w, ok := fresh[m.Kernel+"/pipelined"]; ok {
+				fmt.Fprintf(os.Stderr, "exec-bench: %s %s %d ns/op vs pipelined %d (%+.1f%%)\n",
+					m.Kernel, m.Mode, m.NsPerOp, w.NsPerOp, 100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1))
+			}
 		}
 	}
 
@@ -236,7 +334,10 @@ func runExecBench(out string, sizes []int, workers int) error {
 // gate file. Like the detection gate, only rows present on both sides
 // are compared, improvements and in-tolerance jitter pass, and the
 // gate file is rewritten only by an explicit -exec-bench run.
-func runExecGate(gateFile string, tol float64, sizes []int, workers int) error {
+// Committed rows measured under a different GOMAXPROCS than the
+// current host are skipped: a 1-CPU row gated on a multi-core host
+// (or vice versa) would compare scheduling regimes, not regressions.
+func runExecGate(gateFile string, tol float64, sizes []int, workers int, tune tuneOpts) error {
 	data, err := os.ReadFile(gateFile)
 	if err != nil {
 		return fmt.Errorf("exec-gate: reading %s: %w", gateFile, err)
@@ -245,15 +346,31 @@ func runExecGate(gateFile string, tol float64, sizes []int, workers int) error {
 	if err := json.Unmarshal(data, &committed); err != nil {
 		return fmt.Errorf("exec-gate: parsing %s: %w", gateFile, err)
 	}
+	procs := runtime.GOMAXPROCS(0)
 	want := make(map[string]execMeasure, len(committed.Results))
+	skippedProcs := 0
 	for _, m := range committed.Results {
+		// Rows predating per-row provenance (GoMaxProcs == 0) fall back
+		// to the run-level header, which old files always carried.
+		rowProcs := m.GoMaxProcs
+		if rowProcs == 0 {
+			rowProcs = committed.GoMaxProcs
+		}
+		if rowProcs != 0 && rowProcs != procs {
+			skippedProcs++
+			continue
+		}
 		want[m.Kernel+"/"+m.Mode] = m
 	}
+	if skippedProcs > 0 {
+		fmt.Fprintf(os.Stderr, "exec-gate: skipping %d committed rows measured at different gomaxprocs (host has %d)\n",
+			skippedProcs, procs)
+	}
 	if len(want) == 0 {
-		return fmt.Errorf("exec-gate: %s has no results to gate against", gateFile)
+		return fmt.Errorf("exec-gate: %s has no results measured at gomaxprocs=%d to gate against", gateFile, procs)
 	}
 
-	fresh, err := measureExec(sizes, workers)
+	fresh, err := measureExec(sizes, workers, tune)
 	if err != nil {
 		return err
 	}
@@ -290,5 +407,43 @@ func runExecGate(gateFile string, tol float64, sizes []int, workers int) error {
 	}
 	fmt.Fprintf(os.Stderr, "exec-gate: all %d rows within %.0f%% of %s\n",
 		compared, 100*tol, gateFile)
+	return nil
+}
+
+// runAutotuneReport runs the profile-guided block-size search on the
+// benchmark kernels and prints the full evaluation trail per kernel:
+// every candidate granularity with its measured wall time, realized
+// critical path, stalls, steals, and fused chains, then the
+// before/after verdict. This is the -autotune mode without
+// -exec-bench: a human-readable view of what the tuner saw.
+func runAutotuneReport(sizes []int, workers int, budget int, hybrid bool) error {
+	cases, err := execBenchCases(sizes)
+	if err != nil {
+		return err
+	}
+	for _, c := range cases {
+		res, err := autotune.Tune(c.p, autotune.Config{
+			Workers: workers,
+			Hybrid:  hybrid,
+			Budget:  budget,
+			Reps:    1,
+		})
+		if err != nil {
+			return fmt.Errorf("autotune %s: %w", c.name, err)
+		}
+		fmt.Printf("%s (workers=%d, hybrid=%v):\n", c.name, workers, hybrid)
+		for _, s := range res.Samples {
+			marker := " "
+			if s.BlockIters == res.Chosen {
+				marker = "*"
+			}
+			fmt.Printf(" %s block_iters=%-5d %12v  tasks=%-6d critical=%-12v stall=%-12v steals=%-4d fused=%d\n",
+				marker, s.BlockIters, s.Elapsed, s.Tasks,
+				s.Critical, time.Duration(s.StallNs), s.Steals, s.ChainFused)
+		}
+		fmt.Printf("  chosen block_iters=%d after %d evals (converged=%v): %v -> %v (%.2fx)\n\n",
+			res.Chosen, res.Evals, res.Converged,
+			res.Baseline.Elapsed, res.Best.Elapsed, res.Speedup())
+	}
 	return nil
 }

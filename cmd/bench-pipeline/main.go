@@ -91,6 +91,9 @@ func main() {
 	execGate := flag.Bool("exec-gate", false, "re-run the execution benchmark and exit non-zero if any row's ns/op regressed beyond -gate-tol against -exec-gate-file")
 	execGateFile := flag.String("exec-gate-file", "BENCH_exec.json", "committed benchmark file the -exec-gate run compares against")
 	execSizes := flag.String("exec-sizes", "32,64,128", "with -exec-bench/-exec-gate, comma-separated problem sizes for the P4/P7/P10 kernels")
+	autotuneFlag := flag.Bool("autotune", false, "run the profile-guided block-size search: alone, print the per-kernel search trail; with -exec-bench/-exec-gate, add \"autotuned\" rows for the -autotune-sizes kernels")
+	autotuneSizes := flag.String("autotune-sizes", "32", "with -exec-bench/-exec-gate -autotune, problem sizes that get autotuned rows (the search re-runs the kernel per candidate, so keep this small)")
+	autotuneBudget := flag.Int("autotune-budget", 8, "candidate-evaluation budget per kernel for -autotune")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	flag.Parse()
@@ -108,14 +111,31 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		tune := tuneOpts{Enabled: *autotuneFlag, Budget: *autotuneBudget}
+		if tune.Enabled {
+			if tune.Sizes, err = parseInts(*autotuneSizes); err != nil {
+				fatal(err)
+			}
+		}
 		if *execGate {
-			if err := runExecGate(*execGateFile, *gateTol, sizeVals, *workers); err != nil {
+			if err := runExecGate(*execGateFile, *gateTol, sizeVals, *workers, tune); err != nil {
 				stopProfiles()
 				fatal(err)
 			}
 			return
 		}
-		if err := runExecBench(*execOut, sizeVals, *workers); err != nil {
+		if err := runExecBench(*execOut, sizeVals, *workers, tune); err != nil {
+			stopProfiles()
+			fatal(err)
+		}
+		return
+	}
+	if *autotuneFlag {
+		sizeVals, err := parseInts(*autotuneSizes)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runAutotuneReport(sizeVals, *workers, *autotuneBudget, true); err != nil {
 			stopProfiles()
 			fatal(err)
 		}

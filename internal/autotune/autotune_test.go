@@ -1,0 +1,134 @@
+package autotune
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/obs"
+)
+
+func TestTuneP4FindsValidGranularity(t *testing.T) {
+	p, err := kernels.Table9Program("P4", 32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := obs.NewRecorder()
+	res, err := Tune(p, Config{Workers: 2, Reps: 1, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chosen < 1 || res.Chosen > 32 {
+		t.Fatalf("Chosen = %d", res.Chosen)
+	}
+	if res.Evals != len(res.Samples) || res.Evals < 1 || res.Evals > DefaultBudget {
+		t.Fatalf("Evals = %d, len(Samples) = %d", res.Evals, len(res.Samples))
+	}
+	if res.Baseline.BlockIters != 1 {
+		t.Fatalf("baseline block iters = %d", res.Baseline.BlockIters)
+	}
+	if res.Best.Elapsed > res.Baseline.Elapsed {
+		t.Fatalf("best (%v) worse than baseline (%v)", res.Best.Elapsed, res.Baseline.Elapsed)
+	}
+	// Memoization: no granularity evaluated twice.
+	seen := map[int]bool{}
+	for _, s := range res.Samples {
+		if seen[s.BlockIters] {
+			t.Fatalf("granularity %d evaluated twice", s.BlockIters)
+		}
+		seen[s.BlockIters] = true
+		if s.Tasks <= 0 || s.Elapsed <= 0 {
+			t.Fatalf("degenerate sample %+v", s)
+		}
+	}
+	snap := rec.Snapshot()
+	if got := snap.Counter("autotune.iterations"); got != int64(res.Evals) {
+		t.Fatalf("autotune.iterations = %d, want %d", got, res.Evals)
+	}
+	if got := snap.Gauge("autotune.block_iters_chosen"); got != int64(res.Chosen) {
+		t.Fatalf("autotune.block_iters_chosen = %d, want %d", got, res.Chosen)
+	}
+	found := false
+	for _, ph := range rec.Phases.Spans() {
+		if ph.Name == "autotune" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no autotune phase span recorded")
+	}
+	if res.Speedup() <= 0 {
+		t.Fatalf("Speedup = %v", res.Speedup())
+	}
+}
+
+func TestTuneBudgetOne(t *testing.T) {
+	p := kernels.Listing3(24)
+	res, err := Tune(p, Config{Workers: 2, Budget: 1, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 1 || res.Chosen != 1 {
+		t.Fatalf("Evals = %d, Chosen = %d", res.Evals, res.Chosen)
+	}
+	if res.Converged {
+		t.Fatal("a single evaluation cannot have converged")
+	}
+}
+
+func TestTuneRespectsBaseAndCeiling(t *testing.T) {
+	p := kernels.Listing3(32)
+	res, err := Tune(p, Config{
+		Workers: 2,
+		Reps:    1,
+		Detect:  core.Options{MinBlockIters: 4},
+		MaxBlockIters: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.BlockIters != 4 {
+		t.Fatalf("baseline block iters = %d, want 4", res.Baseline.BlockIters)
+	}
+	for _, s := range res.Samples {
+		if s.BlockIters < 1 || s.BlockIters > 8 {
+			t.Fatalf("sample outside [1, 8]: %+v", s)
+		}
+	}
+}
+
+func TestTuneHybridMeasuresChainFusion(t *testing.T) {
+	p, err := kernels.Table9Program("P4", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Tune(p, Config{Workers: 2, Reps: 1, Hybrid: true, Budget: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Baseline.ChainFused == 0 {
+		t.Fatal("hybrid tuning measured no fused chains on P4")
+	}
+}
+
+func TestTuneProfilesAreInternallyConsistent(t *testing.T) {
+	p := kernels.Listing1(48)
+	res, err := Tune(p, Config{Workers: 2, Reps: 1, Budget: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Samples {
+		if s.Critical <= 0 {
+			t.Fatalf("no critical path measured: %+v", s)
+		}
+		if s.Critical > s.Elapsed*2 {
+			// The realized critical path is built from the same spans
+			// as the run; it can exceed wall time only by measurement
+			// skew, never structurally.
+			t.Fatalf("critical path %v vastly exceeds elapsed %v", s.Critical, s.Elapsed)
+		}
+		if s.QueuePeak < 1 {
+			t.Fatalf("queue peak = %d: %+v", s.QueuePeak, s)
+		}
+	}
+}

@@ -44,6 +44,14 @@ type CompileOptions struct {
 	// many goroutines. Blocks still run in order and cross-loop
 	// dependencies are unchanged, so correctness is unaffected.
 	IntraBlockWorkers int
+	// HybridSchedule enables static/dynamic scheduling of the lowered
+	// IR: Lower classifies single-predecessor producer→consumer pairs
+	// into static chains (runtime.FuseChains) and every Run executes
+	// with runtime.ExecOptions.Hybrid, so fused consumers run inline
+	// on the worker that finished their producer while cross-chain
+	// edges stay on the work-stealing scheduler. Results are
+	// bit-identical to the pure-dynamic mode.
+	HybridSchedule bool
 	// Obs, when non-nil, receives compile-phase timings
 	// ("codegen.schedule_tree", "codegen.lower") and counts
 	// ("codegen.tasks", "sched.tree_nodes").
@@ -279,6 +287,9 @@ func (p *TaskProgram) LowerObserved(rec *obs.Recorder) *runtime.Program {
 		hit = false
 		stop := rec.Phase("codegen.lower_ir")
 		p.lowered = p.BuildIR()
+		if p.Opts.HybridSchedule {
+			rec.Count("codegen.chain_fused_edges", int64(p.lowered.FuseChains()))
+		}
 		stop()
 	})
 	if hit {
@@ -310,12 +321,21 @@ func runMembersParallel(body scop.Body, members []isl.Vec, workers int) {
 // and blocks until completion. The IR is lowered on first use and
 // reused by every later Run.
 func (p *TaskProgram) Run(workers int) {
-	p.Lower().Execute(workers, runtime.ExecOptions{})
+	p.Lower().Execute(workers, p.ExecOpts())
+}
+
+// ExecOpts returns the execution options the program's compile
+// options imply (currently just the hybrid scheduling mode); callers
+// layer tracing and metrics on top.
+func (p *TaskProgram) ExecOpts() runtime.ExecOptions {
+	return runtime.ExecOptions{Hybrid: p.Opts.HybridSchedule}
 }
 
 // RunTraced executes the program's compiled IR with a tracing callback
 // installed.
 func (p *TaskProgram) RunTraced(workers int, trace func(tasking.Event)) (executed, maxConcurrent int) {
-	st := p.Lower().Execute(workers, runtime.ExecOptions{Trace: trace})
+	eo := p.ExecOpts()
+	eo.Trace = trace
+	st := p.Lower().Execute(workers, eo)
 	return st.Executed, st.MaxConcurrent
 }

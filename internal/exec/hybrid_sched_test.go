@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/kernels"
+)
+
+// TestHybridScheduleBitIdenticalTable9 is the cross-mode equivalence
+// proof over the full Table 9 corpus: for every program, worker
+// count, and blocking granularity, the hybrid static/dynamic
+// schedule must produce the same result hash as the pure-dynamic
+// scheduler and the sequential reference — bit-identical arrays.
+// Run with -race -cpu 2,4 to exercise the steal and static-handoff
+// paths under contention.
+func TestHybridScheduleBitIdenticalTable9(t *testing.T) {
+	for _, spec := range kernels.Table9 {
+		for _, minIters := range []int{1, 8} {
+			p := kernels.BuildTable9(spec, 8, 1)
+			want := Sequential(p).Hash
+			opts := core.Options{MinBlockIters: minIters}
+			info, err := core.Detect(p.SCoP, opts)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, minIters, err)
+			}
+			dynProg, err := codegen.Compile(info)
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, minIters, err)
+			}
+			hybProg, err := codegen.CompileWithOptions(info, codegen.CompileOptions{HybridSchedule: true})
+			if err != nil {
+				t.Fatalf("%s b=%d: %v", spec.Name, minIters, err)
+			}
+			dyn := RunCompiled(p, dynProg, 4)
+			if dyn.Hash != want {
+				t.Fatalf("%s b=%d: dynamic hash %x, want %x", spec.Name, minIters, dyn.Hash, want)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				hyb := RunCompiled(p, hybProg, workers)
+				if hyb.Hash != want {
+					t.Fatalf("%s b=%d w=%d: hybrid hash %x, want %x", spec.Name, minIters, workers, hyb.Hash, want)
+				}
+				if hyb.Executor != "pipeline-hybrid-sched" {
+					t.Fatalf("executor = %q", hyb.Executor)
+				}
+				if hyb.Tasks != dyn.Tasks {
+					t.Fatalf("%s b=%d w=%d: hybrid ran %d tasks, dynamic %d", spec.Name, minIters, workers, hyb.Tasks, dyn.Tasks)
+				}
+			}
+		}
+	}
+}
+
+// TestHybridScheduleFusesChains asserts that the classification finds
+// real chains on the corpus (the serial successor of the last block
+// of a statement's predecessor chain is single-predecessor) and that
+// the counter reports them.
+func TestHybridScheduleFusesChains(t *testing.T) {
+	p, err := kernels.Table9Program("P4", 24, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PipelinedHybridSchedule(p, 2, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ChainFused == 0 {
+		t.Fatal("hybrid schedule fused no edges on P4")
+	}
+	if res.ChainFused >= int64(res.Tasks) {
+		t.Fatalf("fused %d edges over %d tasks", res.ChainFused, res.Tasks)
+	}
+}
+
+// TestObservedHybridSchedule checks the observed path reports the
+// hybrid executor name and the runtime.chain_fused counter.
+func TestObservedHybridSchedule(t *testing.T) {
+	p := kernels.Listing3(24)
+	o, err := PipelinedObservedWith(p, 2, core.Options{}, codegen.CompileOptions{HybridSchedule: true}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Result.Executor != "pipeline-hybrid-sched-observed" {
+		t.Fatalf("executor = %q", o.Result.Executor)
+	}
+	if o.Result.Hash != Sequential(p).Hash {
+		t.Fatal("observed hybrid hash differs from sequential")
+	}
+	if got := o.Snapshot.Counter("runtime.chain_fused"); got != o.Result.ChainFused || got == 0 {
+		t.Fatalf("runtime.chain_fused = %d, Result.ChainFused = %d", got, o.Result.ChainFused)
+	}
+	if len(o.Critical.Tasks) == 0 {
+		t.Fatal("no critical path on observed hybrid run")
+	}
+}

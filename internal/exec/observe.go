@@ -9,7 +9,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/kernels"
 	"repro/internal/obs"
-	"repro/internal/runtime"
 	"repro/internal/trace"
 )
 
@@ -38,10 +37,18 @@ type Observation struct {
 // per-task spans, and the executed DAG's critical path is computed.
 // rec may be nil; a fresh recorder is created.
 func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *obs.Recorder) (*Observation, error) {
+	return PipelinedObservedWith(p, workers, opts, codegen.CompileOptions{}, rec)
+}
+
+// PipelinedObservedWith is PipelinedObserved with explicit compile
+// options, so callers can observe the hybrid-scheduled or intra-block
+// parallel variants (copts.Obs is overwritten with rec).
+func PipelinedObservedWith(p *kernels.Program, workers int, opts core.Options, copts codegen.CompileOptions, rec *obs.Recorder) (*Observation, error) {
 	if rec == nil {
 		rec = obs.NewRecorder()
 	}
 	opts.Obs = rec
+	copts.Obs = rec
 
 	stop := rec.Phase("detect")
 	info, err := core.Detect(p.SCoP, opts)
@@ -50,7 +57,7 @@ func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *
 		return nil, fmt.Errorf("exec: detect: %w", err)
 	}
 	stop = rec.Phase("compile")
-	prog, err := codegen.CompileWithOptions(info, codegen.CompileOptions{Obs: rec})
+	prog, err := codegen.CompileWithOptions(info, copts)
 	stop()
 	if err != nil {
 		return nil, fmt.Errorf("exec: compile: %w", err)
@@ -61,19 +68,27 @@ func PipelinedObserved(p *kernels.Program, workers int, opts core.Options, rec *
 	c.SetRegistry(rec.Reg)
 	p.Reset()
 
+	eo := prog.ExecOpts()
+	eo.Trace = c.Hook()
+	eo.Reg = rec.Reg
 	stop = rec.Phase("execute")
 	start := time.Now()
-	st := ir.Execute(workers, runtime.ExecOptions{Trace: c.Hook(), Reg: rec.Reg})
+	st := ir.Execute(workers, eo)
 	elapsed := time.Since(start)
 	stop()
 
+	executor := "pipeline-observed"
+	if eo.Hybrid {
+		executor = "pipeline-hybrid-sched-observed"
+	}
 	o := &Observation{
 		Result: Result{
-			Executor:      "pipeline-observed",
+			Executor:      executor,
 			Elapsed:       elapsed,
 			Hash:          p.Hash(),
 			Tasks:         st.Executed,
 			MaxConcurrent: st.MaxConcurrent,
+			ChainFused:    st.ChainFused,
 		},
 		Analysis:  c.Analyze(),
 		DataEdges: prog.DataEdges(),

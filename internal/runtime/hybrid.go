@@ -1,0 +1,92 @@
+package runtime
+
+// Hybrid static/dynamic scheduling: classify PPN-style producer →
+// consumer pairs from the compiled CSR arrays and fuse them into
+// statically ordered sequences the finishing worker runs inline —
+// a static point-to-point handoff with no ready-queue insertion and
+// no atomic indegree traffic — while every cross-chain edge stays on
+// the work-stealing scheduler (Jin et al., "Hybrid Static/Dynamic
+// Schedules for Tiled Polyhedral Programs"; Alias, "Improving
+// Communication Patterns in Polyhedral Process Networks").
+
+// FuseChains classifies the program's static chains once (memoized;
+// safe to call concurrently) and returns the number of fused edges.
+//
+// A task j is fused onto its producer i when j has exactly one
+// predecessor (indeg0 == 1): i's completion is then the only event
+// that can make j ready, so the handoff needs no synchronization at
+// all. A producer adopts at most one fused successor — the lowest
+// task id, so classification is deterministic — and its remaining
+// successors keep their dynamic edges. Because every predecessor id
+// is smaller than its consumer's, chains strictly increase in task
+// id and can never form a cycle.
+func (p *Program) FuseChains() int {
+	p.chainOnce.Do(p.fuseChains)
+	return p.fusedEdges
+}
+
+func (p *Program) fuseChains() {
+	n := p.NumTasks()
+	next := make([]int32, n)
+	for i := range next {
+		next[i] = -1
+	}
+	fusedIn := make([]bool, n)
+	for j := 0; j < n; j++ {
+		if p.indeg0[j] != 1 {
+			continue
+		}
+		i := p.preds[p.predOff[j]]
+		if next[i] < 0 {
+			next[i] = int32(j)
+			fusedIn[j] = true
+			p.fusedEdges++
+		}
+	}
+	p.fusedIn = fusedIn
+	p.chainNext = next
+}
+
+// ChainNext returns the task statically fused after task i (run
+// inline by the worker that finishes i), or -1. Valid after
+// FuseChains.
+func (p *Program) ChainNext(i int) int {
+	if p.chainNext == nil {
+		return -1
+	}
+	return int(p.chainNext[i])
+}
+
+// FusedIn reports whether task i is entered through a static handoff
+// (and therefore never visits the ready queue). Valid after
+// FuseChains.
+func (p *Program) FusedIn(i int) bool {
+	return p.fusedIn != nil && p.fusedIn[i]
+}
+
+// NumFusedEdges returns the number of dependency edges FuseChains
+// turned into static handoffs (0 before FuseChains).
+func (p *Program) NumFusedEdges() int { return p.fusedEdges }
+
+// ChainProfile summarizes the classification for introspection:
+// the number of multi-task chains and the longest chain's task count.
+// Valid after FuseChains.
+func (p *Program) ChainProfile() (chains, longest int) {
+	if p.chainNext == nil {
+		return 0, 0
+	}
+	for i := range p.chainNext {
+		if p.fusedIn[i] || p.chainNext[i] < 0 {
+			continue // not a chain head
+		}
+		chains++
+		length := 1
+		for j := p.chainNext[i]; j >= 0; j = p.chainNext[j] {
+			length++
+		}
+		if length > longest {
+			longest = length
+		}
+	}
+	return chains, longest
+}

@@ -1,0 +1,245 @@
+package runtime
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestFuseChainsClassification(t *testing.T) {
+	// 0 → 1 → 2 (pure chain), 0 → 3, {2,3} → 4 (join, indeg 2).
+	b := NewBuilder(5)
+	b.Add(Task{Out: 0, Serial: NoSerial})
+	b.Add(Task{Out: 1, In: []int{0}, Serial: NoSerial})
+	b.Add(Task{Out: 2, In: []int{1}, Serial: NoSerial})
+	b.Add(Task{Out: 3, In: []int{0}, Serial: NoSerial})
+	b.Add(Task{Out: 4, In: []int{2, 3}, Serial: NoSerial})
+	p := b.Build()
+
+	if got := p.FuseChains(); got != 2 {
+		t.Fatalf("FuseChains = %d, want 2", got)
+	}
+	// Task 0 has two single-pred successors (1 and 3); the lowest id
+	// wins deterministically.
+	if p.ChainNext(0) != 1 || p.ChainNext(1) != 2 {
+		t.Fatalf("chain = 0→%d→%d, want 0→1→2", p.ChainNext(0), p.ChainNext(1))
+	}
+	if p.ChainNext(2) != -1 || p.ChainNext(3) != -1 || p.ChainNext(4) != -1 {
+		t.Fatalf("unexpected fusion past the join: %d %d %d", p.ChainNext(2), p.ChainNext(3), p.ChainNext(4))
+	}
+	if !p.FusedIn(1) || !p.FusedIn(2) || p.FusedIn(0) || p.FusedIn(3) || p.FusedIn(4) {
+		t.Fatalf("fusedIn wrong: %v %v %v %v %v", p.FusedIn(0), p.FusedIn(1), p.FusedIn(2), p.FusedIn(3), p.FusedIn(4))
+	}
+	chains, longest := p.ChainProfile()
+	if chains != 1 || longest != 3 {
+		t.Fatalf("ChainProfile = (%d, %d), want (1, 3)", chains, longest)
+	}
+	// Memoized: a second call must not reclassify.
+	if got := p.FuseChains(); got != 2 {
+		t.Fatalf("second FuseChains = %d", got)
+	}
+}
+
+func TestHybridExecuteLinearChain(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		var order []int32
+		p := chainProgram(24, &order)
+		p.FuseChains()
+		if p.NumFusedEdges() != 23 {
+			t.Fatalf("fused = %d, want 23", p.NumFusedEdges())
+		}
+		st, err := p.ExecuteChecked(workers, ExecOptions{Hybrid: true})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.ChainFused != 23 {
+			t.Fatalf("workers=%d: ChainFused = %d, want 23", workers, st.ChainFused)
+		}
+		// Only the chain head ever visits a deque; everything after it
+		// is a static handoff, so at most that one task can be stolen.
+		if st.Steals > 1 {
+			t.Fatalf("workers=%d: fused chain stole %d times", workers, st.Steals)
+		}
+		for i, id := range order {
+			if int32(i) != id {
+				t.Fatalf("workers=%d: order[%d] = %d", workers, i, id)
+			}
+		}
+	}
+}
+
+// randomDAG builds a seeded random dependency DAG whose task bodies
+// compute cells[i] from the task's predecessors' cells — any
+// scheduling that respects the edges yields bit-identical floats.
+func randomDAG(rng *rand.Rand, n int, cells []float64) *Program {
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		i := i
+		var in []int
+		for _, k := range rng.Perm(i) {
+			if len(in) == 3 {
+				break
+			}
+			if rng.Intn(3) == 0 {
+				in = append(in, k)
+			}
+		}
+		deps := append([]int(nil), in...)
+		serial := NoSerial
+		if rng.Intn(4) == 0 {
+			serial = rng.Intn(4)
+		}
+		b.Add(Task{
+			Fn: func() {
+				v := 1.0
+				for _, d := range deps {
+					v += math.Sqrt(cells[d] + float64(d))
+				}
+				cells[i] = v * 1.0000001
+			},
+			Out:    i,
+			In:     in,
+			Serial: serial,
+		})
+	}
+	return b.Build()
+}
+
+// TestHybridBitIdenticalToDynamic proves the cross-mode equivalence
+// on randomized DAGs: hybrid scheduling must produce bit-identical
+// cell arrays to the pure-dynamic mode at every worker count. Run
+// with -race -cpu 2,4 to exercise steal paths under contention.
+func TestHybridBitIdenticalToDynamic(t *testing.T) {
+	const n = 256
+	for seed := int64(1); seed <= 8; seed++ {
+		want := make([]float64, n)
+		randomDAG(rand.New(rand.NewSource(seed)), n, want).Execute(1, ExecOptions{})
+		for _, workers := range []int{1, 2, 4, 7} {
+			for _, hybrid := range []bool{false, true} {
+				got := make([]float64, n)
+				p := randomDAG(rand.New(rand.NewSource(seed)), n, got)
+				st, err := p.ExecuteChecked(workers, ExecOptions{Hybrid: hybrid})
+				if err != nil {
+					t.Fatalf("seed=%d workers=%d hybrid=%v: %v", seed, workers, hybrid, err)
+				}
+				if hybrid {
+					if want, got := int64(p.NumFusedEdges()), st.ChainFused; want != got {
+						t.Fatalf("seed=%d workers=%d: ChainFused = %d, want %d", seed, workers, got, want)
+					}
+				} else if st.ChainFused != 0 {
+					t.Fatalf("seed=%d workers=%d: dynamic mode fused %d", seed, workers, st.ChainFused)
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						t.Fatalf("seed=%d workers=%d hybrid=%v: cells[%d] = %x, want %x",
+							seed, workers, hybrid, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHybridContentionManyChains floods 4 workers with independent
+// fused chains so idle workers must steal chain heads while their
+// peers run handoffs — the contention path -race and -cpu 2,4 target.
+func TestHybridContentionManyChains(t *testing.T) {
+	const chains, length = 32, 16
+	cells := make([]float64, chains*length)
+	b := NewBuilder(chains * length)
+	for c := 0; c < chains; c++ {
+		for k := 0; k < length; k++ {
+			id := c*length + k
+			var in []int
+			if k > 0 {
+				in = []int{id - 1}
+			}
+			b.Add(Task{
+				Fn: func() {
+					v := 1.0
+					if len(in) == 1 {
+						v += cells[in[0]]
+					}
+					cells[id] = v
+				},
+				Out:    id,
+				In:     in,
+				Serial: NoSerial,
+			})
+		}
+	}
+	p := b.Build()
+	if p.FuseChains() != chains*(length-1) {
+		t.Fatalf("fused = %d", p.NumFusedEdges())
+	}
+	for run := 0; run < 10; run++ {
+		for i := range cells {
+			cells[i] = 0
+		}
+		st, err := p.ExecuteChecked(4, ExecOptions{Hybrid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.ChainFused != int64(chains*(length-1)) {
+			t.Fatalf("run %d: ChainFused = %d", run, st.ChainFused)
+		}
+		for c := 0; c < chains; c++ {
+			if got := cells[c*length+length-1]; got != float64(length) {
+				t.Fatalf("run %d: chain %d tail = %v, want %v", run, c, got, float64(length))
+			}
+		}
+	}
+}
+
+func TestHybridMetricsAndEvents(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		var order []int32
+		p := chainProgram(8, &order)
+		reg := obs.NewRegistry()
+		var mu sync.Mutex
+		var events []Event
+		st, err := p.ExecuteChecked(workers, ExecOptions{
+			Hybrid: true,
+			Reg:    reg,
+			Trace: func(e Event) {
+				mu.Lock()
+				events = append(events, e)
+				mu.Unlock()
+			},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		_ = st
+		snap := reg.Snapshot()
+		if got := snap.Counters["runtime.chain_fused"]; got != 7 {
+			t.Fatalf("workers=%d: runtime.chain_fused = %d, want 7", workers, got)
+		}
+		if got := snap.Counters["runtime.executed"]; got != 8 {
+			t.Fatalf("workers=%d: runtime.executed = %d", workers, got)
+		}
+		if got := snap.Counters["runtime.deps_resolved"]; got != 7 {
+			t.Fatalf("workers=%d: runtime.deps_resolved = %d", workers, got)
+		}
+		if got := snap.Gauges["runtime.queue_depth"]; got != 0 {
+			t.Fatalf("workers=%d: queue_depth drained to %d", workers, got)
+		}
+		if got := snap.Gauges["runtime.queue_depth_peak"]; got < 1 {
+			t.Fatalf("workers=%d: queue_depth_peak = %d", workers, got)
+		}
+		// Fused tasks still emit the full lifecycle: every task has
+		// one submit, ready, start, and end event.
+		counts := map[EventKind]int{}
+		for _, e := range events {
+			counts[e.Kind]++
+		}
+		for _, k := range []EventKind{EventSubmit, EventReady, EventStart, EventEnd} {
+			if counts[k] != 8 {
+				t.Fatalf("workers=%d: %d %v events, want 8", workers, counts[k], k)
+			}
+		}
+	}
+}

@@ -124,6 +124,13 @@ type Program struct {
 	preds   []int32
 	indeg0  []int32
 	roots   []int32 // tasks with no predecessors, in creation order
+
+	// Static-chain classification (hybrid scheduling), computed at
+	// most once by FuseChains and shared by every hybrid execution.
+	chainOnce  sync.Once
+	chainNext  []int32 // fused successor run inline after task i, or -1
+	fusedIn    []bool  // task is entered via static handoff, not the queue
+	fusedEdges int
 }
 
 // NumTasks returns the task count.
@@ -164,6 +171,14 @@ type ExecOptions struct {
 	// counters, queue_depth/running/peak_concurrency gauges, stall and
 	// task-duration histograms, per-worker busy time.
 	Reg *obs.Registry
+	// Hybrid enables static/dynamic scheduling: FuseChains classifies
+	// single-predecessor consumers and the executor runs each fused
+	// consumer inline on the worker that finished its producer — no
+	// ready-queue insertion, no atomic indegree decrement — while all
+	// cross-chain edges stay on the work-stealing scheduler. Results
+	// are bit-identical to the pure-dynamic mode; only the execution
+	// order (and the runtime.chain_fused counter) differs.
+	Hybrid bool
 }
 
 // ExecStats reports one execution of a compiled program.
@@ -172,6 +187,9 @@ type ExecStats struct {
 	MaxConcurrent int
 	Steals        int64
 	DepsResolved  int64
+	// ChainFused counts dependency edges resolved by static handoff
+	// instead of the ready queue (always 0 unless ExecOptions.Hybrid).
+	ChainFused int64
 }
 
 // Execute runs the program to completion on the given number of
@@ -200,6 +218,9 @@ func (p *Program) Execute(workers int, opts ExecOptions) ExecStats {
 			opts.Trace(Event{Kind: EventSubmit, TaskID: i, Label: p.labels[i], Serial: int(p.serial[i]), Worker: -1, When: now})
 		}
 	}
+	if opts.Hybrid {
+		p.FuseChains()
+	}
 	if workers == 1 {
 		return p.executeSerial(opts, m)
 	}
@@ -208,6 +229,7 @@ func (p *Program) Execute(workers int, opts ExecOptions) ExecStats {
 		indeg:   append([]int32(nil), p.indeg0...),
 		shards:  make([]deque32, workers),
 		workers: workers,
+		hybrid:  opts.Hybrid,
 		trace:   opts.Trace,
 		m:       m,
 	}
@@ -232,6 +254,7 @@ func (p *Program) Execute(workers int, opts ExecOptions) ExecStats {
 		MaxConcurrent: int(e.maxRun.Load()),
 		Steals:        e.steals.Load(),
 		DepsResolved:  e.deps.Load(),
+		ChainFused:    e.fused.Load(),
 	}
 }
 
@@ -251,9 +274,13 @@ func (p *Program) ExecuteChecked(workers int, opts ExecOptions) (ExecStats, erro
 }
 
 // executeSerial is the deterministic single-worker mode: an inline
-// FIFO sweep over the ready set, no goroutines, no atomics.
+// FIFO sweep over the ready set, no goroutines, no atomics. Under
+// ExecOptions.Hybrid a finished task's fused successor runs next
+// instead of joining the FIFO tail (depth-first along chains), so the
+// order differs from the pure-dynamic sweep but the results do not.
 func (p *Program) executeSerial(opts ExecOptions, m metrics) ExecStats {
 	n := p.NumTasks()
+	hybrid := opts.Hybrid && p.fusedEdges > 0
 	indeg := append([]int32(nil), p.indeg0...)
 	queue := make([]int32, 0, n)
 	queue = append(queue, p.roots...)
@@ -270,69 +297,94 @@ func (p *Program) executeSerial(opts ExecOptions, m metrics) ExecStats {
 		}
 	}
 	if observed {
-		m.queueDepth.Add(int64(len(queue)))
+		m.queuePeak.Max(m.queueDepth.Add(int64(len(queue))))
 	}
-	var deps int64
+	var deps, fused int64
+	executed := 0
 	for head := 0; head < len(queue); head++ {
 		id := queue[head]
-		var start time.Time
-		if observed || opts.Trace != nil {
-			start = time.Now()
-		}
-		if observed {
-			m.queueDepth.Add(-1)
-			m.running.Add(1)
-			m.peak.Max(1)
-			stall := start.Sub(readyAt[id]).Nanoseconds()
-			m.stallNs.Add(stall)
-			m.stallHist.Observe(stall)
-		}
-		if opts.Trace != nil {
-			opts.Trace(Event{Kind: EventStart, TaskID: int(id), Label: p.labels[id], Serial: int(p.serial[id]), Worker: 0, When: start})
-		}
-		if fn := p.fns[id]; fn != nil {
-			fn()
-		}
-		var end time.Time
-		if observed || opts.Trace != nil {
-			end = time.Now()
-		}
-		if opts.Trace != nil {
-			opts.Trace(Event{Kind: EventEnd, TaskID: int(id), Label: p.labels[id], Serial: int(p.serial[id]), Worker: 0, When: end})
-		}
-		if observed {
-			busy := end.Sub(start).Nanoseconds()
-			m.running.Add(-1)
-			m.executed.Inc()
-			m.busyNs.Add(busy)
-			m.taskHist.Observe(busy)
-			m.workerBusy[0].Add(busy)
-		}
-		for _, succ := range p.SuccsOf(int(id)) {
-			deps++
-			indeg[succ]--
-			if indeg[succ] == 0 {
+		fromQueue := true
+		for id >= 0 {
+			var start time.Time
+			if observed || opts.Trace != nil {
+				start = time.Now()
+			}
+			if observed {
+				if fromQueue {
+					m.queueDepth.Add(-1)
+				}
+				m.running.Add(1)
+				m.peak.Max(1)
+				stall := start.Sub(readyAt[id]).Nanoseconds()
+				m.stallNs.Add(stall)
+				m.stallHist.Observe(stall)
+			}
+			if opts.Trace != nil {
+				opts.Trace(Event{Kind: EventStart, TaskID: int(id), Label: p.labels[id], Serial: int(p.serial[id]), Worker: 0, When: start})
+			}
+			if fn := p.fns[id]; fn != nil {
+				fn()
+			}
+			var end time.Time
+			if observed || opts.Trace != nil {
+				end = time.Now()
+			}
+			if opts.Trace != nil {
+				opts.Trace(Event{Kind: EventEnd, TaskID: int(id), Label: p.labels[id], Serial: int(p.serial[id]), Worker: 0, When: end})
+			}
+			if observed {
+				busy := end.Sub(start).Nanoseconds()
+				m.running.Add(-1)
+				m.executed.Inc()
+				m.busyNs.Add(busy)
+				m.taskHist.Observe(busy)
+				m.workerBusy[0].Add(busy)
+			}
+			executed++
+			next := int32(-1)
+			if hybrid {
+				next = p.chainNext[id]
+			}
+			for _, succ := range p.SuccsOf(int(id)) {
+				deps++
+				indeg[succ]--
+				if indeg[succ] == 0 && succ != next {
+					if readyAt != nil {
+						readyAt[succ] = time.Now()
+						if opts.Trace != nil {
+							opts.Trace(Event{Kind: EventReady, TaskID: int(succ), Label: p.labels[succ], Serial: int(p.serial[succ]), Worker: -1, When: readyAt[succ]})
+						}
+					}
+					if observed {
+						m.queuePeak.Max(m.queueDepth.Add(1))
+					}
+					queue = append(queue, succ)
+				}
+			}
+			if next >= 0 {
+				fused++
+				if m.chainFused != nil {
+					m.chainFused.Inc()
+				}
 				if readyAt != nil {
-					readyAt[succ] = time.Now()
+					readyAt[next] = time.Now()
 					if opts.Trace != nil {
-						opts.Trace(Event{Kind: EventReady, TaskID: int(succ), Label: p.labels[succ], Serial: int(p.serial[succ]), Worker: -1, When: readyAt[succ]})
+						opts.Trace(Event{Kind: EventReady, TaskID: int(next), Label: p.labels[next], Serial: int(p.serial[next]), Worker: 0, When: readyAt[next]})
 					}
 				}
-				if observed {
-					m.queueDepth.Add(1)
-				}
-				queue = append(queue, succ)
 			}
+			id = next
+			fromQueue = false
 		}
 	}
 	if m.deps != nil {
 		m.deps.Add(deps)
 	}
 	mc := 0
-	if len(queue) > 0 {
+	if executed > 0 {
 		mc = 1
 	}
-	return ExecStats{Executed: len(queue), MaxConcurrent: mc, DepsResolved: deps}
+	return ExecStats{Executed: executed, MaxConcurrent: mc, DepsResolved: deps, ChainFused: fused}
 }
 
 // deque32 is one worker's ready shard over task ids.
@@ -388,6 +440,7 @@ type executor struct {
 	indeg   []int32
 	shards  []deque32
 	workers int
+	hybrid  bool
 
 	mu    sync.Mutex
 	cond  *sync.Cond
@@ -398,6 +451,7 @@ type executor struct {
 	maxRun    atomic.Int64
 	steals    atomic.Int64
 	deps      atomic.Int64
+	fused     atomic.Int64
 
 	trace   func(Event)
 	m       metrics
@@ -412,7 +466,7 @@ func (e *executor) markReady(w int, id int32) {
 		now := time.Now()
 		e.readyAt[id] = now
 		if e.m.queueDepth != nil {
-			e.m.queueDepth.Add(1)
+			e.m.queuePeak.Max(e.m.queueDepth.Add(1))
 		}
 		if e.trace != nil {
 			e.trace(Event{Kind: EventReady, TaskID: int(id), Label: e.p.labels[id], Serial: int(e.p.serial[id]), Worker: -1, When: now})
@@ -461,19 +515,31 @@ func (e *executor) worker(w int) {
 			}
 			continue
 		}
-		e.run(w, id)
-		if e.completed.Add(1) == n {
-			e.mu.Lock()
-			e.cond.Broadcast()
-			e.mu.Unlock()
-			return
+		fromQueue := true
+		for {
+			next := e.run(w, id, fromQueue)
+			if e.completed.Add(1) == n {
+				e.mu.Lock()
+				e.cond.Broadcast()
+				e.mu.Unlock()
+				return
+			}
+			if next < 0 {
+				break
+			}
+			// Static handoff: the fused successor runs on this worker
+			// immediately, never visiting a deque.
+			id, fromQueue = next, false
 		}
 	}
 }
 
 // run executes one task body and resolves its successors with atomic
-// indegree decrements.
-func (e *executor) run(w int, id int32) {
+// indegree decrements. Under hybrid scheduling it returns the task's
+// fused successor (to run inline on this worker, its single
+// dependency resolved by the handoff itself rather than an atomic),
+// or -1 when the ready deques should be consulted next.
+func (e *executor) run(w int, id int32, fromQueue bool) int32 {
 	running := e.running.Add(1)
 	for {
 		old := e.maxRun.Load()
@@ -487,7 +553,9 @@ func (e *executor) run(w int, id int32) {
 		start = time.Now()
 	}
 	if observed {
-		e.m.queueDepth.Add(-1)
+		if fromQueue {
+			e.m.queueDepth.Add(-1)
+		}
 		e.m.running.Add(1)
 		e.m.peak.Max(e.maxRun.Load())
 		stall := start.Sub(e.readyAt[id]).Nanoseconds()
@@ -517,9 +585,18 @@ func (e *executor) run(w int, id int32) {
 	}
 	e.running.Add(-1)
 
+	next := int32(-1)
+	if e.hybrid {
+		next = e.p.chainNext[id]
+	}
 	resolved := int64(0)
 	for _, succ := range e.p.SuccsOf(int(id)) {
 		resolved++
+		if succ == next {
+			// The fused successor's only predecessor is this task: the
+			// handoff is the resolution, no atomic needed.
+			continue
+		}
 		if atomic.AddInt32(&e.indeg[succ], -1) == 0 {
 			e.markReady(w, succ)
 		}
@@ -530,4 +607,18 @@ func (e *executor) run(w int, id int32) {
 			e.m.deps.Add(resolved)
 		}
 	}
+	if next >= 0 {
+		e.fused.Add(1)
+		if e.m.chainFused != nil {
+			e.m.chainFused.Inc()
+		}
+		if e.readyAt != nil {
+			now := time.Now()
+			e.readyAt[next] = now
+			if e.trace != nil {
+				e.trace(Event{Kind: EventReady, TaskID: int(next), Label: e.p.labels[next], Serial: int(e.p.serial[next]), Worker: w, When: now})
+			}
+		}
+	}
+	return next
 }

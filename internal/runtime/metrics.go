@@ -19,7 +19,9 @@ type metrics struct {
 	busyNs     *obs.Counter
 	steals     *obs.Counter
 	deps       *obs.Counter
+	chainFused *obs.Counter
 	queueDepth *obs.Gauge
+	queuePeak  *obs.Gauge
 	running    *obs.Gauge
 	peak       *obs.Gauge
 	stallHist  *obs.Histogram
@@ -36,7 +38,9 @@ func newMetrics(reg *obs.Registry, name string, workers int) metrics {
 		busyNs:     reg.Counter(name + ".busy_ns_total"),
 		steals:     reg.Counter(name + ".steal_count"),
 		deps:       reg.Counter(name + ".deps_resolved"),
+		chainFused: reg.Counter(name + ".chain_fused"),
 		queueDepth: reg.Gauge(name + ".queue_depth"),
+		queuePeak:  reg.Gauge(name + ".queue_depth_peak"),
 		running:    reg.Gauge(name + ".running"),
 		peak:       reg.Gauge(name + ".peak_concurrency"),
 		stallHist:  reg.Histogram(name+".stall_ns", nil),

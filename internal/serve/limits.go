@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 )
@@ -45,13 +46,17 @@ func (l Limits) withDefaults() Limits {
 }
 
 // bucket is one tenant's token bucket. Tokens refill continuously at
-// rate per second up to burst; a request spends one token.
+// rate per second up to burst; a request spends one token. admitted
+// and denied accumulate the tenant's lifetime admission outcomes for
+// the /debug/tenants view.
 type bucket struct {
-	mu     sync.Mutex
-	tokens float64
-	last   time.Time
-	rate   float64
-	burst  float64
+	mu       sync.Mutex
+	tokens   float64
+	last     time.Time
+	rate     float64
+	burst    float64
+	admitted int64
+	denied   int64
 }
 
 // take spends one token if available. On refusal it returns the wait
@@ -65,8 +70,10 @@ func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
 	}
 	if b.tokens >= 1 {
 		b.tokens--
+		b.admitted++
 		return true, 0
 	}
+	b.denied++
 	need := 1 - b.tokens
 	return false, time.Duration(need / b.rate * float64(time.Second))
 }
@@ -97,4 +104,54 @@ func (t *tenantTable) take(tenant string, now time.Time) (ok bool, retryAfter ti
 	}
 	t.mu.Unlock()
 	return b.take(now)
+}
+
+// TenantState is one tenant's quota standing as reported by
+// /debug/tenants: the bucket's current token balance (refreshed to
+// the snapshot instant) against its configured rate/burst, plus the
+// lifetime admitted/denied counts.
+type TenantState struct {
+	Tenant   string  `json:"tenant"`
+	Tokens   float64 `json:"tokens"`
+	Rate     float64 `json:"rate"`
+	Burst    float64 `json:"burst"`
+	Admitted int64   `json:"admitted"`
+	Denied   int64   `json:"denied"`
+}
+
+// snapshot reports every tenant the table has seen, sorted by name.
+// Token balances are brought forward to now so the view reflects the
+// refill that would apply to a request arriving at the snapshot
+// instant, without spending anything.
+func (t *tenantTable) snapshot(now time.Time) []TenantState {
+	t.mu.Lock()
+	names := make([]string, 0, len(t.buckets))
+	for name := range t.buckets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	buckets := make([]*bucket, len(names))
+	for i, name := range names {
+		buckets[i] = t.buckets[name]
+	}
+	t.mu.Unlock()
+
+	out := make([]TenantState, len(names))
+	for i, b := range buckets {
+		b.mu.Lock()
+		tokens := b.tokens
+		if now.After(b.last) {
+			tokens = math.Min(b.burst, tokens+now.Sub(b.last).Seconds()*b.rate)
+		}
+		out[i] = TenantState{
+			Tenant:   names[i],
+			Tokens:   tokens,
+			Rate:     b.rate,
+			Burst:    b.burst,
+			Admitted: b.admitted,
+			Denied:   b.denied,
+		}
+		b.mu.Unlock()
+	}
+	return out
 }

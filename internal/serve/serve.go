@@ -128,6 +128,8 @@ func New(sess *polypipe.Session, lim Limits, reg *obs.Registry) *Server {
 	intro := obsd.New(sess).Handler()
 	s.mux.Handle("GET /metrics", intro)
 	s.mux.Handle("GET /debug/", intro)
+	// More specific than the obsd catch-all, so it wins the route.
+	s.mux.HandleFunc("GET /debug/tenants", s.handleTenants)
 	return s
 }
 
@@ -402,6 +404,34 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
+}
+
+// TenantsResponse is the GET /debug/tenants body: the admission
+// policy in force plus every tenant the server has seen with its
+// current token balance and lifetime admitted/denied counts. With
+// quotas disabled (TenantRate == 0) Enabled is false and Tenants is
+// empty — the bucket table is never populated.
+type TenantsResponse struct {
+	Enabled bool          `json:"quota_enabled"`
+	Rate    float64       `json:"rate"`
+	Burst   float64       `json:"burst"`
+	Tenants []TenantState `json:"tenants"`
+}
+
+// handleTenants serves the per-tenant quota standings, the operator's
+// answer to "which tenant is being throttled and how close are the
+// others". Registered above the obsd /debug/ catch-all.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	states := s.tenants.snapshot(s.now())
+	if states == nil {
+		states = []TenantState{}
+	}
+	s.respond(w, http.StatusOK, TenantsResponse{
+		Enabled: s.lim.TenantRate > 0,
+		Rate:    s.lim.TenantRate,
+		Burst:   s.lim.TenantBurst,
+		Tenants: states,
+	})
 }
 
 // respond writes a JSON body with status.

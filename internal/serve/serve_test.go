@@ -405,3 +405,66 @@ func TestConcurrentRequestsOneSession(t *testing.T) {
 		t.Fatal("queue watermark never moved under 16-way load")
 	}
 }
+
+func TestDebugTenantsEndpoint(t *testing.T) {
+	_, ts, _ := newTestServer(t, Limits{TenantRate: 0.001, TenantBurst: 2})
+	body := envelopedKernel(t)
+	// alice: 2 admitted, 1 denied; bob: 1 admitted.
+	for i := 0; i < 3; i++ {
+		post(t, ts.URL+"/v1/detect", "alice", body)
+	}
+	post(t, ts.URL+"/v1/detect", "bob", body)
+
+	resp, err := http.Get(ts.URL + "/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var out TenantsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !out.Enabled || out.Rate != 0.001 || out.Burst != 2 {
+		t.Fatalf("policy = %+v", out)
+	}
+	if len(out.Tenants) != 2 {
+		t.Fatalf("tenants = %+v", out.Tenants)
+	}
+	// snapshot sorts by name: alice before bob.
+	alice, bob := out.Tenants[0], out.Tenants[1]
+	if alice.Tenant != "alice" || bob.Tenant != "bob" {
+		t.Fatalf("order = %q, %q", alice.Tenant, bob.Tenant)
+	}
+	if alice.Admitted != 2 || alice.Denied != 1 {
+		t.Fatalf("alice = %+v", alice)
+	}
+	if bob.Admitted != 1 || bob.Denied != 0 {
+		t.Fatalf("bob = %+v", bob)
+	}
+	if alice.Tokens >= 1 {
+		t.Fatalf("alice's bucket should be drained, tokens = %v", alice.Tokens)
+	}
+	if alice.Rate != 0.001 || alice.Burst != 2 {
+		t.Fatalf("alice bucket config = %+v", alice)
+	}
+}
+
+func TestDebugTenantsQuotasDisabled(t *testing.T) {
+	_, ts, _ := newTestServer(t, Limits{})
+	post(t, ts.URL+"/v1/detect", "alice", envelopedKernel(t))
+	resp, err := http.Get(ts.URL + "/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out TenantsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Enabled || len(out.Tenants) != 0 {
+		t.Fatalf("quotas disabled, got %+v", out)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/codegen"
 	"repro/internal/exec"
 	"repro/internal/kernels"
 	"repro/internal/obs"
@@ -36,6 +37,9 @@ type (
 // NewRegistry returns an empty metrics registry.
 func NewRegistry() *Registry { return obs.NewRegistry() }
 
+// NewRecorder returns a recorder over a fresh registry.
+func NewRecorder() *Recorder { return obs.NewRecorder() }
+
 // Observe runs the program's cross-loop pipeline with the full
 // observability layer enabled — detection-phase timings, runtime
 // queue/stall/utilization metrics, per-task spans, and the realized
@@ -44,6 +48,17 @@ func NewRegistry() *Registry { return obs.NewRegistry() }
 // single atomic operations; see BenchmarkObservationOverhead).
 func Observe(p *Program, workers int, opts Options) (*Metrics, error) {
 	return exec.PipelinedObserved(p, workers, opts, nil)
+}
+
+// ObserveHybrid is Observe under the static/dynamic hybrid schedule
+// (the Session-level WithHybridSchedule, standalone): single-
+// predecessor dependence chains are fused into statically ordered
+// runs, and the snapshot carries runtime.chain_fused alongside the
+// usual runtime.* readings. rec, when non-nil, receives the phase
+// spans and metrics (pass one that already holds autotune.* counters
+// to get a single combined snapshot).
+func ObserveHybrid(p *Program, workers int, opts Options, rec *Recorder) (*Metrics, error) {
+	return exec.PipelinedObservedWith(p, workers, opts, codegen.CompileOptions{HybridSchedule: true}, rec)
 }
 
 // TraceJSON runs the pipelined program with tracing and writes a

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"repro/internal/ast"
+	"repro/internal/autotune"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/gogen"
@@ -69,6 +70,14 @@ type (
 	Task = tasking.Task
 	// Runtime is the OpenMP-tasks-like dependency-aware executor.
 	Runtime = tasking.Runtime
+	// AutotuneResult is the outcome of a profile-guided block-size
+	// search (Session.Autotune / WithAutotune): the tuned
+	// MinBlockIters plus every evaluated candidate's measured profile.
+	AutotuneResult = autotune.Result
+	// AutotuneSample is one evaluated candidate granularity with its
+	// instrumented-run profile (elapsed, critical path, stall, steals,
+	// queue peak, fused chains).
+	AutotuneSample = autotune.Sample
 )
 
 // Matrix-chain variants (Figure 11 kernels).

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/autotune"
 	"repro/internal/cache"
 	"repro/internal/cache/disk"
 	"repro/internal/codegen"
@@ -19,7 +20,6 @@ import (
 	"repro/internal/obs/export"
 	"repro/internal/obsd"
 	"repro/internal/par"
-	"repro/internal/runtime"
 	"repro/internal/simsched"
 	"repro/internal/stages"
 	"repro/internal/trace"
@@ -89,6 +89,9 @@ type Session struct {
 	opts         Options
 	backend      string
 	wantBackend  bool
+	hybridSched  bool
+	autotuneOn   bool
+	autotuneBud  int
 	ctx          context.Context
 	registry     *obs.Registry
 	cache        *cache.Cache
@@ -124,13 +127,23 @@ type Session struct {
 	// stmtNames accumulates statement display names of every compiled
 	// program (guarded by progMu), so /debug/trace can label spans.
 	stmtNames map[int]string
+
+	// tuned caches the autotuned MinBlockIters per SCoP instance
+	// (guarded by tunedMu), so WithAutotune pays the search once and
+	// every later compile of the same program reuses the result.
+	tunedMu sync.Mutex
+	tuned   map[*SCoP]int
 }
 
 // progKey identifies one compiled program: the SCoP instance plus the
-// intra-block worker count compiled into the task bodies.
+// compile options baked into the task bodies and the IR — the
+// intra-block worker count, the hybrid scheduling mode, and the
+// (autotuned) blocking granularity.
 type progKey struct {
-	sc    *SCoP
-	intra int
+	sc         *SCoP
+	intra      int
+	hybrid     bool
+	blockIters int
 }
 
 // SessionOption configures a Session at construction.
@@ -163,6 +176,33 @@ func WithOptions(opts Options) SessionOption {
 // composes with WithOptions.
 func WithBackend(name string) SessionOption {
 	return func(s *Session) { s.backend, s.wantBackend = name, true }
+}
+
+// WithHybridSchedule switches pipelined execution to the hybrid
+// static/dynamic schedule: at IR lowering, single-predecessor
+// producer→consumer pairs (PPN-style point-to-point channels) are
+// fused into static chains the finishing worker runs inline — no
+// ready-queue insertion, no atomic indegree traffic — while every
+// cross-chain edge stays on the work-stealing scheduler. Results are
+// bit-identical to the dynamic schedule; runs report the
+// "pipeline-hybrid-sched" executor and the runtime.chain_fused
+// counter (docs/PERFORMANCE.md, "Autotuning & hybrid scheduling").
+func WithHybridSchedule() SessionOption {
+	return func(s *Session) { s.hybridSched = true }
+}
+
+// WithAutotune enables profile-guided block-size tuning: the first
+// pipelined compile of each program runs the internal/autotune
+// search — instrumented executions scored by wall time with the
+// realized critical path and stall/steal/queue-depth profile read
+// back from obs, converging by doubling plus golden-section
+// refinement — and every later compile reuses the tuned
+// MinBlockIters in place of the fixed Eq. 3 granularity. budget caps
+// the candidate evaluations (<= 0 means autotune.DefaultBudget). The
+// search itself executes the program repeatedly; call
+// Session.Autotune directly to tune eagerly and inspect the trail.
+func WithAutotune(budget int) SessionOption {
+	return func(s *Session) { s.autotuneOn, s.autotuneBud = true, budget }
 }
 
 // WithCache attaches a content-addressed detection cache bounded to
@@ -389,17 +429,24 @@ func (s *Session) CacheStats() (st CacheStats, ok bool) {
 // session's options. After Close it fails with ErrSessionClosed; a
 // wait ended by the session context fails with ErrDetectCanceled.
 func (s *Session) Detect(sc *SCoP) (*Info, error) {
+	return s.detectWith(sc, s.opts)
+}
+
+// detectWith is Detect under explicit options — the autotuned
+// granularity overrides MinBlockIters without mutating the session.
+// The cache keys on options, so tuned and untuned results coexist.
+func (s *Session) detectWith(sc *SCoP, opts Options) (*Info, error) {
 	if s.closed.Load() {
 		return nil, ErrSessionClosed
 	}
 	if s.cache != nil {
-		info, err := s.cache.Get(s.ctx, sc, s.opts)
+		info, err := s.cache.Get(s.ctx, sc, opts)
 		return info, wrapCtxErr(err)
 	}
 	if err := s.ctx.Err(); err != nil {
 		return nil, wrapCtxErr(err)
 	}
-	return core.Detect(sc, s.opts)
+	return core.Detect(sc, opts)
 }
 
 // DetectBatch detects a batch of SCoPs, returning results in input
@@ -435,7 +482,15 @@ func (s *Session) DetectBatch(scs []*SCoP) ([]*Info, []error) {
 // and its lowered runtime IR; with a session registry, IR reuse counts
 // "runtime.ir_reuse" hits.
 func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, error) {
-	key := progKey{sc: p.SCoP, intra: intraWorkers}
+	blockIters := 0
+	if s.autotuneOn {
+		b, err := s.tunedBlockIters(p)
+		if err != nil {
+			return nil, err
+		}
+		blockIters = b
+	}
+	key := progKey{sc: p.SCoP, intra: intraWorkers, hybrid: s.hybridSched, blockIters: blockIters}
 	s.progMu.Lock()
 	for _, st := range p.SCoP.Stmts {
 		s.stmtNames[st.Index] = st.Name
@@ -443,11 +498,15 @@ func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, e
 	prog, ok := s.programs[key]
 	s.progMu.Unlock()
 	if !ok {
-		info, err := s.Detect(p.SCoP)
+		opts := s.opts
+		if blockIters > 0 {
+			opts.MinBlockIters = blockIters
+		}
+		info, err := s.detectWith(p.SCoP, opts)
 		if err != nil {
 			return nil, fmt.Errorf("exec: detect: %w", err)
 		}
-		prog, err = codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers, Obs: s.opts.Obs})
+		prog, err = codegen.CompileWithOptions(info, codegen.CompileOptions{IntraBlockWorkers: intraWorkers, HybridSchedule: s.hybridSched, Obs: s.opts.Obs})
 		if err != nil {
 			return nil, fmt.Errorf("exec: compile: %w", err)
 		}
@@ -471,7 +530,7 @@ func (s *Session) compile(p *Program, intraWorkers int) (*codegen.TaskProgram, e
 // timed region covers execution only, like exec.RunCompiled.
 func (s *Session) execCompiled(p *Program, prog *codegen.TaskProgram, workers int, executor string) Result {
 	ir := prog.Lower()
-	var eo runtime.ExecOptions
+	eo := prog.ExecOpts()
 	if s.registry != nil {
 		eo.Reg = s.registry
 	}
@@ -489,6 +548,7 @@ func (s *Session) execCompiled(p *Program, prog *codegen.TaskProgram, workers in
 		Hash:          p.Hash(),
 		Tasks:         st.Executed,
 		MaxConcurrent: st.MaxConcurrent,
+		ChainFused:    st.ChainFused,
 	}
 }
 
@@ -514,7 +574,11 @@ func (s *Session) Run(mode Mode, p *Program) (Result, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		return s.execCompiled(p, prog, workers, "pipeline"), nil
+		name := "pipeline"
+		if s.hybridSched {
+			name = "pipeline-hybrid-sched"
+		}
+		return s.execCompiled(p, prog, workers, name), nil
 	case ModeFutures:
 		prog, err := s.compile(p, 0)
 		if err != nil {
@@ -535,6 +599,58 @@ func (s *Session) Run(mode Mode, p *Program) (Result, error) {
 		return s.execCompiled(p, prog, workers, "pipeline-hybrid"), nil
 	}
 	return Result{}, fmt.Errorf("%w %v", ErrUnknownMode, mode)
+}
+
+// tunedBlockIters returns the autotuned granularity for p, running
+// the search on first use and caching the choice per SCoP instance.
+func (s *Session) tunedBlockIters(p *Program) (int, error) {
+	s.tunedMu.Lock()
+	b, ok := s.tuned[p.SCoP]
+	s.tunedMu.Unlock()
+	if ok {
+		return b, nil
+	}
+	res, err := s.Autotune(p)
+	if err != nil {
+		return 0, err
+	}
+	return res.Chosen, nil
+}
+
+// Autotune runs the profile-guided block-size search on p under the
+// session's configuration (workers, detection options, hybrid
+// scheduling mode) and returns the full result: the tuned
+// MinBlockIters, the baseline and best samples, and every evaluated
+// candidate's measured profile. The choice is cached per program, so
+// later WithAutotune compiles reuse it without searching again. The
+// search executes p repeatedly; its arrays are left in the final
+// run's state (Run resets them anyway). With a session registry the
+// autotune.iterations counter and autotune.block_iters_chosen gauge
+// land there.
+func (s *Session) Autotune(p *Program) (*AutotuneResult, error) {
+	if s.closed.Load() {
+		return nil, ErrSessionClosed
+	}
+	if err := s.ctx.Err(); err != nil {
+		return nil, wrapCtxErr(err)
+	}
+	res, err := autotune.Tune(p, autotune.Config{
+		Workers: par.Workers(s.workers),
+		Detect:  s.opts,
+		Hybrid:  s.hybridSched,
+		Budget:  s.autotuneBud,
+		Obs:     s.opts.Obs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.tunedMu.Lock()
+	if s.tuned == nil {
+		s.tuned = make(map[*SCoP]int)
+	}
+	s.tuned[p.SCoP] = res.Chosen
+	s.tunedMu.Unlock()
+	return res, nil
 }
 
 // Verify checks that the pipelined and per-loop executions reproduce
