@@ -1,14 +1,16 @@
 GO ?= go
 
-.PHONY: check build test vet race crosscheck crosscheck-symbolic hybrid-race autotune-smoke obsd-smoke serve-smoke bench bench-cache bench-gate bench-exec bench-exec-gate bench-autotune bench-serve bench-serve-gate stats serve clean
+.PHONY: check build test vet fmt-check race crosscheck crosscheck-symbolic hybrid-race autotune-smoke aot-smoke obsd-smoke serve-smoke bench bench-cache bench-gate bench-exec bench-exec-gate bench-autotune bench-serve bench-serve-gate stats serve clean
 
-## check: the full gate — vet, build, the race-enabled test suite,
-## the cross-backend differential suites (isl backends and the symbolic
-## detection algebra), the hybrid-schedule equivalence suite under
-## contention, the live-telemetry smoke, and the detection-service
-## smoke. The autotune smoke joins in only on multi-core hosts: on one
-## CPU the search measures scheduling noise, not blocking.
-check: vet build race crosscheck crosscheck-symbolic hybrid-race obsd-smoke serve-smoke
+## check: the full gate — vet, gofmt cleanliness, build, the
+## race-enabled test suite, the cross-backend differential suites (isl
+## backends and the symbolic detection algebra), the hybrid-schedule
+## equivalence suite under contention, the AOT-backend smoke (emit,
+## compile, execute, compare against the interpreter), the
+## live-telemetry smoke, and the detection-service smoke. The autotune
+## smoke joins in only on multi-core hosts: on one CPU the search
+## measures scheduling noise, not blocking.
+check: vet fmt-check build race crosscheck crosscheck-symbolic hybrid-race aot-smoke obsd-smoke serve-smoke
 	@if [ "$$(nproc 2>/dev/null || echo 1)" -ge 2 ]; then \
 		$(MAKE) autotune-smoke; \
 	else \
@@ -40,6 +42,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+## fmt-check: fail if any file is not gofmt-clean (prints the
+## offenders; run `gofmt -w .` to fix).
+fmt-check:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "fmt-check: files need gofmt -w:"; \
+		echo "$$unformatted"; \
+		exit 1; \
+	fi
+
 test:
 	$(GO) test ./...
 
@@ -69,18 +81,20 @@ bench-gate:
 ## bench-exec: the execution runtime benchmark — serial reference,
 ## the unified scheduler through the compiled IR, the hybrid schedule,
 ## the profile-guided autotuned blocking, the futures/stages adapters,
-## and IR lowering first-vs-reuse, on P4/P7/P10 at n=32/64/128.
-## Regenerates the committed BENCH_exec.json.
+## IR lowering first-vs-reuse, and the AOT backend (emitted-binary vs
+## in-process steady state plus compile-time ns/op, passes on/off), on
+## P4/P7/P10 at n=32/64/128. Regenerates the committed
+## BENCH_exec.json.
 bench-exec:
-	$(GO) run ./cmd/bench-pipeline -exec-bench -autotune -exec-out BENCH_exec.json
+	$(GO) run ./cmd/bench-pipeline -exec-bench -autotune -aot-bench -exec-out BENCH_exec.json
 
 ## bench-exec-gate: performance regression gate — re-run the execution
-## benchmark (including the hybrid-schedule and autotuned rows) and
-## fail if any row's ns/op regressed more than 15% against the
+## benchmark (including the hybrid-schedule, autotuned, and AOT rows)
+## and fail if any row's ns/op regressed more than 15% against the
 ## committed BENCH_exec.json (tune with -gate-tol). Committed rows
 ## measured under a different GOMAXPROCS than this host are skipped.
 bench-exec-gate:
-	$(GO) run ./cmd/bench-pipeline -exec-gate -autotune
+	$(GO) run ./cmd/bench-pipeline -exec-gate -autotune -aot-bench
 
 ## bench-autotune: the profile-guided block-size search, human-readable
 ## — per kernel, every candidate granularity with its measured wall
@@ -95,6 +109,14 @@ bench-autotune:
 ## bit-identical-to-dynamic equivalence suite on the Table 9 corpus.
 hybrid-race:
 	$(GO) test -race -cpu 2,4 -run 'Hybrid|Chain|FuseChains' ./internal/runtime/ ./internal/exec/ ./polypipe/
+
+## aot-smoke: the AOT backend's golden end-to-end gate — emit a
+## standalone Go program for every examples/dsl/*.loop (pass pipeline
+## on and off), `go build` it, execute it, and require the result hash
+## to match the in-process interpreter bit for bit. Skipped under
+## `go test -short`.
+aot-smoke:
+	$(GO) test -run 'TestAOTSmoke|TestEmittedDifferential' -count=1 . ./internal/gogen/
 
 ## autotune-smoke: one short end-to-end search on a multi-core host —
 ## proves the tuner converges and its choice reproduces the sequential

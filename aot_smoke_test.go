@@ -1,0 +1,87 @@
+package repro_test
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/polypipe"
+)
+
+// TestAOTSmoke is the golden end-to-end gate for the AOT backend: for
+// every DSL program under examples/dsl it emits a standalone Go
+// program through a session (optimized and unoptimized), builds it
+// with `go build`, executes the binary, and requires the printed
+// result hash to match the in-process interpreter bit for bit. The
+// emitted binary additionally self-verifies sequential == pipelined
+// on every run.
+func TestAOTSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs one binary per example and pass config")
+	}
+	files, err := filepath.Glob(filepath.Join("examples", "dsl", "*.loop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no DSL examples found under examples/dsl")
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			t.Parallel()
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := polypipe.Parse(filepath.Base(file), string(data))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			sess := polypipe.NewSession(polypipe.WithWorkers(2))
+			defer sess.Close()
+
+			// In-process reference: the interpreter's sequential hash.
+			ref, err := sess.Run(polypipe.ModeSequential, polypipe.Interpret(sc))
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+
+			for _, passes := range []string{"all", "none"} {
+				var b strings.Builder
+				if err := sess.EmitGo(&b, sc, polypipe.EmitOptions{Workers: 2, Passes: passes}); err != nil {
+					t.Fatalf("emit (%s): %v", passes, err)
+				}
+				dir := t.TempDir()
+				src := filepath.Join(dir, "main.go")
+				if err := os.WriteFile(src, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				bin := filepath.Join(dir, "prog")
+				build := exec.Command("go", "build", "-o", bin, src)
+				build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+				if out, err := build.CombinedOutput(); err != nil {
+					t.Fatalf("go build (%s): %v\n%s", passes, err, out)
+				}
+				out, err := exec.Command(bin, "2").CombinedOutput()
+				if err != nil {
+					t.Fatalf("emitted binary (%s): %v\n%s", passes, err, out)
+				}
+				var got uint64
+				var tasks int
+				if _, err := fmt.Sscanf(strings.TrimSpace(string(out)), "ok hash=%x tasks=%d", &got, &tasks); err != nil {
+					t.Fatalf("cannot parse emitted output %q: %v", out, err)
+				}
+				if got != ref.Hash {
+					t.Errorf("passes=%s: emitted hash %x != interpreter hash %x", passes, got, ref.Hash)
+				}
+				if tasks == 0 {
+					t.Errorf("passes=%s: emitted binary created no tasks", passes)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	runexec "repro/internal/exec"
+	"repro/internal/gogen"
+	"repro/internal/interp"
+	"repro/internal/kernels"
+)
+
+// aotOpts selects the AOT-backend rows of the execution benchmark
+// (the -aot-bench flag): which problem sizes get an emitted binary.
+// Every size costs one `go build` per kernel, so the default stays
+// small.
+type aotOpts struct {
+	Enabled bool
+	Sizes   []int
+	Reps    int
+}
+
+// aotReps is the default steady-state repetition count: the emitted
+// binary runs its pipelined phase this many times and reports the
+// best, and the in-process comparison uses the same best-of policy.
+const aotReps = 5
+
+// measureAOT benchmarks the AOT backend on the P4/P7/P10 kernels with
+// synthetic interpreter bodies (the semantics the emitted code
+// implements). Four row kinds per kernel:
+//
+//	aot_inprocess      best-of-reps pipelined execution on the
+//	                   in-process runtime (execution region only)
+//	aot_binary         best-of-reps pipelined execution inside the
+//	                   emitted binary (its own pipe= timing, same
+//	                   region: runPipelined only, seeding excluded)
+//	aot_compile        gogen compile+emit with the full pass pipeline
+//	aot_compile_noopt  gogen compile+emit with passes disabled
+//
+// The aot_binary vs aot_inprocess pair is the backend's acceptance
+// number: emitted steady-state must not be slower than in-process.
+// Build time of the emitted source is deliberately not a row — it is
+// `go build`, not this repo's code.
+func measureAOT(opts aotOpts, workers int) ([]execMeasure, error) {
+	reps := opts.Reps
+	if reps <= 0 {
+		reps = aotReps
+	}
+	tmp, err := os.MkdirTemp("", "aot-bench-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var results []execMeasure
+	record := func(name, mode string, w, tasks int, r testing.BenchmarkResult) {
+		results = append(results, execMeasure{
+			Kernel:      name,
+			Mode:        mode,
+			Workers:     w,
+			Tasks:       tasks,
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		})
+		fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (%d iters)\n", name, mode, r.NsPerOp(), r.N)
+	}
+	recordNs := func(name, mode string, w, tasks int, ns int64) {
+		results = append(results, execMeasure{
+			Kernel:     name,
+			Mode:       mode,
+			Workers:    w,
+			Tasks:      tasks,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			Iterations: reps,
+			NsPerOp:    ns,
+		})
+		fmt.Fprintf(os.Stderr, "%s/%s: %d ns/op (best of %d)\n", name, mode, ns, reps)
+	}
+
+	for _, kname := range []string{"P4", "P7", "P10"} {
+		spec, ok := kernels.T9SpecByName(kname)
+		if !ok {
+			return nil, fmt.Errorf("unknown Table 9 program %q", kname)
+		}
+		for _, n := range opts.Sizes {
+			name := fmt.Sprintf("%s/n=%d", kname, n)
+			p := kernels.BuildTable9(spec, n, 1)
+			sc := p.SCoP
+			// Re-body with the synthetic interpreter semantics — what
+			// the emitted program implements, so both sides run the
+			// same arithmetic.
+			ip := interp.Programify(sc)
+			info, err := core.Detect(sc, core.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("aot-bench %s: detect: %w", name, err)
+			}
+			tp, err := codegen.Compile(info)
+			if err != nil {
+				return nil, fmt.Errorf("aot-bench %s: compile: %w", name, err)
+			}
+
+			// In-process steady state: best of reps, execution region
+			// only (RunCompiled resets outside its timed region,
+			// matching the emitted binary's pipe= timing).
+			var best time.Duration
+			for r := 0; r < reps; r++ {
+				res := runexec.RunCompiled(ip, tp, workers)
+				if r == 0 || res.Elapsed < best {
+					best = res.Elapsed
+				}
+			}
+			recordNs(name, "aot_inprocess", workers, tp.NumTasks(), best.Nanoseconds())
+
+			// Emitted binary steady state: build once, run once, let
+			// the binary do its own best-of-reps timing.
+			var src strings.Builder
+			if err := gogen.EmitWith(&src, info, gogen.EmitOptions{Workers: workers}); err != nil {
+				return nil, fmt.Errorf("aot-bench %s: emit: %w", name, err)
+			}
+			dir := filepath.Join(tmp, strings.ReplaceAll(name, "/", "_"))
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				return nil, err
+			}
+			file := filepath.Join(dir, "main.go")
+			if err := os.WriteFile(file, []byte(src.String()), 0o644); err != nil {
+				return nil, err
+			}
+			bin := filepath.Join(dir, "prog")
+			build := exec.Command("go", "build", "-o", bin, file)
+			build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+			if out, err := build.CombinedOutput(); err != nil {
+				return nil, fmt.Errorf("aot-bench %s: go build: %v\n%s", name, err, out)
+			}
+			out, err := exec.Command(bin, fmt.Sprint(workers), fmt.Sprint(reps)).CombinedOutput()
+			if err != nil {
+				return nil, fmt.Errorf("aot-bench %s: emitted binary: %v\n%s", name, err, out)
+			}
+			tasks, pipe, err := parseEmittedTiming(string(out))
+			if err != nil {
+				return nil, fmt.Errorf("aot-bench %s: %w", name, err)
+			}
+			recordNs(name, "aot_binary", workers, tasks, pipe.Nanoseconds())
+
+			// Compile-time rows: the whole backend (task compilation,
+			// lowering, passes, printing) per emission, passes on/off.
+			record(name, "aot_compile", 0, tp.NumTasks(), testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := gogen.EmitWith(io.Discard, info, gogen.EmitOptions{Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+			record(name, "aot_compile_noopt", 0, tp.NumTasks(), testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if err := gogen.EmitWith(io.Discard, info, gogen.EmitOptions{Workers: workers, Passes: "none"}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+		}
+	}
+	return results, nil
+}
+
+// parseEmittedTiming extracts the task count and the best pipelined
+// duration from an emitted binary's "ok hash=... tasks=N seq=D
+// pipe=D" line.
+func parseEmittedTiming(out string) (tasks int, pipe time.Duration, err error) {
+	line := strings.TrimSpace(out)
+	var hash uint64
+	var seqStr, pipeStr string
+	if _, err := fmt.Sscanf(line, "ok hash=%x tasks=%d seq=%s pipe=%s", &hash, &tasks, &seqStr, &pipeStr); err != nil {
+		return 0, 0, fmt.Errorf("cannot parse emitted output %q: %w", line, err)
+	}
+	pipe, err = time.ParseDuration(pipeStr)
+	if err != nil {
+		return 0, 0, fmt.Errorf("cannot parse pipe duration in %q: %w", line, err)
+	}
+	return tasks, pipe, nil
+}
+
+// runAOTBench is the standalone -aot-bench mode: measure only the AOT
+// rows and print them as a JSON array (combine with -exec-bench to
+// merge them into the full BENCH_exec.json instead).
+func runAOTBench(opts aotOpts, workers int) error {
+	results, err := measureAOT(opts, workers)
+	if err != nil {
+		return err
+	}
+	reportAOT(results)
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(results)
+}
+
+// reportAOT prints the acceptance comparison: per kernel, emitted
+// binary steady state vs the in-process runtime.
+func reportAOT(results []execMeasure) {
+	inproc := make(map[string]execMeasure)
+	for _, m := range results {
+		if m.Mode == "aot_inprocess" {
+			inproc[m.Kernel] = m
+		}
+	}
+	for _, m := range results {
+		if m.Mode != "aot_binary" {
+			continue
+		}
+		if w, ok := inproc[m.Kernel]; ok {
+			fmt.Fprintf(os.Stderr, "aot-bench: %s emitted %d ns/op vs in-process %d (%+.1f%%)\n",
+				m.Kernel, m.NsPerOp, w.NsPerOp, 100*(float64(m.NsPerOp)/float64(w.NsPerOp)-1))
+		}
+	}
+}

@@ -274,10 +274,18 @@ func measureExec(sizes []int, workers int, tune tuneOpts) ([]execMeasure, error)
 // prints the pipelined-vs-baseline-tasking comparison (the number the
 // refactor is accountable for) and, per kernel, what the hybrid
 // schedule and the tuned blocking bought over plain pipelined.
-func runExecBench(out string, sizes []int, workers int, tune tuneOpts) error {
+func runExecBench(out string, sizes []int, workers int, tune tuneOpts, aot aotOpts) error {
 	results, err := measureExec(sizes, workers, tune)
 	if err != nil {
 		return err
+	}
+	if aot.Enabled {
+		rows, err := measureAOT(aot, workers)
+		if err != nil {
+			return err
+		}
+		reportAOT(rows)
+		results = append(results, rows...)
 	}
 	run := execBenchRun{
 		GoVersion:  runtime.Version(),
@@ -286,9 +294,12 @@ func runExecBench(out string, sizes []int, workers int, tune tuneOpts) error {
 		Workers:    workers,
 		Note: "pipelined/futures/stages all execute the compiled runtime IR; \"hybrid\" fuses " +
 			"single-predecessor chains into static runs, \"autotuned\" adds profile-guided " +
-			"MinBlockIters; rows carry the gomaxprocs they were measured under and are only " +
-			"gate-compared on a matching host; the baseline's \"tasking\" rows are the pre-IR " +
-			"runtime that re-resolved dependencies per Submit",
+			"MinBlockIters; \"aot_binary\" is the emitted standalone program's steady-state " +
+			"pipelined time vs \"aot_inprocess\" on the same synthetic-bodied kernel, and " +
+			"\"aot_compile\"/\"aot_compile_noopt\" time the gogen backend with passes on/off; " +
+			"rows carry the gomaxprocs they were measured under and are only gate-compared on " +
+			"a matching host; the baseline's \"tasking\" rows are the pre-IR runtime that " +
+			"re-resolved dependencies per Submit",
 		Baseline: preRefactorBaseline,
 		Results:  results,
 	}
@@ -337,7 +348,7 @@ func runExecBench(out string, sizes []int, workers int, tune tuneOpts) error {
 // Committed rows measured under a different GOMAXPROCS than the
 // current host are skipped: a 1-CPU row gated on a multi-core host
 // (or vice versa) would compare scheduling regimes, not regressions.
-func runExecGate(gateFile string, tol float64, sizes []int, workers int, tune tuneOpts) error {
+func runExecGate(gateFile string, tol float64, sizes []int, workers int, tune tuneOpts, aot aotOpts) error {
 	data, err := os.ReadFile(gateFile)
 	if err != nil {
 		return fmt.Errorf("exec-gate: reading %s: %w", gateFile, err)
@@ -373,6 +384,13 @@ func runExecGate(gateFile string, tol float64, sizes []int, workers int, tune tu
 	fresh, err := measureExec(sizes, workers, tune)
 	if err != nil {
 		return err
+	}
+	if aot.Enabled {
+		rows, err := measureAOT(aot, workers)
+		if err != nil {
+			return err
+		}
+		fresh = append(fresh, rows...)
 	}
 	var failures []string
 	compared := 0

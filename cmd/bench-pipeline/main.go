@@ -91,6 +91,9 @@ func main() {
 	execGate := flag.Bool("exec-gate", false, "re-run the execution benchmark and exit non-zero if any row's ns/op regressed beyond -gate-tol against -exec-gate-file")
 	execGateFile := flag.String("exec-gate-file", "BENCH_exec.json", "committed benchmark file the -exec-gate run compares against")
 	execSizes := flag.String("exec-sizes", "32,64,128", "with -exec-bench/-exec-gate, comma-separated problem sizes for the P4/P7/P10 kernels")
+	aotBench := flag.Bool("aot-bench", false, "benchmark the AOT backend: emitted-binary vs in-process steady state plus compile-time ns/op (passes on/off); alone, print the rows as JSON; with -exec-bench/-exec-gate, merge them into the BENCH_exec.json flow")
+	aotSizes := flag.String("aot-sizes", "32", "with -aot-bench, comma-separated problem sizes that get an emitted binary (each costs one `go build` per kernel)")
+	aotRepsFlag := flag.Int("aot-reps", aotReps, "with -aot-bench, steady-state repetitions per measurement (best time wins)")
 	autotuneFlag := flag.Bool("autotune", false, "run the profile-guided block-size search: alone, print the per-kernel search trail; with -exec-bench/-exec-gate, add \"autotuned\" rows for the -autotune-sizes kernels")
 	autotuneSizes := flag.String("autotune-sizes", "32", "with -exec-bench/-exec-gate -autotune, problem sizes that get autotuned rows (the search re-runs the kernel per candidate, so keep this small)")
 	autotuneBudget := flag.Int("autotune-budget", 8, "candidate-evaluation budget per kernel for -autotune")
@@ -117,14 +120,31 @@ func main() {
 				fatal(err)
 			}
 		}
+		aot := aotOpts{Enabled: *aotBench, Reps: *aotRepsFlag}
+		if aot.Enabled {
+			if aot.Sizes, err = parseInts(*aotSizes); err != nil {
+				fatal(err)
+			}
+		}
 		if *execGate {
-			if err := runExecGate(*execGateFile, *gateTol, sizeVals, *workers, tune); err != nil {
+			if err := runExecGate(*execGateFile, *gateTol, sizeVals, *workers, tune, aot); err != nil {
 				stopProfiles()
 				fatal(err)
 			}
 			return
 		}
-		if err := runExecBench(*execOut, sizeVals, *workers, tune); err != nil {
+		if err := runExecBench(*execOut, sizeVals, *workers, tune, aot); err != nil {
+			stopProfiles()
+			fatal(err)
+		}
+		return
+	}
+	if *aotBench {
+		sizeVals, err := parseInts(*aotSizes)
+		if err != nil {
+			fatal(err)
+		}
+		if err := runAOTBench(aotOpts{Enabled: true, Sizes: sizeVals, Reps: *aotRepsFlag}, *workers); err != nil {
 			stopProfiles()
 			fatal(err)
 		}

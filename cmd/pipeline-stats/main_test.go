@@ -197,3 +197,48 @@ func TestTraceJSONIsValidTraceEvent(t *testing.T) {
 		t.Error("no complete (X) events in trace")
 	}
 }
+
+// TestPrintAOTStats drives the -aot mode in-process: the emitted
+// metrics table must report every pass's observable effect with
+// non-zero values on a workload the pipeline actually transforms.
+func TestPrintAOTStats(t *testing.T) {
+	p, err := polypipe.Kernel("listing3", 16, 2, 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := printAOTStats(&b, p, 2, polypipe.Options{}, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"AOT backend (internal/ir pass pipeline):",
+		"ir tasks",
+		"blocks fused",
+		"dep addresses hoisted",
+		"bodies specialized",
+		"arrays narrowed",
+		"ir.pass.fuse",
+		"ir.pass.hoist",
+		"ir.pass.specialize",
+		"ir.pass.narrow",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-aot output missing %q:\n%s", want, out)
+		}
+	}
+	for _, row := range []string{"dep addresses hoisted", "bodies specialized"} {
+		if strings.Contains(out, row+"  0 ") {
+			t.Errorf("%s reported zero effect:\n%s", row, out)
+		}
+	}
+
+	// Pass selection flows through: with "none" nothing runs.
+	b.Reset()
+	if err := printAOTStats(&b, p, 2, polypipe.Options{}, "none"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "ir.pass.") {
+		t.Errorf("-aot-passes none still ran passes:\n%s", b.String())
+	}
+}

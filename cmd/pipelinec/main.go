@@ -2,23 +2,50 @@
 // loop-nest program in the DSL (see internal/lang), runs cross-loop
 // pipeline detection, and prints the requested artifacts — the
 // pipeline-map report, the transformed schedule tree (Algorithm 2),
-// and the annotated AST (the Figure 6 artifact).
+// the annotated AST (the Figure 6 artifact), the optimized
+// block-program IR, or a standalone pipelined Go program (the AOT
+// backend).
 //
 // Usage:
 //
 //	pipelinec [-dump report|tree|ast|all] [-min-block-iters N] file.loop
-//	pipelinec -example listing1        # run on a built-in example
+//	pipelinec -example listing1            # run on a built-in example
+//	pipelinec -gogen out.go file.loop      # emit a standalone Go program
+//	pipelinec -dump-ir -passes fuse,hoist file.loop
 //
 // With no file and no -example, the program is read from stdin.
+//
+// Exit codes distinguish failure classes so scripts can branch
+// without string-matching stderr:
+//
+//	0  success
+//	1  other errors
+//	2  parse/usage errors (bad flags, bad DSL, bad -passes)
+//	3  the program is outside the pipelinable fragment
+//	4  I/O errors (unreadable input, unwritable output)
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 
+	"repro/internal/gogen"
+	"repro/internal/ir"
 	"repro/polypipe"
+)
+
+// Exit codes of the pipelinec process. The mapping from typed
+// polypipe errors happens in realMain via errors.Is.
+const (
+	exitOK             = 0
+	exitErr            = 1
+	exitParse          = 2
+	exitNotPipelinable = 3
+	exitIO             = 4
 )
 
 const listing1Example = `// Paper Listing 1, N = 20
@@ -43,89 +70,142 @@ for (i = 0; i < 5; i++)
 `
 
 func main() {
-	dump := flag.String("dump", "all", "artifacts to print: report, blocks, tree, ast, or all")
-	minIters := flag.Int("min-block-iters", 0, "coarsen pipeline blocks to at least this many iterations")
-	example := flag.String("example", "", "use a built-in example program: listing1 or listing3")
-	run := flag.Bool("run", false, "also execute the program (synthetic bodies): verify pipelined vs sequential and report the simulated speed-up")
-	workers := flag.Int("workers", 4, "worker count for -run and generated code")
-	gogenOut := flag.String("gogen", "", "write a standalone pipelined Go program to this file")
-	scopOut := flag.String("export-scop", "", "write the parsed SCoP as JSON to this file")
-	flag.Parse()
+	os.Exit(realMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
 
-	src, name, err := readInput(*example, flag.Args())
+// realMain is the whole program behind an exit code, parameterized
+// over its streams so the failure paths are testable in-process.
+func realMain(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("pipelinec", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	dump := flags.String("dump", "all", "artifacts to print: report, blocks, tree, ast, or all")
+	minIters := flags.Int("min-block-iters", 0, "coarsen pipeline blocks to at least this many iterations")
+	example := flags.String("example", "", "use a built-in example program: listing1 or listing3")
+	run := flags.Bool("run", false, "also execute the program (synthetic bodies): verify pipelined vs sequential and report the simulated speed-up")
+	workers := flags.Int("workers", 4, "worker count for -run and generated code")
+	gogenOut := flags.String("gogen", "", "write a standalone pipelined Go program to this file")
+	scopOut := flags.String("export-scop", "", "write the parsed SCoP as JSON to this file")
+	opt := flags.Bool("opt", true, "run the IR optimization passes for -gogen/-dump-ir (-opt=false is shorthand for -passes none)")
+	passes := flags.String("passes", "", "IR pass selection for -gogen/-dump-ir: \"\" or \"all\", \"none\", or a comma-separated subset of pass names")
+	dumpIR := flags.Bool("dump-ir", false, "print the (optimized) block-program IR")
+	if err := flags.Parse(args); err != nil {
+		return exitParse
+	}
+	fail := func(code int, err error) int {
+		fmt.Fprintln(stderr, "pipelinec:", err)
+		return code
+	}
+
+	passSpec := *passes
+	if !*opt && passSpec == "" {
+		passSpec = "none"
+	}
+	if _, err := ir.ParsePasses(passSpec); err != nil {
+		return fail(exitParse, err)
+	}
+
+	src, name, err := readInput(*example, flags.Args(), stdin)
 	if err != nil {
-		fatal(err)
+		return fail(inputErrCode(err), err)
 	}
 	sc, err := polypipe.Parse(name, src)
 	if err != nil {
-		fatal(err)
+		return fail(exitParse, err)
 	}
 	opts := polypipe.Options{MinBlockIters: *minIters}
-	sess := polypipe.NewSession(polypipe.WithWorkers(*workers), polypipe.WithOptions(opts))
+	sess := polypipe.NewSession(
+		polypipe.WithWorkers(*workers),
+		polypipe.WithOptions(opts),
+		polypipe.WithCache(0),
+	)
+	defer sess.Close()
 	info, err := sess.Detect(sc)
 	if err != nil {
-		fatal(err)
+		if errors.Is(err, polypipe.ErrNotPipelinable) {
+			return fail(exitNotPipelinable, err)
+		}
+		return fail(exitErr, err)
 	}
 
 	show := func(kind string) bool { return *dump == kind || *dump == "all" }
 	if *scopOut != "" {
 		data, err := polypipe.MarshalSCoP(sc)
 		if err != nil {
-			fatal(err)
+			return fail(exitErr, err)
 		}
 		if err := os.WriteFile(*scopOut, data, 0o644); err != nil {
-			fatal(err)
+			return fail(exitIO, err)
 		}
-		fmt.Printf("wrote SCoP description to %s\n\n", *scopOut)
+		fmt.Fprintf(stdout, "wrote SCoP description to %s\n\n", *scopOut)
+	}
+	if *dumpIR {
+		p, err := gogen.Compile(info, gogen.EmitOptions{Workers: *workers, Passes: passSpec})
+		if err != nil {
+			return fail(exitErr, err)
+		}
+		fmt.Fprintf(stdout, "== block-program IR ==\n%s\n", p)
 	}
 	if *gogenOut != "" {
 		f, err := os.Create(*gogenOut)
 		if err != nil {
-			fatal(err)
+			return fail(exitIO, err)
 		}
-		if err := polypipe.EmitGo(f, info, *workers); err != nil {
-			fatal(err)
+		emitErr := sess.EmitGo(f, sc, polypipe.EmitOptions{Workers: *workers, Passes: passSpec})
+		if closeErr := f.Close(); emitErr == nil {
+			emitErr = closeErr
 		}
-		if err := f.Close(); err != nil {
-			fatal(err)
+		if emitErr != nil {
+			return fail(exitIO, emitErr)
 		}
-		fmt.Printf("wrote standalone pipelined program to %s (run with `go run %s`)\n\n", *gogenOut, *gogenOut)
+		fmt.Fprintf(stdout, "wrote standalone pipelined program to %s (run with `go run %s`)\n\n", *gogenOut, *gogenOut)
 	}
 	if *run {
 		prog := polypipe.Interpret(sc)
 		if err := sess.Verify(prog); err != nil {
-			fatal(err)
+			return fail(exitErr, err)
 		}
-		fmt.Printf("verification: pipelined == parloop == sequential ✓ (%d tasks)\n",
+		fmt.Fprintf(stdout, "verification: pipelined == parloop == sequential ✓ (%d tasks)\n",
 			info.TotalBlocks())
 		// One measurement for both points, so the critical-path bound
 		// always dominates the bounded speed-up.
 		s, err := sess.Simulate(prog, polypipe.SimConfig{Procs: []int{*workers, 1 << 16}})
 		if err != nil {
-			fatal(err)
+			return fail(exitErr, err)
 		}
-		fmt.Printf("simulated speed-up on %d workers: %.2fx (critical-path bound: %.2fx)\n\n",
+		fmt.Fprintf(stdout, "simulated speed-up on %d workers: %.2fx (critical-path bound: %.2fx)\n\n",
 			*workers, s[0], s[1])
 	}
 	if show("report") {
-		fmt.Printf("== pipeline detection report (%s) ==\n%s\n", name, polypipe.PipelineReport(info))
+		fmt.Fprintf(stdout, "== pipeline detection report (%s) ==\n%s\n", name, polypipe.PipelineReport(info))
 	}
 	if *dump == "blocks" {
-		fmt.Printf("== pipeline blocks ==\n%s\n", polypipe.BlockReport(info))
+		fmt.Fprintf(stdout, "== pipeline blocks ==\n%s\n", polypipe.BlockReport(info))
 	}
 	if show("tree") {
-		fmt.Printf("== schedule tree ==\n%s\n", polypipe.ScheduleTree(info))
+		fmt.Fprintf(stdout, "== schedule tree ==\n%s\n", polypipe.ScheduleTree(info))
 	}
 	if show("ast") {
 		out, err := polypipe.TransformedAST(name+"_pipelined", info)
 		if err != nil {
-			fatal(err)
+			return fail(exitErr, err)
 		}
-		fmt.Printf("== annotated AST ==\n%s", out)
+		fmt.Fprintf(stdout, "== annotated AST ==\n%s", out)
 	}
+	return exitOK
 }
 
-func readInput(example string, args []string) (src, name string, err error) {
+// inputErrCode classifies a readInput failure: filesystem errors are
+// I/O, everything else (unknown example, too many arguments) is
+// usage.
+func inputErrCode(err error) int {
+	var pathErr *fs.PathError
+	if errors.As(err, &pathErr) {
+		return exitIO
+	}
+	return exitParse
+}
+
+func readInput(example string, args []string, stdin io.Reader) (src, name string, err error) {
 	switch example {
 	case "listing1":
 		return listing1Example, "listing1", nil
@@ -145,14 +225,9 @@ func readInput(example string, args []string) (src, name string, err error) {
 		}
 		return string(data), args[0], nil
 	}
-	data, err := io.ReadAll(os.Stdin)
+	data, err := io.ReadAll(stdin)
 	if err != nil {
 		return "", "", err
 	}
 	return string(data), "stdin", nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "pipelinec:", err)
-	os.Exit(1)
 }

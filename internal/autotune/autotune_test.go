@@ -79,9 +79,9 @@ func TestTuneBudgetOne(t *testing.T) {
 func TestTuneRespectsBaseAndCeiling(t *testing.T) {
 	p := kernels.Listing3(32)
 	res, err := Tune(p, Config{
-		Workers: 2,
-		Reps:    1,
-		Detect:  core.Options{MinBlockIters: 4},
+		Workers:       2,
+		Reps:          1,
+		Detect:        core.Options{MinBlockIters: 4},
 		MaxBlockIters: 8,
 	})
 	if err != nil {

@@ -122,6 +122,22 @@ func CompileWithOptions(info *core.Info, opts CompileOptions) (*TaskProgram, err
 	if !info.SCoP.HasBodies() {
 		return nil, fmt.Errorf("codegen: scop %q has statements without executable bodies", info.SCoP.Name)
 	}
+	return compileTasks(info, opts)
+}
+
+// CompileForEmission lowers the task structure only — block leaders,
+// members, and the §5.4 dependency addresses — without requiring (or
+// ever touching) statement bodies. It is the seam the AOT back end
+// (internal/ir, internal/gogen) compiles through: emitted programs
+// carry their own statement bodies, so attaching interpreter bodies to
+// the caller's SCoP, as gogen.Emit once did as a side effect, is
+// neither needed nor allowed. The returned program must not be
+// executed in process unless the SCoP carries bodies.
+func CompileForEmission(info *core.Info) (*TaskProgram, error) {
+	return compileTasks(info, CompileOptions{})
+}
+
+func compileTasks(info *core.Info, opts CompileOptions) (*TaskProgram, error) {
 	coder := newCoder(info.SCoP)
 	prog := &TaskProgram{SCoP: info.SCoP, Coder: coder, Opts: opts}
 

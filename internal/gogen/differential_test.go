@@ -1,0 +1,106 @@
+package gogen
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/kernels"
+)
+
+// diffCorpus builds the full differential corpus: every Table 9
+// pattern plus the nmm matrix-multiplication chains. All programs are
+// re-bodied with the synthetic interp semantics, which is what the
+// emitted programs implement.
+func diffCorpus(t *testing.T) []*kernels.Program {
+	t.Helper()
+	var out []*kernels.Program
+	for _, spec := range kernels.Table9 {
+		out = append(out, kernels.BuildTable9(spec, 8, 2))
+	}
+	out = append(out,
+		kernels.MMChain(2, 6, kernels.MM),
+		kernels.MMChain(3, 6, kernels.GMMT),
+	)
+	return out
+}
+
+// TestEmittedDifferential is the backend's gate: for the full corpus,
+// the emitted binary's result hash must be bit-identical to the
+// in-process runtime executing the same (synthetic-bodied) program —
+// at workers 1, 2, and 4, with the pass pipeline enabled and disabled.
+// Each emitted binary also self-verifies (sequential == pipelined)
+// on every run.
+func TestEmittedDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs one binary per kernel and pass config")
+	}
+	for _, prog := range diffCorpus(t) {
+		prog := prog
+		t.Run(prog.Name, func(t *testing.T) {
+			t.Parallel()
+			sc := prog.SCoP
+			// Synthetic bodies + reference state (replaces the kernel's
+			// own bodies on this fresh instance).
+			ip := interp.Programify(sc)
+			info, err := core.Detect(sc, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// In-process runtime hashes per worker count.
+			tp, err := codegen.Compile(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := map[int]uint64{}
+			for _, w := range []int{1, 2, 4} {
+				ip.Reset()
+				tp.Run(w)
+				want[w] = ip.Hash()
+			}
+			if want[1] != want[2] || want[1] != want[4] {
+				t.Fatalf("in-process runtime not worker-invariant: %v", want)
+			}
+
+			for _, passes := range []string{"all", "none"} {
+				var b strings.Builder
+				if err := EmitWith(&b, info, EmitOptions{Workers: 2, Passes: passes}); err != nil {
+					t.Fatalf("emit %s: %v", passes, err)
+				}
+				dir := t.TempDir()
+				file := filepath.Join(dir, "main.go")
+				if err := os.WriteFile(file, []byte(b.String()), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				bin := filepath.Join(dir, "prog")
+				build := exec.Command("go", "build", "-o", bin, file)
+				build.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
+				if out, err := build.CombinedOutput(); err != nil {
+					t.Fatalf("go build (%s): %v\n%s\n--- source ---\n%s", passes, err, out, numbered(b.String()))
+				}
+				for _, w := range []int{1, 2, 4} {
+					cmd := exec.Command(bin, fmt.Sprintf("%d", w))
+					out, err := cmd.CombinedOutput()
+					if err != nil {
+						t.Fatalf("emitted binary (%s, workers=%d): %v\n%s", passes, w, err, out)
+					}
+					var got uint64
+					var tasks int
+					if _, err := fmt.Sscanf(strings.TrimSpace(string(out)), "ok hash=%x tasks=%d", &got, &tasks); err != nil {
+						t.Fatalf("cannot parse emitted output %q: %v", out, err)
+					}
+					if got != want[w] {
+						t.Errorf("passes=%s workers=%d: emitted hash %x != in-process %x", passes, w, got, want[w])
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,513 +1,93 @@
-// Package gogen is a textual code-generation back end: it emits a
-// standalone, stdlib-only Go main package that executes the
-// transformed (pipelined) program — the analogue of the paper's final
+// Package gogen is the textual back end of the AOT compiler: it
+// prints a standalone, stdlib-only Go main package from the optimized
+// block-program IR (internal/ir) — the analogue of the paper's final
 // code-generation phase that rewrites the program to call the
 // CreateTask runtime function (Figures 7–8).
 //
-// The generated file contains the program's arrays, one function per
-// statement with the same deterministic synthetic body semantics as
-// package interp, one block-execution function per statement that
-// iterates the lexicographic interval of a pipeline block through the
-// original loop bounds, a task table with the §5.4 integer dependency
-// encoding, a minimal embedded tasking runtime, and a main function
-// that runs the program both sequentially and pipelined and compares
-// the result hashes. Because the synthetic-body semantics match
-// package interp bit for bit, the hash printed by the generated
-// program can be validated against an in-process interpretation.
+// gogen itself performs no optimization and no analysis: detection
+// (core.Detect), task compilation (codegen.CompileForEmission),
+// lowering (ir.Lower), and the pass pipeline (ir.RunPasses) all happen
+// before Print sees the program, and Print is a thin printer over the
+// result. The emitted file contains the program's arrays (and sink
+// accumulators), the statement bodies with the same deterministic
+// synthetic semantics as package interp (the internal/interp seam),
+// per-task execution code, the dependency DAG — embedded as compiled
+// CSR arrays when the hoist pass ran, or as §5.4 address tables
+// resolved once at startup when it did not — a minimal tasking
+// runtime, and a main function that runs the program sequentially and
+// pipelined and compares the result hashes. Because the semantics
+// match package interp bit for bit, the hash printed by the emitted
+// binary can be validated against an in-process interpretation; the
+// differential harness in this package does exactly that over the
+// Table 9 + nmm corpus.
 package gogen
 
 import (
 	"fmt"
 	"io"
-	"sort"
-	"strings"
 
 	"repro/internal/codegen"
 	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/isl"
-	"repro/internal/isl/aff"
+	"repro/internal/ir"
+	"repro/internal/obs"
 )
 
-// Emit writes the generated program. workers is the worker count the
-// generated main uses for the pipelined run. Analysis-only SCoPs are
-// accepted: emission needs only the task structure (the generated
-// program carries its own statement bodies), so interpreter bodies are
-// attached as a side effect when the SCoP has none.
+// EmitOptions tunes compilation and emission.
+type EmitOptions struct {
+	// Workers is the worker count baked into the emitted main; the
+	// emitted binary overrides it with its first argument.
+	Workers int
+	// Passes selects the optimization pipeline: "" or "all" runs every
+	// pass, "none" emits the unoptimized program, otherwise a
+	// comma-separated subset of ir pass names.
+	Passes string
+	// FuseThreshold caps fused-task iterations (0 = ir default).
+	FuseThreshold int
+	// Obs receives compile phases and ir.* pass metrics.
+	Obs *obs.Recorder
+}
+
+// Emit compiles info with the full pass pipeline and writes the
+// emitted program. The input — in particular the SCoP and its
+// statement bodies — is never modified.
 func Emit(w io.Writer, info *core.Info, workers int) error {
+	return EmitWith(w, info, EmitOptions{Workers: workers})
+}
+
+// EmitWith is Emit with explicit options.
+func EmitWith(w io.Writer, info *core.Info, opts EmitOptions) error {
+	p, err := Compile(info, opts)
+	if err != nil {
+		return err
+	}
+	return Print(w, p)
+}
+
+// Compile runs the middle of the backend — task compilation, IR
+// lowering, and the selected passes — and returns the optimized
+// program, ready for Print (or for inspection: pipelinec -dump-ir).
+func Compile(info *core.Info, opts EmitOptions) (*ir.Program, error) {
 	if len(info.Stmts) != len(info.SCoP.Stmts) {
-		return fmt.Errorf("gogen: incomplete detection info (%d of %d statements); pass the result of core.Detect",
+		return nil, fmt.Errorf("gogen: incomplete detection info (%d of %d statements); pass the result of core.Detect",
 			len(info.Stmts), len(info.SCoP.Stmts))
 	}
-	if !info.SCoP.HasBodies() {
-		interp.Programify(info.SCoP)
-	}
-	prog, err := codegen.Compile(info)
+	passes, err := ir.ParsePasses(opts.Passes)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	g := &generator{info: info, prog: prog, workers: workers}
-	src, err := g.generate()
+	tp, err := codegen.CompileForEmission(info)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	_, err = io.WriteString(w, src)
-	return err
-}
-
-type generator struct {
-	info    *core.Info
-	prog    *codegen.TaskProgram
-	workers int
-}
-
-// arrayLayout mirrors interp's allocation: offsets and extents sized
-// to cover every access.
-type arrayLayout struct {
-	name   string
-	offset []int
-	extent []int
-	size   int
-}
-
-func (g *generator) layouts() ([]arrayLayout, error) {
-	sc := g.info.SCoP
-	type bounds struct{ lo, hi []int }
-	bs := map[string]*bounds{}
-	consider := func(rel *isl.Map) {
-		name := rel.OutSpace().Name
-		b := bs[name]
-		rel.Range().Foreach(func(idx isl.Vec) bool {
-			if b == nil {
-				b = &bounds{lo: idx.Clone(), hi: idx.Clone()}
-				bs[name] = b
-			}
-			for d, x := range idx {
-				if x < b.lo[d] {
-					b.lo[d] = x
-				}
-				if x > b.hi[d] {
-					b.hi[d] = x
-				}
-			}
-			return true
-		})
+	iropt := ir.Options{
+		Workers:       opts.Workers,
+		FuseThreshold: opts.FuseThreshold,
+		Obs:           opts.Obs,
 	}
-	for _, s := range sc.Stmts {
-		if s.Write != nil {
-			consider(s.Write.Rel)
-		}
-		for i := range s.Reads {
-			consider(s.Reads[i].Rel)
-		}
-	}
-	names := make([]string, 0, len(sc.Arrays))
-	for name := range sc.Arrays {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	var out []arrayLayout
-	for _, name := range names {
-		arr := sc.Arrays[name]
-		b := bs[name]
-		if b == nil {
-			b = &bounds{lo: make([]int, arr.Dim), hi: make([]int, arr.Dim)}
-		}
-		lay := arrayLayout{name: name, offset: b.lo, size: 1}
-		for d := range b.lo {
-			lay.extent = append(lay.extent, b.hi[d]-b.lo[d]+1)
-			lay.size *= lay.extent[d]
-		}
-		out = append(out, lay)
-	}
-	return out, nil
-}
-
-// exprGo renders an affine expression as Go source over variables
-// i0, i1, ...
-func exprGo(e aff.Expr) string {
-	var parts []string
-	if e.Const != 0 {
-		parts = append(parts, fmt.Sprintf("%d", e.Const))
-	}
-	for i := 0; i < e.NVars; i++ {
-		c := 0
-		if e.Coeffs != nil {
-			c = e.Coeffs[i]
-		}
-		switch {
-		case c == 0:
-		case c == 1:
-			parts = append(parts, fmt.Sprintf("i%d", i))
-		default:
-			parts = append(parts, fmt.Sprintf("%d*i%d", c, i))
-		}
-	}
-	for _, d := range e.Divs {
-		term := fmt.Sprintf("floorDiv(%s, %d)", exprGo(d.Inner), d.Den)
-		if d.Coef != 1 {
-			term = fmt.Sprintf("%d*%s", d.Coef, term)
-		}
-		parts = append(parts, term)
-	}
-	if len(parts) == 0 {
-		return "0"
-	}
-	return strings.Join(parts, " + ")
-}
-
-// indexGo renders the flat-index computation for an access.
-func indexGo(lay arrayLayout, exprs []aff.Expr) string {
-	s := "0"
-	for d, e := range exprs {
-		s = fmt.Sprintf("(%s)*%d + (%s) - (%d)", s, lay.extent[d], exprGo(e), lay.offset[d])
-	}
-	return s
-}
-
-func (g *generator) generate() (string, error) {
-	sc := g.info.SCoP
-	lays, err := g.layouts()
+	p, err := ir.Lower(info, tp, iropt)
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	layOf := map[string]arrayLayout{}
-	for _, l := range lays {
-		layOf[l.name] = l
-	}
-
-	var b strings.Builder
-	p := func(format string, args ...any) { fmt.Fprintf(&b, format+"\n", args...) }
-
-	p("// Code generated by polypipe (gogen) from scop %q. DO NOT EDIT.", sc.Name)
-	p("//")
-	p("// Standalone pipelined program: run with `go run <thisfile>`.")
-	p("// It executes the loop nests sequentially and as cross-loop")
-	p("// pipelined tasks, compares the result hashes, and prints both")
-	p("// timings.")
-	p("package main")
-	p("")
-	p(`import (`)
-	p("\t\"fmt\"")
-	p("\t\"math\"")
-	p("\t\"os\"")
-	p("\t\"sync\"")
-	p("\t\"sync/atomic\"")
-	p("\t\"time\"")
-	p(`)`)
-	p("")
-	p("func floorDiv(a, b int) int {")
-	p("\tq := a / b")
-	p("\tif a%%b != 0 && (a < 0) != (b < 0) {")
-	p("\t\tq--")
-	p("\t}")
-	p("\treturn q")
-	p("}")
-	p("")
-	p("func splitmix(x uint64) uint64 {")
-	p("\tx += 0x9e3779b97f4a7c15")
-	p("\tx = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9")
-	p("\tx = (x ^ (x >> 27)) * 0x94d049bb133111eb")
-	p("\treturn x ^ (x >> 31)")
-	p("}")
-	p("")
-	p("func hashString(s string) uint64 {")
-	p("\th := uint64(14695981039346656037)")
-	p("\tfor i := 0; i < len(s); i++ {")
-	p("\t\th ^= uint64(s[i])")
-	p("\t\th *= 1099511628211")
-	p("\t}")
-	p("\treturn h")
-	p("}")
-	p("")
-
-	// Arrays.
-	for _, l := range lays {
-		p("var arr_%s = make([]float64, %d)", l.name, l.size)
-	}
-	p("")
-	p("func seed() {")
-	for _, l := range lays {
-		p("\t{")
-		p("\t\ts := hashString(%q)", l.name)
-		p("\t\tfor i := range arr_%s {", l.name)
-		p("\t\t\tarr_%s[i] = float64(splitmix(s+uint64(i))%%4096)/512.0 - 4.0", l.name)
-		p("\t\t}")
-		p("\t}")
-	}
-	p("}")
-	p("")
-	p("func hashState() uint64 {")
-	p("\th := uint64(14695981039346656037)")
-	for _, l := range lays {
-		p("\tfor _, v := range arr_%s {", l.name)
-		p("\t\th ^= math.Float64bits(v)")
-		p("\t\th *= 1099511628211")
-		p("\t}")
-	}
-	p("\treturn h")
-	p("}")
-	p("")
-
-	// Statement bodies (interp semantics).
-	for _, s := range sc.Stmts {
-		args := make([]string, s.Depth())
-		for d := range args {
-			args[d] = fmt.Sprintf("i%d int", d)
-		}
-		p("func stmt_%s(%s) {", s.Name, strings.Join(args, ", "))
-		p("\tacc := 1.0")
-		for _, rd := range s.Reads {
-			lay := layOf[rd.Array()]
-			p("\tacc = acc/2 + arr_%s[%s]", rd.Array(), indexGo(lay, rd.Access.Exprs))
-		}
-		lin := make([]string, s.Depth())
-		for d := range lin {
-			lin[d] = fmt.Sprintf("i%d", d)
-		}
-		p("\tlin := %s", strings.Join(lin, " + "))
-		p("\tv := acc*0.3 + 0.01*float64(lin)")
-		p("\tif v > 1e6 || v < -1e6 {")
-		p("\t\tv = math.Mod(v, 1e6)")
-		p("\t}")
-		if s.Write != nil {
-			lay := layOf[s.Write.Array()]
-			p("\tarr_%s[%s] = v", s.Write.Array(), indexGo(lay, s.Write.Access.Exprs))
-		} else {
-			p("\t_ = v")
-		}
-		p("}")
-		p("")
-	}
-
-	// Block runners: iterate the statement's loop nest restricted to
-	// the lexicographic interval (from, to].
-	for _, s := range sc.Stmts {
-		if s.Spec == nil {
-			return "", fmt.Errorf("gogen: statement %q has no symbolic domain", s.Name)
-		}
-		depth := s.Depth()
-		fargs := make([]string, 0, 2*depth)
-		for d := 0; d < depth; d++ {
-			fargs = append(fargs, fmt.Sprintf("f%d", d))
-		}
-		for d := 0; d < depth; d++ {
-			fargs = append(fargs, fmt.Sprintf("t%d", d))
-		}
-		p("// runBlock_%s executes iterations with from ≺ (i0..) ≼ to.", s.Name)
-		p("func runBlock_%s(%s int) {", s.Name, strings.Join(fargs, ", "))
-		indent := "\t"
-		for d := 0; d < depth; d++ {
-			lo := exprGo(s.Spec.Bounds[d].Lo)
-			hi := exprGo(s.Spec.Bounds[d].Hi)
-			p("%sfor i%d := %s; i%d < %s; i%d++ {", indent, d, lo, d, hi, d)
-			indent += "\t"
-		}
-		cmpArgs := make([]string, 0, depth)
-		for d := 0; d < depth; d++ {
-			cmpArgs = append(cmpArgs, fmt.Sprintf("i%d", d))
-		}
-		fs := strings.Join(prefix("f", depth), ", ")
-		ts := strings.Join(prefix("t", depth), ", ")
-		is := strings.Join(cmpArgs, ", ")
-		p("%sif lexLE(%s, %s) || lexGT(%s, %s) {", indent, is, fs, is, ts)
-		p("%s\tcontinue", indent)
-		p("%s}", indent)
-		p("%sstmt_%s(%s)", indent, s.Name, is)
-		for d := depth - 1; d >= 0; d-- {
-			indent = indent[:len(indent)-1]
-			p("%s}", indent)
-		}
-		p("}")
-		p("")
-	}
-
-	// Lexicographic comparators for each arity used.
-	arities := map[int]bool{}
-	for _, s := range sc.Stmts {
-		arities[s.Depth()] = true
-	}
-	maxArity := 0
-	for a := range arities {
-		if a > maxArity {
-			maxArity = a
-		}
-	}
-	p("// lexLE reports a ≼ b; lexGT reports a ≻ b (flattened pairs).")
-	p("func lexLE(ab ...int) bool {")
-	p("\tn := len(ab) / 2")
-	p("\tfor d := 0; d < n; d++ {")
-	p("\t\tif ab[d] != ab[n+d] {")
-	p("\t\t\treturn ab[d] < ab[n+d]")
-	p("\t\t}")
-	p("\t}")
-	p("\treturn true")
-	p("}")
-	p("func lexGT(ab ...int) bool { return !lexLE(ab...) }")
-	p("")
-
-	// Task table.
-	p("type task struct {")
-	p("\trun    func()")
-	p("\tout    int")
-	p("\tin     []int")
-	p("\tserial int")
-	p("}")
-	p("")
-	p("var tasks = []task{")
-	prevLeader := map[int]isl.Vec{}
-	for i := range g.prog.Tasks {
-		spec := &g.prog.Tasks[i]
-		depth := spec.Stmt.Depth()
-		from := prevLeader[spec.Stmt.Index]
-		fromArgs := make([]string, depth)
-		for d := 0; d < depth; d++ {
-			if from == nil {
-				// Below the domain minimum: use leader's coords minus
-				// a sentinel via the domain's first element - 1 on the
-				// first dim.
-				min, _ := spec.Stmt.Domain.Lexmin()
-				if d == 0 {
-					fromArgs[d] = fmt.Sprintf("%d", min[0]-1)
-				} else {
-					fromArgs[d] = fmt.Sprintf("%d", min[d])
-				}
-			} else {
-				fromArgs[d] = fmt.Sprintf("%d", from[d])
-			}
-		}
-		toArgs := make([]string, depth)
-		for d := 0; d < depth; d++ {
-			toArgs[d] = fmt.Sprintf("%d", spec.Leader[d])
-		}
-		ins := make([]string, len(spec.In))
-		for k, in := range spec.In {
-			ins[k] = fmt.Sprintf("%d", in)
-		}
-		p("\t{run: func() { runBlock_%s(%s, %s) }, out: %d, in: []int{%s}, serial: %d},",
-			spec.Stmt.Name, strings.Join(fromArgs, ", "), strings.Join(toArgs, ", "),
-			spec.Out, strings.Join(ins, ", "), spec.Serial)
-		prevLeader[spec.Stmt.Index] = spec.Leader
-	}
-	p("}")
-	p("")
-
-	// Compiled dependency DAG, lowered once at generation time by the
-	// same runtime IR the in-process executors share: CSR successor
-	// adjacency plus initial indegrees. The generated runtime resolves
-	// nothing at startup — the out/in/serial fields above document the
-	// §5.4 dependency interface the arrays were compiled from.
-	ir := g.prog.Lower()
-	n := ir.NumTasks()
-	succOff := make([]int32, n+1)
-	var succFlat []int32
-	indeg0 := make([]int32, n)
-	for i := 0; i < n; i++ {
-		succFlat = append(succFlat, ir.SuccsOf(i)...)
-		succOff[i+1] = int32(len(succFlat))
-		indeg0[i] = int32(ir.Indegree0(i))
-	}
-	emitInt32s := func(name string, vals []int32) {
-		p("var %s = []int32{", name)
-		for start := 0; start < len(vals); start += 16 {
-			end := start + 16
-			if end > len(vals) {
-				end = len(vals)
-			}
-			row := make([]string, 0, 16)
-			for _, v := range vals[start:end] {
-				row = append(row, fmt.Sprintf("%d", v))
-			}
-			p("\t%s,", strings.Join(row, ", "))
-		}
-		p("}")
-	}
-	emitInt32s("succOff", succOff)
-	emitInt32s("succs", succFlat)
-	emitInt32s("indeg0", indeg0)
-	emitInt32s("roots", ir.Roots())
-	p("")
-
-	// Embedded minimal runtime + drivers + main.
-	p(runtimeSrc)
-	p("func runSequential() {")
-	for _, s := range sc.Stmts {
-		min, _ := s.Domain.Lexmin()
-		max, _ := s.Domain.Lexmax()
-		from := make([]string, s.Depth())
-		to := make([]string, s.Depth())
-		for d := range from {
-			if d == 0 {
-				from[d] = fmt.Sprintf("%d", min[0]-1)
-			} else {
-				from[d] = fmt.Sprintf("%d", min[d])
-			}
-			to[d] = fmt.Sprintf("%d", max[d])
-		}
-		p("\trunBlock_%s(%s, %s)", s.Name, strings.Join(from, ", "), strings.Join(to, ", "))
-	}
-	p("}")
-	p("")
-	p("func main() {")
-	p("\tseed()")
-	p("\tt0 := time.Now()")
-	p("\trunSequential()")
-	p("\tseqTime := time.Since(t0)")
-	p("\tseqHash := hashState()")
-	p("")
-	p("\tseed()")
-	p("\tt1 := time.Now()")
-	p("\trunPipelined(%d)", g.workers)
-	p("\tpipeTime := time.Since(t1)")
-	p("\tpipeHash := hashState()")
-	p("")
-	p("\tif seqHash != pipeHash {")
-	p("\t\tfmt.Printf(\"MISMATCH seq=%%x pipe=%%x\\n\", seqHash, pipeHash)")
-	p("\t\tos.Exit(1)")
-	p("\t}")
-	p("\tfmt.Printf(\"ok hash=%%x tasks=%d seq=%%v pipe=%%v\\n\", seqHash, seqTime, pipeTime)", len(g.prog.Tasks))
-	p("}")
-
-	return b.String(), nil
+	ir.RunPasses(p, passes, iropt)
+	return p, nil
 }
-
-func prefix(pfx string, n int) []string {
-	out := make([]string, n)
-	for i := range out {
-		out[i] = fmt.Sprintf("%s%d", pfx, i)
-	}
-	return out
-}
-
-// runtimeSrc is the embedded minimal tasking runtime of the generated
-// program. The dependency DAG arrives precompiled (succOff/succs/
-// indeg0/roots, emitted above), so the executor is just a buffered
-// ready channel and atomic indegree decrements: the channel's capacity
-// covers every task, so sends never block and completion cannot
-// deadlock by construction.
-const runtimeSrc = `func runPipelined(workers int) {
-	indeg := make([]int32, len(tasks))
-	copy(indeg, indeg0)
-	ready := make(chan int32, len(tasks))
-	for _, r := range roots {
-		ready <- r
-	}
-	var wg sync.WaitGroup
-	wg.Add(len(tasks))
-	for w := 0; w < workers; w++ {
-		go func() {
-			for id := range ready {
-				tasks[id].run()
-				for _, s := range succs[succOff[id]:succOff[id+1]] {
-					if atomic.AddInt32(&indeg[s], -1) == 0 {
-						ready <- s
-					}
-				}
-				wg.Done()
-			}
-		}()
-	}
-	wg.Wait()
-	close(ready)
-}
-`

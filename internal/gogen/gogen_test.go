@@ -24,7 +24,10 @@ for (i = 0; i < 5; i++)
     R: B[i][j] = g(A[i][2*j], B[i][j+1], B[i+1][j+1], B[i][j]);
 `
 
-func generate(t *testing.T, src string) (string, uint64) {
+// generate parses src, detects, and emits with the given pass
+// selection, returning the emitted source and the in-process
+// interpreter's sequential reference hash.
+func generate(t *testing.T, src, passes string) (string, uint64) {
 	t.Helper()
 	sc, err := lang.Parse("gen", src)
 	if err != nil {
@@ -35,10 +38,11 @@ func generate(t *testing.T, src string) (string, uint64) {
 		t.Fatal(err)
 	}
 	var b strings.Builder
-	if err := Emit(&b, info, 4); err != nil {
+	if err := EmitWith(&b, info, EmitOptions{Workers: 4, Passes: passes}); err != nil {
 		t.Fatal(err)
 	}
-	// Reference hash from the in-process interpreter.
+	// Reference hash from the in-process interpreter (bodies attached
+	// only now, after emission: Emit must not need or cause them).
 	p := interp.Programify(sc)
 	p.Reset()
 	for _, s := range sc.Stmts {
@@ -49,23 +53,80 @@ func generate(t *testing.T, src string) (string, uint64) {
 	return b.String(), p.Hash()
 }
 
+// TestEmitDoesNotMutateInput is the regression test for the old
+// gogen.Emit side effect of attaching interpreter bodies to the
+// caller's SCoP: emission of an analysis-only SCoP must leave it
+// analysis-only.
+func TestEmitDoesNotMutateInput(t *testing.T) {
+	sc, err := lang.Parse("gen", listing1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := core.Detect(sc, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.HasBodies() {
+		t.Fatal("precondition: parsed SCoP should be analysis-only")
+	}
+	var b strings.Builder
+	if err := Emit(&b, info, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sc.HasBodies() {
+		t.Error("Emit attached statement bodies to the input SCoP")
+	}
+	for _, s := range sc.Stmts {
+		if s.Body != nil {
+			t.Errorf("Emit attached a body to statement %q", s.Name)
+		}
+	}
+}
+
 func TestGeneratedSourceParses(t *testing.T) {
-	src, _ := generate(t, listing1Src)
+	src, _ := generate(t, listing1Src, "")
 	fset := token.NewFileSet()
 	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
 		t.Fatalf("generated source does not parse: %v\n%s", err, numbered(src))
 	}
 	for _, want := range []string{
+		"func task_0()",
+		"var tasks = []func(){",
+		"var succOff = []int32{", // hoist pass: embedded CSR
+		"func runPipelined(workers int)",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("optimized source missing %q", want)
+		}
+	}
+	for _, reject := range []string{
+		"func stmt_S(",     // specialize pass inlines bodies
+		"func resolveDeps", // hoist pass removes startup resolution
+		"lexLE(",           // specialize pass removes guarded scans
+	} {
+		if strings.Contains(src, reject) {
+			t.Errorf("optimized source still contains %q", reject)
+		}
+	}
+}
+
+func TestGeneratedSourceUnoptimized(t *testing.T) {
+	src, _ := generate(t, listing1Src, "none")
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
+		t.Fatalf("unoptimized source does not parse: %v\n%s", err, numbered(src))
+	}
+	for _, want := range []string{
 		"func stmt_S(i0 int, i1 int)",
 		"func stmt_R(i0 int, i1 int)",
 		"func runBlock_S(",
+		"func resolveDeps()",
+		"var depOuts = [][]int{",
+		"var depSerials = [][]int{",
 		"func runPipelined(workers int)",
-		"var tasks = []task{",
-		"serial: 0},",
-		"serial: 1},",
 	} {
 		if !strings.Contains(src, want) {
-			t.Errorf("generated source missing %q", want)
+			t.Errorf("unoptimized source missing %q", want)
 		}
 	}
 }
@@ -78,21 +139,16 @@ func numbered(src string) string {
 	return strings.Join(lines, "\n")
 }
 
-// TestGeneratedProgramRuns compiles and executes the generated
-// standalone program with `go run` and checks (a) it self-verifies
-// (sequential == pipelined inside the generated binary) and (b) its
-// result hash matches the in-process interpreter bit for bit.
-func TestGeneratedProgramRuns(t *testing.T) {
-	if testing.Short() {
-		t.Skip("go run is slow")
-	}
-	src, wantHash := generate(t, listing1Src)
+// runGenerated compiles and executes emitted source with `go run`,
+// returning the parsed hash and task count.
+func runGenerated(t *testing.T, src string, args ...string) (uint64, int) {
+	t.Helper()
 	dir := t.TempDir()
 	file := filepath.Join(dir, "main.go")
 	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	cmd := exec.Command("go", "run", file)
+	cmd := exec.Command("go", append([]string{"run", file}, args...)...)
 	cmd.Env = append(os.Environ(), "GOFLAGS=-mod=mod")
 	out, err := cmd.CombinedOutput()
 	if err != nil {
@@ -107,11 +163,29 @@ func TestGeneratedProgramRuns(t *testing.T) {
 	if _, err := fmt.Sscanf(outStr, "ok hash=%x tasks=%d", &gotHash, &tasks); err != nil {
 		t.Fatalf("cannot parse output %q: %v", outStr, err)
 	}
-	if gotHash != wantHash {
-		t.Fatalf("generated program hash %x != interpreter hash %x", gotHash, wantHash)
+	return gotHash, tasks
+}
+
+// TestGeneratedProgramRuns compiles and executes the generated
+// standalone program with `go run`, optimized and unoptimized, and
+// checks (a) it self-verifies (sequential == pipelined inside the
+// generated binary) and (b) its result hash matches the in-process
+// interpreter bit for bit.
+func TestGeneratedProgramRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("go run is slow")
 	}
-	if tasks == 0 {
-		t.Fatal("generated program created no tasks")
+	for _, passes := range []string{"all", "none"} {
+		t.Run(passes, func(t *testing.T) {
+			src, wantHash := generate(t, listing1Src, passes)
+			gotHash, tasks := runGenerated(t, src)
+			if gotHash != wantHash {
+				t.Fatalf("generated program hash %x != interpreter hash %x", gotHash, wantHash)
+			}
+			if tasks == 0 {
+				t.Fatal("generated program created no tasks")
+			}
+		})
 	}
 }
 
@@ -121,7 +195,7 @@ for (i = 0; i < 9; i++)
   S: A[i] = f(A[i]);
 for (i = 0; i < 9; i++)
   T: B[i] = g(A[i], B[i]);
-`)
+`, "none")
 	fset := token.NewFileSet()
 	if _, err := parser.ParseFile(fset, "gen.go", src, 0); err != nil {
 		t.Fatalf("depth-1 source does not parse: %v", err)

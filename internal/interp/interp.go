@@ -151,10 +151,9 @@ func (st *State) Reset() {
 	}
 	for _, name := range st.order {
 		a := st.arrays[name]
-		seed := hashString(name)
+		seed := SeedBase(name)
 		for i := range a.data {
-			h := splitmix(seed + uint64(i))
-			a.data[i] = float64(h%4096)/512.0 - 4.0
+			a.data[i] = SeedValue(seed, i)
 		}
 	}
 }
@@ -242,21 +241,17 @@ func (st *State) bodyFor(s *scop.Statement) scop.Body {
 		return idx
 	}
 	return func(iv isl.Vec) {
-		acc := 1.0
+		acc := float64(AccInit)
 		var buf [maxAccessArity]int
 		for _, r := range reads {
 			idx := eval(r, iv, buf[:len(r.exprs)])
-			acc = acc/2 + r.arr.At(idx)
+			acc = FoldRead(acc, r.arr.At(idx))
 		}
 		lin := 0
 		for _, x := range iv {
 			lin += x
 		}
-		v := acc*0.3 + 0.01*float64(lin)
-		// Squash to keep long chains bounded.
-		if v > 1e6 || v < -1e6 {
-			v = math.Mod(v, 1e6)
-		}
+		v := Finish(acc, lin)
 		if write != nil {
 			idx := eval(*write, iv, buf[:len(write.exprs)])
 			write.arr.Set(idx, v)
@@ -264,7 +259,7 @@ func (st *State) bodyFor(s *scop.Statement) scop.Body {
 			// Order-insensitive integer fold: safe under any legal
 			// schedule, including parallel sink iterations, yet
 			// sensitive to the values read.
-			sink.Add(int64(v * 1024))
+			sink.Add(SinkFold(v))
 		}
 	}
 }

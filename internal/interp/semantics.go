@@ -1,0 +1,63 @@
+package interp
+
+import "math"
+
+// This file is the single definition of the synthetic statement-body
+// semantics — the seam shared by the interpreter (bodyFor), the
+// mid-level IR (internal/ir, whose reference evaluator must match the
+// interpreter bit for bit), and the AOT backend (internal/gogen, whose
+// emitted Go text implements the same formulas with the same
+// constants). Changing anything here changes every result hash in the
+// system; the cross-backend differential harnesses exist to catch a
+// drift between the three implementations.
+//
+// The body of a statement with reads r_1..r_k (declaration order) at
+// iteration vector iv is:
+//
+//	acc := AccInit
+//	for each read: acc = FoldRead(acc, value(r_i))
+//	v := Finish(acc, Σ iv)
+//	write cell = v            (or sink += SinkFold(v) without a write)
+
+// Synthetic-body constants. Exported so code generators can embed the
+// exact literals.
+const (
+	// AccInit seeds the read accumulator.
+	AccInit = 1.0
+	// AccScale and LinScale combine the accumulator with the iteration
+	// coordinates in Finish.
+	AccScale = 0.3
+	// LinScale weighs the linear iteration term.
+	LinScale = 0.01
+	// SquashLimit bounds value magnitudes across long chains.
+	SquashLimit = 1e6
+	// SinkScale converts a computed value to the integer a sink
+	// statement accumulates.
+	SinkScale = 1024
+)
+
+// FoldRead folds one read value into the accumulator.
+func FoldRead(acc, v float64) float64 { return acc/2 + v }
+
+// Finish combines the accumulator with the linear iteration term and
+// squashes the magnitude.
+func Finish(acc float64, lin int) float64 {
+	v := acc*AccScale + LinScale*float64(lin)
+	if v > SquashLimit || v < -SquashLimit {
+		v = math.Mod(v, SquashLimit)
+	}
+	return v
+}
+
+// SinkFold converts a computed value to the sink-accumulator integer
+// (order-insensitive under any legal schedule).
+func SinkFold(v float64) int64 { return int64(v * SinkScale) }
+
+// SeedBase returns the per-array seed (the FNV-1a hash of its name).
+func SeedBase(name string) uint64 { return hashString(name) }
+
+// SeedValue returns the deterministic initial value of flat cell i of
+// an array seeded with base.
+func SeedValue(base uint64, i int) float64 {
+	return float64(splitmix(base+uint64(i))%4096)/512.0 - 4.0
+}

@@ -91,7 +91,7 @@ func (e *dimEncoder) encodeForm(f Form) encValue {
 		} else {
 			// C·y ≤ A·x + B ≤ C·y + C − 1.
 			e.addRow(map[int]int64{in: st.A, y: -st.C}, st.B, false)
-			e.addRow(map[int]int64{y: st.C, in: -st.A}, st.C - 1 - st.B, false)
+			e.addRow(map[int]int64{y: st.C, in: -st.A}, st.C-1-st.B, false)
 		}
 		out := y
 		if st.ClampLo || st.ClampHi {

@@ -28,9 +28,9 @@ func chainProgram(n int, order *[]int32) *Program {
 
 func TestBuilderResolvesWriterAndSerial(t *testing.T) {
 	b := NewBuilder(4)
-	b.Add(Task{Out: 10, Serial: NoSerial})              // 0
-	b.Add(Task{Out: 11, In: []int{10, 10}, Serial: 0})  // 1: dep on 0, dup In deduped
-	b.Add(Task{Out: 10, In: []int{11}, Serial: 0})      // 2: dep on 1 (writer + serial, deduped)
+	b.Add(Task{Out: 10, Serial: NoSerial})                // 0
+	b.Add(Task{Out: 11, In: []int{10, 10}, Serial: 0})    // 1: dep on 0, dup In deduped
+	b.Add(Task{Out: 10, In: []int{11}, Serial: 0})        // 2: dep on 1 (writer + serial, deduped)
 	b.Add(Task{Out: -1, In: []int{10}, Serial: NoSerial}) // 3: dep on 2 (latest writer of 10)
 	p := b.Build()
 

@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/futures"
+	"repro/internal/gogen"
 	"repro/internal/isl"
 	"repro/internal/obs"
 	"repro/internal/obs/export"
@@ -447,6 +448,45 @@ func (s *Session) detectWith(sc *SCoP, opts Options) (*Info, error) {
 		return nil, wrapCtxErr(err)
 	}
 	return core.Detect(sc, opts)
+}
+
+// EmitOptions tunes Session.EmitGo — the AOT backend run under a
+// session, so the detection cache and fingerprint layers apply to
+// emission exactly as they do to Detect.
+type EmitOptions struct {
+	// Workers is the worker count baked into the emitted main
+	// (0 = the session's worker count; the emitted binary can still
+	// override it with its first argument).
+	Workers int
+	// Passes selects the IR pass pipeline: "" or "all" runs every
+	// pass, "none" emits the unoptimized program, otherwise a
+	// comma-separated subset of pass names (ir.Passes).
+	Passes string
+	// FuseThreshold caps fused-task iterations (0 = ir default).
+	FuseThreshold int
+}
+
+// EmitGo detects sc under the session's options (served from the
+// cache when one is configured) and writes a standalone Go program
+// for it through the AOT backend. Compile phases and ir.* pass
+// metrics land in the session's registry. After Close it fails with
+// ErrSessionClosed; a SCoP outside the accepted fragment fails with
+// ErrNotPipelinable.
+func (s *Session) EmitGo(w io.Writer, sc *SCoP, o EmitOptions) error {
+	info, err := s.detectWith(sc, s.opts)
+	if err != nil {
+		return err
+	}
+	workers := o.Workers
+	if workers <= 0 {
+		workers = par.Workers(s.workers)
+	}
+	return gogen.EmitWith(w, info, gogen.EmitOptions{
+		Workers:       workers,
+		Passes:        o.Passes,
+		FuseThreshold: o.FuseThreshold,
+		Obs:           s.opts.Obs,
+	})
 }
 
 // DetectBatch detects a batch of SCoPs, returning results in input

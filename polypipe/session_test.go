@@ -201,3 +201,55 @@ func TestSessionCoversLegacySurface(t *testing.T) {
 		t.Fatalf("potential Simulate: %v %v", vs, err)
 	}
 }
+
+// TestSessionEmitGo: emission through a session serves detection from
+// the session cache, records ir.* pass metrics in the session
+// registry, produces identical source on repeat calls, and fails with
+// the typed errors after Close.
+func TestSessionEmitGo(t *testing.T) {
+	sc, err := Parse("emit", `
+for (i = 0; i < 9; i++)
+  S: A[i] = f(A[i]);
+for (i = 0; i < 9; i++)
+  T: B[i] = g(A[i], B[i]);
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSession(WithWorkers(2), WithCache(0), WithRegistry(NewRegistry()))
+	defer s.Close()
+
+	var first, second strings.Builder
+	if err := s.EmitGo(&first, sc, EmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EmitGo(&second, sc, EmitOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("repeat EmitGo of the same SCoP produced different source")
+	}
+	snap := s.Registry().Snapshot()
+	if snap.Counters["cache.hits"] < 1 {
+		t.Errorf("second EmitGo missed the detection cache: hits=%d", snap.Counters["cache.hits"])
+	}
+	if snap.Gauges["ir.tasks"] <= 0 {
+		t.Errorf("ir.* pass metrics missing from session registry: %v", snap.Gauges)
+	}
+
+	var unopt strings.Builder
+	if err := s.EmitGo(&unopt, sc, EmitOptions{Passes: "none"}); err != nil {
+		t.Fatal(err)
+	}
+	if unopt.String() == first.String() {
+		t.Error("Passes selection had no effect on emitted source")
+	}
+	if err := s.EmitGo(&unopt, sc, EmitOptions{Passes: "bogus"}); err == nil {
+		t.Error("unknown pass name accepted")
+	}
+
+	s.Close()
+	if err := s.EmitGo(&first, sc, EmitOptions{}); !errors.Is(err, ErrSessionClosed) {
+		t.Errorf("EmitGo after Close: %v, want ErrSessionClosed", err)
+	}
+}
